@@ -1,0 +1,60 @@
+// A-KBOUND — k-bounded loops: unbounded pipelined loop entry lets every
+// iteration of a parallel loop be in flight at once, which is fast but
+// needs a frame per iteration. Throttling to k live iterations (the
+// classic dataflow loop-bounding mechanism) trades cycles for frame-
+// store footprint; this table maps the tradeoff curve.
+#include "common.hpp"
+#include "lang/corpus.hpp"
+
+using namespace ctdf;
+using namespace ctdf::bench;
+
+int main() {
+  header("ablate_loop_bound — throttled (k-bounded) loop pipelining",
+         "per-iteration frames are the resource unbounded dynamic dataflow "
+         "consumes; bounding\niterations in flight caps the footprint at a "
+         "parallelism cost");
+
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  topt.parallel_store_arrays = {"x"};
+
+  const struct {
+    const char* name;
+    lang::Program prog;
+  } workloads[] = {
+      {"array fill, 64 trips", lang::corpus::array_loop(64)},
+      {"nested loops 6x8",
+       core::parse(lang::corpus::nested_loops_source(6, 8))},
+      {"serial recurrence", core::parse(R"(
+var i, s;
+l: i := i + 1; s := s + i * i;
+if i < 48 then goto l else goto end;
+)")},
+  };
+
+  for (const auto& w : workloads) {
+    std::printf("%s (store latency 16, pipelined):\n", w.name);
+    std::printf("  %10s %10s %16s %10s\n", "k", "cycles", "peak-contexts",
+                "stalls");
+    for (const unsigned k : {1u, 2u, 4u, 8u, 16u, 0u}) {
+      machine::MachineOptions mopt;
+      mopt.loop_mode = machine::LoopMode::kPipelined;
+      mopt.mem_latency = 16;
+      mopt.loop_bound = k;
+      const auto m = measure(w.prog, topt, mopt);
+      std::printf("  %10s %10llu %16llu %10llu\n",
+                  k == 0 ? "unbounded" : std::to_string(k).c_str(),
+                  static_cast<unsigned long long>(m.run.cycles),
+                  static_cast<unsigned long long>(m.run.peak_live_contexts),
+                  static_cast<unsigned long long>(m.run.throttle_stalls));
+    }
+    std::printf("\n");
+  }
+
+  footer("parallel loops: cycles fall and footprint grows with k until the "
+         "loop's own\nparallelism saturates (small k already captures most "
+         "of the win); the serial\nrecurrence is insensitive — one live "
+         "iteration is all its dependence chain can use.");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// A-LOOP — ablation of the loop-control policy, which the paper leaves
+// open ("there are many other possible approaches to dataflow loop
+// control"): barrier frame allocation (the paper's Monsoon suggestion)
+// versus pipelined tagged-token iteration entry.
+#include "common.hpp"
+#include "lang/corpus.hpp"
+
+using namespace ctdf;
+using namespace ctdf::bench;
+
+int main() {
+  header("ablate_loop_control — barrier vs pipelined loop entry (Sec. 3)",
+         "the paper treats loop control as a black box; this ablation "
+         "quantifies the choice");
+
+  const struct {
+    const char* name;
+    lang::Program prog;
+  } workloads[] = {
+      {"running example (serial dep)", lang::corpus::running_example()},
+      {"array fill x[i]:=1 (32 trips)", lang::corpus::array_loop(32)},
+      {"nested loops 4x8",
+       core::parse(lang::corpus::nested_loops_source(4, 8))},
+      {"reduction s+=i*i", core::parse(R"(
+var i, s;
+l: i := i + 1; s := s + i * i;
+if i < 32 then goto l else goto end;
+)")},
+  };
+
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  topt.parallel_store_arrays = {"x"};
+
+  std::printf("%-30s | %10s | %10s | %8s | %12s\n", "workload", "barrier",
+              "pipelined", "speedup", "contexts");
+  for (const auto& w : workloads) {
+    machine::MachineOptions mb, mp;
+    mb.loop_mode = machine::LoopMode::kBarrier;
+    mp.loop_mode = machine::LoopMode::kPipelined;
+    mb.mem_latency = mp.mem_latency = 8;
+    const auto b = measure(w.prog, topt, mb);
+    const auto p = measure(w.prog, topt, mp);
+    std::printf("%-30s | %10llu | %10llu | %7.2fx | %12llu\n", w.name,
+                static_cast<unsigned long long>(b.run.cycles),
+                static_cast<unsigned long long>(p.run.cycles),
+                static_cast<double>(b.run.cycles) / p.run.cycles,
+                static_cast<unsigned long long>(p.run.contexts_allocated));
+  }
+
+  footer("loop-carried serial dependences see little difference (the "
+         "recurrence is the critical\npath), while loops with per-iteration "
+         "parallelism (array fills, wide bodies) gain\nsubstantially from "
+         "pipelined entry — the loop-control choice matters exactly when\n"
+         "iterations are independent.");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Shared helpers for the figure/table harnesses.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/compiler.hpp"
+
+namespace ctdf::bench {
+
+struct Measurement {
+  dfg::GraphStats graph;
+  machine::RunStats run;
+  std::size_t switches_placed = 0;
+  std::size_t num_resources = 0;
+};
+
+/// Compiles and runs; verifies the result against the interpreter and
+/// aborts loudly on any disagreement (a benchmark over a wrong program
+/// is worse than no benchmark).
+inline Measurement measure(const lang::Program& prog,
+                           const translate::TranslateOptions& topt,
+                           const machine::MachineOptions& mopt) {
+  const auto interp = lang::interpret(prog, 10'000'000);
+  if (!interp.completed) {
+    std::fprintf(stderr, "benchmark program did not terminate\n");
+    std::abort();
+  }
+  const auto tx = core::compile(prog, topt);
+  auto res = core::execute(tx, mopt);
+  if (!res.stats.completed) {
+    std::fprintf(stderr, "machine failed under %s: %s\n",
+                 topt.describe().c_str(), res.stats.error.c_str());
+    std::abort();
+  }
+  if (!(res.store == interp.store)) {
+    std::fprintf(stderr, "WRONG RESULT under %s\n", topt.describe().c_str());
+    std::abort();
+  }
+  Measurement m;
+  m.graph = dfg::compute_stats(tx.graph);
+  m.run = res.stats;
+  m.switches_placed = tx.switches_placed;
+  m.num_resources = tx.num_resources;
+  return m;
+}
+
+inline void header(const char* title, const char* claim) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", title);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("---------------------------------------------------------------"
+              "-----------------\n");
+}
+
+inline void footer(const char* observed) {
+  std::printf("---------------------------------------------------------------"
+              "-----------------\n");
+  std::printf("observed: %s\n\n", observed);
+}
+
+}  // namespace ctdf::bench

@@ -1,0 +1,55 @@
+// F6–F8 — Figs. 6–8: Schema 2 with one access token per variable.
+//
+// Independent variables' memory chains now overlap: on the same
+// independent-chains workload, cycles stay (nearly) flat as variables
+// are added while Schema 1 grows linearly; on the running example the
+// x- and y-chains of each iteration overlap.
+#include "common.hpp"
+#include "lang/corpus.hpp"
+
+using namespace ctdf;
+using namespace ctdf::bench;
+
+int main() {
+  header("fig08_schema2_parallel — per-variable access tokens (Schema 2)",
+         "'By allowing independent memory operations to proceed in parallel, "
+         "we are exploiting\nfine-grain parallelism across statements' "
+         "(Sec. 3); loops need the loop-control nodes of Fig. 8");
+
+  machine::MachineOptions mopt;
+  mopt.mem_latency = 4;
+
+  std::printf("independent chains (4 updates each), unlimited width:\n");
+  std::printf("%8s | %18s | %18s | %8s\n", "vars", "schema1 cycles",
+              "schema2 cycles", "speedup");
+  for (const int vars : {1, 2, 4, 8, 16}) {
+    const auto prog =
+        core::parse(lang::corpus::independent_chains_source(vars, 4));
+    const auto s1 = measure(prog, translate::TranslateOptions::schema1(), mopt);
+    const auto s2 = measure(prog, translate::TranslateOptions::schema2(), mopt);
+    std::printf("%8d | %18llu | %18llu | %7.2fx\n", vars,
+                static_cast<unsigned long long>(s1.run.cycles),
+                static_cast<unsigned long long>(s2.run.cycles),
+                static_cast<double>(s1.run.cycles) /
+                    static_cast<double>(s2.run.cycles));
+  }
+
+  std::printf("\nrunning example (Fig. 8), per-iteration contexts via loop "
+              "control:\n");
+  const auto re = lang::corpus::running_example();
+  const auto s1 = measure(re, translate::TranslateOptions::schema1(), mopt);
+  const auto s2 = measure(re, translate::TranslateOptions::schema2(), mopt);
+  std::printf("  schema1: cycles=%-6llu ops/cycle=%.2f\n",
+              static_cast<unsigned long long>(s1.run.cycles),
+              s1.run.avg_parallelism());
+  std::printf("  schema2: cycles=%-6llu ops/cycle=%.2f contexts=%llu "
+              "(one per iteration)\n",
+              static_cast<unsigned long long>(s2.run.cycles),
+              s2.run.avg_parallelism(),
+              static_cast<unsigned long long>(s2.run.contexts_allocated));
+
+  footer("Schema 2 cycles stay flat as independent variables are added "
+         "(Schema 1 grows ~linearly);\nspeedup grows with the number of "
+         "independent chains — cross-statement parallelism is real.");
+  return 0;
+}

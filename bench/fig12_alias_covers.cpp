@@ -1,0 +1,119 @@
+// F12/F13 — Figs. 12–13 and Section 5: alias covers trade parallelism
+// against synchronization.
+//
+// Workload 1: the paper's SUBROUTINE F(X,Y,Z) alias structure.
+// Workload 2: an alias-density sweep — n scalars with k alias pairs —
+// translated under each cover strategy. We report circulating tokens,
+// synch operators emitted (access-set collection), machine cycles and
+// parallelism.
+#include <sstream>
+
+#include "common.hpp"
+#include "lang/corpus.hpp"
+
+using namespace ctdf;
+using namespace ctdf::bench;
+
+namespace {
+
+std::string alias_sweep_source(int vars, int alias_pairs) {
+  std::ostringstream os;
+  os << "var";
+  for (int i = 0; i < vars; ++i) os << (i ? ", v" : " v") << i;
+  os << ";\n";
+  for (int i = 0; i < alias_pairs; ++i)
+    os << "alias v" << (i % vars) << " v" << ((i * 3 + 1) % vars) << ";\n";
+  // Independent updates — parallel if the cover permits.
+  for (int round = 0; round < 3; ++round)
+    for (int i = 0; i < vars; ++i)
+      os << "  v" << i << " := v" << i << " + " << (round + i + 1) << ";\n";
+  return os.str();
+}
+
+/// `groups` fully-aliased cliques of `size` variables each: alias
+/// classes coincide, so the alias-class cover has `groups` elements and
+/// every operation collects exactly one token — while the singleton
+/// cover collects `size` tokens per operation.
+std::string clique_source(int groups, int size) {
+  std::ostringstream os;
+  os << "var";
+  for (int i = 0; i < groups * size; ++i) os << (i ? ", v" : " v") << i;
+  os << ";\n";
+  for (int g = 0; g < groups; ++g)
+    for (int a = 0; a < size; ++a)
+      for (int b = a + 1; b < size; ++b)
+        os << "alias v" << (g * size + a) << " v" << (g * size + b) << ";\n";
+  for (int round = 0; round < 3; ++round)
+    for (int g = 0; g < groups; ++g)
+      os << "  v" << (g * size + round) << " := v" << (g * size + round)
+         << " + " << (round + g + 1) << ";\n";
+  return os.str();
+}
+
+void row(const char* label, const lang::Program& prog,
+         translate::CoverStrategy strategy) {
+  auto topt = translate::TranslateOptions::schema3(strategy);
+  topt.optimize_switches = true;
+  machine::MachineOptions mopt;
+  mopt.mem_latency = 6;
+  const auto m = measure(prog, topt, mopt);
+  std::printf("%-24s %-12s %7zu %9zu %8llu %10.2f\n", label,
+              to_string(strategy), m.num_resources, m.graph.synchs,
+              static_cast<unsigned long long>(m.run.cycles),
+              m.run.avg_parallelism());
+}
+
+}  // namespace
+
+int main() {
+  header("fig12_alias_covers — Schema 3 cover tradeoff (Sec. 5)",
+         "'In choosing a cover ... there are two concerns: maximizing "
+         "parallelism and minimizing\nsynchronization ... in general there "
+         "will be no one cover that achieves both'");
+
+  std::printf("%-24s %-12s %7s %9s %8s %10s\n", "workload", "cover", "tokens",
+              "synchs", "cycles", "ops/cycle");
+
+  const auto paper = lang::corpus::fortran_alias();
+  for (const auto s : {translate::CoverStrategy::kSingleton,
+                       translate::CoverStrategy::kAliasClass,
+                       translate::CoverStrategy::kComponent,
+                       translate::CoverStrategy::kUnified})
+    row("SUBROUTINE F(X,Y,Z)", paper, s);
+  std::printf("\n");
+
+  for (const auto& [vars, pairs] :
+       {std::pair{8, 0}, std::pair{8, 4}, std::pair{8, 12}}) {
+    const auto prog = core::parse(alias_sweep_source(vars, pairs));
+    char label[64];
+    std::snprintf(label, sizeof label, "%d vars, %d alias pairs", vars,
+                  pairs);
+    for (const auto s : {translate::CoverStrategy::kSingleton,
+                         translate::CoverStrategy::kAliasClass,
+                         translate::CoverStrategy::kComponent,
+                         translate::CoverStrategy::kUnified})
+      row(label, prog, s);
+    std::printf("\n");
+  }
+
+  // Fully-aliased cliques: here the alias-class cover dominates the
+  // singleton cover — same parallelism across groups, but one token per
+  // operation instead of |clique|.
+  for (const auto& [groups, size] : {std::pair{4, 4}, std::pair{2, 8}}) {
+    const auto prog = core::parse(clique_source(groups, size));
+    char label[64];
+    std::snprintf(label, sizeof label, "%d cliques of %d", groups, size);
+    for (const auto s : {translate::CoverStrategy::kSingleton,
+                         translate::CoverStrategy::kAliasClass,
+                         translate::CoverStrategy::kComponent,
+                         translate::CoverStrategy::kUnified})
+      row(label, prog, s);
+    std::printf("\n");
+  }
+
+  footer("singleton covers give the most tokens and best cycles but emit "
+         "synch trees as aliasing\ngrows (collecting access sets); the "
+         "unified cover needs no synchs but serializes all\nmemory traffic — "
+         "the paper's parallelism-vs-synchronization tradeoff, quantified.");
+  return 0;
+}

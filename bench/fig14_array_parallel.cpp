@@ -1,0 +1,73 @@
+// F14 — Fig. 14 and Section 6.3: parallelizing array stores across
+// loop iterations, plus the write-once / I-structure variant.
+//
+// Workload: the paper's own loop `i := i + 1; x[i] := 1` with the trip
+// count swept. Baseline: every store serializes on access_x (cycles
+// grow with trip × store latency). Fig. 14: the access token is
+// duplicated so iteration k+1's store issues without waiting for
+// iteration k's ack; a completion chain collects acks. I-structures:
+// additionally reads never block writes.
+#include "common.hpp"
+#include "lang/corpus.hpp"
+
+using namespace ctdf;
+using namespace ctdf::bench;
+
+int main() {
+  header("fig14_array_parallel — duplicated access tokens for loop stores",
+         "'The duplication of the token ensures that there is no dependence "
+         "between stores in\nsuccessive iterations, and the synchronization "
+         "ensures that the token is not generated\nat the end of the loop "
+         "until all stores have completed' (Sec. 6.3)");
+
+  machine::MachineOptions mopt;
+  mopt.mem_latency = 16;
+  mopt.loop_mode = machine::LoopMode::kPipelined;
+
+  auto base = translate::TranslateOptions::schema2_optimized();
+  base.eliminate_memory = true;  // isolate the array effect from scalars
+  auto fig14 = base;
+  fig14.parallel_store_arrays = {"x"};
+  auto istruct = base;
+  istruct.istructure_arrays = {"x"};
+
+  std::printf("pipelined loops, store latency %u cycles\n", mopt.mem_latency);
+  std::printf("%6s | %10s | %10s %8s | %10s %8s\n", "trips", "serialized",
+              "fig14", "speedup", "istruct", "speedup");
+  for (const int trips : {4, 8, 16, 32, 64}) {
+    const auto prog = lang::corpus::array_loop(trips);
+    const auto b = measure(prog, base, mopt);
+    const auto f = measure(prog, fig14, mopt);
+    const auto i = measure(prog, istruct, mopt);
+    std::printf("%6d | %10llu | %10llu %7.2fx | %10llu %7.2fx\n", trips,
+                static_cast<unsigned long long>(b.run.cycles),
+                static_cast<unsigned long long>(f.run.cycles),
+                static_cast<double>(b.run.cycles) / f.run.cycles,
+                static_cast<unsigned long long>(i.run.cycles),
+                static_cast<double>(b.run.cycles) / i.run.cycles);
+  }
+
+  std::printf("\nbarrier loop control (iterations separated at loop entry):\n");
+  mopt.loop_mode = machine::LoopMode::kBarrier;
+  std::printf("%6s | %10s | %10s %8s\n", "trips", "serialized", "fig14",
+              "speedup");
+  for (const int trips : {8, 32}) {
+    const auto prog = lang::corpus::array_loop(trips);
+    const auto b = measure(prog, base, mopt);
+    const auto f = measure(prog, fig14, mopt);
+    std::printf("%6d | %10llu | %10llu %7.2fx\n", trips,
+                static_cast<unsigned long long>(b.run.cycles),
+                static_cast<unsigned long long>(f.run.cycles),
+                static_cast<double>(b.run.cycles) / f.run.cycles);
+  }
+
+  footer("with serialized access_x each iteration pays the full store "
+         "round-trip; with Fig. 14\nstores overlap and the speedup grows "
+         "toward the latency bound as trips increase.\nI-structures match "
+         "fig14 on this store-only loop (their win is read/write overlap).\n"
+         "Under BARRIER loop control the transform is neutral (~0.95-1x): "
+         "the loop entry waits\nfor the completion chain anyway — Fig. 14 "
+         "needs pipelined loop control to pay off,\na dependence the paper "
+         "leaves implicit.");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// MICRO — google-benchmark microbenchmarks of the library's hot
+// components: frontend, CFG analyses, translation, and the simulator's
+// token-matching engine.
+#include <benchmark/benchmark.h>
+
+#include "cfg/build.hpp"
+#include "cfg/control_dep.hpp"
+#include "cfg/dominance.hpp"
+#include "cfg/intervals.hpp"
+#include "core/compiler.hpp"
+#include "lang/corpus.hpp"
+#include "lang/generator.hpp"
+
+using namespace ctdf;
+
+namespace {
+
+lang::Program gen(int stmts, std::uint64_t seed = 42) {
+  lang::GeneratorOptions o;
+  o.allow_unstructured = true;
+  o.num_scalars = 6;
+  o.max_toplevel_stmts = stmts;
+  return lang::generate_program(o, seed);
+}
+
+void BM_Parse(benchmark::State& state) {
+  const auto src = gen(static_cast<int>(state.range(0))).to_string();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(lang::parse_or_throw(src));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Parse)->Range(8, 256)->Complexity(benchmark::oN);
+
+void BM_BuildCfg(benchmark::State& state) {
+  const auto prog = gen(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cfg::build_cfg_or_throw(prog));
+}
+BENCHMARK(BM_BuildCfg)->Range(8, 256);
+
+void BM_Postdominators(benchmark::State& state) {
+  const auto prog = gen(static_cast<int>(state.range(0)));
+  const auto g = cfg::build_cfg_or_throw(prog);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cfg::DomTree(g, cfg::DomDirection::kPostdom));
+  state.SetComplexityN(static_cast<std::int64_t>(g.size()));
+}
+BENCHMARK(BM_Postdominators)->Range(8, 256)->Complexity(benchmark::oN);
+
+void BM_ControlDeps(benchmark::State& state) {
+  const auto prog = gen(static_cast<int>(state.range(0)));
+  const auto g = cfg::build_cfg_or_throw(prog);
+  const cfg::DomTree pdom(g, cfg::DomDirection::kPostdom);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(cfg::ControlDeps(g, pdom));
+}
+BENCHMARK(BM_ControlDeps)->Range(8, 256);
+
+void BM_LoopTransform(benchmark::State& state) {
+  const auto prog = gen(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto g = cfg::build_cfg_or_throw(prog);
+    support::DiagnosticEngine d;
+    benchmark::DoNotOptimize(cfg::transform_loops(g, d));
+  }
+}
+BENCHMARK(BM_LoopTransform)->Range(8, 128);
+
+void BM_TranslateSchema2(benchmark::State& state) {
+  const auto prog = gen(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        core::compile(prog, translate::TranslateOptions::schema2()));
+}
+BENCHMARK(BM_TranslateSchema2)->Range(8, 128);
+
+void BM_TranslateOptimized(benchmark::State& state) {
+  const auto prog = gen(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::compile(
+        prog, translate::TranslateOptions::schema2_optimized()));
+}
+BENCHMARK(BM_TranslateOptimized)->Range(8, 128);
+
+void BM_MachineTokenThroughput(benchmark::State& state) {
+  // Simulated-operator throughput on a loop-heavy workload; reports
+  // operator firings per second of host time.
+  const auto prog = core::parse(lang::corpus::nested_loops_source(
+      static_cast<int>(state.range(0)), 8));
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  const auto tx = core::compile(prog, topt);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    machine::MachineOptions mopt;
+    mopt.loop_mode = machine::LoopMode::kPipelined;
+    const auto res = core::execute(tx, mopt);
+    ops += res.stats.ops_fired;
+    benchmark::DoNotOptimize(res.stats.cycles);
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineTokenThroughput)->Range(2, 16);
+
+void BM_EndToEnd(benchmark::State& state) {
+  // Full pipeline: parse → CFG → loop transform → analyses → DFG →
+  // simulate, on the paper's running example.
+  const auto src = lang::corpus::running_example_source();
+  for (auto _ : state) {
+    const auto prog = lang::parse_or_throw(src);
+    const auto tx = core::compile(
+        prog, translate::TranslateOptions::schema2_optimized());
+    benchmark::DoNotOptimize(core::execute(tx, {}));
+  }
+}
+BENCHMARK(BM_EndToEnd);
+
+}  // namespace
+
+BENCHMARK_MAIN();

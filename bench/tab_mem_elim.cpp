@@ -1,0 +1,62 @@
+// T-MEMELIM — Section 6.1: "in the absence of aliasing, memory
+// operations on scalars can be eliminated completely and all values
+// can be carried on tokens".
+//
+// We report loads/stores before and after, and machine cycles across a
+// memory-latency sweep — once values ride on tokens the program becomes
+// insensitive to memory latency (only the final writebacks remain).
+#include "common.hpp"
+#include "lang/corpus.hpp"
+
+using namespace ctdf;
+using namespace ctdf::bench;
+
+int main() {
+  header("tab_mem_elim — passing values on tokens (Sec. 6.1, SSA-like)",
+         "'Load and store operations are deleted from the graph, and values "
+         "are passed on tokens\nfrom definitions to uses' — the "
+         "transformation that makes the program single-assignment");
+
+  const struct {
+    const char* name;
+    lang::Program prog;
+  } workloads[] = {
+      {"running example", lang::corpus::running_example()},
+      {"nested loops 4x6",
+       core::parse(lang::corpus::nested_loops_source(4, 6))},
+      {"read heavy 12", core::parse(lang::corpus::read_heavy_source(12))},
+      {"aliased (not eliminable)", lang::corpus::fortran_alias()},
+  };
+
+  auto base = translate::TranslateOptions::schema2_optimized();
+  auto elim = base;
+  elim.eliminate_memory = true;
+
+  std::printf("%-26s | %6s %6s | %6s %6s | %16s %16s\n", "workload", "ld",
+              "st", "ld'", "st'", "cycles lat=4", "cycles lat=32");
+  for (const auto& w : workloads) {
+    machine::MachineOptions fast, slow;
+    fast.mem_latency = 4;
+    slow.mem_latency = 32;
+    const auto b_fast = measure(w.prog, base, fast);
+    const auto e_fast = measure(w.prog, elim, fast);
+    const auto e_slow = measure(w.prog, elim, slow);
+    const auto b_slow = measure(w.prog, base, slow);
+    std::printf("%-26s | %6llu %6llu | %6llu %6llu | %7llu->%-7llu %7llu->%-7llu\n",
+                w.name,
+                static_cast<unsigned long long>(b_fast.run.mem_reads),
+                static_cast<unsigned long long>(b_fast.run.mem_writes),
+                static_cast<unsigned long long>(e_fast.run.mem_reads),
+                static_cast<unsigned long long>(e_fast.run.mem_writes),
+                static_cast<unsigned long long>(b_fast.run.cycles),
+                static_cast<unsigned long long>(e_fast.run.cycles),
+                static_cast<unsigned long long>(b_slow.run.cycles),
+                static_cast<unsigned long long>(e_slow.run.cycles));
+  }
+
+  footer("unaliased scalar programs drop to zero loads (stores = one final "
+         "writeback per variable)\nand their cycle counts barely move when "
+         "memory latency is 8x worse; the aliased workload\nkeeps its memory "
+         "ops — exactly the Section 6.1 boundary.");
+  return 0;
+}

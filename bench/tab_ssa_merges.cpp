@@ -1,0 +1,109 @@
+// T-SSA — Section 6.1's SSA connection, quantified.
+//
+// "It is similar in effect to classical transformations like renaming,
+// live range splitting and conversion to static single assignment
+// form... the exception is static single assignment form which uses
+// φ-functions for this purpose. In our representation, the joining of
+// values to produce a single value is implicit in the model."
+//
+// We build pruned SSA (φ-placement by iterated dominance frontiers,
+// filtered by liveness) for each program and compare φ counts against
+// the join operators the memory-eliminated dataflow translation emits
+// for eliminable scalars: the explicit merges PLUS the loop-entry ports
+// (the loop-header φs live there — at a loop header every φ is a
+// loop-entry port, not a merge node). The correspondence is exact on
+// structured code and near-exact with unstructured flow (where a merge
+// can also stand in for a multi-way join the CFG models as a chain).
+#include "cfg/build.hpp"
+#include "cfg/ssa.hpp"
+#include "common.hpp"
+#include "lang/corpus.hpp"
+#include "lang/generator.hpp"
+
+using namespace ctdf;
+using namespace ctdf::bench;
+
+namespace {
+
+struct Row {
+  std::size_t phis_minimal = 0;
+  std::size_t phis_pruned = 0;
+  std::size_t merges = 0;
+  std::size_t loop_ports = 0;
+};
+
+Row analyze(const lang::Program& prog) {
+  Row row;
+  const auto g = cfg::build_cfg_or_throw(prog);
+  // Count φs only for token-carried (unaliased scalar) variables, and
+  // not at the synthetic end join — its second predecessor is the
+  // conventional start→end analysis edge, which never carries a value.
+  const auto count = [&](const cfg::PhiPlacement& p) {
+    std::size_t total = 0;
+    for (cfg::NodeId n : g.all_nodes()) {
+      if (n == g.end()) continue;
+      for (lang::VarId v : p.phis[n]) {
+        if (!prog.symbols.is_array(v) &&
+            prog.symbols.alias_class(v).size() == 1)
+          ++total;
+      }
+    }
+    return total;
+  };
+  row.phis_minimal = count(cfg::place_phis(g, prog.symbols, false));
+  row.phis_pruned = count(cfg::place_phis(g, prog.symbols, true));
+
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  const auto tx = core::compile(prog, topt);
+  for (dfg::NodeId n : tx.graph.all_nodes()) {
+    const dfg::Node& node = tx.graph.node(n);
+    if (node.kind == dfg::OpKind::kMerge) ++row.merges;
+    if (node.kind == dfg::OpKind::kLoopEntry) row.loop_ports += node.num_inputs;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  header("tab_ssa_merges — dataflow merges are implicit φ-functions (Sec. 6.1)",
+         "after memory elimination 'the joining of values ... is implicit in "
+         "the model' — the\nmerge/loop-entry structure of the token graph "
+         "matches pruned SSA's φ placement");
+
+  std::printf("%-26s %10s %10s | %8s %11s %14s\n", "program", "phi(min)",
+              "phi(pruned)", "merges", "loop-ports", "merges+ports");
+  for (const auto& np : lang::corpus::all()) {
+    const auto prog = core::parse(np.source);
+    const Row r = analyze(prog);
+    std::printf("%-26s %10zu %10zu | %8zu %11zu %14zu\n", np.name.c_str(),
+                r.phis_minimal, r.phis_pruned, r.merges, r.loop_ports,
+                r.merges + r.loop_ports);
+  }
+
+  std::printf("\nrandom structured programs (30 seeds, aggregated):\n");
+  Row acc;
+  int programs = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    lang::GeneratorOptions gopt;
+    gopt.num_scalars = 4;
+    const auto prog = lang::generate_program(gopt, seed);
+    const Row r = analyze(prog);
+    acc.phis_minimal += r.phis_minimal;
+    acc.phis_pruned += r.phis_pruned;
+    acc.merges += r.merges;
+    acc.loop_ports += r.loop_ports;
+    ++programs;
+  }
+  std::printf("%-26s %10zu %10zu | %8zu %11zu %14zu\n",
+              "TOTAL (30 programs)", acc.phis_minimal, acc.phis_pruned,
+              acc.merges, acc.loop_ports, acc.merges + acc.loop_ports);
+
+  footer("pruned φ counts track the translation's merge+loop-port counts "
+         "closely (loop-header\nφs appear as loop-entry ports, branch-join "
+         "φs as merges); minimal SSA over-places\nrelative to what the token "
+         "graph needs — the dataflow construction is 'pruned' by "
+         "design.");
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "cfg/control_dep.hpp"
+
+#include "support/assert.hpp"
+
+namespace ctdf::cfg {
+
+ControlDeps::ControlDeps(const Graph& g, const DomTree& pdom)
+    : num_nodes_(g.size()) {
+  CTDF_ASSERT(pdom.direction() == DomDirection::kPostdom);
+  deps_.resize(g.size());
+  for (NodeId f : g.all_nodes()) {
+    const Node& node = g.node(f);
+    // Only nodes with two out-edges can carry control dependences; in
+    // our graphs that is forks and (by the paper's convention) start.
+    if (!node.succ_false.valid()) continue;
+    const NodeId stop = pdom.idom(f);
+    for (const bool dir : {true, false}) {
+      NodeId walk = dir ? node.succ_true : node.succ_false;
+      while (walk != stop) {
+        deps_[walk].push_back({f, dir});
+        walk = pdom.idom(walk);
+        CTDF_ASSERT_MSG(walk.valid(), "walk ran past the pdom root");
+      }
+    }
+  }
+}
+
+support::Bitset ControlDeps::iterated(NodeId n) const {
+  return iterated(std::vector<NodeId>{n});
+}
+
+support::Bitset ControlDeps::iterated(const std::vector<NodeId>& ns) const {
+  // Worklist closure, as in the paper's Figure 10.
+  support::Bitset in_set(num_nodes_);
+  std::vector<NodeId> worklist;
+  const auto push = [&](NodeId n) {
+    if (!in_set.test(n.index())) {
+      in_set.set(n.index());
+      worklist.push_back(n);
+    }
+  };
+  for (NodeId n : ns) push(n);
+
+  support::Bitset result(num_nodes_);
+  while (!worklist.empty()) {
+    const NodeId n = worklist.back();
+    worklist.pop_back();
+    for (const ControlDep& d : deps_[n]) {
+      result.set(d.fork.index());
+      push(d.fork);
+    }
+  }
+  return result;
+}
+
+}  // namespace ctdf::cfg

@@ -1,0 +1,188 @@
+#include "cfg/dataflow.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ctdf::cfg {
+
+namespace {
+
+/// A write is strong iff the target is an unaliased scalar.
+bool strong_def(const lang::SymbolTable& syms, const lang::LValue& lv) {
+  return !lv.is_array_elem() && !syms.is_array(lv.var) &&
+         syms.alias_class(lv.var).size() == 1;
+}
+
+}  // namespace
+
+UseDef::UseDef(const Graph& g, const lang::SymbolTable& syms)
+    : num_vars(syms.size()) {
+  use.resize(g.size());
+  def.resize(g.size());
+  for (NodeId n : g.all_nodes()) {
+    use[n] = support::Bitset(num_vars);
+    def[n] = support::Bitset(num_vars);
+    const Node& node = g.node(n);
+    std::vector<lang::VarId> reads;
+    switch (node.kind) {
+      case NodeKind::kAssign:
+        node.rhs->collect_vars(reads);
+        if (node.lhs.index) node.lhs.index->collect_vars(reads);
+        if (strong_def(syms, node.lhs)) def[n].set(node.lhs.var.index());
+        break;
+      case NodeKind::kFork:
+        node.pred->collect_vars(reads);
+        break;
+      default:
+        break;
+    }
+    for (lang::VarId v : reads) use[n].set(v.index());
+  }
+}
+
+Liveness::Liveness(const Graph& g, const lang::SymbolTable& syms) {
+  const UseDef ud(g, syms);
+  in_.resize(g.size());
+  out_.resize(g.size());
+  for (NodeId n : g.all_nodes()) {
+    in_[n] = support::Bitset(ud.num_vars);
+    out_[n] = support::Bitset(ud.num_vars);
+  }
+  // Everything is observable at end.
+  for (std::size_t v = 0; v < ud.num_vars; ++v)
+    in_[g.end()].set(v);
+
+  // Round-robin over reverse order until fixpoint (graphs are small;
+  // postorder seeding keeps iteration counts low).
+  const auto order = g.reverse_postorder();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId n = *it;
+      if (n == g.end()) continue;
+      support::Bitset out(ud.num_vars);
+      for (NodeId s : g.succs(n)) out.union_with(in_[s]);
+      support::Bitset in = out;
+      // in = use ∪ (out \ def)
+      ud.def[n].for_each([&](std::size_t v) { in.reset(v); });
+      in.union_with(ud.use[n]);
+      if (!(out == out_[n])) {
+        out_[n] = std::move(out);
+        changed = true;
+      }
+      if (!(in == in_[n])) {
+        in_[n] = std::move(in);
+        changed = true;
+      }
+    }
+  }
+}
+
+ReachingDefs::ReachingDefs(const Graph& g, const lang::SymbolTable& syms)
+    : g_(g) {
+  // Definition sites: one per CFG node (assignments), plus one
+  // pseudo-site per variable for the initial zero value (generated at
+  // start, killable per variable by strong definitions).
+  const std::size_t num_vars = syms.size();
+  const std::size_t sites = g.size() + num_vars;
+  const auto initial_site = [&](lang::VarId v) {
+    return g.size() + v.index();
+  };
+  def_var_.resize(g.size());
+  support::IndexMap<NodeId, support::Bitset> gen(g.size());
+  support::IndexMap<NodeId, char> strong(g.size(), 0);
+  for (NodeId n : g.all_nodes()) {
+    gen[n] = support::Bitset(sites);
+    const Node& node = g.node(n);
+    if (node.kind == NodeKind::kAssign) {
+      def_var_[n] = node.lhs.var;
+      gen[n].set(n.index());
+      strong[n] = strong_def(syms, node.lhs);
+    } else if (n == g.start()) {
+      for (std::size_t v = 0; v < num_vars; ++v)
+        gen[n].set(initial_site(lang::VarId{v}));
+    }
+  }
+
+  in_.resize(g.size());
+  support::IndexMap<NodeId, support::Bitset> out(g.size());
+  for (NodeId n : g.all_nodes()) {
+    in_[n] = support::Bitset(sites);
+    out[n] = support::Bitset(sites);
+  }
+
+  const auto order = g.reverse_postorder();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId n : order) {
+      support::Bitset in(sites);
+      for (NodeId p : g.preds(n)) in.union_with(out[p]);
+      support::Bitset o = in;
+      if (strong[n]) {
+        // Kill every other definition site of the same variable,
+        // including its initial-value pseudo-site.
+        const lang::VarId v = def_var_[n];
+        o.for_each([&](std::size_t site) {
+          if (site >= g.size()) {
+            if (site == initial_site(v)) o.reset(site);
+          } else if (const NodeId s{site}; s != n && def_var_[s] == v) {
+            o.reset(site);
+          }
+        });
+      }
+      o.union_with(gen[n]);
+      if (!(in == in_[n])) {
+        in_[n] = std::move(in);
+        changed = true;
+      }
+      if (!(o == out[n])) {
+        out[n] = std::move(o);
+        changed = true;
+      }
+    }
+  }
+}
+
+std::vector<NodeId> ReachingDefs::defs_reaching(NodeId n,
+                                                lang::VarId v) const {
+  std::vector<NodeId> out;
+  in_[n].for_each([&](std::size_t site) {
+    if (site >= g_.size()) {
+      if (site == g_.size() + v.index()) out.push_back(g_.start());
+    } else if (const NodeId s{site}; def_var_[s] == v) {
+      out.push_back(s);
+    }
+  });
+  return out;
+}
+
+std::size_t eliminate_dead_stores(Graph& g, const lang::SymbolTable& syms) {
+  std::size_t removed = 0;
+  // Iterate: removing one dead store can make an earlier one dead.
+  for (;;) {
+    const Liveness live(g, syms);
+    bool changed = false;
+    for (NodeId n : g.all_nodes()) {
+      Node& node = g.node(n);
+      if (node.kind != NodeKind::kAssign) continue;
+      if (node.lhs.is_array_elem() || syms.is_array(node.lhs.var)) continue;
+      if (syms.alias_class(node.lhs.var).size() != 1) continue;
+      if (live.live_out(n).test(node.lhs.var.index())) continue;
+      // Dead: the value can never be observed. Demote to a join (no-op
+      // pass-through); expression evaluation has no side effects.
+      node.kind = NodeKind::kJoin;
+      node.name = "dse";
+      node.rhs.reset();
+      node.lhs = lang::LValue{};
+      ++removed;
+      changed = true;
+    }
+    if (!changed) break;
+  }
+  return removed;
+}
+
+}  // namespace ctdf::cfg

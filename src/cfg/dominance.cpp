@@ -1,0 +1,91 @@
+#include "cfg/dominance.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ctdf::cfg {
+
+DomTree::DomTree(const Graph& g, DomDirection dir) : dir_(dir) {
+  const bool forward = dir == DomDirection::kForward;
+  root_ = forward ? g.start() : g.end();
+
+  // Reverse postorder of the (possibly reversed) graph; CHK iterates to
+  // a fixpoint over it.
+  const std::vector<NodeId> rpo =
+      forward ? g.reverse_postorder() : g.reverse_postorder_of_reverse();
+  CTDF_ASSERT_MSG(rpo.size() == g.size(),
+                  "graph must be connected (validate() first)");
+
+  support::IndexMap<NodeId, std::uint32_t> rpo_index(g.size(), 0);
+  for (std::size_t i = 0; i < rpo.size(); ++i)
+    rpo_index[rpo[i]] = static_cast<std::uint32_t>(i);
+
+  idom_.resize(g.size());
+  idom_[root_] = root_;  // sentinel during iteration
+
+  const auto preds_of = [&](NodeId n) {
+    return forward ? g.preds(n) : g.succs(n);
+  };
+
+  const auto intersect = [&](NodeId a, NodeId b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = idom_[a];
+      while (rpo_index[b] > rpo_index[a]) b = idom_[b];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId n : rpo) {
+      if (n == root_) continue;
+      NodeId new_idom = NodeId::invalid();
+      for (NodeId p : preds_of(n)) {
+        if (!idom_[p].valid()) continue;  // not yet processed
+        new_idom = new_idom.valid() ? intersect(p, new_idom) : p;
+      }
+      // The DFS-tree parent precedes n in RPO, so some predecessor is
+      // always processed.
+      CTDF_ASSERT_MSG(new_idom.valid(), "node with no processed predecessor");
+      if (idom_[n] != new_idom) {
+        idom_[n] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  idom_[root_] = NodeId::invalid();  // the root has no idom
+
+  // Children lists + Euler tour for O(1) ancestor queries.
+  children_.resize(g.size());
+  for (NodeId n : g.all_nodes())
+    if (idom_[n].valid()) children_[idom_[n]].push_back(n);
+
+  tin_.resize(g.size(), 0);
+  tout_.resize(g.size(), 0);
+  std::uint32_t clock = 0;
+  struct Frame {
+    NodeId node;
+    std::size_t child = 0;
+  };
+  std::vector<Frame> stack{{root_}};
+  tin_[root_] = clock++;
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    const auto& kids = children_[f.node];
+    if (f.child < kids.size()) {
+      const NodeId c = kids[f.child++];
+      tin_[c] = clock++;
+      stack.push_back({c});
+    } else {
+      tout_[f.node] = clock++;
+      bottom_up_.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  CTDF_ASSERT_MSG(bottom_up_.size() == g.size(),
+                  "dominator tree must span the graph");
+}
+
+}  // namespace ctdf::cfg

@@ -1,0 +1,147 @@
+// Statement-level control-flow graphs (paper Section 2.1).
+//
+// Nodes are statements of three kinds — assignments, forks
+// (`if p then goto lt else goto lf`), and joins — plus the unique
+// `start` and `end` nodes. Following the paper's convention, `start` is
+// itself a fork: its true out-edge leads to the program entry and its
+// false out-edge leads directly to `end`, so `start` participates in
+// control dependence like any other fork.
+//
+// After `LoopTransform` (see intervals.hpp) two more node kinds appear:
+// loop-entry and loop-exit pseudo-statements (paper Section 3).
+//
+// Fork out-edges are indexed by a boolean out-direction; all other
+// nodes have a single out-edge whose direction is `true` by convention
+// (paper Section 2.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "support/bitset.hpp"
+#include "support/ids.hpp"
+#include "support/index_map.hpp"
+
+namespace ctdf::cfg {
+
+struct NodeTag;
+using NodeId = support::Id<NodeTag>;
+
+struct LoopTag;
+using LoopId = support::Id<LoopTag>;
+
+enum class NodeKind : std::uint8_t {
+  kStart,
+  kEnd,
+  kAssign,
+  kFork,
+  kJoin,
+  kLoopEntry,  ///< inserted by LoopTransform
+  kLoopExit,   ///< inserted by LoopTransform
+};
+
+[[nodiscard]] const char* to_string(NodeKind k);
+
+struct Node {
+  NodeKind kind = NodeKind::kJoin;
+
+  // kAssign payload.
+  lang::LValue lhs;
+  lang::ExprPtr rhs;
+
+  // kFork payload.
+  lang::ExprPtr pred;
+
+  // Out-edges. Non-forks use only succ_true ("true" is the conventional
+  // single out-direction); kEnd has none.
+  NodeId succ_true;
+  NodeId succ_false;
+
+  // In-edges, in insertion order.
+  std::vector<NodeId> preds;
+
+  // Loop-control payload (kLoopEntry / kLoopExit).
+  LoopId loop;
+
+  /// Debug label (source label names, "start", ...).
+  std::string name;
+};
+
+class Graph {
+ public:
+  Graph();
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] NodeId start() const { return start_; }
+  [[nodiscard]] NodeId end() const { return end_; }
+
+  [[nodiscard]] const Node& node(NodeId n) const { return nodes_[n]; }
+  [[nodiscard]] Node& node(NodeId n) { return nodes_[n]; }
+  [[nodiscard]] NodeKind kind(NodeId n) const { return nodes_[n].kind; }
+
+  NodeId add_assign(lang::LValue lhs, lang::ExprPtr rhs);
+  NodeId add_fork(lang::ExprPtr pred);
+  NodeId add_join(std::string name = {});
+  NodeId add_loop_entry(LoopId loop);
+  NodeId add_loop_exit(LoopId loop);
+
+  /// Wires the `dir` out-edge of `from` to `to` and records the reverse
+  /// edge. The slot must be unset.
+  void set_succ(NodeId from, bool dir, NodeId to);
+
+  /// Redirects the existing edge `from --dir--> old` to `to`, fixing
+  /// pred lists.
+  void redirect_succ(NodeId from, bool dir, NodeId to);
+
+  /// Successors of n in fixed order: [succ_true] or [succ_true,
+  /// succ_false] for forks; empty for end.
+  [[nodiscard]] std::vector<NodeId> succs(NodeId n) const;
+
+  /// True iff `from` has an out-edge in direction `dir`.
+  [[nodiscard]] bool has_succ(NodeId from, bool dir) const;
+
+  [[nodiscard]] const std::vector<NodeId>& preds(NodeId n) const {
+    return nodes_[n].preds;
+  }
+
+  /// All node ids, ascending.
+  [[nodiscard]] std::vector<NodeId> all_nodes() const;
+
+  /// Variables referenced by node n: for assignments the lhs variable,
+  /// index variables and rhs variables; for forks the predicate
+  /// variables; empty for joins/start/end; set explicitly for loop
+  /// control nodes (see set_loop_refs).
+  [[nodiscard]] std::vector<lang::VarId> refs(NodeId n) const;
+
+  /// Overrides refs() for a loop-control node (used to let access
+  /// tokens bypass loops that do not touch their variable, Section 4).
+  void set_loop_refs(NodeId n, std::vector<lang::VarId> vars);
+
+  /// Reverse-postorder over forward edges from start (every reachable
+  /// node exactly once).
+  [[nodiscard]] std::vector<NodeId> reverse_postorder() const;
+
+  /// Reverse-postorder of the reverse graph from end (for
+  /// postdominators).
+  [[nodiscard]] std::vector<NodeId> reverse_postorder_of_reverse() const;
+
+  /// Graphviz rendering.
+  [[nodiscard]] std::string to_dot(const lang::SymbolTable& syms) const;
+
+  /// Structural sanity: start/end unique and wired, every non-end node
+  /// has its out-edges set, pred lists consistent, every node reachable
+  /// from start and reaching end. Returns problems found (empty = ok).
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+ private:
+  NodeId add_node(NodeKind kind);
+
+  support::IndexMap<NodeId, Node> nodes_;
+  support::IndexMap<NodeId, std::vector<lang::VarId>> loop_refs_;
+  NodeId start_;
+  NodeId end_;
+};
+
+}  // namespace ctdf::cfg

@@ -1,0 +1,343 @@
+#include "cfg/intervals.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "cfg/dominance.hpp"
+#include "support/assert.hpp"
+
+namespace ctdf::cfg {
+
+namespace {
+
+using NodeSet = std::unordered_set<NodeId::underlying_type>;
+
+bool contains(const NodeSet& s, NodeId n) { return s.contains(n.value()); }
+
+/// Tarjan SCCs of the subgraph induced by `region` (iterative).
+std::vector<std::vector<NodeId>> sccs_in_region(const Graph& g,
+                                                const NodeSet& region) {
+  struct Info {
+    std::uint32_t index = UINT32_MAX;
+    std::uint32_t lowlink = 0;
+    bool on_stack = false;
+  };
+  support::IndexMap<NodeId, Info> info(g.size());
+  std::vector<NodeId> stack;
+  std::vector<std::vector<NodeId>> sccs;
+  std::uint32_t counter = 0;
+
+  struct Frame {
+    NodeId node;
+    std::vector<NodeId> succs;
+    std::size_t i = 0;
+  };
+  std::vector<Frame> dfs;
+
+  for (NodeId root : g.all_nodes()) {
+    if (!contains(region, root) || info[root].index != UINT32_MAX) continue;
+    dfs.push_back({root, g.succs(root)});
+    info[root].index = info[root].lowlink = counter++;
+    info[root].on_stack = true;
+    stack.push_back(root);
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      if (f.i < f.succs.size()) {
+        const NodeId w = f.succs[f.i++];
+        if (!contains(region, w)) continue;
+        if (info[w].index == UINT32_MAX) {
+          info[w].index = info[w].lowlink = counter++;
+          info[w].on_stack = true;
+          stack.push_back(w);
+          dfs.push_back({w, g.succs(w)});
+        } else if (info[w].on_stack) {
+          info[f.node].lowlink = std::min(info[f.node].lowlink, info[w].index);
+        }
+      } else {
+        const NodeId v = f.node;
+        dfs.pop_back();
+        if (!dfs.empty())
+          info[dfs.back().node].lowlink =
+              std::min(info[dfs.back().node].lowlink, info[v].lowlink);
+        if (info[v].lowlink == info[v].index) {
+          std::vector<NodeId> scc;
+          for (;;) {
+            const NodeId w = stack.back();
+            stack.pop_back();
+            info[w].on_stack = false;
+            scc.push_back(w);
+            if (w == v) break;
+          }
+          sccs.push_back(std::move(scc));
+        }
+      }
+    }
+  }
+  return sccs;
+}
+
+bool has_self_edge(const Graph& g, NodeId n) {
+  const Node& node = g.node(n);
+  return node.succ_true == n || node.succ_false == n;
+}
+
+NodeId clone_node(Graph& g, NodeId n) {
+  const Node& node = g.node(n);
+  NodeId copy;
+  switch (node.kind) {
+    case NodeKind::kAssign:
+      copy = g.add_assign(node.lhs.clone(), node.rhs->clone());
+      break;
+    case NodeKind::kFork:
+      copy = g.add_fork(node.pred->clone());
+      break;
+    case NodeKind::kJoin:
+      copy = g.add_join(node.name.empty() ? "" : node.name + "'");
+      break;
+    default:
+      CTDF_UNREACHABLE("only statements can be split");
+  }
+  if (node.succ_true.valid()) g.set_succ(copy, true, node.succ_true);
+  if (node.succ_false.valid()) g.set_succ(copy, false, node.succ_false);
+  return copy;
+}
+
+/// One splitting step inside `region`; true iff the graph was changed.
+bool split_pass(Graph& g, const NodeSet& region, int& splits) {
+  for (auto& scc_nodes : sccs_in_region(g, region)) {
+    const bool nontrivial =
+        scc_nodes.size() > 1 || has_self_edge(g, scc_nodes.front());
+    if (!nontrivial) continue;
+
+    NodeSet scc;
+    for (NodeId n : scc_nodes) scc.insert(n.value());
+
+    // Entry nodes: members with a predecessor outside the SCC.
+    std::vector<NodeId> entries;
+    support::IndexMap<NodeId, int> external_preds(g.size(), 0);
+    for (NodeId n : scc_nodes) {
+      int ext = 0;
+      for (NodeId p : g.preds(n))
+        if (!contains(scc, p)) ++ext;
+      if (ext > 0) {
+        entries.push_back(n);
+        external_preds[n] = ext;
+      }
+    }
+    CTDF_ASSERT_MSG(!entries.empty(), "SCC unreachable from outside");
+
+    if (entries.size() > 1) {
+      // Irreducible: keep the most-entered node as header, split the
+      // others (code copying).
+      const NodeId header = *std::max_element(
+          entries.begin(), entries.end(), [&](NodeId a, NodeId b) {
+            return external_preds[a] < external_preds[b];
+          });
+      for (NodeId e : entries) {
+        if (e == header) continue;
+        const NodeId copy = clone_node(g, e);
+        ++splits;
+        const std::vector<NodeId> preds = g.preds(e);  // copy; we mutate
+        for (NodeId p : preds) {
+          if (contains(scc, p)) continue;
+          for (const bool dir : {true, false}) {
+            if (g.has_succ(p, dir) &&
+                (dir ? g.node(p).succ_true : g.node(p).succ_false) == e)
+              g.redirect_succ(p, dir, copy);
+          }
+        }
+      }
+      return true;
+    }
+
+    // Single entry: recurse into the region below the header to find
+    // nested irreducibility.
+    const NodeId header = entries.front();
+    NodeSet inner = scc;
+    inner.erase(header.value());
+    if (!inner.empty() && split_pass(g, inner, splits)) return true;
+  }
+  return false;
+}
+
+int make_reducible(Graph& g, support::DiagnosticEngine& diags) {
+  int splits = 0;
+  const int budget = 1000 + static_cast<int>(g.size()) * 10;
+  for (;;) {
+    NodeSet all;
+    for (NodeId n : g.all_nodes()) all.insert(n.value());
+    if (!split_pass(g, all, splits)) break;
+    if (splits > budget) {
+      diags.error({}, "node splitting budget exceeded; control flow too "
+                      "irreducible to decompose into intervals");
+      break;
+    }
+  }
+  return splits;
+}
+
+}  // namespace
+
+bool LoopInfo::in_loop(NodeId n, LoopId l) const {
+  if (!membership_.contains(n)) return false;
+  const auto& ls = membership_[n];
+  return std::find(ls.begin(), ls.end(), l) != ls.end();
+}
+
+LoopId LoopInfo::loop_of_control_node(const Graph& g, NodeId n) const {
+  const Node& node = g.node(n);
+  if (node.kind == NodeKind::kLoopEntry || node.kind == NodeKind::kLoopExit)
+    return node.loop;
+  return LoopId::invalid();
+}
+
+bool LoopInfo::is_back_edge(NodeId from, NodeId to) const {
+  for (const Loop& l : loops_)
+    if (l.entry == to) return in_loop(from, l.id);
+  return false;
+}
+
+std::vector<lang::VarId> LoopInfo::used_vars(const Graph& g, LoopId l) const {
+  std::vector<lang::VarId> out;
+  for (NodeId n : loop(l).members) {
+    const NodeKind k = g.kind(n);
+    if (k != NodeKind::kAssign && k != NodeKind::kFork) continue;
+    for (lang::VarId v : g.refs(n))
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+LoopInfo transform_loops(Graph& g, support::DiagnosticEngine& diags) {
+  LoopInfo info;
+  info.nodes_split_ = make_reducible(g, diags);
+  if (diags.has_errors()) return info;
+
+  // Natural loops of the (now reducible) graph, merged per header.
+  const DomTree dom{g, DomDirection::kForward};
+  std::vector<NodeId> headers;
+  support::IndexMap<NodeId, NodeSet> members_of(g.size());
+  for (NodeId u : g.all_nodes()) {
+    for (NodeId v : g.succs(u)) {
+      if (!dom.dominates(v, u)) continue;  // not a back edge
+      NodeSet& members = members_of[v];
+      if (members.empty()) headers.push_back(v);
+      // Backward closure from u, stopping at v.
+      std::vector<NodeId> stack;
+      const auto add = [&](NodeId n) {
+        if (members.insert(n.value()).second && n != v) stack.push_back(n);
+      };
+      add(v);
+      add(u);
+      while (!stack.empty()) {
+        const NodeId n = stack.back();
+        stack.pop_back();
+        for (NodeId p : g.preds(n)) add(p);
+      }
+    }
+  }
+
+  // Loop records; parents by smallest strictly-containing loop.
+  std::vector<NodeSet> member_sets;
+  for (NodeId h : headers) {
+    Loop l;
+    l.id = LoopId{info.loops_.size()};
+    l.header = h;
+    info.loops_.push_back(std::move(l));
+    member_sets.push_back(members_of[h]);
+  }
+  const auto set_size = [&](LoopId l) { return member_sets[l.index()].size(); };
+  for (Loop& l : info.loops_) {
+    LoopId best;
+    for (const Loop& m : info.loops_) {
+      if (m.id == l.id) continue;
+      if (!member_sets[m.id.index()].contains(l.header.value())) continue;
+      if (!best.valid() || set_size(m.id) < set_size(best)) best = m.id;
+    }
+    l.parent = best;
+  }
+  for (Loop& l : info.loops_) {
+    int d = 0;
+    for (LoopId p = l.parent; p.valid(); p = info.loops_[p.index()].parent)
+      ++d;
+    l.depth = d;
+  }
+
+  // Insert loop exits and entries, innermost loops first.
+  std::vector<LoopId> order;
+  for (const Loop& l : info.loops_) order.push_back(l.id);
+  std::sort(order.begin(), order.end(), [&](LoopId a, LoopId b) {
+    return info.loops_[a.index()].depth > info.loops_[b.index()].depth;
+  });
+
+  const auto ancestors_of = [&](LoopId l) {
+    std::vector<LoopId> out;
+    for (LoopId p = info.loops_[l.index()].parent; p.valid();
+         p = info.loops_[p.index()].parent)
+      out.push_back(p);
+    return out;
+  };
+
+  for (LoopId lid : order) {
+    Loop& l = info.loops_[lid.index()];
+    NodeSet& members = member_sets[lid.index()];
+    const auto ancestors = ancestors_of(lid);
+
+    // Exits first (so the freshly inserted entry node is not mistaken
+    // for an exit target): every edge member --dir--> non-member.
+    const std::vector<NodeId::underlying_type> snapshot(members.begin(),
+                                                        members.end());
+    for (const auto raw : snapshot) {
+      const NodeId a{raw};
+      for (const bool dir : {true, false}) {
+        if (!g.has_succ(a, dir)) continue;
+        const NodeId b = dir ? g.node(a).succ_true : g.node(a).succ_false;
+        if (contains(members, b)) continue;
+        const NodeId lx = g.add_loop_exit(lid);
+        g.redirect_succ(a, dir, lx);
+        g.set_succ(lx, true, b);
+        l.exits.push_back(lx);
+        // Exit nodes belong to every enclosing loop (so outer exits
+        // chain after inner ones) but not to this loop.
+        for (LoopId anc : ancestors)
+          member_sets[anc.index()].insert(lx.value());
+      }
+    }
+
+    // Entry: reroute every edge into the header — external entries and
+    // back edges alike — through a single loop-entry node.
+    const NodeId le = g.add_loop_entry(lid);
+    const std::vector<NodeId> preds = g.preds(l.header);  // copy; we mutate
+    for (NodeId p : preds) {
+      for (const bool dir : {true, false}) {
+        if (g.has_succ(p, dir) &&
+            (dir ? g.node(p).succ_true : g.node(p).succ_false) == l.header)
+          g.redirect_succ(p, dir, le);
+      }
+    }
+    g.set_succ(le, true, l.header);
+    l.entry = le;
+    members.insert(le.value());
+    for (LoopId anc : ancestors) member_sets[anc.index()].insert(le.value());
+  }
+
+  // Freeze membership into queryable form.
+  info.membership_.resize(g.size());
+  for (const Loop& l : info.loops_) {
+    for (const auto raw : member_sets[l.id.index()]) {
+      const NodeId n{raw};
+      info.membership_[n].push_back(l.id);
+    }
+  }
+  for (Loop& l : info.loops_) {
+    for (const auto raw : member_sets[l.id.index()]) l.members.emplace_back(raw);
+    std::sort(l.members.begin(), l.members.end());
+  }
+
+  for (auto& problem : g.validate())
+    diags.error({}, "loop transform: " + problem);
+  return info;
+}
+
+}  // namespace ctdf::cfg

@@ -1,0 +1,61 @@
+// Static single assignment construction: dominance frontiers and
+// minimal/pruned φ-function placement.
+//
+// The paper's Section 6.1 draws the connection explicitly: eliminating
+// memory operations and passing values on tokens turns the program into
+// a single-assignment form, where "the joining of values to produce a
+// single value is implicit in the model" — the dataflow merge plays the
+// role SSA gives to φ-functions. This module builds classic SSA
+// (Cytron-style: dominance frontiers of definition sites, optionally
+// pruned by liveness) so that correspondence can be measured: the
+// tab_ssa_merges experiment compares φ counts against the merge
+// operators the memory-eliminated translation actually emits.
+#pragma once
+
+#include <vector>
+
+#include "cfg/dominance.hpp"
+#include "cfg/graph.hpp"
+#include "lang/symbols.hpp"
+#include "support/bitset.hpp"
+#include "support/index_map.hpp"
+
+namespace ctdf::cfg {
+
+/// Dominance frontiers (Cytron et al.): DF(n) = nodes m with a
+/// predecessor dominated by n while m itself is not strictly dominated
+/// by n.
+class DominanceFrontiers {
+ public:
+  /// `dom` must be the forward dominator tree of `g`.
+  DominanceFrontiers(const Graph& g, const DomTree& dom);
+
+  [[nodiscard]] const std::vector<NodeId>& frontier(NodeId n) const {
+    return df_[n];
+  }
+
+  /// Iterated dominance frontier of a set of nodes.
+  [[nodiscard]] std::vector<NodeId> iterated(
+      const std::vector<NodeId>& nodes) const;
+
+ private:
+  support::IndexMap<NodeId, std::vector<NodeId>> df_;
+  std::size_t num_nodes_;
+};
+
+struct PhiPlacement {
+  /// φ-functions per node: phis[n] lists the variables needing a φ at n.
+  support::IndexMap<NodeId, std::vector<lang::VarId>> phis;
+  std::size_t total = 0;
+};
+
+/// Minimal SSA: a φ for v at every node of the iterated dominance
+/// frontier of v's definition sites (assignments to v plus the implicit
+/// definition of everything at start). With `pruned`, φs are kept only
+/// where v is live-in (pruned SSA) — the placement that corresponds to
+/// merges that actually carry a consumed value.
+[[nodiscard]] PhiPlacement place_phis(const Graph& g,
+                                      const lang::SymbolTable& syms,
+                                      bool pruned);
+
+}  // namespace ctdf::cfg

@@ -1,0 +1,43 @@
+#include "core/compiler.hpp"
+
+namespace ctdf::core {
+
+lang::Program parse(std::string_view source) {
+  return lang::parse_or_throw(source);
+}
+
+translate::Translation compile(const lang::Program& prog,
+                               const translate::TranslateOptions& options) {
+  return translate::translate_or_throw(prog, options);
+}
+
+translate::Translation compile(std::string_view source,
+                               const translate::TranslateOptions& options) {
+  const lang::Program prog = parse(source);
+  return compile(prog, options);
+}
+
+machine::RunResult execute(const translate::Translation& tx,
+                           const machine::MachineOptions& options) {
+  std::vector<machine::IStructureRegion> regions;
+  regions.reserve(tx.istructures.size());
+  for (const auto& r : tx.istructures)
+    regions.push_back({r.base, r.extent});
+  return machine::run(tx.graph, tx.memory_cells, options, regions);
+}
+
+std::int64_t read_scalar(const lang::Program& prog, const lang::Store& store,
+                         std::string_view name) {
+  const auto v = prog.symbols.lookup(name);
+  if (!v) throw support::CompileError("unknown variable: " + std::string(name));
+  return lang::load_var(prog, store, *v);
+}
+
+std::int64_t read_element(const lang::Program& prog, const lang::Store& store,
+                          std::string_view name, std::int64_t index) {
+  const auto v = prog.symbols.lookup(name);
+  if (!v) throw support::CompileError("unknown array: " + std::string(name));
+  return lang::load_var(prog, store, *v, index);
+}
+
+}  // namespace ctdf::core

@@ -1,0 +1,209 @@
+// The dataflow-graph intermediate representation (paper Section 2.2).
+//
+// Nodes are dataflow operators; arcs connect (node, out-port) to
+// (node, in-port). Arcs carrying only synchronization ("dummy") tokens
+// — the access tokens of the paper — are flagged so DOT output renders
+// them dotted, as in the paper's figures.
+//
+// Conventions:
+//  * An input port may be bound to an integer literal instead of an
+//    arc (constants are operands, not operators; a zero-input operator
+//    would fire unboundedly).
+//  * Fan-out: one out-port may feed any number of in-ports (the
+//    machine replicates the token).
+//  * Fan-in: several arcs may target the same in-port only where their
+//    firings are mutually exclusive per context (merge semantics); the
+//    simulator traps a genuine collision.
+//
+// Operator port layouts (fixed, see port constants below):
+//   Load      in: [access]               out: [value, ack]
+//   LoadIdx   in: [index, access]        out: [value, ack]
+//   Store     in: [value, access]        out: [ack]
+//   StoreIdx  in: [value, index, access] out: [ack]
+//   Switch    in: [data, pred]           out: [true, false]
+//   Merge     in: [in]                   out: [out]       (non-strict)
+//   Synch     in: [0..n-1]               out: [out]
+//   LoopEntry in: [0..n-1]               out: [0..n-1]    (port i ↔ i)
+//   LoopExit  in: [0..n-1]               out: [0..n-1]    (non-strict)
+//   IStore    in: [value, index, trigger] out: [ack]
+//   IFetch    in: [index, trigger]       out: [value]
+//   Gate      in: [value, trigger]       out: [value]
+//   BinOp     in: [lhs, rhs]             out: [value]
+//   UnOp      in: [operand]              out: [value]
+//   Start     in: []                     out: [0..n-1]    (fired at boot)
+//   End       in: [0..n-1]               out: []          (halts machine)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cfg/graph.hpp"
+#include "lang/ast.hpp"
+#include "support/ids.hpp"
+#include "support/index_map.hpp"
+
+namespace ctdf::dfg {
+
+struct NodeTag;
+using NodeId = support::Id<NodeTag>;
+
+enum class OpKind : std::uint8_t {
+  kStart,
+  kEnd,
+  kBinOp,
+  kUnOp,
+  kLoad,
+  kLoadIdx,
+  kStore,
+  kStoreIdx,
+  kSwitch,
+  kMerge,
+  kSynch,
+  kLoopEntry,
+  kLoopExit,
+  kIStore,
+  kIFetch,
+  /// out = in[value] once in[trigger] has arrived; used to materialize a
+  /// fresh value-carrying token (e.g. `x := 5` after memory elimination,
+  /// where the new token must consume/replace the old one).
+  kGate,
+};
+
+[[nodiscard]] const char* to_string(OpKind k);
+
+/// Well-known port indices.
+namespace port {
+// Load / LoadIdx outputs.
+inline constexpr std::uint16_t kLoadValue = 0;
+inline constexpr std::uint16_t kLoadAck = 1;
+// Switch inputs / outputs.
+inline constexpr std::uint16_t kSwitchData = 0;
+inline constexpr std::uint16_t kSwitchPred = 1;
+inline constexpr std::uint16_t kSwitchTrue = 0;
+inline constexpr std::uint16_t kSwitchFalse = 1;
+}  // namespace port
+
+struct Operand {
+  bool is_literal = false;
+  std::int64_t literal = 0;
+};
+
+struct Node {
+  OpKind kind = OpKind::kSynch;
+  std::uint16_t num_inputs = 0;
+  std::uint16_t num_outputs = 0;
+
+  lang::BinOp bop = lang::BinOp::kAdd;  ///< kBinOp
+  lang::UnOp uop = lang::UnOp::kNeg;    ///< kUnOp
+
+  std::uint32_t mem_base = 0;   ///< memory ops: base cell
+  std::int64_t mem_extent = 1;  ///< memory ops: cells (index wrapping)
+
+  cfg::LoopId loop;  ///< kLoopEntry / kLoopExit
+
+  std::vector<Operand> operands;            ///< size num_inputs
+  std::vector<std::int64_t> start_values;   ///< kStart: initial token values
+
+  std::string label;  ///< debug / DOT
+};
+
+struct Arc {
+  NodeId src;
+  std::uint16_t src_port = 0;
+  NodeId dst;
+  std::uint16_t dst_port = 0;
+  bool dummy = false;  ///< access/ack token (dotted in the paper's figures)
+};
+
+struct PortRef {
+  NodeId node;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] bool valid() const { return node.valid(); }
+  friend bool operator==(const PortRef&, const PortRef&) = default;
+};
+
+class Graph {
+ public:
+  [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_arcs() const { return arcs_.size(); }
+  [[nodiscard]] const Node& node(NodeId n) const { return nodes_[n]; }
+  [[nodiscard]] Node& node(NodeId n) { return nodes_[n]; }
+  [[nodiscard]] const std::vector<Arc>& arcs() const { return arcs_; }
+
+  [[nodiscard]] NodeId start() const { return start_; }
+  [[nodiscard]] NodeId end() const { return end_; }
+  void set_start(NodeId n) { start_ = n; }
+  void set_end(NodeId n) { end_ = n; }
+
+  /// Adds a node; `label` is for debugging/DOT only.
+  NodeId add(Node node);
+
+  // Convenience constructors.
+  NodeId add_binop(lang::BinOp op, std::string label = {});
+  NodeId add_unop(lang::UnOp op, std::string label = {});
+  NodeId add_load(std::uint32_t base, std::string label = {});
+  NodeId add_load_idx(std::uint32_t base, std::int64_t extent,
+                      std::string label = {});
+  NodeId add_store(std::uint32_t base, std::string label = {});
+  NodeId add_store_idx(std::uint32_t base, std::int64_t extent,
+                       std::string label = {});
+  NodeId add_switch(std::string label = {});
+  NodeId add_merge(std::string label = {});
+  NodeId add_synch(std::uint16_t arity, std::string label = {});
+  NodeId add_loop_entry(cfg::LoopId loop, std::uint16_t ports,
+                        std::string label = {});
+  NodeId add_loop_exit(cfg::LoopId loop, std::uint16_t ports,
+                       std::string label = {});
+  NodeId add_istore(std::uint32_t base, std::int64_t extent,
+                    std::string label = {});
+  NodeId add_ifetch(std::uint32_t base, std::int64_t extent,
+                    std::string label = {});
+  NodeId add_gate(std::string label = {});
+
+  /// Connects src's out-port to dst's in-port.
+  void connect(PortRef src, PortRef dst, bool dummy);
+
+  /// Binds dst's in-port to a constant.
+  void bind_literal(PortRef dst, std::int64_t value);
+
+  /// Out-arcs of (node, port).
+  [[nodiscard]] std::vector<Arc> out_arcs(NodeId n) const;
+
+  /// Number of arcs into (node, port).
+  [[nodiscard]] std::size_t fan_in(PortRef p) const;
+
+  [[nodiscard]] std::vector<NodeId> all_nodes() const;
+
+  /// Structural checks; returns problems (empty = valid).
+  [[nodiscard]] std::vector<std::string> validate() const;
+
+  /// Graphviz rendering (dummy arcs dotted, as in the paper).
+  [[nodiscard]] std::string to_dot() const;
+
+ private:
+  support::IndexMap<NodeId, Node> nodes_;
+  std::vector<Arc> arcs_;
+  NodeId start_;
+  NodeId end_;
+};
+
+/// Static size/shape statistics used by the graph-size and
+/// switch-elimination experiments.
+struct GraphStats {
+  std::size_t nodes = 0;
+  std::size_t arcs = 0;
+  std::size_t dummy_arcs = 0;
+  std::size_t switches = 0;
+  std::size_t merges = 0;
+  std::size_t synchs = 0;
+  std::size_t loads = 0;
+  std::size_t stores = 0;
+  std::size_t alu_ops = 0;
+  std::size_t loop_nodes = 0;
+};
+
+[[nodiscard]] GraphStats compute_stats(const Graph& g);
+
+}  // namespace ctdf::dfg

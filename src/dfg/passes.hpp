@@ -1,0 +1,62 @@
+// Post-translation optimization passes over dataflow graphs.
+//
+// The translator already avoids redundant switches (paper Section 4);
+// these passes clean up what only becomes visible at the graph level:
+//
+//  * constant-switch folding — a switch whose predicate port is bound
+//    to a literal always routes the same way; its data arcs are wired
+//    straight through and the untaken side becomes dead.
+//  * unfireable-node elimination — a node with an unwired (non-literal)
+//    input port can never fire (e.g. the untaken branch of a folded
+//    switch); it and its downstream-only dependents are removed.
+//  * dead-node elimination — a side-effect-free node whose outputs feed
+//    nothing only consumes tokens; removing it lets those tokens die
+//    earlier (fewer firings, less drain traffic after End).
+//  * single-source merge collapsing — a merge with exactly one in-arc
+//    is a wire (paper Sec. 4.2's "a join with a single source is
+//    equivalent to no operator", applied transitively after other
+//    passes expose new cases).
+//
+// All passes iterate to a joint fixpoint, then the graph is compacted
+// (dead node ids removed, arcs remapped). Semantics preservation is
+// covered by the schema-equivalence suite with these passes enabled.
+#pragma once
+
+#include <cstddef>
+
+#include "dfg/graph.hpp"
+
+namespace ctdf::dfg {
+
+struct PassStats {
+  std::size_t switches_folded = 0;
+  std::size_t merges_collapsed = 0;
+  std::size_t dead_removed = 0;       ///< output-unused removals
+  std::size_t unfireable_removed = 0; ///< unwired-input removals
+  std::size_t iterations = 0;
+
+  [[nodiscard]] std::size_t total_removed() const {
+    return switches_folded + merges_collapsed + dead_removed +
+           unfireable_removed;
+  }
+};
+
+/// Runs all passes to fixpoint and compacts the graph in place.
+PassStats optimize_graph(Graph& g);
+
+/// Monsoon fidelity: a real explicit-token-store instruction can name
+/// only a small number of destinations (two, on Monsoon). The IR allows
+/// unlimited fan-out; this pass inserts replication trees (pass-through
+/// merge nodes) so that no (node, out-port) feeds more than
+/// `max_destinations` arcs. Returns the number of replicate nodes
+/// inserted. `max_destinations` must be ≥ 2.
+std::size_t lower_fanout(Graph& g, std::size_t max_destinations = 2);
+
+/// Largest number of arcs leaving any single (node, out-port).
+[[nodiscard]] std::size_t max_fanout(const Graph& g);
+
+/// Rebuilds `g` keeping only nodes with keep[node] == true; arcs
+/// touching dropped nodes are discarded. start/end must be kept.
+[[nodiscard]] Graph compact(const Graph& g, const std::vector<bool>& keep);
+
+}  // namespace ctdf::dfg

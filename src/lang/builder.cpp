@@ -1,0 +1,92 @@
+#include "lang/builder.hpp"
+
+#include "support/assert.hpp"
+
+namespace ctdf::lang {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw support::CompileError("ProgramBuilder: " + msg);
+}
+
+}  // namespace
+
+VarId ProgramBuilder::scalar(std::string_view name) {
+  const auto v = program().symbols.declare_scalar(name);
+  if (!v) fail("redeclaration of '" + std::string(name) + "'");
+  return *v;
+}
+
+VarId ProgramBuilder::array(std::string_view name, std::int64_t size) {
+  if (size <= 0) fail("array size must be positive");
+  const auto v = program().symbols.declare_array(name, size);
+  if (!v) fail("redeclaration of '" + std::string(name) + "'");
+  return *v;
+}
+
+ProgramBuilder& ProgramBuilder::alias(VarId a, VarId b) {
+  program().symbols.add_alias(a, b);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::bind(VarId a, VarId b) {
+  if (!program().symbols.bind(a, b))
+    fail("cannot bind variables of different kind/size");
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::assign(VarId v, ExprPtr value) {
+  if (program().symbols.is_array(v))
+    fail("assign() on array '" + program().symbols.name(v) +
+         "'; use assign_elem()");
+  local_stmts_.push_back(Stmt::assign(LValue{v, nullptr}, std::move(value)));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::assign_elem(VarId array, ExprPtr index,
+                                            ExprPtr value) {
+  if (!program().symbols.is_array(array))
+    fail("assign_elem() on scalar '" + program().symbols.name(array) + "'");
+  local_stmts_.push_back(
+      Stmt::assign(LValue{array, std::move(index)}, std::move(value)));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::skip() {
+  local_stmts_.push_back(Stmt::skip());
+  return *this;
+}
+
+std::vector<StmtPtr> ProgramBuilder::build_body(const BodyFn& fn) {
+  ProgramBuilder child(&program());
+  fn(child);
+  return std::move(child.local_stmts_);
+}
+
+ProgramBuilder& ProgramBuilder::if_then(ExprPtr pred, const BodyFn& then_body) {
+  local_stmts_.push_back(
+      Stmt::if_stmt(std::move(pred), build_body(then_body), {}));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::if_then_else(ExprPtr pred,
+                                             const BodyFn& then_body,
+                                             const BodyFn& else_body) {
+  local_stmts_.push_back(Stmt::if_stmt(std::move(pred), build_body(then_body),
+                                       build_body(else_body)));
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::while_loop(ExprPtr pred, const BodyFn& body) {
+  local_stmts_.push_back(Stmt::while_stmt(std::move(pred), build_body(body)));
+  return *this;
+}
+
+Program ProgramBuilder::finish() && {
+  CTDF_ASSERT_MSG(root_ == nullptr, "finish() on a nested-body builder");
+  own_.body = std::move(local_stmts_);
+  return std::move(own_);
+}
+
+}  // namespace ctdf::lang

@@ -1,0 +1,98 @@
+// Fluent construction of lang::Program from C++ — for library users
+// (tools, generators, embedders) who want to build programs without
+// going through source text.
+//
+//   ProgramBuilder b;
+//   auto x = b.scalar("x");
+//   auto a = b.array("a", 16);
+//   b.assign(x, b.add(b.var(x), b.lit(1)));
+//   b.while_loop(b.lt(b.var(x), b.lit(5)), [&](ProgramBuilder& body) {
+//     body.assign_elem(a, body.var(x), body.var(x));
+//     body.assign(x, body.add(body.var(x), body.lit(1)));
+//   });
+//   lang::Program prog = std::move(b).finish();
+//
+// Expressions are freshly-built AST trees (ExprPtr is move-only; build
+// each operand in place). Labels/gotos are intentionally not exposed —
+// structured control flow covers API users; unstructured programs come
+// from source text.
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <utility>
+
+#include "lang/ast.hpp"
+
+namespace ctdf::lang {
+
+class ProgramBuilder {
+ public:
+  ProgramBuilder() = default;
+
+  // --- declarations (throw support::CompileError on duplicates) -----------
+  VarId scalar(std::string_view name);
+  VarId array(std::string_view name, std::int64_t size);
+  ProgramBuilder& alias(VarId a, VarId b);
+  ProgramBuilder& bind(VarId a, VarId b);
+
+  // --- expressions ----------------------------------------------------------
+  [[nodiscard]] ExprPtr lit(std::int64_t v) const { return Expr::constant(v); }
+  [[nodiscard]] ExprPtr var(VarId v) const { return Expr::variable(v); }
+  [[nodiscard]] ExprPtr elem(VarId array, ExprPtr index) const {
+    return Expr::array_ref(array, std::move(index));
+  }
+  [[nodiscard]] ExprPtr bin(BinOp op, ExprPtr l, ExprPtr r) const {
+    return Expr::binary(op, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr add(ExprPtr l, ExprPtr r) const {
+    return bin(BinOp::kAdd, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr sub(ExprPtr l, ExprPtr r) const {
+    return bin(BinOp::kSub, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr mul(ExprPtr l, ExprPtr r) const {
+    return bin(BinOp::kMul, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr lt(ExprPtr l, ExprPtr r) const {
+    return bin(BinOp::kLt, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr eq(ExprPtr l, ExprPtr r) const {
+    return bin(BinOp::kEq, std::move(l), std::move(r));
+  }
+  [[nodiscard]] ExprPtr neg(ExprPtr e) const {
+    return Expr::unary(UnOp::kNeg, std::move(e));
+  }
+  [[nodiscard]] ExprPtr logical_not(ExprPtr e) const {
+    return Expr::unary(UnOp::kNot, std::move(e));
+  }
+
+  // --- statements -------------------------------------------------------------
+  ProgramBuilder& assign(VarId v, ExprPtr value);
+  ProgramBuilder& assign_elem(VarId array, ExprPtr index, ExprPtr value);
+  ProgramBuilder& skip();
+
+  using BodyFn = std::function<void(ProgramBuilder&)>;
+  /// if pred { then_body } [ else { else_body } ]
+  ProgramBuilder& if_then(ExprPtr pred, const BodyFn& then_body);
+  ProgramBuilder& if_then_else(ExprPtr pred, const BodyFn& then_body,
+                               const BodyFn& else_body);
+  /// while pred { body }
+  ProgramBuilder& while_loop(ExprPtr pred, const BodyFn& body);
+
+  /// Consumes the builder.
+  [[nodiscard]] Program finish() &&;
+
+ private:
+  /// Child builder sharing the symbol table (for nested bodies).
+  explicit ProgramBuilder(Program* root) : root_(root) {}
+
+  Program& program() { return root_ ? *root_ : own_; }
+  std::vector<StmtPtr> build_body(const BodyFn& fn);
+
+  Program own_;
+  Program* root_ = nullptr;            ///< set for nested-body builders
+  std::vector<StmtPtr> local_stmts_;   ///< nested builders collect here
+};
+
+}  // namespace ctdf::lang

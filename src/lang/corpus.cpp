@@ -1,0 +1,167 @@
+#include "lang/corpus.hpp"
+
+#include <sstream>
+
+#include "lang/parser.hpp"
+
+namespace ctdf::lang::corpus {
+
+std::string running_example_source() {
+  return R"(// Fig. 1, the paper's running example.
+var x, y;
+l:
+  y := x + 1;
+  x := x + 1;
+  if x < 5 then goto l else goto end;
+)";
+}
+
+Program running_example() { return parse_or_throw(running_example_source()); }
+
+std::string fig9_source() {
+  return R"(// Fig. 9: x is not referenced inside the conditional, so the
+// access_x switch inserted by Schema 2 is redundant.
+var x, y, w;
+  x := x + 1;
+  if w == 0 then goto t else goto f;
+t:
+  y := 1;
+  goto join;
+f:
+  y := 2;
+  goto join;
+join:
+  x := 0;
+)";
+}
+
+Program fig9() { return parse_or_throw(fig9_source()); }
+
+std::string nested_bypass_source(int depth) {
+  // The predicate value w becomes available only after a chain of
+  // memory round-trips, and every nesting level is on the executed path
+  // (w = 35 makes w >= i true for all i < 35). Under naive Schema 2 the
+  // access_x token crosses one switch per level — each waiting on w —
+  // before x := 0 may run; under the Section 4 construction it bypasses
+  // the whole region (Fig. 9's point).
+  std::ostringstream os;
+  os << "var x, y, w;\n";
+  os << "  x := x + 1;\n";
+  os << "  w := w + 7;\n  w := w * 5;\n";
+  for (int i = 0; i < depth; ++i)
+    os << "  if w >= " << i << " {\n    y := y + " << i << ";\n";
+  os << "    y := y * 2;\n";
+  for (int i = 0; i < depth; ++i) os << "  }\n";
+  os << "  x := 0;\n";
+  return os.str();
+}
+
+std::string fortran_alias_source() {
+  return R"(// Section 5: SUBROUTINE F(X, Y, Z) called as F(A,B,A) and
+// F(C,D,D): X~Z and Y~Z but X and Y are not aliased. `bind x z`
+// reflects the first call site's actual storage identification.
+// u and v are unaliased locals: a fine-grained cover lets their
+// updates overlap the aliased traffic; the unified cover serializes
+// everything behind one token.
+var x, y, z, u, v;
+alias x z;
+alias y z;
+bind x z;
+  x := 10;
+  u := u + 1;
+  y := x + 5;
+  v := v + 2;
+  z := z + y;
+  u := u * 3;
+  x := z * 2;
+  v := v + u;
+)";
+}
+
+Program fortran_alias() { return parse_or_throw(fortran_alias_source()); }
+
+std::string array_loop_source(int trip_count) {
+  std::ostringstream os;
+  os << "// Section 6.3: successive stores to distinct elements of x.\n";
+  os << "var i;\narray x[" << trip_count + 1 << "];\n";
+  os << "loop:\n  i := i + 1;\n  x[i] := 1;\n  if i < " << trip_count
+     << " then goto loop else goto end;\n";
+  return os.str();
+}
+
+Program array_loop(int trip_count) {
+  return parse_or_throw(array_loop_source(trip_count));
+}
+
+std::string independent_chains_source(int n, int updates) {
+  std::ostringstream os;
+  os << "var";
+  for (int v = 0; v < n; ++v) os << (v ? ", v" : " v") << v;
+  os << ";\n";
+  for (int u = 0; u < updates; ++u)
+    for (int v = 0; v < n; ++v)
+      os << "  v" << v << " := v" << v << " + " << (u + v + 1) << ";\n";
+  return os.str();
+}
+
+std::string read_heavy_source(int reads) {
+  if (reads < 1) reads = 1;
+  std::ostringstream os;
+  os << "var acc";
+  for (int v = 0; v < reads; ++v) os << ", r" << v;
+  os << ";\n";
+  for (int v = 0; v < reads; ++v)
+    os << "  r" << v << " := " << (v * 7 + 3) << ";\n";
+  // A single wide expression reading every r_v.
+  os << "  acc := r0";
+  for (int v = 1; v < reads; ++v) os << " + r" << v;
+  os << ";\n";
+  return os.str();
+}
+
+std::string irreducible_source() {
+  return R"(// Irreducible flow: the branch jumps into the middle of the
+// loop (label l2), so the cycle {l1, l2, test} has two entries.
+var a, b, k, e;
+  e := 1;
+  k := 0;
+  if e == 1 then goto l2 else goto l1;
+l1:
+  a := a + 1;
+l2:
+  b := b + 1;
+  k := k + 1;
+  if k < 5 then goto l1 else goto end;
+)";
+}
+
+std::string nested_loops_source(int outer, int inner) {
+  std::ostringstream os;
+  os << "var i, j, s;\n";
+  os << "  i := 0;\n";
+  os << "  while i < " << outer << " {\n";
+  os << "    j := 0;\n";
+  os << "    while j < " << inner << " {\n";
+  os << "      s := s + i * j + 1;\n";
+  os << "      j := j + 1;\n";
+  os << "    }\n";
+  os << "    i := i + 1;\n";
+  os << "  }\n";
+  return os.str();
+}
+
+std::vector<NamedProgram> all() {
+  return {
+      {"running_example", running_example_source()},
+      {"fig9", fig9_source()},
+      {"nested_bypass_4", nested_bypass_source(4)},
+      {"fortran_alias", fortran_alias_source()},
+      {"array_loop_10", array_loop_source(10)},
+      {"independent_chains_4x3", independent_chains_source(4, 3)},
+      {"read_heavy_8", read_heavy_source(8)},
+      {"irreducible", irreducible_source()},
+      {"nested_loops_3x4", nested_loops_source(3, 4)},
+  };
+}
+
+}  // namespace ctdf::lang::corpus

@@ -1,0 +1,61 @@
+// Named example programs from the paper, used by tests, examples, and
+// the benchmark harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace ctdf::lang::corpus {
+
+struct NamedProgram {
+  std::string name;
+  std::string source;
+};
+
+/// The paper's running example (Fig. 1):
+///   l: y := x + 1; x := x + 1; if x < 5 then goto l else goto end
+[[nodiscard]] std::string running_example_source();
+[[nodiscard]] Program running_example();
+
+/// Fig. 9: a conditional that does not reference x, sandwiched between
+/// two assignments to x — the access_x switch is redundant.
+[[nodiscard]] std::string fig9_source();
+[[nodiscard]] Program fig9();
+
+/// A parameterized version of Fig. 9 with `depth` nested conditionals
+/// (none referencing x) between the two x assignments.
+[[nodiscard]] std::string nested_bypass_source(int depth);
+
+/// Section 5's FORTRAN SUBROUTINE F(X,Y,Z) alias structure
+/// ([X]={X,Z}, [Y]={Y,Z}, [Z]={X,Y,Z}), with a body exercising all
+/// three names.
+[[nodiscard]] std::string fortran_alias_source();
+[[nodiscard]] Program fortran_alias();
+
+/// Section 6.3's array loop:
+///   start: i := i + 1; x[i] := 1; if i < 10 then goto start else end
+[[nodiscard]] std::string array_loop_source(int trip_count = 10);
+[[nodiscard]] Program array_loop(int trip_count = 10);
+
+/// A straight-line program with `n` independent variables each updated
+/// `updates` times — exercises Schema 2's cross-statement parallelism.
+[[nodiscard]] std::string independent_chains_source(int n, int updates);
+
+/// A straight-line program that reads many variables into one
+/// accumulator — exercises read parallelization (Sec. 6.2).
+[[nodiscard]] std::string read_heavy_source(int reads);
+
+/// An irreducible CFG (branch into the middle of a loop) with bounded
+/// trip count — exercises interval node splitting.
+[[nodiscard]] std::string irreducible_source();
+
+/// A doubly nested loop computing a small convolution-like recurrence —
+/// exercises nested interval decomposition.
+[[nodiscard]] std::string nested_loops_source(int outer, int inner);
+
+/// All of the above (with small default parameters) as a test corpus.
+[[nodiscard]] std::vector<NamedProgram> all();
+
+}  // namespace ctdf::lang::corpus

@@ -1,0 +1,151 @@
+#include "lang/interp.hpp"
+
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace ctdf::lang {
+
+namespace {
+
+class Interp {
+ public:
+  explicit Interp(const Program& prog, std::uint64_t max_steps)
+      : prog_(prog), layout_(prog.symbols), fuel_(max_steps) {
+    store_.cells.assign(layout_.total_cells(), 0);
+    for (std::size_t i = 0; i < prog.body.size(); ++i)
+      for (const auto& l : prog.body[i]->labels) labels_.emplace(l, i);
+    labels_.emplace("end", prog.body.size());
+  }
+
+  InterpResult run() {
+    InterpResult result;
+    std::size_t pc = 0;
+    while (pc < prog_.body.size()) {
+      if (!step_budget()) return result;  // fuel exhausted, not completed
+      const Stmt& s = *prog_.body[pc];
+      std::size_t next = pc + 1;
+      if (!exec(s, &next)) return result;
+      pc = next;
+    }
+    result.completed = true;
+    result.steps = steps_;
+    result.store = std::move(store_);
+    return result;
+  }
+
+ private:
+  bool step_budget() {
+    if (steps_ >= fuel_) return false;
+    ++steps_;
+    return true;
+  }
+
+  /// Executes one statement; for top-level statements `*next` receives
+  /// the successor index. Returns false iff fuel ran out inside a
+  /// nested body.
+  bool exec(const Stmt& s, std::size_t* next) {
+    switch (s.kind) {
+      case Stmt::Kind::kAssign: {
+        const std::int64_t value = eval(*s.expr);
+        store_cell(cell_of(s.lhs), value);
+        return true;
+      }
+      case Stmt::Kind::kSkip:
+        return true;
+      case Stmt::Kind::kGoto:
+        *next = target(s.target_true);
+        return true;
+      case Stmt::Kind::kCondGoto:
+        *next = target(eval(*s.expr) != 0 ? s.target_true : s.target_false);
+        return true;
+      case Stmt::Kind::kIf: {
+        const auto& body = eval(*s.expr) != 0 ? s.then_body : s.else_body;
+        return exec_block(body);
+      }
+      case Stmt::Kind::kWhile:
+        while (eval(*s.expr) != 0) {
+          if (!exec_block(s.then_body)) return false;
+          if (!step_budget()) return false;  // charge each re-test
+        }
+        return true;
+    }
+    CTDF_UNREACHABLE("bad Stmt::Kind");
+  }
+
+  bool exec_block(const std::vector<StmtPtr>& body) {
+    for (const auto& s : body) {
+      if (!step_budget()) return false;
+      std::size_t unused = 0;
+      if (!exec(*s, &unused)) return false;
+    }
+    return true;
+  }
+
+  std::size_t target(const std::string& label) const {
+    const auto it = labels_.find(label);
+    CTDF_ASSERT_MSG(it != labels_.end(), "parser validated labels");
+    return it->second;
+  }
+
+  std::size_t cell_of(const LValue& lv) {
+    const std::size_t base = layout_.base(lv.var);
+    if (!lv.is_array_elem()) return base;
+    const auto n = static_cast<std::int64_t>(layout_.extent(lv.var));
+    return base + static_cast<std::size_t>(wrap_index(eval(*lv.index), n));
+  }
+
+  void store_cell(std::size_t cell, std::int64_t v) {
+    CTDF_ASSERT(cell < store_.cells.size());
+    store_.cells[cell] = v;
+  }
+
+  std::int64_t eval(const Expr& e) {
+    switch (e.kind) {
+      case Expr::Kind::kConst:
+        return e.value;
+      case Expr::Kind::kVar:
+        return store_.cells[layout_.base(e.var)];
+      case Expr::Kind::kArrayRef: {
+        const auto n = static_cast<std::int64_t>(layout_.extent(e.var));
+        const std::int64_t i = wrap_index(eval(*e.lhs), n);
+        return store_.cells[layout_.base(e.var) + static_cast<std::size_t>(i)];
+      }
+      case Expr::Kind::kBinary:
+        // Note: && and || are NOT short-circuiting — both operands are
+        // always evaluated, matching the dataflow translation where both
+        // operand subgraphs always fire.
+        return eval_binop(e.bop, eval(*e.lhs), eval(*e.rhs));
+      case Expr::Kind::kUnary:
+        return eval_unop(e.uop, eval(*e.lhs));
+    }
+    CTDF_UNREACHABLE("bad Expr::Kind");
+  }
+
+  const Program& prog_;
+  StorageLayout layout_;
+  Store store_;
+  std::unordered_map<std::string, std::size_t> labels_;
+  std::uint64_t fuel_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+InterpResult interpret(const Program& prog, std::uint64_t max_steps) {
+  return Interp{prog, max_steps}.run();
+}
+
+std::int64_t load_var(const Program& prog, const Store& store, VarId v,
+                      std::int64_t index) {
+  const StorageLayout layout{prog.symbols};
+  std::size_t cell = layout.base(v);
+  if (prog.symbols.is_array(v)) {
+    cell += static_cast<std::size_t>(
+        wrap_index(index, static_cast<std::int64_t>(layout.extent(v))));
+  }
+  CTDF_ASSERT(cell < store.cells.size());
+  return store.cells[cell];
+}
+
+}  // namespace ctdf::lang

@@ -1,0 +1,54 @@
+// Reference sequential interpreter.
+//
+// This is the ground truth for every schema-equivalence test: a dataflow
+// translation is correct iff simulating it yields the same final store
+// as this interpreter, for every program.
+//
+// Semantics notes (all deliberate, shared with the machine ALU):
+//  * int64 arithmetic wraps; x/0 == x%0 == 0 (see lang/ast.hpp).
+//  * Array subscripts are wrapped into range: effective index is
+//    ((i mod n) + n) mod n for an array of size n. This keeps randomly
+//    generated programs total so property tests never have to reject
+//    out-of-range traces.
+//  * All storage cells start at 0.
+//  * Execution is fuel-limited; a program that exhausts its fuel is
+//    reported as not completed (tests skip or shrink such cases).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lang/ast.hpp"
+
+namespace ctdf::lang {
+
+/// Flat storage: one int64 per cell, laid out by StorageLayout.
+struct Store {
+  std::vector<std::int64_t> cells;
+
+  friend bool operator==(const Store&, const Store&) = default;
+};
+
+struct InterpResult {
+  bool completed = false;    ///< false iff fuel ran out
+  std::uint64_t steps = 0;   ///< statements executed
+  Store store;               ///< final memory (valid only if completed)
+};
+
+/// Wrap an array subscript into [0, n). Shared with machine memory ops.
+[[nodiscard]] constexpr std::int64_t wrap_index(std::int64_t i,
+                                                std::int64_t n) {
+  const std::int64_t m = i % n;
+  return m < 0 ? m + n : m;
+}
+
+/// Runs `prog` from an all-zero store.
+[[nodiscard]] InterpResult interpret(const Program& prog,
+                                     std::uint64_t max_steps = 1'000'000);
+
+/// Reads variable `v` (scalar) or `v[index]` out of a store, using the
+/// same layout/wrapping rules as the interpreter.
+[[nodiscard]] std::int64_t load_var(const Program& prog, const Store& store,
+                                    VarId v, std::int64_t index = 0);
+
+}  // namespace ctdf::lang

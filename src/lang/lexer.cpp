@@ -1,0 +1,242 @@
+#include "lang/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/assert.hpp"
+
+namespace ctdf::lang {
+
+const char* to_string(TokKind k) {
+  switch (k) {
+    case TokKind::kEof: return "<eof>";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kInt: return "integer";
+    case TokKind::kVar: return "'var'";
+    case TokKind::kArray: return "'array'";
+    case TokKind::kAlias: return "'alias'";
+    case TokKind::kBind: return "'bind'";
+    case TokKind::kIf: return "'if'";
+    case TokKind::kThen: return "'then'";
+    case TokKind::kElse: return "'else'";
+    case TokKind::kWhile: return "'while'";
+    case TokKind::kGoto: return "'goto'";
+    case TokKind::kSkip: return "'skip'";
+    case TokKind::kAssign: return "':='";
+    case TokKind::kColon: return "':'";
+    case TokKind::kSemi: return "';'";
+    case TokKind::kComma: return "','";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kSlash: return "'/'";
+    case TokKind::kPercent: return "'%'";
+    case TokKind::kEqEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kAndAnd: return "'&&'";
+    case TokKind::kOrOr: return "'||'";
+    case TokKind::kBang: return "'!'";
+  }
+  CTDF_UNREACHABLE("bad TokKind");
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, TokKind> kKeywords = {
+    {"var", TokKind::kVar},     {"array", TokKind::kArray},
+    {"alias", TokKind::kAlias}, {"bind", TokKind::kBind},
+    {"if", TokKind::kIf},       {"then", TokKind::kThen},
+    {"else", TokKind::kElse},   {"while", TokKind::kWhile},
+    {"goto", TokKind::kGoto},   {"skip", TokKind::kSkip},
+};
+
+class Cursor {
+ public:
+  Cursor(std::string_view src, support::DiagnosticEngine& diags)
+      : src_(src), diags_(diags) {}
+
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    const char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  [[nodiscard]] support::SourceLoc loc() const { return {line_, col_}; }
+  [[nodiscard]] std::size_t pos() const { return pos_; }
+  [[nodiscard]] std::string_view slice(std::size_t from) const {
+    return src_.substr(from, pos_ - from);
+  }
+
+  void error(support::SourceLoc l, std::string msg) {
+    diags_.error(l, std::move(msg));
+  }
+
+ private:
+  std::string_view src_;
+  support::DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+void skip_trivia(Cursor& c) {
+  for (;;) {
+    while (!c.at_end() && std::isspace(static_cast<unsigned char>(c.peek())))
+      c.advance();
+    // Line comments: `//` and `#`.
+    if (c.peek() == '/' && c.peek(1) == '/') {
+      while (!c.at_end() && c.peek() != '\n') c.advance();
+      continue;
+    }
+    if (c.peek() == '#') {
+      while (!c.at_end() && c.peek() != '\n') c.advance();
+      continue;
+    }
+    break;
+  }
+}
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source,
+                       support::DiagnosticEngine& diags) {
+  std::vector<Token> out;
+  Cursor c{source, diags};
+
+  auto push = [&](TokKind k, support::SourceLoc loc, std::string_view text,
+                  std::int64_t value = 0) {
+    out.push_back(Token{k, loc, text, value});
+  };
+
+  for (;;) {
+    skip_trivia(c);
+    const auto loc = c.loc();
+    const auto start = c.pos();
+    if (c.at_end()) {
+      push(TokKind::kEof, loc, "");
+      break;
+    }
+    const char ch = c.advance();
+    if (std::isalpha(static_cast<unsigned char>(ch)) || ch == '_') {
+      while (std::isalnum(static_cast<unsigned char>(c.peek())) ||
+             c.peek() == '_')
+        c.advance();
+      const auto text = c.slice(start);
+      const auto it = kKeywords.find(text);
+      push(it != kKeywords.end() ? it->second : TokKind::kIdent, loc, text);
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(ch))) {
+      while (std::isdigit(static_cast<unsigned char>(c.peek()))) c.advance();
+      const auto text = c.slice(start);
+      std::int64_t v = 0;
+      bool overflow = false;
+      for (const char d : text) {
+        if (v > (INT64_MAX - (d - '0')) / 10) {
+          overflow = true;
+          break;
+        }
+        v = v * 10 + (d - '0');
+      }
+      if (overflow) c.error(loc, "integer literal overflows int64");
+      push(TokKind::kInt, loc, text, v);
+      continue;
+    }
+    switch (ch) {
+      case ':':
+        if (c.peek() == '=') {
+          c.advance();
+          push(TokKind::kAssign, loc, ":=");
+        } else {
+          push(TokKind::kColon, loc, ":");
+        }
+        continue;
+      case ';': push(TokKind::kSemi, loc, ";"); continue;
+      case ',': push(TokKind::kComma, loc, ","); continue;
+      case '[': push(TokKind::kLBracket, loc, "["); continue;
+      case ']': push(TokKind::kRBracket, loc, "]"); continue;
+      case '{': push(TokKind::kLBrace, loc, "{"); continue;
+      case '}': push(TokKind::kRBrace, loc, "}"); continue;
+      case '(': push(TokKind::kLParen, loc, "("); continue;
+      case ')': push(TokKind::kRParen, loc, ")"); continue;
+      case '+': push(TokKind::kPlus, loc, "+"); continue;
+      case '-': push(TokKind::kMinus, loc, "-"); continue;
+      case '*': push(TokKind::kStar, loc, "*"); continue;
+      case '/': push(TokKind::kSlash, loc, "/"); continue;
+      case '%': push(TokKind::kPercent, loc, "%"); continue;
+      case '=':
+        if (c.peek() == '=') {
+          c.advance();
+          push(TokKind::kEqEq, loc, "==");
+        } else {
+          c.error(loc, "stray '='; assignment is ':=' and equality is '=='");
+        }
+        continue;
+      case '!':
+        if (c.peek() == '=') {
+          c.advance();
+          push(TokKind::kNe, loc, "!=");
+        } else {
+          push(TokKind::kBang, loc, "!");
+        }
+        continue;
+      case '<':
+        if (c.peek() == '=') {
+          c.advance();
+          push(TokKind::kLe, loc, "<=");
+        } else {
+          push(TokKind::kLt, loc, "<");
+        }
+        continue;
+      case '>':
+        if (c.peek() == '=') {
+          c.advance();
+          push(TokKind::kGe, loc, ">=");
+        } else {
+          push(TokKind::kGt, loc, ">");
+        }
+        continue;
+      case '&':
+        if (c.peek() == '&') {
+          c.advance();
+          push(TokKind::kAndAnd, loc, "&&");
+        } else {
+          c.error(loc, "stray '&'; did you mean '&&'?");
+        }
+        continue;
+      case '|':
+        if (c.peek() == '|') {
+          c.advance();
+          push(TokKind::kOrOr, loc, "||");
+        } else {
+          c.error(loc, "stray '|'; did you mean '||'?");
+        }
+        continue;
+      default:
+        c.error(loc, std::string("unexpected character '") + ch + "'");
+        continue;
+    }
+  }
+  return out;
+}
+
+}  // namespace ctdf::lang

@@ -1,0 +1,42 @@
+// Hand-written lexer for the ctdf source language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+
+namespace ctdf::lang {
+
+enum class TokKind : std::uint8_t {
+  kEof,
+  kIdent,
+  kInt,
+  // Keywords.
+  kVar, kArray, kAlias, kBind, kIf, kThen, kElse, kWhile, kGoto, kSkip,
+  // Punctuation / operators.
+  kAssign,     // :=
+  kColon, kSemi, kComma,
+  kLBracket, kRBracket, kLBrace, kRBrace, kLParen, kRParen,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kEqEq, kNe, kLt, kLe, kGt, kGe, kAndAnd, kOrOr, kBang,
+};
+
+[[nodiscard]] const char* to_string(TokKind k);
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  support::SourceLoc loc;
+  std::string_view text;    ///< points into the original source
+  std::int64_t int_value = 0;  ///< valid iff kind == kInt
+};
+
+/// Tokenizes `source`. Lexical errors are reported to `diags`; an error
+/// token position is skipped so lexing always terminates with kEof.
+/// The returned tokens reference `source`, which must outlive them.
+[[nodiscard]] std::vector<Token> lex(std::string_view source,
+                                     support::DiagnosticEngine& diags);
+
+}  // namespace ctdf::lang

@@ -1,0 +1,119 @@
+#include "lang/symbols.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ctdf::lang {
+
+std::optional<VarId> SymbolTable::declare(std::string_view name, VarKind kind,
+                                          std::int64_t size) {
+  std::string key{name};
+  if (by_name_.contains(key)) return std::nullopt;
+  const VarId id{vars_.size()};
+  vars_.ensure(id);
+  vars_[id] = VarInfo{std::move(key), kind, size};
+  by_name_.emplace(vars_[id].name, id);
+  alias_.emplace_back(vars_.size(), false);  // row i has i+1 entries
+  bind_parent_.push_back(id.value());
+  return id;
+}
+
+std::optional<VarId> SymbolTable::declare_scalar(std::string_view name) {
+  return declare(name, VarKind::kScalar, 0);
+}
+
+std::optional<VarId> SymbolTable::declare_array(std::string_view name,
+                                                std::int64_t size) {
+  CTDF_ASSERT(size > 0);
+  return declare(name, VarKind::kArray, size);
+}
+
+std::optional<VarId> SymbolTable::lookup(std::string_view name) const {
+  auto it = by_name_.find(std::string{name});
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool SymbolTable::alias_bit(std::size_t a, std::size_t b) const {
+  if (a < b) std::swap(a, b);
+  return alias_[a][b];
+}
+
+void SymbolTable::set_alias_bit(std::size_t a, std::size_t b) {
+  if (a < b) std::swap(a, b);
+  alias_[a][b] = true;
+}
+
+void SymbolTable::add_alias(VarId x, VarId y) {
+  if (x == y) return;  // reflexivity is implicit
+  set_alias_bit(x.index(), y.index());
+  has_alias_pairs_ = true;
+}
+
+VarId::underlying_type SymbolTable::find_root(
+    VarId::underlying_type i) const {
+  while (bind_parent_[i] != i) {
+    bind_parent_[i] = bind_parent_[bind_parent_[i]];  // path halving
+    i = bind_parent_[i];
+  }
+  return i;
+}
+
+bool SymbolTable::bind(VarId x, VarId y) {
+  const VarInfo& a = vars_[x];
+  const VarInfo& b = vars_[y];
+  if (a.kind != b.kind) return false;
+  if (a.kind == VarKind::kArray && a.array_size != b.array_size) return false;
+  add_alias(x, y);
+  const auto rx = find_root(x.value());
+  const auto ry = find_root(y.value());
+  if (rx != ry) bind_parent_[ry] = rx;
+  return true;
+}
+
+bool SymbolTable::may_alias(VarId x, VarId y) const {
+  if (x == y) return true;
+  return alias_bit(x.index(), y.index());
+}
+
+std::vector<VarId> SymbolTable::alias_class(VarId x) const {
+  std::vector<VarId> out;
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    const VarId v{i};
+    if (may_alias(x, v)) out.push_back(v);
+  }
+  return out;
+}
+
+VarId SymbolTable::bind_root(VarId x) const { return VarId{find_root(x.value())}; }
+
+std::vector<VarId> SymbolTable::all_vars() const {
+  std::vector<VarId> out;
+  out.reserve(vars_.size());
+  for (std::size_t i = 0; i < vars_.size(); ++i) out.emplace_back(i);
+  return out;
+}
+
+StorageLayout::StorageLayout(const SymbolTable& syms) {
+  const auto vars = syms.all_vars();
+  base_.resize(vars.size(), 0);
+  extent_.resize(vars.size(), 0);
+  // Allocate storage per binding root, then point members at their root.
+  support::IndexMap<VarId, std::size_t> root_base(vars.size(), SIZE_MAX);
+  for (VarId v : vars) {
+    const VarId root = syms.bind_root(v);
+    const std::size_t cells =
+        syms.is_array(root)
+            ? static_cast<std::size_t>(syms.info(root).array_size)
+            : 1;
+    if (root_base[root] == SIZE_MAX) {
+      root_base[root] = total_;
+      total_ += cells;
+    }
+    base_[v] = root_base[root];
+    extent_[v] = cells;
+  }
+}
+
+}  // namespace ctdf::lang

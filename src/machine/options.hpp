@@ -1,0 +1,94 @@
+// Machine configuration.
+#pragma once
+
+#include <cstdint>
+
+namespace ctdf::machine {
+
+/// Loop-control policy (the paper's Section 3 leaves loop control
+/// unspecified — "there are many other possible approaches"; we
+/// implement the two natural ones and benchmark them against each
+/// other).
+enum class LoopMode : std::uint8_t {
+  /// The Monsoon-style suggestion from the paper: the loop-entry
+  /// operator collects the complete set of circulating tokens, then
+  /// allocates a frame (context) for the next iteration. Iterations are
+  /// separated by a barrier at the loop entry.
+  kBarrier,
+  /// Tagged-token style: each circulating token independently enters
+  /// the next iteration's context as soon as it arrives, so successive
+  /// iterations overlap (software pipelining in the dataflow graph).
+  kPipelined,
+};
+
+[[nodiscard]] inline const char* to_string(LoopMode m) {
+  return m == LoopMode::kBarrier ? "barrier" : "pipelined";
+}
+
+/// How work is distributed over processing elements in multi-PE mode.
+enum class Placement : std::uint8_t {
+  /// Instructions hashed to PEs (static dataflow style): one node
+  /// always fires on the same PE, iterations of a loop share PEs.
+  kByNode,
+  /// Contexts (frames) hashed to PEs (Monsoon style): an iteration's
+  /// work stays local to one PE, different iterations spread out.
+  kByContext,
+};
+
+[[nodiscard]] inline const char* to_string(Placement p) {
+  return p == Placement::kByNode ? "by-node" : "by-context";
+}
+
+struct MachineOptions {
+  LoopMode loop_mode = LoopMode::kBarrier;
+
+  /// Operators fired per cycle across the machine; 0 = unlimited
+  /// (pure-dataflow limit — cycles then measure the critical path).
+  unsigned width = 0;
+
+  /// k-bounded loops (Culler-style throttling): with pipelined loop
+  /// control, at most this many iterations of one loop invocation may
+  /// be in flight; tokens bound for iteration i+k stall at the loop
+  /// entry until iteration i retires (its last token is consumed).
+  /// 0 = unbounded. Bounds the frame-store footprint that unbounded
+  /// pipelining would otherwise need — the classic dataflow resource-
+  /// management tradeoff. Ignored in barrier mode (which is k = 1 by
+  /// construction).
+  unsigned loop_bound = 0;
+
+  /// Explicit multi-processor mode: number of processing elements, each
+  /// firing at most one operator per cycle, with `network_latency`
+  /// added to every token that crosses PEs. 0 = the abstract single
+  /// pool governed by `width` alone (the model the paper reasons in).
+  unsigned processors = 0;
+
+  /// Work distribution across PEs (multi-processor mode only).
+  Placement placement = Placement::kByContext;
+
+  /// Extra cycles for a token whose producer and consumer live on
+  /// different PEs (multi-processor mode only).
+  unsigned network_latency = 2;
+
+  /// Latency of non-memory operators, cycles.
+  unsigned alu_latency = 1;
+
+  /// Split-phase memory round-trip latency, cycles.
+  unsigned mem_latency = 4;
+
+  /// Abort knob for runaway graphs.
+  std::uint64_t max_cycles = 50'000'000;
+
+  /// 0 = deterministic FIFO scheduling. Non-zero seeds randomize the
+  /// choice of which ready operator fires next — used by the
+  /// confluence property tests (the final store must not change).
+  std::uint64_t scheduler_seed = 0;
+
+  /// Record the ops-fired-per-cycle profile (memory proportional to
+  /// cycles; off by default).
+  bool record_profile = false;
+
+  /// Print every firing to stderr (debug).
+  bool trace = false;
+};
+
+}  // namespace ctdf::machine

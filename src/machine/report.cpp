@@ -1,0 +1,71 @@
+#include "machine/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "dfg/graph.hpp"
+
+namespace ctdf::machine {
+
+std::string render_report(const RunStats& stats) {
+  std::ostringstream os;
+  if (!stats.completed) {
+    os << "run FAILED: " << stats.error << "\n";
+    return os.str();
+  }
+  os << "cycles                " << stats.cycles << "\n";
+  os << "operators fired       " << stats.ops_fired << " ("
+     << static_cast<double>(stats.ops_fired) /
+            static_cast<double>(std::max<std::uint64_t>(1, stats.cycles))
+     << " per cycle)\n";
+  os << "tokens sent           " << stats.tokens_sent << " ("
+     << stats.matches << " matched in frames)\n";
+  os << "iteration contexts    " << stats.contexts_allocated << "\n";
+  os << "memory                " << stats.mem_reads << " reads, "
+     << stats.mem_writes << " writes";
+  if (stats.deferred_reads)
+    os << " (" << stats.deferred_reads << " deferred I-structure reads)";
+  os << "\n";
+  os << "peak ready operators  " << stats.peak_ready << "\n";
+  if (stats.leftover_tokens)
+    os << "drain tokens at end   " << stats.leftover_tokens << "\n";
+
+  os << "firings by kind      ";
+  for (std::size_t k = 0; k < stats.fired_by_kind.size(); ++k) {
+    if (stats.fired_by_kind[k] == 0) continue;
+    os << ' ' << dfg::to_string(static_cast<dfg::OpKind>(k)) << '='
+       << stats.fired_by_kind[k];
+  }
+  os << "\n";
+
+  if (!stats.profile.empty()) {
+    // Coarse timeline: bucket the profile into at most 64 columns and
+    // render each as a height-8 sparkline character.
+    static const char* kBars[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+    const std::size_t columns = std::min<std::size_t>(64, stats.profile.size());
+    const std::size_t bucket =
+        (stats.profile.size() + columns - 1) / columns;
+    std::vector<double> avg;
+    double peak = 0;
+    for (std::size_t c = 0; c < columns; ++c) {
+      double sum = 0;
+      std::size_t n = 0;
+      for (std::size_t i = c * bucket;
+           i < std::min(stats.profile.size(), (c + 1) * bucket); ++i, ++n)
+        sum += stats.profile[i];
+      avg.push_back(n ? sum / static_cast<double>(n) : 0);
+      peak = std::max(peak, avg.back());
+    }
+    os << "parallelism timeline  [";
+    for (const double a : avg) {
+      const int level =
+          peak > 0 ? static_cast<int>(a / peak * 7.0 + 0.5) : 0;
+      os << kBars[std::clamp(level, 0, 7)];
+    }
+    os << "] (peak " << peak << " ops/cycle, " << bucket
+       << " cycles/column)\n";
+  }
+  return os.str();
+}
+
+}  // namespace ctdf::machine

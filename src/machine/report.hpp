@@ -1,0 +1,17 @@
+// Human-readable execution reports: operator mix, parallelism profile,
+// memory behavior. Used by the `ctdf run --report` CLI and available
+// as a library utility.
+#pragma once
+
+#include <string>
+
+#include "machine/machine.hpp"
+
+namespace ctdf::machine {
+
+/// Multi-line summary of a run: headline numbers, firings by operator
+/// kind, memory traffic, and (when the profile was recorded) a coarse
+/// ops-per-cycle timeline rendered as a text sparkline.
+[[nodiscard]] std::string render_report(const RunStats& stats);
+
+}  // namespace ctdf::machine

@@ -1,0 +1,33 @@
+// Lightweight always-on assertion macros for ctdf.
+//
+// The simulator and the translators are full of structural invariants
+// (port arities, frame-slot presence bits, worklist monotonicity) whose
+// violation indicates a bug in *this* library, never in user input.
+// User-input problems are reported through support/diagnostics.hpp
+// instead; these macros abort.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ctdf::support {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "ctdf assertion failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace ctdf::support
+
+#define CTDF_ASSERT(expr)                                                  \
+  ((expr) ? (void)0                                                        \
+          : ::ctdf::support::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define CTDF_ASSERT_MSG(expr, msg)                                         \
+  ((expr) ? (void)0                                                        \
+          : ::ctdf::support::assert_fail(#expr, __FILE__, __LINE__, (msg)))
+
+#define CTDF_UNREACHABLE(msg)                                              \
+  ::ctdf::support::assert_fail("unreachable", __FILE__, __LINE__, (msg))

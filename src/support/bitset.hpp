@@ -1,0 +1,99 @@
+// Fixed-capacity dynamic bitset used by the CFG dataflow analyses.
+//
+// The switch-placement and liveness computations manipulate sets of CFG
+// nodes / variables as bit vectors; std::vector<bool> lacks the word-wise
+// union/intersection operations those fixpoints need to be fast.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/assert.hpp"
+
+namespace ctdf::support {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const { return nbits_; }
+
+  void set(std::size_t i) {
+    CTDF_ASSERT(i < nbits_);
+    words_[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  void reset(std::size_t i) {
+    CTDF_ASSERT(i < nbits_);
+    words_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  [[nodiscard]] bool test(std::size_t i) const {
+    CTDF_ASSERT(i < nbits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void clear() {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] bool any() const {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t c = 0;
+    for (auto w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// this |= other; returns true iff this changed.
+  bool union_with(const Bitset& other) {
+    CTDF_ASSERT(nbits_ == other.nbits_);
+    bool changed = false;
+    for (std::size_t i = 0; i < words_.size(); ++i) {
+      const std::uint64_t before = words_[i];
+      words_[i] |= other.words_[i];
+      changed |= (words_[i] != before);
+    }
+    return changed;
+  }
+
+  /// this &= other.
+  void intersect_with(const Bitset& other) {
+    CTDF_ASSERT(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      words_[i] &= other.words_[i];
+  }
+
+  [[nodiscard]] bool intersects(const Bitset& other) const {
+    CTDF_ASSERT(nbits_ == other.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+      if (words_[i] & other.words_[i]) return true;
+    return false;
+  }
+
+  friend bool operator==(const Bitset&, const Bitset&) = default;
+
+  /// Invoke f(i) for every set bit, ascending.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi) {
+      std::uint64_t w = words_[wi];
+      while (w) {
+        const int b = __builtin_ctzll(w);
+        f(wi * 64 + static_cast<std::size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ctdf::support

@@ -1,0 +1,46 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace ctdf::support {
+
+std::string SourceLoc::to_string() const {
+  if (line == 0) return "<unknown>";
+  std::ostringstream os;
+  os << line << ':' << column;
+  return os.str();
+}
+
+std::string Diagnostic::to_string() const {
+  const char* sev = severity == Severity::kError     ? "error"
+                    : severity == Severity::kWarning ? "warning"
+                                                     : "note";
+  std::ostringstream os;
+  os << loc.to_string() << ": " << sev << ": " << message;
+  return os.str();
+}
+
+void DiagnosticEngine::error(SourceLoc loc, std::string message) {
+  diags_.push_back({Severity::kError, loc, std::move(message)});
+  ++error_count_;
+}
+
+void DiagnosticEngine::warning(SourceLoc loc, std::string message) {
+  diags_.push_back({Severity::kWarning, loc, std::move(message)});
+}
+
+void DiagnosticEngine::note(SourceLoc loc, std::string message) {
+  diags_.push_back({Severity::kNote, loc, std::move(message)});
+}
+
+std::string DiagnosticEngine::to_string() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.to_string() << '\n';
+  return os.str();
+}
+
+void DiagnosticEngine::throw_if_errors() const {
+  if (has_errors()) throw CompileError(to_string());
+}
+
+}  // namespace ctdf::support

@@ -1,0 +1,63 @@
+// User-facing diagnostics: source locations, errors, and a collector.
+//
+// Frontend errors (lex/parse/semantic) are reported through a
+// DiagnosticEngine so callers can choose between throwing and batch
+// inspection; internal invariant violations use support/assert.hpp.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ctdf::support {
+
+struct SourceLoc {
+  std::uint32_t line = 0;  ///< 1-based; 0 means "unknown".
+  std::uint32_t column = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+enum class Severity { kError, kWarning, kNote };
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Thrown by `DiagnosticEngine::throw_if_errors` and by convenience
+/// frontend entry points on the first hard error.
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class DiagnosticEngine {
+ public:
+  void error(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+  void note(SourceLoc loc, std::string message);
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+
+  /// Render all diagnostics, one per line.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Throw CompileError carrying all rendered diagnostics if any error
+  /// was reported.
+  void throw_if_errors() const;
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace ctdf::support

@@ -1,0 +1,63 @@
+// Dense maps keyed by strong ids.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/ids.hpp"
+
+namespace ctdf::support {
+
+/// A vector wrapper indexed by a strong Id. Grows on demand via
+/// `ensure`, bounds-checked on access.
+template <typename IdT, typename V>
+class IndexMap {
+ public:
+  IndexMap() = default;
+  explicit IndexMap(std::size_t n) : data_(n) {}
+  IndexMap(std::size_t n, const V& init) : data_(n, init) {}
+
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  void resize(std::size_t n) { data_.resize(n); }
+  void resize(std::size_t n, const V& init) { data_.resize(n, init); }
+  void clear() { data_.clear(); }
+
+  /// Grow (never shrink) so that `id` is addressable
+  /// (default-constructing new slots; works for move-only V).
+  void ensure(IdT id) {
+    if (id.index() >= data_.size()) data_.resize(id.index() + 1);
+  }
+  void ensure(IdT id, const V& init) {
+    if (id.index() >= data_.size()) data_.resize(id.index() + 1, init);
+  }
+
+  [[nodiscard]] bool contains(IdT id) const {
+    return id.valid() && id.index() < data_.size();
+  }
+
+  V& operator[](IdT id) {
+    CTDF_ASSERT(contains(id));
+    return data_[id.index()];
+  }
+  const V& operator[](IdT id) const {
+    CTDF_ASSERT(contains(id));
+    return data_[id.index()];
+  }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  std::vector<V>& raw() { return data_; }
+  const std::vector<V>& raw() const { return data_; }
+
+ private:
+  std::vector<V> data_;
+};
+
+}  // namespace ctdf::support

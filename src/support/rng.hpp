@@ -1,0 +1,47 @@
+// Deterministic RNG for program generation and scheduler fuzzing.
+//
+// std::mt19937 output differs across standard-library versions for the
+// distributions; we need bit-identical program generation so test
+// failures reproduce from a seed alone. SplitMix64 + explicit bounded
+// sampling gives that.
+#pragma once
+
+#include <cstdint>
+
+namespace ctdf::support {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Multiply-shift rejection-free mapping (Lemire); bias is negligible
+    // for the small bounds used in test generation.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den) {
+    return next_below(den) < num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ctdf::support

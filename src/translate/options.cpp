@@ -1,0 +1,25 @@
+#include "translate/options.hpp"
+
+#include <sstream>
+
+namespace ctdf::translate {
+
+std::string TranslateOptions::describe() const {
+  std::ostringstream os;
+  if (sequential) {
+    os << "schema1(sequential)";
+  } else {
+    os << "schema" << (cover == CoverStrategy::kSingleton ? "2" : "3")
+       << "(cover=" << to_string(cover) << ")";
+  }
+  if (optimize_switches) os << "+opt-switches";
+  if (eliminate_memory) os << "+mem-elim";
+  if (parallel_reads && !sequential) os << "+par-reads";
+  if (!parallel_store_arrays.empty()) os << "+fig14";
+  if (!istructure_arrays.empty()) os << "+istructures";
+  if (dead_store_elimination) os << "+dse";
+  if (post_optimize) os << "+post-opt";
+  return os.str();
+}
+
+}  // namespace ctdf::translate

@@ -1,0 +1,88 @@
+// Translation configuration: which schema of the paper to apply.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "translate/cover.hpp"
+
+namespace ctdf::translate {
+
+struct TranslateOptions {
+  /// Schema 1 (Section 2.3): a single access token circulates along the
+  /// sequential execution path; loads within a statement proceed in
+  /// parallel but statements execute one at a time. Implies
+  /// cover = kUnified, no per-iteration contexts, parallel reads, and
+  /// switches/merges at every fork/join.
+  bool sequential = false;
+
+  /// Cover choice (Section 5). kSingleton with no aliasing is Schema 2;
+  /// anything else is Schema 3 parameterized by the cover.
+  CoverStrategy cover = CoverStrategy::kSingleton;
+
+  /// Section 4: place switches only where needed (Figs 10 and 11) and
+  /// let access tokens bypass conditionals and loops that do not
+  /// reference their variables. Off = the naive Schema 2/3 placement
+  /// (every fork switches every token; every join merges every token;
+  /// loop control collects the complete token set).
+  bool optimize_switches = false;
+
+  /// Section 6.1: pass unaliased scalar values on tokens; delete their
+  /// loads and stores (the SSA-like "functional" transformation).
+  bool eliminate_memory = false;
+
+  /// Section 6.2: replicate the access token to all reads of a resource
+  /// within a statement and collect with a synch tree, instead of
+  /// chaining reads sequentially.
+  bool parallel_reads = false;
+
+  /// Section 6.3 / Fig 14: arrays (by name) whose loop stores should be
+  /// parallelized by access-token duplication + completion chain.
+  /// Applied in every loop where the array is stored to but never read
+  /// and not aliased; other occurrences are translated normally.
+  std::vector<std::string> parallel_store_arrays;
+
+  /// CFG-level dead-store elimination before translation: assignments
+  /// to unaliased scalars that are overwritten (on every path) before
+  /// any read — and before `end`, which observes the final store — are
+  /// dropped. Classic liveness-based cleanup; see cfg/dataflow.hpp.
+  bool dead_store_elimination = false;
+
+  /// Run the dfg::optimize_graph post-passes (constant-switch folding,
+  /// dead/unfireable node elimination, single-source merge collapsing)
+  /// after construction.
+  bool post_optimize = false;
+
+  /// Monsoon fidelity: bound each operator output to this many
+  /// destination arcs by inserting replicate trees (0 = unlimited, the
+  /// abstract-IR default; Monsoon itself allows 2).
+  std::size_t max_fanout = 0;
+
+  /// Section 6.3: arrays (by name) asserted write-once; translated to
+  /// I-structure operations (reads and writes proceed concurrently,
+  /// reads of empty cells defer in memory). The machine traps a double
+  /// write, so a wrong assertion is detected, not silently miscompiled.
+  std::vector<std::string> istructure_arrays;
+
+  /// Paper-facing presets.
+  static TranslateOptions schema1() {
+    TranslateOptions o;
+    o.sequential = true;
+    return o;
+  }
+  static TranslateOptions schema2() { return {}; }
+  static TranslateOptions schema2_optimized() {
+    TranslateOptions o;
+    o.optimize_switches = true;
+    return o;
+  }
+  static TranslateOptions schema3(CoverStrategy cover) {
+    TranslateOptions o;
+    o.cover = cover;
+    return o;
+  }
+
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace ctdf::translate

@@ -1,0 +1,45 @@
+#include "translate/switch_place.hpp"
+
+namespace ctdf::translate {
+
+SwitchPlacement::SwitchPlacement(
+    const cfg::Graph& g, const cfg::ControlDeps& cd,
+    const support::IndexMap<cfg::NodeId, std::vector<Resource>>& uses,
+    std::size_t num_resources, bool optimize) {
+  placed_.resize(g.size());
+  const auto is_real_fork = [&](cfg::NodeId n) {
+    return g.kind(n) == cfg::NodeKind::kFork;
+  };
+
+  if (!optimize) {
+    for (cfg::NodeId n : g.all_nodes()) {
+      if (!is_real_fork(n)) continue;
+      placed_[n] = support::Bitset(num_resources);
+      for (Resource r = 0; r < num_resources; ++r) placed_[n].set(r);
+      total_ += num_resources;
+    }
+    return;
+  }
+
+  // Figure 10, run for all resources at once: seed the worklist with
+  // every node that references r and close over control dependence.
+  for (Resource r = 0; r < num_resources; ++r) {
+    std::vector<cfg::NodeId> refs;
+    for (cfg::NodeId n : g.all_nodes()) {
+      const auto& u = uses[n];
+      if (std::find(u.begin(), u.end(), r) != u.end()) refs.push_back(n);
+    }
+    const support::Bitset cd_plus = cd.iterated(refs);
+    cd_plus.for_each([&](std::size_t i) {
+      const cfg::NodeId f{i};
+      if (!is_real_fork(f)) return;  // start needs no run-time switch
+      if (placed_[f].size() == 0) placed_[f] = support::Bitset(num_resources);
+      if (!placed_[f].test(r)) {
+        placed_[f].set(r);
+        ++total_;
+      }
+    });
+  }
+}
+
+}  // namespace ctdf::translate

@@ -1,0 +1,952 @@
+#include "translate/translator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "cfg/build.hpp"
+#include "cfg/control_dep.hpp"
+#include "cfg/dataflow.hpp"
+#include "cfg/dominance.hpp"
+#include "cfg/intervals.hpp"
+#include "dfg/passes.hpp"
+#include "support/assert.hpp"
+#include "translate/subscript.hpp"
+#include "translate/switch_place.hpp"
+
+namespace ctdf::translate {
+
+namespace {
+
+using cfg::NodeId;
+using dfg::PortRef;
+using lang::VarId;
+
+/// A compile-time expression value: a literal or a token-producing port.
+struct ValueSrc {
+  bool is_literal = false;
+  std::int64_t literal = 0;
+  PortRef port;
+
+  static ValueSrc lit(std::int64_t v) { return {true, v, {}}; }
+  static ValueSrc of(PortRef p) { return {false, 0, p}; }
+};
+
+/// The token state of one resource at one CFG point: sets of candidate
+/// source ports for the main token and (when the resource is "split",
+/// Fig. 14 / I-structure modes) the completion-chain token.
+struct Comp {
+  std::vector<PortRef> main;
+  std::vector<PortRef> chain;
+
+  [[nodiscard]] bool empty() const { return main.empty() && chain.empty(); }
+};
+
+void add_unique(std::vector<PortRef>& v, PortRef p) {
+  if (std::find(v.begin(), v.end(), p) == v.end()) v.push_back(p);
+}
+
+/// True iff every source in b is already in a.
+bool subsumes(const std::vector<PortRef>& a, const std::vector<PortRef>& b) {
+  return std::all_of(b.begin(), b.end(), [&](PortRef p) {
+    return std::find(a.begin(), a.end(), p) != a.end();
+  });
+}
+
+class Builder {
+ public:
+  Builder(const lang::Program& prog, const TranslateOptions& options,
+          support::DiagnosticEngine& diags)
+      : prog_(prog), opt_(options), diags_(diags), layout_(prog.symbols) {
+    if (opt_.sequential) {
+      opt_.cover = CoverStrategy::kUnified;
+      opt_.optimize_switches = false;
+      opt_.eliminate_memory = false;
+      opt_.parallel_reads = true;
+      opt_.parallel_store_arrays.clear();
+      opt_.istructure_arrays.clear();
+    }
+  }
+
+  Translation run() {
+    cfg_ = cfg::build_cfg(prog_, diags_);
+    if (diags_.has_errors()) return std::move(result_);
+    if (opt_.dead_store_elimination)
+      result_.dead_stores_removed =
+          cfg::eliminate_dead_stores(cfg_, prog_.symbols);
+    result_.cfg_nodes = cfg_.size();
+    for (NodeId n : cfg_.all_nodes()) result_.cfg_edges += cfg_.succs(n).size();
+
+    if (!opt_.sequential) {
+      loops_ = cfg::transform_loops(cfg_, diags_);
+      if (diags_.has_errors()) return std::move(result_);
+      result_.loops = loops_.loops().size();
+      result_.nodes_split = loops_.nodes_split();
+    }
+
+    cover_ = Cover::make(prog_.symbols, opt_.cover);
+    num_res_ = cover_.size();
+    result_.num_resources = num_res_;
+    classify_resources();
+    compute_uses_and_placement();
+
+    build();
+    if (diags_.has_errors()) return std::move(result_);
+
+    if (opt_.post_optimize)
+      result_.post_opt_removed =
+          dfg::optimize_graph(result_.graph).total_removed();
+    if (opt_.max_fanout >= 2)
+      result_.replicates_inserted =
+          dfg::lower_fanout(result_.graph, opt_.max_fanout);
+
+    result_.memory_cells = layout_.total_cells();
+    for (auto& problem : result_.graph.validate())
+      diags_.error({}, "DFG validation: " + problem);
+    return std::move(result_);
+  }
+
+ private:
+  // ---------------------------------------------------------------------
+  // Resource classification: memory elimination (Sec. 6.1), I-structure
+  // arrays, and Fig. 14 loop-store parallelization.
+  // ---------------------------------------------------------------------
+
+  void classify_resources() {
+    eliminated_.assign(num_res_, false);
+    istructure_.assign(num_res_, false);
+    if (opt_.eliminate_memory) {
+      for (Resource r = 0; r < num_res_; ++r)
+        eliminated_[r] = cover_.eliminable(r, prog_.symbols);
+    }
+
+    const auto singleton_array_resource =
+        [&](const std::string& name) -> std::optional<Resource> {
+      const auto v = prog_.symbols.lookup(name);
+      if (!v || !prog_.symbols.is_array(*v)) {
+        diags_.warning({}, "'" + name + "' is not a declared array; ignored");
+        return std::nullopt;
+      }
+      if (prog_.symbols.alias_class(*v).size() != 1 ||
+          cover_.access_set(*v).size() != 1) {
+        diags_.warning({}, "array '" + name +
+                               "' is aliased or covered jointly; cannot "
+                               "relax its access ordering");
+        return std::nullopt;
+      }
+      const Resource r = cover_.access_set(*v).front();
+      if (cover_.element(r).size() != 1) return std::nullopt;
+      return r;
+    };
+
+    for (const auto& name : opt_.istructure_arrays) {
+      if (const auto r = singleton_array_resource(name)) {
+        istructure_[*r] = true;
+        const VarId v = cover_.singleton_var(*r);
+        result_.istructures.push_back(
+            IRegion{static_cast<std::uint32_t>(layout_.base(v)),
+                    static_cast<std::uint32_t>(layout_.extent(v))});
+      }
+    }
+
+    // Fig. 14: per (loop, array) qualification. Requires the user to
+    // nominate the array AND a conservative subscript check: inside the
+    // loop the array is only stored to, each store's subscript is
+    // i or i±c for a simple induction variable i of that loop.
+    marked_.assign(loops_.loops().size(), {});
+    for (const auto& name : opt_.parallel_store_arrays) {
+      const auto r = singleton_array_resource(name);
+      if (!r || istructure_[*r]) continue;
+      const VarId a = cover_.singleton_var(*r);
+      for (const cfg::Loop& loop : loops_.loops()) {
+        if (qualifies_fig14(loop, a)) {
+          marked_[loop.id.index()].push_back(*r);
+          ++result_.loops_store_parallelized;
+        }
+      }
+    }
+  }
+
+  [[nodiscard]] bool qualifies_fig14(const cfg::Loop& loop, VarId a) const {
+    return stores_parallelizable(cfg_, loop, a, prog_.symbols);
+  }
+
+  /// Is resource r "split" into (go, chain) tokens at node n?
+  [[nodiscard]] bool split_at(NodeId n, Resource r) const {
+    if (istructure_[r]) return true;
+    for (const cfg::Loop& loop : loops_.loops()) {
+      const auto& ms = marked_[loop.id.index()];
+      if (std::find(ms.begin(), ms.end(), r) != ms.end() &&
+          loops_.in_loop(n, loop.id))
+        return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool marked_in(cfg::LoopId l, Resource r) const {
+    const auto& ms = marked_[l.index()];
+    return std::find(ms.begin(), ms.end(), r) != ms.end();
+  }
+
+  // ---------------------------------------------------------------------
+  // Uses and switch placement (Figs. 10/11 inputs), with the loop-refs
+  // fixpoint described in translator.hpp.
+  // ---------------------------------------------------------------------
+
+  void compute_uses_and_placement() {
+    uses_.resize(cfg_.size());
+    for (NodeId n : cfg_.all_nodes()) {
+      const cfg::NodeKind k = cfg_.kind(n);
+      if (k == cfg::NodeKind::kAssign || k == cfg::NodeKind::kFork)
+        uses_[n] = cover_.access_set_union(cfg_.refs(n));
+    }
+
+    pdom_.emplace(cfg_, cfg::DomDirection::kPostdom);
+    cd_.emplace(cfg_, *pdom_);
+
+    // Per-loop resource sets.
+    std::vector<std::vector<Resource>> loop_res(loops_.loops().size());
+    const auto all_resources = [&] {
+      std::vector<Resource> rs(num_res_);
+      for (Resource r = 0; r < num_res_; ++r) rs[r] = r;
+      return rs;
+    };
+    for (const cfg::Loop& loop : loops_.loops()) {
+      loop_res[loop.id.index()] =
+          opt_.optimize_switches
+              ? cover_.access_set_union(loops_.used_vars(cfg_, loop.id))
+              : all_resources();
+    }
+
+    for (int iteration = 0;; ++iteration) {
+      CTDF_ASSERT_MSG(iteration <= static_cast<int>(num_res_) + 2,
+                      "loop-refs fixpoint failed to converge");
+      for (const cfg::Loop& loop : loops_.loops()) {
+        uses_[loop.entry] = loop_res[loop.id.index()];
+        for (NodeId x : loop.exits) uses_[x] = loop_res[loop.id.index()];
+      }
+      placement_.emplace(cfg_, *cd_, uses_, num_res_,
+                         opt_.optimize_switches);
+      if (!opt_.optimize_switches) break;
+
+      bool changed = false;
+      for (const cfg::Loop& loop : loops_.loops()) {
+        auto& res = loop_res[loop.id.index()];
+        for (NodeId n : loop.members) {
+          if (cfg_.kind(n) != cfg::NodeKind::kFork) continue;
+          for (Resource r = 0; r < num_res_; ++r) {
+            if (placement_->needs_switch(n, r) &&
+                std::find(res.begin(), res.end(), r) == res.end()) {
+              res.push_back(r);
+              changed = true;
+            }
+          }
+        }
+        std::sort(res.begin(), res.end());
+      }
+      if (!changed) break;
+    }
+    result_.switches_placed = placement_->total();
+  }
+
+  // ---------------------------------------------------------------------
+  // Construction (fused Fig. 11 + wiring), one RPO pass.
+  // ---------------------------------------------------------------------
+
+  struct Sink {
+    PortRef main;
+    PortRef chain;
+  };
+
+  void build() {
+    dfg::Graph& g = result_.graph;
+
+    const auto rpo = cfg_.reverse_postorder();
+    rpo_index_.resize(cfg_.size(), 0);
+    for (std::size_t i = 0; i < rpo.size(); ++i)
+      rpo_index_[rpo[i]] = static_cast<std::uint32_t>(i);
+
+    incoming_.resize(cfg_.size());
+    sinks_.resize(cfg_.size());
+    processed_.assign(cfg_.size(), false);
+    for (NodeId n : cfg_.all_nodes()) {
+      incoming_[n].resize(num_res_);
+      sinks_[n].resize(num_res_);
+    }
+
+    // Start: one port per resource, all tokens initially 0 (memory is
+    // zeroed; eliminated resources carry the value 0).
+    {
+      dfg::Node s;
+      s.kind = dfg::OpKind::kStart;
+      s.num_outputs = static_cast<std::uint16_t>(num_res_);
+      s.start_values.assign(num_res_, 0);
+      s.label = "start";
+      const dfg::NodeId sn = g.add(std::move(s));
+      g.set_start(sn);
+      for (Resource r = 0; r < num_res_; ++r) {
+        Comp c;
+        c.main.push_back({sn, static_cast<std::uint16_t>(r)});
+        if (split_at(cfg_.start(), r)) c.chain = c.main;  // same port fans out
+        propagate(cfg_.node(cfg_.start()).succ_true, r, c);
+      }
+      processed_[cfg_.start().index()] = true;
+    }
+
+    for (NodeId n : rpo) {
+      if (n == cfg_.start()) continue;
+      switch (cfg_.kind(n)) {
+        case cfg::NodeKind::kAssign:
+        case cfg::NodeKind::kFork:
+          build_statement(n);
+          break;
+        case cfg::NodeKind::kJoin:
+          build_join(n);
+          break;
+        case cfg::NodeKind::kLoopEntry:
+          build_loop_entry(n);
+          break;
+        case cfg::NodeKind::kLoopExit:
+          build_loop_exit(n);
+          break;
+        case cfg::NodeKind::kEnd:
+          build_end(n);
+          break;
+        case cfg::NodeKind::kStart:
+          CTDF_UNREACHABLE("start handled above");
+      }
+      processed_[n.index()] = true;
+    }
+  }
+
+  /// Pushes `sources` for resource r along the CFG edge into `to` (or a
+  /// bypass jump). If `to` was already processed the sources must either
+  /// wire into a registered sink (loop entries, cyclic joins) or be
+  /// already-known (a symbolic pass-through closing a cycle).
+  void propagate(NodeId to, Resource r, const Comp& sources) {
+    if (sources.empty()) return;
+    Comp& dst = incoming_[to][r];
+    if (!processed_[to.index()]) {
+      for (PortRef p : sources.main) add_unique(dst.main, p);
+      for (PortRef p : sources.chain) add_unique(dst.chain, p);
+      return;
+    }
+    const Sink& sink = sinks_[to][r];
+    if (sink.main.valid()) {
+      for (PortRef p : sources.main)
+        result_.graph.connect(p, sink.main, arc_dummy(r));
+      if (sink.chain.valid()) {
+        const auto& chain_srcs =
+            sources.chain.empty() ? sources.main : sources.chain;
+        for (PortRef p : chain_srcs)
+          result_.graph.connect(p, sink.chain, /*dummy=*/true);
+      } else {
+        CTDF_ASSERT_MSG(sources.chain.empty(),
+                        "split token arrived at an unsplit sink");
+      }
+      return;
+    }
+    // No sink: legal only if nothing new arrives (a pass-through source
+    // flowing around a cycle it never interacted with).
+    CTDF_ASSERT_MSG(
+        subsumes(dst.main, sources.main) && subsumes(dst.chain, sources.chain),
+        "new token source reached an already-constructed node");
+  }
+
+  [[nodiscard]] bool arc_dummy(Resource r) const { return !eliminated_[r]; }
+
+  /// Collapses a source set to one port, inserting a dataflow merge when
+  /// several exclusive sources feed the same consumer (paper Sec. 4.2:
+  /// a join with a single source is no operator).
+  PortRef coalesce(const std::vector<PortRef>& sources, Resource r,
+                   const std::string& label) {
+    CTDF_ASSERT_MSG(!sources.empty(), "consumer with no token source");
+    if (sources.size() == 1) return sources.front();
+    const dfg::NodeId m = result_.graph.add_merge(label);
+    for (PortRef p : sources)
+      result_.graph.connect(p, {m, 0}, arc_dummy(r));
+    return {m, 0};
+  }
+
+  [[nodiscard]] std::string res_name(Resource r) const {
+    return cover_.name(r, prog_.symbols);
+  }
+
+  // --- joins ---------------------------------------------------------------
+
+  [[nodiscard]] bool has_back_in_edge(NodeId n) const {
+    for (NodeId p : cfg_.preds(n))
+      if (rpo_index_[p] >= rpo_index_[n]) return true;
+    return false;
+  }
+
+  void build_join(NodeId n) {
+    const NodeId succ = cfg_.node(n).succ_true;
+    if (has_back_in_edge(n)) {
+      // Only possible in sequential (Schema 1) mode, where joins are
+      // translated to merges and cycles carry the single access token.
+      CTDF_ASSERT_MSG(opt_.sequential,
+                      "cyclic join outside sequential mode (loop transform "
+                      "should have rerouted it)");
+      for (Resource r = 0; r < num_res_; ++r) {
+        Comp& in = incoming_[n][r];
+        if (in.empty()) continue;
+        const dfg::NodeId m =
+            result_.graph.add_merge("join " + cfg_.node(n).name);
+        for (PortRef p : in.main)
+          result_.graph.connect(p, {m, 0}, arc_dummy(r));
+        sinks_[n][r].main = {m, 0};
+        Comp out;
+        out.main.push_back({m, 0});
+        propagate(succ, r, out);
+      }
+      return;
+    }
+    for (Resource r = 0; r < num_res_; ++r) {
+      Comp& in = incoming_[n][r];
+      if (in.empty()) continue;
+      Comp out;
+      if (in.main.size() > 1 || in.chain.size() > 1) {
+        out.main.push_back(coalesce(in.main, r, "merge " + res_name(r)));
+        if (!in.chain.empty())
+          out.chain.push_back(coalesce(in.chain, r, "merge'" + res_name(r)));
+      } else {
+        out = in;
+      }
+      propagate(succ, r, out);
+    }
+  }
+
+  // --- loop entry / exit -----------------------------------------------------
+
+  void build_loop_entry(NodeId n) {
+    dfg::Graph& g = result_.graph;
+    const cfg::Node& node = cfg_.node(n);
+    const auto& res = uses_[n];
+    const NodeId succ = node.succ_true;
+
+    if (!res.empty()) {
+      // Port layout: for each resource in order, a main port and (if
+      // split inside this loop) a chain port.
+      std::vector<std::pair<Resource, bool>> slots;
+      for (Resource r : res) slots.emplace_back(r, split_at(n, r));
+      std::uint16_t ports = 0;
+      for (auto& [r, split] : slots) ports += split ? 2 : 1;
+
+      const dfg::NodeId le = g.add_loop_entry(
+          node.loop, ports, "L" + std::to_string(node.loop.value()));
+      std::uint16_t next_port = 0;
+      for (auto& [r, split] : slots) {
+        const PortRef main_in{le, next_port};
+        const PortRef chain_in =
+            split ? PortRef{le, static_cast<std::uint16_t>(next_port + 1)}
+                  : PortRef{};
+        next_port += split ? 2 : 1;
+
+        Comp& in = incoming_[n][r];
+        CTDF_ASSERT_MSG(!in.main.empty(), "loop resource never produced");
+        for (PortRef p : in.main) g.connect(p, main_in, arc_dummy(r));
+        if (split) {
+          const auto& chain_srcs = in.chain.empty() ? in.main : in.chain;
+          for (PortRef p : chain_srcs) g.connect(p, chain_in, true);
+        } else {
+          CTDF_ASSERT_MSG(in.chain.empty(),
+                          "split token entering unsplit loop port");
+        }
+        sinks_[n][r] = Sink{main_in, chain_in};
+
+        Comp out;
+        out.main.push_back(main_in);   // loop entry out-port i mirrors in-port i
+        if (split) out.chain.push_back(chain_in);
+        propagate(succ, r, out);
+      }
+    }
+
+    // Resources the loop does not touch flow past symbolically.
+    for (Resource r = 0; r < num_res_; ++r) {
+      if (std::find(res.begin(), res.end(), r) != res.end()) continue;
+      propagate(succ, r, incoming_[n][r]);
+    }
+  }
+
+  void build_loop_exit(NodeId n) {
+    dfg::Graph& g = result_.graph;
+    const cfg::Node& node = cfg_.node(n);
+    const auto& res = uses_[n];
+    const NodeId succ = node.succ_true;
+    const NodeId pred = cfg_.preds(n).front();
+
+    if (!res.empty()) {
+      std::vector<std::pair<Resource, bool>> slots;
+      for (Resource r : res) slots.emplace_back(r, split_at(pred, r));
+      std::uint16_t ports = 0;
+      for (auto& [r, split] : slots) ports += split ? 2 : 1;
+
+      const dfg::NodeId lx = g.add_loop_exit(
+          node.loop, ports, "X" + std::to_string(node.loop.value()));
+      std::uint16_t next_port = 0;
+      for (auto& [r, split_in] : slots) {
+        const PortRef main_in{lx, next_port};
+        const PortRef chain_in =
+            split_in ? PortRef{lx, static_cast<std::uint16_t>(next_port + 1)}
+                     : PortRef{};
+        next_port += split_in ? 2 : 1;
+
+        Comp& in = incoming_[n][r];
+        CTDF_ASSERT_MSG(!in.main.empty(), "loop exit resource missing");
+        for (PortRef p : in.main) g.connect(p, main_in, arc_dummy(r));
+        if (split_in) {
+          const auto& chain_srcs = in.chain.empty() ? in.main : in.chain;
+          for (PortRef p : chain_srcs) g.connect(p, chain_in, true);
+        }
+
+        Comp out;
+        if (split_in && !split_at(n, r)) {
+          // Leaving the relaxed region: wait for the completion chain
+          // (all outstanding stores) before releasing the access token.
+          const dfg::NodeId sy = g.add_synch(2, "collect " + res_name(r));
+          g.connect(main_in, {sy, 0}, true);
+          g.connect(chain_in, {sy, 1}, true);
+          out.main.push_back({sy, 0});
+        } else {
+          out.main.push_back(main_in);
+          if (split_in) out.chain.push_back(chain_in);
+        }
+        propagate(succ, r, out);
+      }
+    }
+
+    for (Resource r = 0; r < num_res_; ++r) {
+      if (std::find(res.begin(), res.end(), r) != res.end()) continue;
+      propagate(succ, r, incoming_[n][r]);
+    }
+  }
+
+  // --- end -------------------------------------------------------------------
+
+  void build_end(NodeId n) {
+    dfg::Graph& g = result_.graph;
+    dfg::Node e;
+    e.kind = dfg::OpKind::kEnd;
+    e.num_inputs = static_cast<std::uint16_t>(num_res_);
+    e.label = "end";
+    const dfg::NodeId en = g.add(std::move(e));
+    g.set_end(en);
+
+    for (Resource r = 0; r < num_res_; ++r) {
+      Comp& in = incoming_[n][r];
+      CTDF_ASSERT_MSG(!in.main.empty(),
+                      "a resource token never reached the end node");
+      const PortRef dst{en, static_cast<std::uint16_t>(r)};
+      if (!in.chain.empty()) {
+        // I-structure resources: wait for the write-completion chain
+        // too.
+        const dfg::NodeId sy = g.add_synch(2, "end-collect " + res_name(r));
+        for (PortRef p : in.main) g.connect(p, {sy, 0}, true);
+        for (PortRef p : in.chain) g.connect(p, {sy, 1}, true);
+        g.connect({sy, 0}, dst, true);
+      } else if (eliminated_[r]) {
+        // Write the token-carried value back so the final store is
+        // observable (and comparable with the reference interpreter).
+        const VarId v = cover_.singleton_var(r);
+        const dfg::NodeId st = g.add_store(
+            static_cast<std::uint32_t>(layout_.base(v)),
+            "writeback " + prog_.symbols.name(v));
+        const PortRef src = coalesce(in.main, r, "wb " + res_name(r));
+        g.connect(src, {st, 0}, false);  // value
+        g.connect(src, {st, 1}, false);  // permission = the token itself
+        g.connect({st, 0}, dst, true);
+      } else {
+        for (PortRef p : in.main) g.connect(p, dst, true);
+      }
+    }
+  }
+
+  // --- statements (assignments and forks) -------------------------------------
+
+  struct CurState {
+    PortRef entry_main;               ///< snapshot at statement entry
+    PortRef main;                     ///< rolling permission/value token
+    PortRef chain;                    ///< completion chain (split modes)
+    std::vector<PortRef> pending_acks;  ///< parallel-read acks to collect
+  };
+
+  /// Per-statement construction state.
+  struct StmtCtx {
+    std::map<Resource, CurState> cur;
+    std::unordered_map<std::uint32_t, PortRef> scalar_loads;  // by VarId
+  };
+
+  CurState& state_of(StmtCtx& sc, Resource r) {
+    const auto it = sc.cur.find(r);
+    CTDF_ASSERT_MSG(it != sc.cur.end(),
+                    "statement touched a resource outside its use set");
+    return it->second;
+  }
+
+  void init_statement(NodeId n, StmtCtx& sc) {
+    for (Resource r : uses_[n]) {
+      Comp& in = incoming_[n][r];
+      CurState st;
+      st.entry_main = coalesce(in.main, r, "in " + res_name(r));
+      st.main = st.entry_main;
+      if (!in.chain.empty())
+        st.chain = coalesce(in.chain, r, "in' " + res_name(r));
+      sc.cur.emplace(r, st);
+    }
+  }
+
+  /// Permission source for a read of resource r.
+  PortRef read_perm(StmtCtx& sc, Resource r) {
+    CurState& st = state_of(sc, r);
+    return opt_.parallel_reads ? st.entry_main : st.main;
+  }
+
+  void note_read_ack(StmtCtx& sc, Resource r, PortRef ack) {
+    CurState& st = state_of(sc, r);
+    if (opt_.parallel_reads) {
+      st.pending_acks.push_back(ack);
+    } else {
+      st.main = ack;
+    }
+  }
+
+  /// Collect outstanding parallel-read acks of r into st.main.
+  void flush_reads(StmtCtx& sc, Resource r) {
+    CurState& st = state_of(sc, r);
+    if (st.pending_acks.empty()) return;
+    if (st.pending_acks.size() == 1) {
+      st.main = st.pending_acks.front();
+    } else {
+      const dfg::NodeId sy = result_.graph.add_synch(
+          static_cast<std::uint16_t>(st.pending_acks.size()),
+          "reads " + res_name(r));
+      for (std::size_t i = 0; i < st.pending_acks.size(); ++i)
+        result_.graph.connect(st.pending_acks[i],
+                              {sy, static_cast<std::uint16_t>(i)}, true);
+      st.main = {sy, 0};
+    }
+    st.pending_acks.clear();
+  }
+
+  void flush_all_reads(StmtCtx& sc) {
+    for (auto& [r, st] : sc.cur) flush_reads(sc, r);
+  }
+
+  /// Wires a ValueSrc into a node input port (literal binding or arc).
+  void wire_value(ValueSrc v, PortRef dst) {
+    if (v.is_literal) {
+      result_.graph.bind_literal(dst, v.literal);
+    } else {
+      result_.graph.connect(v.port, dst, false);
+    }
+  }
+
+  /// Builds the access-set collection for a memory op: the synch tree
+  /// that gathers access_{[x]} (Fig. 13), or a single arc.
+  void wire_permission(StmtCtx& sc, const std::vector<Resource>& rs,
+                       PortRef dst, bool for_read) {
+    dfg::Graph& g = result_.graph;
+    if (rs.size() == 1) {
+      const Resource r = rs.front();
+      const PortRef src =
+          for_read ? read_perm(sc, r) : state_of(sc, r).main;
+      g.connect(src, dst, true);
+      return;
+    }
+    const dfg::NodeId sy =
+        g.add_synch(static_cast<std::uint16_t>(rs.size()), "access-set");
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      const Resource r = rs[i];
+      const PortRef src =
+          for_read ? read_perm(sc, r) : state_of(sc, r).main;
+      g.connect(src, {sy, static_cast<std::uint16_t>(i)}, true);
+    }
+    g.connect({sy, 0}, dst, true);
+  }
+
+  ValueSrc read_scalar(StmtCtx& sc, VarId v) {
+    const auto& rs = cover_.access_set(v);
+    if (rs.size() == 1 && eliminated_[rs.front()])
+      return ValueSrc::of(state_of(sc, rs.front()).main);
+
+    if (const auto it = sc.scalar_loads.find(v.value());
+        it != sc.scalar_loads.end())
+      return ValueSrc::of(it->second);
+
+    dfg::Graph& g = result_.graph;
+    const dfg::NodeId ld = g.add_load(
+        static_cast<std::uint32_t>(layout_.base(v)), prog_.symbols.name(v));
+    wire_permission(sc, rs, {ld, 0}, /*for_read=*/true);
+    for (Resource r : rs) note_read_ack(sc, r, {ld, dfg::port::kLoadAck});
+    const PortRef value{ld, dfg::port::kLoadValue};
+    sc.scalar_loads.emplace(v.value(), value);
+    return ValueSrc::of(value);
+  }
+
+  ValueSrc read_array(NodeId n, StmtCtx& sc, VarId a, ValueSrc index) {
+    dfg::Graph& g = result_.graph;
+    const auto& rs = cover_.access_set(a);
+    const auto base = static_cast<std::uint32_t>(layout_.base(a));
+    const auto extent = static_cast<std::int64_t>(layout_.extent(a));
+
+    if (rs.size() == 1 && istructure_[rs.front()]) {
+      const dfg::NodeId f =
+          g.add_ifetch(base, extent, prog_.symbols.name(a) + "[]");
+      wire_value(index, {f, 0});
+      // Trigger only (no serialization, no ack): reads of I-structure
+      // cells defer in memory until the write arrives.
+      g.connect(state_of(sc, rs.front()).main, {f, 1}, true);
+      return ValueSrc::of(PortRef{f, 0});
+    }
+    CTDF_ASSERT_MSG(rs.size() != 1 || !split_at(n, rs.front()),
+                    "array read inside a store-parallelized loop "
+                    "(qualification should have rejected this)");
+
+    const dfg::NodeId ld =
+        g.add_load_idx(base, extent, prog_.symbols.name(a) + "[]");
+    wire_value(index, {ld, 0});
+    wire_permission(sc, rs, {ld, 1}, /*for_read=*/true);
+    for (Resource r : rs) note_read_ack(sc, r, {ld, dfg::port::kLoadAck});
+    return ValueSrc::of(PortRef{ld, dfg::port::kLoadValue});
+  }
+
+  ValueSrc build_expr(NodeId n, StmtCtx& sc, const lang::Expr& e) {
+    switch (e.kind) {
+      case lang::Expr::Kind::kConst:
+        return ValueSrc::lit(e.value);
+      case lang::Expr::Kind::kVar:
+        return read_scalar(sc, e.var);
+      case lang::Expr::Kind::kArrayRef:
+        return read_array(n, sc, e.var, build_expr(n, sc, *e.lhs));
+      case lang::Expr::Kind::kUnary: {
+        const ValueSrc v = build_expr(n, sc, *e.lhs);
+        if (v.is_literal)
+          return ValueSrc::lit(lang::eval_unop(e.uop, v.literal));
+        const dfg::NodeId op = result_.graph.add_unop(e.uop);
+        wire_value(v, {op, 0});
+        return ValueSrc::of(PortRef{op, 0});
+      }
+      case lang::Expr::Kind::kBinary: {
+        const ValueSrc l = build_expr(n, sc, *e.lhs);
+        const ValueSrc r = build_expr(n, sc, *e.rhs);
+        if (l.is_literal && r.is_literal)
+          return ValueSrc::lit(lang::eval_binop(e.bop, l.literal, r.literal));
+        const dfg::NodeId op = result_.graph.add_binop(e.bop);
+        wire_value(l, {op, 0});
+        wire_value(r, {op, 1});
+        return ValueSrc::of(PortRef{op, 0});
+      }
+    }
+    CTDF_UNREACHABLE("bad Expr::Kind");
+  }
+
+  void write_lvalue(NodeId n, StmtCtx& sc, const lang::LValue& lv,
+                    ValueSrc value, ValueSrc index) {
+    dfg::Graph& g = result_.graph;
+    const VarId v = lv.var;
+    const auto& rs = cover_.access_set(v);
+    const auto base = static_cast<std::uint32_t>(layout_.base(v));
+    const auto extent = static_cast<std::int64_t>(layout_.extent(v));
+
+    // Memory-eliminated scalar: the new value becomes the token.
+    if (rs.size() == 1 && eliminated_[rs.front()]) {
+      CurState& st = state_of(sc, rs.front());
+      if (value.is_literal) {
+        const dfg::NodeId gate = g.add_gate(prog_.symbols.name(v) + ":=" +
+                                            std::to_string(value.literal));
+        g.bind_literal({gate, 0}, value.literal);
+        g.connect(st.main, {gate, 1}, false);  // consume the old token
+        st.main = {gate, 0};
+      } else {
+        st.main = value.port;
+      }
+      return;
+    }
+
+    // I-structure array: concurrent write, ack joins the chain.
+    if (rs.size() == 1 && istructure_[rs.front()]) {
+      CurState& st = state_of(sc, rs.front());
+      const dfg::NodeId istore =
+          g.add_istore(base, extent, prog_.symbols.name(v) + "[]!");
+      wire_value(value, {istore, 0});
+      wire_value(index, {istore, 1});
+      g.connect(st.main, {istore, 2}, true);  // trigger, not consumed
+      const dfg::NodeId sy = g.add_synch(2, "chain " + res_name(rs.front()));
+      g.connect(st.chain, {sy, 0}, true);
+      g.connect({istore, 0}, {sy, 1}, true);
+      st.chain = {sy, 0};
+      return;
+    }
+
+    // Fig. 14 store-parallelized array inside its marked loop: the go
+    // token is replicated (no serialization between iterations' stores);
+    // completion accumulates on the chain.
+    if (rs.size() == 1 && split_at(n, rs.front())) {
+      CurState& st = state_of(sc, rs.front());
+      const dfg::NodeId store =
+          g.add_store_idx(base, extent, prog_.symbols.name(v) + "[]*");
+      wire_value(value, {store, 0});
+      wire_value(index, {store, 1});
+      g.connect(st.main, {store, 2}, true);  // dup of go, main unchanged
+      const dfg::NodeId sy = g.add_synch(2, "chain " + res_name(rs.front()));
+      g.connect(st.chain, {sy, 0}, true);
+      g.connect({store, 0}, {sy, 1}, true);
+      st.chain = {sy, 0};
+      return;
+    }
+
+    // Ordinary store: collect the access set (after this statement's
+    // reads of those resources), write, thread the acks onward.
+    for (Resource r : rs) flush_reads(sc, r);
+    dfg::NodeId store;
+    if (lv.is_array_elem()) {
+      store = g.add_store_idx(base, extent, prog_.symbols.name(v) + "[]");
+      wire_value(value, {store, 0});
+      wire_value(index, {store, 1});
+      wire_permission(sc, rs, {store, 2}, /*for_read=*/false);
+    } else {
+      store = g.add_store(base, prog_.symbols.name(v));
+      wire_value(value, {store, 0});
+      wire_permission(sc, rs, {store, 1}, /*for_read=*/false);
+    }
+    for (Resource r : rs) state_of(sc, r).main = {store, 0};
+  }
+
+  void build_statement(NodeId n) {
+    dfg::Graph& g = result_.graph;
+    const cfg::Node& node = cfg_.node(n);
+    StmtCtx sc;
+    init_statement(n, sc);
+
+    if (node.kind == cfg::NodeKind::kAssign) {
+      const ValueSrc value = build_expr(n, sc, *node.rhs);
+      ValueSrc index;
+      if (node.lhs.is_array_elem()) index = build_expr(n, sc, *node.lhs.index);
+      write_lvalue(n, sc, node.lhs, value, index);
+      flush_all_reads(sc);
+      const NodeId succ = node.succ_true;
+      for (Resource r : uses_[n]) {
+        CurState& st = state_of(sc, r);
+        Comp out;
+        out.main.push_back(st.main);
+        if (st.chain.valid()) out.chain.push_back(st.chain);
+        propagate(succ, r, out);
+      }
+      for (Resource r = 0; r < num_res_; ++r) {
+        if (sc.cur.contains(r)) continue;
+        propagate(succ, r, incoming_[n][r]);
+      }
+      return;
+    }
+
+    // Fork: evaluate the predicate, then switch every access token that
+    // needs routing here; everything else bypasses to the immediate
+    // postdominator (Sec. 4).
+    const ValueSrc pred = build_expr(n, sc, *node.pred);
+    flush_all_reads(sc);
+
+    const NodeId succ_t = node.succ_true;
+    const NodeId succ_f = node.succ_false;
+    const NodeId ipdom = pdom_->idom(n);
+
+    const auto add_switch = [&](PortRef data, Resource r,
+                                const char* tag) -> dfg::NodeId {
+      const dfg::NodeId sw = g.add_switch("sw" + std::string(tag) + " " +
+                                          res_name(r));
+      g.connect(data, {sw, dfg::port::kSwitchData}, arc_dummy(r));
+      wire_value(pred, {sw, dfg::port::kSwitchPred});
+      return sw;
+    };
+
+    for (Resource r = 0; r < num_res_; ++r) {
+      const bool used = sc.cur.contains(r);
+      if (placement_->needs_switch(n, r)) {
+        if (!used && incoming_[n][r].empty()) {
+          // Conservative placement marked this fork, but no token is
+          // actually routed through it (it can only happen when the
+          // placement over-approximates reachability).
+          continue;
+        }
+        PortRef main;
+        PortRef chain;
+        if (used) {
+          CurState& st = state_of(sc, r);
+          main = st.main;
+          chain = st.chain;
+        } else {
+          Comp& in = incoming_[n][r];
+          main = coalesce(in.main, r, "sw-in " + res_name(r));
+          if (!in.chain.empty())
+            chain = coalesce(in.chain, r, "sw-in' " + res_name(r));
+        }
+        const dfg::NodeId sw = add_switch(main, r, "");
+        Comp out_t, out_f;
+        out_t.main.push_back({sw, dfg::port::kSwitchTrue});
+        out_f.main.push_back({sw, dfg::port::kSwitchFalse});
+        if (chain.valid()) {
+          const dfg::NodeId swc = add_switch(chain, r, "'");
+          out_t.chain.push_back({swc, dfg::port::kSwitchTrue});
+          out_f.chain.push_back({swc, dfg::port::kSwitchFalse});
+        }
+        propagate(succ_t, r, out_t);
+        propagate(succ_f, r, out_f);
+      } else if (used) {
+        CurState& st = state_of(sc, r);
+        Comp out;
+        out.main.push_back(st.main);
+        if (st.chain.valid()) out.chain.push_back(st.chain);
+        propagate(ipdom, r, out);
+      } else {
+        propagate(ipdom, r, incoming_[n][r]);
+      }
+    }
+  }
+
+  // --- members ---------------------------------------------------------------
+
+  const lang::Program& prog_;
+  TranslateOptions opt_;
+  support::DiagnosticEngine& diags_;
+  lang::StorageLayout layout_;
+
+  cfg::Graph cfg_;
+  cfg::LoopInfo loops_;
+  Cover cover_;
+  std::size_t num_res_ = 0;
+
+  std::vector<bool> eliminated_;
+  std::vector<bool> istructure_;
+  std::vector<std::vector<Resource>> marked_;  // per loop
+
+  support::IndexMap<NodeId, std::vector<Resource>> uses_;
+  std::optional<cfg::DomTree> pdom_;
+  std::optional<cfg::ControlDeps> cd_;
+  std::optional<SwitchPlacement> placement_;
+
+  support::IndexMap<NodeId, std::uint32_t> rpo_index_;
+  support::IndexMap<NodeId, std::vector<Comp>> incoming_;
+  support::IndexMap<NodeId, std::vector<Sink>> sinks_;
+  std::vector<bool> processed_;
+
+  Translation result_;
+};
+
+}  // namespace
+
+Translation translate(const lang::Program& prog,
+                      const TranslateOptions& options,
+                      support::DiagnosticEngine& diags) {
+  return Builder{prog, options, diags}.run();
+}
+
+Translation translate_or_throw(const lang::Program& prog,
+                               const TranslateOptions& options) {
+  support::DiagnosticEngine diags;
+  Translation t = translate(prog, options, diags);
+  diags.throw_if_errors();
+  return t;
+}
+
+}  // namespace ctdf::translate

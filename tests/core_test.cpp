@@ -1,0 +1,93 @@
+// Tests of the public facade: the exact surface a downstream user
+// programs against.
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "lang/corpus.hpp"
+
+namespace ctdf::core {
+namespace {
+
+TEST(Core, ParseCompileExecuteRoundTrip) {
+  const auto prog = parse(lang::corpus::running_example_source());
+  const auto tx =
+      compile(prog, translate::TranslateOptions::schema2_optimized());
+  const auto res = execute(tx, {});
+  ASSERT_TRUE(res.stats.completed) << res.stats.error;
+  EXPECT_EQ(read_scalar(prog, res.store, "x"), 5);
+  EXPECT_EQ(read_scalar(prog, res.store, "y"), 5);
+}
+
+TEST(Core, CompileFromSourceDirectly) {
+  const auto tx = compile("var x; x := 41 + 1;",
+                          translate::TranslateOptions::schema2());
+  const auto res = execute(tx, {});
+  ASSERT_TRUE(res.stats.completed);
+  EXPECT_EQ(res.store.cells.at(0), 42);
+}
+
+TEST(Core, ParseErrorsThrow) {
+  EXPECT_THROW((void)parse("var x; x := ;"), support::CompileError);
+  EXPECT_THROW((void)parse("x := 1;"), support::CompileError);  // undeclared
+}
+
+TEST(Core, InfiniteLoopRejectedAtCompile) {
+  const auto prog = parse("var x; l: x := x + 1; goto l;");
+  EXPECT_THROW(
+      (void)compile(prog, translate::TranslateOptions::schema2()),
+      support::CompileError);
+}
+
+TEST(Core, ReadHelpersValidateNames) {
+  const auto prog = parse("var x; array a[4]; x := 7; a[2] := 9;");
+  const auto res =
+      execute(compile(prog, translate::TranslateOptions::schema2()), {});
+  ASSERT_TRUE(res.stats.completed);
+  EXPECT_EQ(read_scalar(prog, res.store, "x"), 7);
+  EXPECT_EQ(read_element(prog, res.store, "a", 2), 9);
+  EXPECT_EQ(read_element(prog, res.store, "a", 6), 9);  // wraps
+  EXPECT_THROW((void)read_scalar(prog, res.store, "nope"),
+               support::CompileError);
+  EXPECT_THROW((void)read_element(prog, res.store, "nope", 0),
+               support::CompileError);
+}
+
+TEST(Core, TranslationStatsArePopulated) {
+  const auto tx = compile(lang::corpus::running_example(),
+                          translate::TranslateOptions::schema2_optimized());
+  EXPECT_GT(tx.cfg_nodes, 0u);
+  EXPECT_GT(tx.cfg_edges, 0u);
+  EXPECT_EQ(tx.num_resources, 2u);
+  EXPECT_EQ(tx.loops, 1u);
+  EXPECT_GT(tx.switches_placed, 0u);
+  EXPECT_EQ(tx.memory_cells, 2u);
+  EXPECT_TRUE(tx.istructures.empty());
+}
+
+TEST(Core, IStructureRegionsFlowThroughExecute) {
+  auto o = translate::TranslateOptions::schema2_optimized();
+  o.istructure_arrays = {"x"};
+  const auto tx = compile(lang::corpus::array_loop(5), o);
+  ASSERT_EQ(tx.istructures.size(), 1u);
+  const auto res = execute(tx, {});
+  ASSERT_TRUE(res.stats.completed) << res.stats.error;
+  const auto prog = lang::corpus::array_loop(5);
+  for (int i = 1; i <= 5; ++i)
+    EXPECT_EQ(read_element(prog, res.store, "x", i), 1);
+}
+
+TEST(Core, DescribeStringsAreStable) {
+  EXPECT_EQ(translate::TranslateOptions::schema1().describe(),
+            "schema1(sequential)");
+  EXPECT_EQ(translate::TranslateOptions::schema2().describe(),
+            "schema2(cover=singleton)");
+  EXPECT_EQ(translate::TranslateOptions::schema2_optimized().describe(),
+            "schema2(cover=singleton)+opt-switches");
+  auto o = translate::TranslateOptions::schema3(
+      translate::CoverStrategy::kComponent);
+  o.eliminate_memory = true;
+  EXPECT_EQ(o.describe(), "schema3(cover=component)+mem-elim");
+}
+
+}  // namespace
+}  // namespace ctdf::core

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "dfg/graph.hpp"
+
+namespace ctdf::dfg {
+namespace {
+
+/// A minimal valid graph: start --(value)--> store --> end.
+Graph tiny() {
+  Graph g;
+  Node s;
+  s.kind = OpKind::kStart;
+  s.num_outputs = 1;
+  s.start_values = {0};
+  const NodeId sn = g.add(std::move(s));
+  g.set_start(sn);
+
+  const NodeId st = g.add_store(0, "x");
+  g.bind_literal({st, 0}, 42);
+  g.connect({sn, 0}, {st, 1}, true);
+
+  Node e;
+  e.kind = OpKind::kEnd;
+  e.num_inputs = 1;
+  const NodeId en = g.add(std::move(e));
+  g.set_end(en);
+  g.connect({st, 0}, {en, 0}, true);
+  return g;
+}
+
+TEST(DfgGraph, TinyGraphValidates) {
+  const Graph g = tiny();
+  EXPECT_TRUE(g.validate().empty());
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_arcs(), 2u);
+}
+
+TEST(DfgGraph, ValidateCatchesUnwiredInput) {
+  Graph g = tiny();
+  (void)g.add_binop(lang::BinOp::kAdd, "dangling");
+  const auto problems = g.validate();
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems.front().find("unwired"), std::string::npos);
+}
+
+TEST(DfgGraph, ValidateCatchesMissingStart) {
+  Graph g;
+  Node e;
+  e.kind = OpKind::kEnd;
+  g.set_end(g.add(std::move(e)));
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(DfgGraph, ValidateCatchesStartValueMismatch) {
+  Graph g = tiny();
+  g.node(g.start()).start_values.clear();
+  EXPECT_FALSE(g.validate().empty());
+}
+
+TEST(DfgGraph, LiteralPortsNeedNoArc) {
+  const Graph g = tiny();  // store value port is literal-bound
+  EXPECT_TRUE(g.validate().empty());
+}
+
+TEST(DfgGraph, OperatorArities) {
+  Graph g;
+  EXPECT_EQ(g.node(g.add_switch()).num_inputs, 2);
+  EXPECT_EQ(g.node(g.add_switch()).num_outputs, 2);
+  EXPECT_EQ(g.node(g.add_merge()).num_inputs, 1);
+  EXPECT_EQ(g.node(g.add_synch(5)).num_inputs, 5);
+  EXPECT_EQ(g.node(g.add_load(0)).num_outputs, 2);
+  EXPECT_EQ(g.node(g.add_store(0)).num_inputs, 2);
+  EXPECT_EQ(g.node(g.add_store_idx(0, 4)).num_inputs, 3);
+  EXPECT_EQ(g.node(g.add_istore(0, 4)).num_inputs, 3);
+  EXPECT_EQ(g.node(g.add_ifetch(0, 4)).num_inputs, 2);
+  EXPECT_EQ(g.node(g.add_gate()).num_inputs, 2);
+  EXPECT_EQ(g.node(g.add_loop_entry(cfg::LoopId{0u}, 3)).num_inputs, 3);
+  EXPECT_EQ(g.node(g.add_loop_entry(cfg::LoopId{0u}, 3)).num_outputs, 3);
+}
+
+TEST(DfgGraph, FanInCount) {
+  Graph g = tiny();
+  const NodeId m = g.add_merge();
+  g.connect({g.start(), 0}, {m, 0}, true);
+  g.connect({g.start(), 0}, {m, 0}, true);
+  EXPECT_EQ(g.fan_in({m, 0}), 2u);
+}
+
+TEST(DfgGraph, StatsCountKinds) {
+  Graph g = tiny();
+  (void)g.add_switch();
+  (void)g.add_switch();
+  (void)g.add_merge();
+  (void)g.add_synch(2);
+  (void)g.add_load(0);
+  const GraphStats s = compute_stats(g);
+  EXPECT_EQ(s.switches, 2u);
+  EXPECT_EQ(s.merges, 1u);
+  EXPECT_EQ(s.synchs, 1u);
+  EXPECT_EQ(s.loads, 1u);
+  EXPECT_EQ(s.stores, 1u);
+  EXPECT_EQ(s.dummy_arcs, 2u);
+}
+
+TEST(DfgGraph, DotRendersDummyArcsDotted) {
+  const Graph g = tiny();
+  const std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("style=dotted"), std::string::npos);
+  EXPECT_NE(dot.find("digraph dfg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ctdf::dfg

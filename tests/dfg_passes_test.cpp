@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "dfg/passes.hpp"
+#include "lang/corpus.hpp"
+
+namespace ctdf::dfg {
+namespace {
+
+translate::Translation compile(std::string_view src,
+                               bool post_optimize = false) {
+  auto o = translate::TranslateOptions::schema2_optimized();
+  o.post_optimize = post_optimize;
+  return core::compile(lang::parse_or_throw(std::string(src)), o);
+}
+
+TEST(Passes, ConstantSwitchIsFolded) {
+  const char* src = "var x; if 1 { x := 5; } else { x := 6; }";
+  auto tx = compile(src);
+  const auto before = compute_stats(tx.graph);
+  ASSERT_GT(before.switches, 0u);
+  const PassStats stats = optimize_graph(tx.graph);
+  EXPECT_GT(stats.switches_folded, 0u);
+  EXPECT_EQ(compute_stats(tx.graph).switches, 0u);
+  EXPECT_TRUE(tx.graph.validate().empty());
+}
+
+TEST(Passes, UntakenBranchIsRemoved) {
+  const char* src = "var x; if 0 { x := 5; } else { x := 6; }";
+  auto tx = compile(src);
+  const auto before = compute_stats(tx.graph);
+  const PassStats stats = optimize_graph(tx.graph);
+  // The then-branch store can never fire after folding and is removed.
+  EXPECT_GT(stats.unfireable_removed, 0u);
+  EXPECT_LT(compute_stats(tx.graph).stores, before.stores);
+  EXPECT_TRUE(tx.graph.validate().empty());
+}
+
+TEST(Passes, FoldedProgramStillComputesCorrectly) {
+  for (const char* src :
+       {"var x; if 1 { x := 5; } else { x := 6; }",
+        "var x; if 0 { x := 5; } else { x := 6; }",
+        "var x, y; if 1 { if 0 { y := 1; } else { y := 2; } } x := y * 10;"}) {
+    const auto prog = lang::parse_or_throw(src);
+    const auto ref = lang::interpret(prog);
+    auto o = translate::TranslateOptions::schema2_optimized();
+    o.post_optimize = true;
+    const auto tx = core::compile(prog, o);
+    const auto res = core::execute(tx, {});
+    ASSERT_TRUE(res.stats.completed) << src << ": " << res.stats.error;
+    EXPECT_EQ(res.store.cells, ref.store.cells) << src;
+  }
+}
+
+TEST(Passes, IdempotentOnCleanGraphs) {
+  auto tx = compile(lang::corpus::running_example_source());
+  (void)optimize_graph(tx.graph);
+  const auto once = compute_stats(tx.graph);
+  const PassStats again = optimize_graph(tx.graph);
+  EXPECT_EQ(again.total_removed(), 0u);
+  const auto twice = compute_stats(tx.graph);
+  EXPECT_EQ(once.nodes, twice.nodes);
+  EXPECT_EQ(once.arcs, twice.arcs);
+}
+
+TEST(Passes, PreservesValidityOnCorpus) {
+  for (const auto& np : lang::corpus::all()) {
+    for (const bool mem_elim : {false, true}) {
+      auto o = translate::TranslateOptions::schema2_optimized();
+      o.eliminate_memory = mem_elim;
+      auto tx = core::compile(lang::parse_or_throw(np.source), o);
+      (void)optimize_graph(tx.graph);
+      EXPECT_TRUE(tx.graph.validate().empty()) << np.name;
+
+      const auto prog = lang::parse_or_throw(np.source);
+      const auto ref = lang::interpret(prog);
+      const auto res = core::execute(tx, {});
+      ASSERT_TRUE(res.stats.completed) << np.name << ": " << res.stats.error;
+      EXPECT_EQ(res.store.cells, ref.store.cells) << np.name;
+    }
+  }
+}
+
+TEST(Passes, DeadValueChainsShrinkDrainTraffic) {
+  // Under memory elimination the loop's dead y-value chain leaves
+  // tokens draining at End; the passes cannot remove live loop wiring,
+  // but they must never make things worse.
+  auto o = translate::TranslateOptions::schema2_optimized();
+  o.eliminate_memory = true;
+  auto tx = core::compile(lang::corpus::running_example(), o);
+  const auto before = compute_stats(tx.graph).nodes;
+  (void)optimize_graph(tx.graph);
+  EXPECT_LE(compute_stats(tx.graph).nodes, before);
+  EXPECT_TRUE(tx.graph.validate().empty());
+}
+
+TEST(Compact, RemapsArcsAndEndpoints) {
+  auto tx = compile("var x; x := 1; x := x + 1;");
+  const std::size_t n = tx.graph.num_nodes();
+  std::vector<bool> keep(n, true);
+  const Graph g2 = compact(tx.graph, keep);
+  EXPECT_EQ(g2.num_nodes(), n);
+  EXPECT_EQ(g2.num_arcs(), tx.graph.num_arcs());
+  EXPECT_TRUE(g2.validate().empty());
+}
+
+TEST(Passes, ConstantLoopExitPredicateFoldsTheDeadExit) {
+  // Regression: a constant-predicate fork inside a loop makes one loop
+  // exit unreachable; folding must remove the orphaned loop-exit node
+  // (and its dead downstream) rather than leave unwired ports behind.
+  const char* src = R"(
+var s, k;
+l: s := s + 1;
+if 1 then goto cont else goto out;   // the 'out' exit is dead
+cont:
+k := k + 1;
+if k < 4 then goto l else goto out;
+out: s := s * 2;
+)";
+  const auto prog = lang::parse_or_throw(src);
+  const auto ref = lang::interpret(prog);
+  auto o = translate::TranslateOptions::schema2_optimized();
+  o.post_optimize = true;
+  const auto tx = core::compile(prog, o);
+  EXPECT_TRUE(tx.graph.validate().empty());
+  for (const auto mode :
+       {machine::LoopMode::kBarrier, machine::LoopMode::kPipelined}) {
+    machine::MachineOptions m;
+    m.loop_mode = mode;
+    const auto res = core::execute(tx, m);
+    ASSERT_TRUE(res.stats.completed) << res.stats.error;
+    EXPECT_EQ(res.store.cells, ref.store.cells);
+  }
+}
+
+TEST(FanoutLowering, BoundsEveryOutPort) {
+  auto o = translate::TranslateOptions::schema2_optimized();
+  o.eliminate_memory = true;
+  auto tx = core::compile(
+      lang::parse_or_throw(lang::corpus::read_heavy_source(16)), o);
+  ASSERT_GT(max_fanout(tx.graph), 2u);  // wide broadcasts exist
+  const std::size_t inserted = lower_fanout(tx.graph, 2);
+  EXPECT_GT(inserted, 0u);
+  EXPECT_LE(max_fanout(tx.graph), 2u);
+  EXPECT_TRUE(tx.graph.validate().empty());
+}
+
+TEST(FanoutLowering, NoOpWhenAlreadyBounded) {
+  auto tx = compile("var x; x := 1;");
+  const std::size_t before = tx.graph.num_nodes();
+  const std::size_t cap = std::max<std::size_t>(2, max_fanout(tx.graph));
+  EXPECT_EQ(lower_fanout(tx.graph, cap), 0u);
+  EXPECT_EQ(tx.graph.num_nodes(), before);
+}
+
+TEST(FanoutLowering, LoweredGraphStillComputesCorrectly) {
+  for (const auto& np : lang::corpus::all()) {
+    const auto prog = lang::parse_or_throw(np.source);
+    const auto ref = lang::interpret(prog);
+    auto o = translate::TranslateOptions::schema2_optimized();
+    o.max_fanout = 2;
+    const auto tx = core::compile(prog, o);
+    EXPECT_LE(max_fanout(tx.graph), 2u) << np.name;
+    EXPECT_TRUE(tx.graph.validate().empty()) << np.name;
+    const auto res = core::execute(tx, {});
+    ASSERT_TRUE(res.stats.completed) << np.name << ": " << res.stats.error;
+    EXPECT_EQ(res.store.cells, ref.store.cells) << np.name;
+  }
+}
+
+TEST(PostOptimizeOption, ReportedInTranslation) {
+  const char* src = "var x; if 1 { x := 5; } else { x := 6; }";
+  const auto plain = compile(src, false);
+  const auto opt = compile(src, true);
+  EXPECT_EQ(plain.post_opt_removed, 0u);
+  EXPECT_GT(opt.post_opt_removed, 0u);
+  EXPECT_LT(opt.graph.num_nodes(), plain.graph.num_nodes());
+}
+
+}  // namespace
+}  // namespace ctdf::dfg

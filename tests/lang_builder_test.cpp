@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "lang/builder.hpp"
+#include "lang/interp.hpp"
+#include "lang/parser.hpp"
+
+namespace ctdf::lang {
+namespace {
+
+TEST(Builder, StraightLineProgram) {
+  ProgramBuilder b;
+  const VarId x = b.scalar("x");
+  const VarId y = b.scalar("y");
+  b.assign(x, b.lit(3));
+  b.assign(y, b.mul(b.var(x), b.lit(7)));
+  const Program p = std::move(b).finish();
+  const auto r = interpret(p);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(load_var(p, r.store, y), 21);
+}
+
+TEST(Builder, StructuredControlFlow) {
+  ProgramBuilder b;
+  const VarId i = b.scalar("i");
+  const VarId s = b.scalar("s");
+  b.while_loop(b.lt(b.var(i), b.lit(5)), [&](ProgramBuilder& body) {
+    body.if_then_else(
+        body.eq(body.bin(BinOp::kMod, body.var(i), body.lit(2)),
+                body.lit(0)),
+        [&](ProgramBuilder& t) { t.assign(s, t.add(t.var(s), t.var(i))); },
+        [&](ProgramBuilder& e) { e.skip(); });
+    body.assign(i, body.add(body.var(i), body.lit(1)));
+  });
+  const Program p = std::move(b).finish();
+  const auto r = interpret(p);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(load_var(p, r.store, s), 0 + 2 + 4);
+}
+
+TEST(Builder, ArraysAndAliasing) {
+  ProgramBuilder b;
+  const VarId i = b.scalar("i");
+  const VarId a = b.array("a", 8);
+  const VarId p1 = b.scalar("p");
+  const VarId q = b.scalar("q");
+  b.alias(p1, q);
+  b.bind(p1, q);
+  b.assign(p1, b.lit(4));
+  b.assign(q, b.add(b.var(q), b.lit(1)));  // same storage: 5
+  b.while_loop(b.lt(b.var(i), b.lit(8)), [&](ProgramBuilder& body) {
+    body.assign_elem(a, body.var(i), body.mul(body.var(i), body.var(p1)));
+    body.assign(i, body.add(body.var(i), body.lit(1)));
+  });
+  const Program p = std::move(b).finish();
+  const auto r = interpret(p);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(load_var(p, r.store, q), 5);
+  EXPECT_EQ(load_var(p, r.store, a, 3), 15);
+}
+
+TEST(Builder, BuiltProgramsCompileAndRunOnTheMachine) {
+  ProgramBuilder b;
+  const VarId x = b.scalar("x");
+  const VarId y = b.scalar("y");
+  b.while_loop(b.lt(b.var(x), b.lit(5)), [&](ProgramBuilder& body) {
+    body.assign(y, body.add(body.var(x), body.lit(1)));
+    body.assign(x, body.add(body.var(x), body.lit(1)));
+  });
+  const Program p = std::move(b).finish();
+  const auto ref = interpret(p);
+  const auto tx =
+      core::compile(p, translate::TranslateOptions::schema2_optimized());
+  const auto res = core::execute(tx, {});
+  ASSERT_TRUE(res.stats.completed) << res.stats.error;
+  EXPECT_EQ(res.store.cells, ref.store.cells);
+  EXPECT_EQ(core::read_scalar(p, res.store, "x"), 5);
+}
+
+TEST(Builder, PrintedFormReparses) {
+  ProgramBuilder b;
+  const VarId x = b.scalar("x");
+  b.if_then(b.logical_not(b.var(x)),
+            [&](ProgramBuilder& t) { t.assign(x, t.neg(t.lit(9))); });
+  const Program p = std::move(b).finish();
+  const Program p2 = parse_or_throw(p.to_string());
+  EXPECT_EQ(p.to_string(), p2.to_string());
+}
+
+TEST(Builder, ErrorsAreReported) {
+  ProgramBuilder b;
+  const VarId x = b.scalar("x");
+  EXPECT_THROW((void)b.scalar("x"), support::CompileError);
+  EXPECT_THROW((void)b.array("bad", 0), support::CompileError);
+  const VarId a = b.array("a", 4);
+  EXPECT_THROW(b.assign(a, b.lit(1)), support::CompileError);
+  EXPECT_THROW(b.assign_elem(x, b.lit(0), b.lit(1)),
+               support::CompileError);
+  EXPECT_THROW(b.bind(x, a), support::CompileError);
+}
+
+}  // namespace
+}  // namespace ctdf::lang

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "lang/corpus.hpp"
+#include "lang/interp.hpp"
+#include "lang/parser.hpp"
+
+namespace ctdf::lang {
+namespace {
+
+std::int64_t run_get(std::string_view src, std::string_view var) {
+  const Program p = parse_or_throw(src);
+  const InterpResult r = interpret(p);
+  EXPECT_TRUE(r.completed);
+  return load_var(p, r.store, *p.symbols.lookup(var));
+}
+
+TEST(Interp, RunningExample) {
+  const Program p = corpus::running_example();
+  const InterpResult r = interpret(p);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(load_var(p, r.store, *p.symbols.lookup("x")), 5);
+  EXPECT_EQ(load_var(p, r.store, *p.symbols.lookup("y")), 5);
+}
+
+TEST(Interp, StructuredControl) {
+  EXPECT_EQ(run_get("var x, w; w := 3; if w > 2 { x := 10; } else { x := 20; }", "x"), 10);
+  EXPECT_EQ(run_get("var s, i; while i < 4 { s := s + i; i := i + 1; }", "s"), 6);
+}
+
+TEST(Interp, ArithmeticSemantics) {
+  EXPECT_EQ(run_get("var x; x := 7 / 2;", "x"), 3);
+  EXPECT_EQ(run_get("var x; x := -7 / 2;", "x"), -3);   // C-style truncation
+  EXPECT_EQ(run_get("var x; x := 7 % 3;", "x"), 1);
+  // Total semantics: division by zero yields 0.
+  EXPECT_EQ(run_get("var x, z; x := 5 / z;", "x"), 0);
+  EXPECT_EQ(run_get("var x, z; x := 5 % z;", "x"), 0);
+  // Wrapping add.
+  EXPECT_EQ(run_get("var x; x := 9223372036854775807 + 1;", "x"), INT64_MIN);
+}
+
+TEST(Interp, LogicalOperatorsAreTotal) {
+  // No short-circuit: both sides always evaluate (documented; matches
+  // the dataflow translation).
+  EXPECT_EQ(run_get("var x, z; x := 0 && (5 / z);", "x"), 0);
+  EXPECT_EQ(run_get("var x; x := 2 && 3;", "x"), 1);
+  EXPECT_EQ(run_get("var x; x := 0 || 0;", "x"), 0);
+  EXPECT_EQ(run_get("var x; x := !5;", "x"), 0);
+  EXPECT_EQ(run_get("var x; x := !0;", "x"), 1);
+}
+
+TEST(Interp, ArrayWrapping) {
+  // Subscripts wrap modulo the array size (documented total semantics).
+  EXPECT_EQ(run_get("array a[4]; var x; a[5] := 9; x := a[1];", "x"), 9);
+  EXPECT_EQ(run_get("array a[4]; var x; a[0 - 1] := 7; x := a[3];", "x"), 7);
+}
+
+TEST(Interp, BindSharesStorage) {
+  const Program p = parse_or_throw("var x, y; bind x y; x := 4; y := y + 1;");
+  const InterpResult r = interpret(p);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(load_var(p, r.store, *p.symbols.lookup("x")), 5);
+  EXPECT_EQ(load_var(p, r.store, *p.symbols.lookup("y")), 5);
+}
+
+TEST(Interp, AliasWithoutBindIsSeparate) {
+  const Program p = parse_or_throw("var x, y; alias x y; x := 4; y := 1;");
+  const InterpResult r = interpret(p);
+  ASSERT_TRUE(r.completed);
+  EXPECT_EQ(load_var(p, r.store, *p.symbols.lookup("x")), 4);
+  EXPECT_EQ(load_var(p, r.store, *p.symbols.lookup("y")), 1);
+}
+
+TEST(Interp, UnstructuredLoop) {
+  const Program p = corpus::array_loop(10);
+  const InterpResult r = interpret(p);
+  ASSERT_TRUE(r.completed);
+  for (int i = 1; i <= 10; ++i)
+    EXPECT_EQ(load_var(p, r.store, *p.symbols.lookup("x"), i), 1) << i;
+  EXPECT_EQ(load_var(p, r.store, *p.symbols.lookup("x"), 0), 0);
+}
+
+TEST(Interp, IrreducibleGadget) {
+  const Program p = parse_or_throw(corpus::irreducible_source());
+  const InterpResult r = interpret(p);
+  ASSERT_TRUE(r.completed);
+  // e == 1, so first entry jumps to l2: a incremented 4 times (iterations
+  // after the first), b incremented 5 times.
+  EXPECT_EQ(load_var(p, r.store, *p.symbols.lookup("a")), 4);
+  EXPECT_EQ(load_var(p, r.store, *p.symbols.lookup("b")), 5);
+}
+
+TEST(Interp, FuelExhaustionReported) {
+  const Program p = parse_or_throw("var x; l: x := x + 1; goto l;");
+  const InterpResult r = interpret(p, 100);
+  EXPECT_FALSE(r.completed);
+}
+
+TEST(Interp, NestedLoops) {
+  const Program p = parse_or_throw(corpus::nested_loops_source(3, 4));
+  const InterpResult r = interpret(p);
+  ASSERT_TRUE(r.completed);
+  // s = Σ_{i<3} Σ_{j<4} (i*j + 1) = 12 + (0+1+2)*(0+1+2+3) = 12 + 18
+  EXPECT_EQ(load_var(p, r.store, *p.symbols.lookup("s")), 30);
+}
+
+}  // namespace
+}  // namespace ctdf::lang

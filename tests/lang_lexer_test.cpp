@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "lang/lexer.hpp"
+
+namespace ctdf::lang {
+namespace {
+
+std::vector<Token> lex_ok(std::string_view src) {
+  support::DiagnosticEngine d;
+  auto toks = lex(src, d);
+  EXPECT_FALSE(d.has_errors()) << d.to_string();
+  return toks;
+}
+
+std::vector<TokKind> kinds(const std::vector<Token>& ts) {
+  std::vector<TokKind> out;
+  for (const auto& t : ts) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInput) {
+  const auto ts = lex_ok("");
+  ASSERT_EQ(ts.size(), 1u);
+  EXPECT_EQ(ts[0].kind, TokKind::kEof);
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  const auto ts = lex_ok("var variable while whilex goto");
+  EXPECT_EQ(kinds(ts),
+            (std::vector<TokKind>{TokKind::kVar, TokKind::kIdent,
+                                  TokKind::kWhile, TokKind::kIdent,
+                                  TokKind::kGoto, TokKind::kEof}));
+}
+
+TEST(Lexer, IntegerValues) {
+  const auto ts = lex_ok("0 42 9223372036854775807");
+  EXPECT_EQ(ts[0].int_value, 0);
+  EXPECT_EQ(ts[1].int_value, 42);
+  EXPECT_EQ(ts[2].int_value, INT64_MAX);
+}
+
+TEST(Lexer, IntegerOverflowReported) {
+  support::DiagnosticEngine d;
+  (void)lex("9223372036854775808", d);
+  EXPECT_TRUE(d.has_errors());
+}
+
+TEST(Lexer, CompositeOperators) {
+  const auto ts = lex_ok(":= == != <= >= && || < > ! : ==");
+  EXPECT_EQ(ts[0].kind, TokKind::kAssign);
+  EXPECT_EQ(ts[1].kind, TokKind::kEqEq);
+  EXPECT_EQ(ts[2].kind, TokKind::kNe);
+  EXPECT_EQ(ts[3].kind, TokKind::kLe);
+  EXPECT_EQ(ts[4].kind, TokKind::kGe);
+  EXPECT_EQ(ts[5].kind, TokKind::kAndAnd);
+  EXPECT_EQ(ts[6].kind, TokKind::kOrOr);
+  EXPECT_EQ(ts[7].kind, TokKind::kLt);
+  EXPECT_EQ(ts[8].kind, TokKind::kGt);
+  EXPECT_EQ(ts[9].kind, TokKind::kBang);
+  EXPECT_EQ(ts[10].kind, TokKind::kColon);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  const auto ts = lex_ok("x // comment := 1\n# another\ny");
+  EXPECT_EQ(kinds(ts), (std::vector<TokKind>{TokKind::kIdent, TokKind::kIdent,
+                                             TokKind::kEof}));
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto ts = lex_ok("a\n  b");
+  EXPECT_EQ(ts[0].loc.line, 1u);
+  EXPECT_EQ(ts[0].loc.column, 1u);
+  EXPECT_EQ(ts[1].loc.line, 2u);
+  EXPECT_EQ(ts[1].loc.column, 3u);
+}
+
+TEST(Lexer, StrayCharactersReported) {
+  support::DiagnosticEngine d;
+  const auto ts = lex("a $ b = c & d | e", d);
+  EXPECT_GE(d.error_count(), 4u);  // $, =, &, |
+  // Lexing continues past errors.
+  EXPECT_EQ(ts.back().kind, TokKind::kEof);
+}
+
+TEST(Lexer, UnderscoreIdentifiers) {
+  const auto ts = lex_ok("_x x_1 __");
+  EXPECT_EQ(ts[0].text, "_x");
+  EXPECT_EQ(ts[1].text, "x_1");
+  EXPECT_EQ(ts[2].text, "__");
+}
+
+}  // namespace
+}  // namespace ctdf::lang

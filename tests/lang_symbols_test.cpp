@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "lang/symbols.hpp"
+
+namespace ctdf::lang {
+namespace {
+
+TEST(Symbols, DeclareAndLookup) {
+  SymbolTable t;
+  const auto x = t.declare_scalar("x");
+  ASSERT_TRUE(x.has_value());
+  const auto a = t.declare_array("a", 5);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(t.lookup("x"), x);
+  EXPECT_EQ(t.lookup("a"), a);
+  EXPECT_FALSE(t.lookup("nope").has_value());
+  EXPECT_FALSE(t.declare_scalar("x").has_value());  // duplicate
+  EXPECT_FALSE(t.declare_array("a", 3).has_value());
+  EXPECT_TRUE(t.is_array(*a));
+  EXPECT_FALSE(t.is_array(*x));
+  EXPECT_EQ(t.info(*a).array_size, 5);
+}
+
+TEST(Symbols, AliasIsReflexiveSymmetricNotTransitive) {
+  SymbolTable t;
+  const auto x = *t.declare_scalar("x");
+  const auto y = *t.declare_scalar("y");
+  const auto z = *t.declare_scalar("z");
+  t.add_alias(x, z);
+  t.add_alias(z, y);  // declared in the other order
+  EXPECT_TRUE(t.may_alias(x, x));  // reflexive
+  EXPECT_TRUE(t.may_alias(x, z));
+  EXPECT_TRUE(t.may_alias(z, x));  // symmetric
+  EXPECT_TRUE(t.may_alias(y, z));
+  EXPECT_FALSE(t.may_alias(x, y));  // NOT transitive (paper Def. 6)
+  EXPECT_TRUE(t.has_aliasing());
+}
+
+TEST(Symbols, AliasClassesMatchPaperExample) {
+  SymbolTable t;
+  const auto x = *t.declare_scalar("x");
+  const auto y = *t.declare_scalar("y");
+  const auto z = *t.declare_scalar("z");
+  t.add_alias(x, z);
+  t.add_alias(y, z);
+  EXPECT_EQ(t.alias_class(x), (std::vector<VarId>{x, z}));
+  EXPECT_EQ(t.alias_class(y), (std::vector<VarId>{y, z}));
+  EXPECT_EQ(t.alias_class(z), (std::vector<VarId>{x, y, z}));
+}
+
+TEST(Symbols, BindIsEquivalenceAndImpliesAlias) {
+  SymbolTable t;
+  const auto a = *t.declare_scalar("a");
+  const auto b = *t.declare_scalar("b");
+  const auto c = *t.declare_scalar("c");
+  EXPECT_TRUE(t.bind(a, b));
+  EXPECT_TRUE(t.bind(b, c));
+  EXPECT_TRUE(t.same_storage(a, c));  // transitive
+  EXPECT_TRUE(t.may_alias(a, b));
+  EXPECT_EQ(t.bind_root(a), t.bind_root(c));
+}
+
+TEST(Symbols, BindRejectsKindMismatch) {
+  SymbolTable t;
+  const auto x = *t.declare_scalar("x");
+  const auto a = *t.declare_array("a", 4);
+  const auto b = *t.declare_array("b", 8);
+  EXPECT_FALSE(t.bind(x, a));
+  EXPECT_FALSE(t.bind(a, b));  // different sizes
+  const auto c = *t.declare_array("c", 4);
+  EXPECT_TRUE(t.bind(a, c));
+}
+
+TEST(StorageLayout, ScalarsAndArraysGetDistinctCells) {
+  SymbolTable t;
+  const auto x = *t.declare_scalar("x");
+  const auto a = *t.declare_array("a", 4);
+  const auto y = *t.declare_scalar("y");
+  const StorageLayout layout(t);
+  EXPECT_EQ(layout.total_cells(), 6u);
+  EXPECT_EQ(layout.extent(x), 1u);
+  EXPECT_EQ(layout.extent(a), 4u);
+  // All ranges disjoint.
+  EXPECT_NE(layout.base(x), layout.base(y));
+  EXPECT_TRUE(layout.base(a) + 4 <= layout.base(y) ||
+              layout.base(y) < layout.base(a));
+}
+
+TEST(StorageLayout, BoundVariablesShareCells) {
+  SymbolTable t;
+  const auto x = *t.declare_scalar("x");
+  const auto y = *t.declare_scalar("y");
+  const auto z = *t.declare_scalar("z");
+  t.bind(x, z);
+  const StorageLayout layout(t);
+  EXPECT_EQ(layout.total_cells(), 2u);
+  EXPECT_EQ(layout.base(x), layout.base(z));
+  EXPECT_NE(layout.base(x), layout.base(y));
+}
+
+TEST(StorageLayout, AliasWithoutBindDoesNotShare) {
+  SymbolTable t;
+  const auto x = *t.declare_scalar("x");
+  const auto y = *t.declare_scalar("y");
+  t.add_alias(x, y);
+  const StorageLayout layout(t);
+  EXPECT_NE(layout.base(x), layout.base(y));
+  EXPECT_EQ(layout.total_cells(), 2u);
+}
+
+TEST(StorageLayout, BoundArraysOverlay) {
+  SymbolTable t;
+  const auto a = *t.declare_array("a", 6);
+  const auto b = *t.declare_array("b", 6);
+  t.bind(a, b);
+  const StorageLayout layout(t);
+  EXPECT_EQ(layout.total_cells(), 6u);
+  EXPECT_EQ(layout.base(a), layout.base(b));
+}
+
+}  // namespace
+}  // namespace ctdf::lang

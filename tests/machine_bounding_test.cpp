@@ -1,0 +1,117 @@
+// k-bounded loops: the throttle must preserve semantics exactly while
+// capping the number of live iteration contexts (frame footprint).
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "lang/corpus.hpp"
+#include "lang/generator.hpp"
+#include "lang/parser.hpp"
+
+namespace ctdf::machine {
+namespace {
+
+struct Outcome {
+  RunStats stats;
+  lang::Store store;
+};
+
+Outcome run_bounded(const lang::Program& prog, unsigned bound,
+                    unsigned mem_latency = 12) {
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  topt.parallel_store_arrays = {"x"};
+  const auto tx = core::compile(prog, topt);
+  MachineOptions mopt;
+  mopt.loop_mode = LoopMode::kPipelined;
+  mopt.loop_bound = bound;
+  mopt.mem_latency = mem_latency;
+  auto res = core::execute(tx, mopt);
+  EXPECT_TRUE(res.stats.completed) << "bound=" << bound << ": "
+                                   << res.stats.error;
+  return {std::move(res.stats), std::move(res.store)};
+}
+
+TEST(LoopBounding, SemanticsPreservedAcrossBounds) {
+  const auto prog = lang::corpus::array_loop(24);
+  const auto ref = lang::interpret(prog);
+  ASSERT_TRUE(ref.completed);
+  for (const unsigned bound : {1u, 2u, 3u, 8u, 0u}) {
+    const Outcome o = run_bounded(prog, bound);
+    EXPECT_EQ(o.store.cells, ref.store.cells) << "bound=" << bound;
+  }
+}
+
+TEST(LoopBounding, BoundCapsLiveContexts) {
+  const auto prog = lang::corpus::array_loop(32);
+  // Long store latency stretches iteration lifetimes so unbounded
+  // pipelining visibly piles up live contexts.
+  const Outcome unbounded = run_bounded(prog, 0, 60);
+  const Outcome k2 = run_bounded(prog, 2, 60);
+  // Unbounded pipelining of the parallel store loop keeps many
+  // iterations in flight; k=2 caps the footprint (the bound is
+  // approximate only across nested-loop boundaries, absent here).
+  EXPECT_GT(unbounded.stats.peak_live_contexts, 4u);
+  EXPECT_LE(k2.stats.peak_live_contexts, 3u);
+  EXPECT_GT(k2.stats.throttle_stalls, 0u);
+  EXPECT_EQ(unbounded.stats.throttle_stalls, 0u);
+}
+
+TEST(LoopBounding, ThrottlingCostsCyclesMonotonically) {
+  const auto prog = lang::corpus::array_loop(32);
+  const Outcome k1 = run_bounded(prog, 1);
+  const Outcome k4 = run_bounded(prog, 4);
+  const Outcome unbounded = run_bounded(prog, 0);
+  EXPECT_GE(k1.stats.cycles, k4.stats.cycles);
+  EXPECT_GE(k4.stats.cycles, unbounded.stats.cycles);
+  // k = 1 approaches barrier-like serialization.
+  EXPECT_GT(k1.stats.cycles, unbounded.stats.cycles);
+}
+
+TEST(LoopBounding, NestedLoopsStillComplete) {
+  const auto prog =
+      lang::parse_or_throw(lang::corpus::nested_loops_source(4, 6));
+  const auto ref = lang::interpret(prog);
+  for (const unsigned bound : {1u, 2u, 0u}) {
+    const Outcome o = run_bounded(prog, bound);
+    EXPECT_EQ(o.store.cells, ref.store.cells) << "bound=" << bound;
+  }
+}
+
+TEST(LoopBounding, IgnoredInBarrierMode) {
+  const auto prog = lang::corpus::array_loop(12);
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  const auto tx = core::compile(prog, topt);
+  MachineOptions mopt;
+  mopt.loop_mode = LoopMode::kBarrier;
+  mopt.loop_bound = 1;
+  const auto res = core::execute(tx, mopt);
+  ASSERT_TRUE(res.stats.completed) << res.stats.error;
+  EXPECT_EQ(res.stats.throttle_stalls, 0u);
+}
+
+TEST(LoopBounding, RandomProgramsUnaffectedSemantically) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    lang::GeneratorOptions gopt;
+    gopt.allow_unstructured = true;
+    const auto prog = lang::generate_program(gopt, seed);
+    const auto ref = lang::interpret(prog, 1'000'000);
+    ASSERT_TRUE(ref.completed);
+    auto topt = translate::TranslateOptions::schema2_optimized();
+    topt.eliminate_memory = true;
+    const auto tx = core::compile(prog, topt);
+    for (const unsigned bound : {1u, 3u}) {
+      MachineOptions mopt;
+      mopt.loop_mode = LoopMode::kPipelined;
+      mopt.loop_bound = bound;
+      const auto res = core::execute(tx, mopt);
+      ASSERT_TRUE(res.stats.completed)
+          << "seed " << seed << " bound " << bound << ": "
+          << res.stats.error;
+      EXPECT_EQ(res.store.cells, ref.store.cells)
+          << "seed " << seed << " bound " << bound;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ctdf::machine

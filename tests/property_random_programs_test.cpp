@@ -1,0 +1,71 @@
+// Large-scale schema-equivalence fuzzing: random programs across every
+// language feature combination, every schema configuration.
+#include <gtest/gtest.h>
+
+#include "lang/generator.hpp"
+#include "support/equivalence.hpp"
+
+namespace ctdf::testing {
+namespace {
+
+struct Flavor {
+  const char* name;
+  lang::GeneratorOptions opt;
+};
+
+std::vector<Flavor> flavors() {
+  std::vector<Flavor> out;
+  {
+    Flavor f{"structured", {}};
+    out.push_back(f);
+  }
+  {
+    Flavor f{"unstructured", {}};
+    f.opt.allow_unstructured = true;
+    out.push_back(f);
+  }
+  {
+    Flavor f{"irreducible", {}};
+    f.opt.allow_unstructured = true;
+    f.opt.allow_irreducible = true;
+    out.push_back(f);
+  }
+  {
+    Flavor f{"aliased", {}};
+    f.opt.allow_aliasing = true;
+    f.opt.allow_unstructured = true;
+    out.push_back(f);
+  }
+  {
+    Flavor f{"arrays", {}};
+    f.opt.num_arrays = 2;
+    f.opt.allow_unstructured = true;
+    out.push_back(f);
+  }
+  {
+    Flavor f{"everything", {}};
+    f.opt.allow_unstructured = true;
+    f.opt.allow_irreducible = true;
+    f.opt.allow_aliasing = true;
+    f.opt.num_arrays = 2;
+    f.opt.max_toplevel_stmts = 16;
+    out.push_back(f);
+  }
+  return out;
+}
+
+class RandomPrograms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPrograms, AllSchemasMatchInterpreter) {
+  for (const Flavor& f : flavors()) {
+    const auto prog = lang::generate_program(f.opt, GetParam());
+    const std::string err = check_all_configs(prog);
+    EXPECT_EQ(err, "") << "flavor=" << f.name << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace ctdf::testing

@@ -1,0 +1,36 @@
+// Shared harness for schema-equivalence testing: run a program through
+// the reference interpreter and through the translator+machine under a
+// given configuration, and compare final stores.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "lang/ast.hpp"
+
+namespace ctdf::testing {
+
+struct SchemaConfig {
+  std::string name;
+  translate::TranslateOptions topt;
+  machine::MachineOptions mopt;
+};
+
+/// A representative matrix of schema × machine configurations covering
+/// every translation feature (Schemas 1/2/3, optimized switches, memory
+/// elimination, parallel reads, both loop modes, finite and unlimited
+/// width).
+[[nodiscard]] std::vector<SchemaConfig> standard_configs();
+
+/// Runs `prog` under `cfg` and compares against the interpreter.
+/// Returns an empty string on success, a diagnostic otherwise.
+/// Programs that exhaust interpreter fuel are reported as success
+/// ("skip" semantics — nothing to compare against).
+[[nodiscard]] std::string check_equivalence(const lang::Program& prog,
+                                            const SchemaConfig& cfg);
+
+/// Convenience: all standard configs; returns the first failure or "".
+[[nodiscard]] std::string check_all_configs(const lang::Program& prog);
+
+}  // namespace ctdf::testing

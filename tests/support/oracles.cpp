@@ -1,0 +1,88 @@
+#include "support/oracles.hpp"
+
+#include <algorithm>
+
+namespace ctdf::testing {
+
+namespace {
+
+/// Nodes reachable from `from` without passing through `blocked`
+/// (the start node `from` itself is returned even if == blocked only
+/// when trivially so; we never need that case).
+std::vector<bool> reach_avoiding(const cfg::Graph& g, cfg::NodeId from,
+                                 cfg::NodeId blocked) {
+  std::vector<bool> seen(g.size(), false);
+  if (from == blocked) return seen;
+  std::vector<cfg::NodeId> stack{from};
+  seen[from.index()] = true;
+  while (!stack.empty()) {
+    const cfg::NodeId n = stack.back();
+    stack.pop_back();
+    for (cfg::NodeId s : g.succs(n)) {
+      if (s == blocked || seen[s.index()]) continue;
+      seen[s.index()] = true;
+      stack.push_back(s);
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+bool naive_postdominates(const cfg::Graph& g, cfg::NodeId m, cfg::NodeId n) {
+  if (m == n) return true;
+  // m postdominates n iff every path n ⇒ end passes m, i.e. end is not
+  // reachable from n when m is removed.
+  const auto seen = reach_avoiding(g, n, m);
+  return !seen[g.end().index()];
+}
+
+bool naive_between(const cfg::Graph& g, cfg::NodeId f, cfg::NodeId ipostdom_f,
+                   cfg::NodeId n) {
+  // Non-null path F ⇒ N avoiding P: search from F's successors.
+  for (cfg::NodeId s : g.succs(f)) {
+    if (s == ipostdom_f) continue;
+    if (s == n) return true;
+    const auto seen = reach_avoiding(g, s, ipostdom_f);
+    if (seen[n.index()]) return true;
+  }
+  return false;
+}
+
+bool naive_control_dependent(const cfg::Graph& g, cfg::NodeId n,
+                             cfg::NodeId f) {
+  // Definition 4 condition 2: N must not strictly postdominate F.
+  if (n != f && naive_postdominates(g, n, f)) return false;
+  // Condition 1 (a non-null path F ⇒ N on which N postdominates every
+  // node after F) holds iff N postdominates some successor of F — the
+  // classic equivalent formulation.
+  for (cfg::NodeId s : g.succs(f))
+    if (naive_postdominates(g, n, s)) return true;
+  return false;
+}
+
+std::vector<cfg::NodeId> naive_cd_plus(const cfg::Graph& g, cfg::NodeId n) {
+  std::vector<bool> in_closure(g.size(), false);
+  std::vector<bool> in_result(g.size(), false);
+  std::vector<cfg::NodeId> work{n};
+  in_closure[n.index()] = true;
+  while (!work.empty()) {
+    const cfg::NodeId cur = work.back();
+    work.pop_back();
+    for (cfg::NodeId f : g.all_nodes()) {
+      if (g.succs(f).size() < 2) continue;
+      if (!naive_control_dependent(g, cur, f)) continue;
+      in_result[f.index()] = true;
+      if (!in_closure[f.index()]) {
+        in_closure[f.index()] = true;
+        work.push_back(f);
+      }
+    }
+  }
+  std::vector<cfg::NodeId> out;
+  for (cfg::NodeId f : g.all_nodes())
+    if (in_result[f.index()]) out.push_back(f);
+  return out;
+}
+
+}  // namespace ctdf::testing

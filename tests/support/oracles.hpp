@@ -1,0 +1,33 @@
+// Brute-force oracles used to cross-check the efficient analyses.
+//
+// These deliberately use the *definitions* from the paper (path
+// enumeration / naive fixpoints), not clever algorithms, so agreement
+// with the production implementations is meaningful evidence.
+#pragma once
+
+#include <vector>
+
+#include "cfg/graph.hpp"
+
+namespace ctdf::testing {
+
+/// Naive postdominance: m postdominates n iff removing m makes end
+/// unreachable from n (plus reflexivity). O(N·E) per query set.
+[[nodiscard]] bool naive_postdominates(const cfg::Graph& g, cfg::NodeId m,
+                                       cfg::NodeId n);
+
+/// Definition 1: N is between F and ipostdom(F) iff there is a non-null
+/// path F ⇒ N that does not pass through ipostdom(F). (Computed by BFS
+/// from F's successors avoiding P.)
+[[nodiscard]] bool naive_between(const cfg::Graph& g, cfg::NodeId f,
+                                 cfg::NodeId ipostdom_f, cfg::NodeId n);
+
+/// Definition 4, checked directly: N control dependent on F.
+[[nodiscard]] bool naive_control_dependent(const cfg::Graph& g, cfg::NodeId n,
+                                           cfg::NodeId f);
+
+/// CD⁺(n) by naive fixpoint over naive_control_dependent.
+[[nodiscard]] std::vector<cfg::NodeId> naive_cd_plus(const cfg::Graph& g,
+                                                     cfg::NodeId n);
+
+}  // namespace ctdf::testing

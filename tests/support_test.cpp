@@ -1,0 +1,158 @@
+// Unit tests for the support utilities.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "support/bitset.hpp"
+#include "support/diagnostics.hpp"
+#include "support/ids.hpp"
+#include "support/index_map.hpp"
+#include "support/rng.hpp"
+
+namespace ctdf::support {
+namespace {
+
+struct ATag;
+struct BTag;
+using AId = Id<ATag>;
+using BId = Id<BTag>;
+
+TEST(Ids, DefaultIsInvalid) {
+  AId a;
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(a, AId::invalid());
+}
+
+TEST(Ids, ValueRoundTrip) {
+  const AId a{42u};
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(a.value(), 42u);
+  EXPECT_EQ(a.index(), 42u);
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(AId{1u}, AId{2u});
+  EXPECT_EQ(AId{3u}, AId{3u});
+}
+
+TEST(Ids, DistinctTagsAreDistinctTypes) {
+  static_assert(!std::is_same_v<AId, BId>);
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<AId> s;
+  s.insert(AId{1u});
+  s.insert(AId{1u});
+  s.insert(AId{2u});
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(IndexMap, EnsureGrows) {
+  IndexMap<AId, int> m;
+  m.ensure(AId{5u}, -1);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_EQ(m[AId{3u}], -1);
+  m[AId{3u}] = 7;
+  EXPECT_EQ(m[AId{3u}], 7);
+}
+
+TEST(IndexMap, Contains) {
+  IndexMap<AId, int> m(3, 0);
+  EXPECT_TRUE(m.contains(AId{2u}));
+  EXPECT_FALSE(m.contains(AId{3u}));
+  EXPECT_FALSE(m.contains(AId::invalid()));
+}
+
+TEST(IndexMap, MoveOnlyValues) {
+  IndexMap<AId, std::unique_ptr<int>> m;
+  m.ensure(AId{2u});
+  m[AId{1u}] = std::make_unique<int>(9);
+  EXPECT_EQ(*m[AId{1u}], 9);
+}
+
+TEST(Bitset, SetTestReset) {
+  Bitset b(130);
+  EXPECT_FALSE(b.any());
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, UnionReportsChange) {
+  Bitset a(70), b(70);
+  b.set(69);
+  EXPECT_TRUE(a.union_with(b));
+  EXPECT_FALSE(a.union_with(b));  // no change the second time
+  EXPECT_TRUE(a.test(69));
+}
+
+TEST(Bitset, IntersectAndIntersects) {
+  Bitset a(80), b(80);
+  a.set(3);
+  a.set(70);
+  b.set(70);
+  EXPECT_TRUE(a.intersects(b));
+  a.intersect_with(b);
+  EXPECT_FALSE(a.test(3));
+  EXPECT_TRUE(a.test(70));
+  Bitset c(80);
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Bitset, ForEachAscending) {
+  Bitset b(100);
+  b.set(2);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  std::vector<std::size_t> seen;
+  b.for_each([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{2, 63, 64, 99}));
+}
+
+TEST(Rng, DeterministicForSeed) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BoundedSampling) {
+  SplitMix64 r(13);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_below(10);
+    EXPECT_LT(v, 10u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_in(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Diagnostics, CollectsAndThrows) {
+  DiagnosticEngine d;
+  EXPECT_FALSE(d.has_errors());
+  d.warning({1, 2}, "w");
+  EXPECT_FALSE(d.has_errors());
+  d.error({3, 4}, "boom");
+  EXPECT_TRUE(d.has_errors());
+  EXPECT_EQ(d.error_count(), 1u);
+  EXPECT_NE(d.to_string().find("3:4: error: boom"), std::string::npos);
+  EXPECT_THROW(d.throw_if_errors(), CompileError);
+}
+
+TEST(Diagnostics, NoThrowWithoutErrors) {
+  DiagnosticEngine d;
+  d.note({}, "hi");
+  EXPECT_NO_THROW(d.throw_if_errors());
+}
+
+}  // namespace
+}  // namespace ctdf::support

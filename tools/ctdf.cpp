@@ -1,0 +1,414 @@
+// ctdf — command-line driver for the control-flow → dataflow compiler.
+//
+//   ctdf run <file> [options]       compile + execute on the simulator
+//   ctdf interp <file>              reference sequential interpreter
+//   ctdf dot <file> [options]       emit the dataflow graph (Graphviz)
+//   ctdf dot-cfg <file>             emit the control-flow graph
+//   ctdf explain <file> [options]   compilation report (loops, switches)
+//   ctdf compare <file> [options]   schema ladder comparison table
+//   ctdf asm <file> [options]       emit dataflow assembly (.dfa)
+//   ctdf exec <file.dfa> [machine options]   execute dataflow assembly
+//
+// Schema options:
+//   --schema1               Schema 1 (single access token, sequential)
+//   --cover=singleton|alias-class|component|unified  (default singleton)
+//   --no-opt                disable Sec. 4 switch optimization
+//   --mem-elim              Sec. 6.1 memory elimination
+//   --dse                   liveness-based dead-store elimination
+//   --post-opt              dataflow-graph cleanup passes
+//   --max-fanout=N          bound destination lists (Monsoon: 2)
+//   --par-reads             Sec. 6.2 read parallelization
+//   --fig14=a,b             Sec. 6.3 store parallelization for arrays
+//   --istructure=a,b        Sec. 6.3 write-once arrays on I-structures
+//
+// Machine options:
+//   --width=N               operators fired per cycle (0 = unlimited)
+//   --mem-latency=N         split-phase memory round trip (default 4)
+//   --barrier               barrier loop control (default: pipelined)
+//   --loop-bound=K          at most K iterations in flight (0 = unbounded)
+//   --processors=N          N PEs, one op/cycle each (0 = abstract pool)
+//   --network-latency=N     cross-PE token charge (default 2)
+//   --place-by-node         hash instructions to PEs (default: frames)
+//   --sched-seed=N          randomized scheduling (0 = FIFO)
+//   --trace                 print every operator firing
+//   --print=x,y             print named variables from the final store
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cfg/build.hpp"
+#include "core/compiler.hpp"
+#include "dfg/asmfmt.hpp"
+#include "lang/subroutines.hpp"
+#include "machine/report.hpp"
+
+using namespace ctdf;
+
+namespace {
+
+struct Cli {
+  std::string command;
+  std::string file;
+  translate::TranslateOptions topt = translate::TranslateOptions::schema2_optimized();
+  machine::MachineOptions mopt;
+  std::vector<std::string> print_vars;
+  bool report = false;
+  bool ok = true;
+};
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ','))
+    if (!item.empty()) out.push_back(item);
+  return out;
+}
+
+bool starts_with(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::string value_of(const std::string& arg) {
+  const auto eq = arg.find('=');
+  return eq == std::string::npos ? "" : arg.substr(eq + 1);
+}
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  cli.mopt.loop_mode = machine::LoopMode::kPipelined;
+  if (argc < 3) {
+    cli.ok = false;
+    return cli;
+  }
+  cli.command = argv[1];
+  cli.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--schema1") {
+      cli.topt = translate::TranslateOptions::schema1();
+    } else if (a == "--no-opt") {
+      cli.topt.optimize_switches = false;
+    } else if (starts_with(a, "--cover=")) {
+      const auto v = value_of(a);
+      if (v == "singleton")
+        cli.topt.cover = translate::CoverStrategy::kSingleton;
+      else if (v == "alias-class")
+        cli.topt.cover = translate::CoverStrategy::kAliasClass;
+      else if (v == "component")
+        cli.topt.cover = translate::CoverStrategy::kComponent;
+      else if (v == "unified")
+        cli.topt.cover = translate::CoverStrategy::kUnified;
+      else
+        cli.ok = false;
+    } else if (a == "--mem-elim") {
+      cli.topt.eliminate_memory = true;
+    } else if (a == "--dse") {
+      cli.topt.dead_store_elimination = true;
+    } else if (a == "--post-opt") {
+      cli.topt.post_optimize = true;
+    } else if (starts_with(a, "--max-fanout=")) {
+      cli.topt.max_fanout = std::stoul(value_of(a));
+    } else if (a == "--par-reads") {
+      cli.topt.parallel_reads = true;
+    } else if (starts_with(a, "--fig14=")) {
+      cli.topt.parallel_store_arrays = split_csv(value_of(a));
+    } else if (starts_with(a, "--istructure=")) {
+      cli.topt.istructure_arrays = split_csv(value_of(a));
+    } else if (starts_with(a, "--width=")) {
+      cli.mopt.width = static_cast<unsigned>(std::stoul(value_of(a)));
+    } else if (starts_with(a, "--mem-latency=")) {
+      cli.mopt.mem_latency = static_cast<unsigned>(std::stoul(value_of(a)));
+    } else if (starts_with(a, "--processors=")) {
+      cli.mopt.processors =
+          static_cast<unsigned>(std::stoul(value_of(a)));
+    } else if (starts_with(a, "--network-latency=")) {
+      cli.mopt.network_latency =
+          static_cast<unsigned>(std::stoul(value_of(a)));
+    } else if (a == "--place-by-node") {
+      cli.mopt.placement = machine::Placement::kByNode;
+    } else if (starts_with(a, "--loop-bound=")) {
+      cli.mopt.loop_bound =
+          static_cast<unsigned>(std::stoul(value_of(a)));
+    } else if (a == "--barrier") {
+      cli.mopt.loop_mode = machine::LoopMode::kBarrier;
+    } else if (starts_with(a, "--sched-seed=")) {
+      cli.mopt.scheduler_seed = std::stoull(value_of(a));
+    } else if (a == "--trace") {
+      cli.mopt.trace = true;
+    } else if (a == "--report") {
+      cli.report = true;
+      cli.mopt.record_profile = true;
+    } else if (starts_with(a, "--print=")) {
+      cli.print_vars = split_csv(value_of(a));
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", a.c_str());
+      cli.ok = false;
+    }
+  }
+  return cli;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw support::CompileError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void print_store(const Cli& cli, const lang::Program& prog,
+                 const lang::Store& store) {
+  if (!cli.print_vars.empty()) {
+    for (const auto& name : cli.print_vars) {
+      const auto v = prog.symbols.lookup(name);
+      if (!v) {
+        std::printf("%s = <undeclared>\n", name.c_str());
+        continue;
+      }
+      if (prog.symbols.is_array(*v)) {
+        std::printf("%s = [", name.c_str());
+        const auto n = prog.symbols.info(*v).array_size;
+        for (std::int64_t i = 0; i < n; ++i)
+          std::printf("%s%lld", i ? ", " : "",
+                      static_cast<long long>(
+                          lang::load_var(prog, store, *v, i)));
+        std::printf("]\n");
+      } else {
+        std::printf("%s = %lld\n", name.c_str(),
+                    static_cast<long long>(lang::load_var(prog, store, *v)));
+      }
+    }
+    return;
+  }
+  for (lang::VarId v : prog.symbols.all_vars()) {
+    if (prog.symbols.is_array(v)) continue;
+    std::printf("%s = %lld\n", prog.symbols.name(v).c_str(),
+                static_cast<long long>(lang::load_var(prog, store, v)));
+  }
+}
+
+int cmd_interp(const Cli& cli, const lang::Program& prog) {
+  const auto r = lang::interpret(prog, 100'000'000);
+  if (!r.completed) {
+    std::fprintf(stderr, "interpreter: fuel exhausted\n");
+    return 1;
+  }
+  std::printf("completed in %llu statement steps\n",
+              static_cast<unsigned long long>(r.steps));
+  print_store(cli, prog, r.store);
+  return 0;
+}
+
+int cmd_run(const Cli& cli, const lang::Program& prog) {
+  const auto tx = core::compile(prog, cli.topt);
+  const auto res = core::execute(tx, cli.mopt);
+  if (!res.stats.completed) {
+    std::fprintf(stderr, "machine error: %s\n", res.stats.error.c_str());
+    return 1;
+  }
+  std::printf("# %s | %s loop control, width %u, mem latency %u\n",
+              cli.topt.describe().c_str(), to_string(cli.mopt.loop_mode),
+              cli.mopt.width, cli.mopt.mem_latency);
+  std::printf("# cycles=%llu ops=%llu ops/cycle=%.2f contexts=%llu "
+              "reads=%llu writes=%llu\n",
+              static_cast<unsigned long long>(res.stats.cycles),
+              static_cast<unsigned long long>(res.stats.ops_fired),
+              res.stats.avg_parallelism(),
+              static_cast<unsigned long long>(res.stats.contexts_allocated),
+              static_cast<unsigned long long>(res.stats.mem_reads),
+              static_cast<unsigned long long>(res.stats.mem_writes));
+  if (cli.report) std::fputs(machine::render_report(res.stats).c_str(), stdout);
+  print_store(cli, prog, res.store);
+  return 0;
+}
+
+int cmd_dot(const Cli& cli, const lang::Program& prog) {
+  const auto tx = core::compile(prog, cli.topt);
+  std::fputs(tx.graph.to_dot().c_str(), stdout);
+  return 0;
+}
+
+int cmd_asm(const Cli& cli, const lang::Program& prog) {
+  auto tx = core::compile(prog, cli.topt);
+  dfg::Module m;
+  m.graph = std::move(tx.graph);
+  m.memory_cells = tx.memory_cells;
+  for (const auto& r : tx.istructures)
+    m.istructures.emplace_back(r.base, r.extent);
+  std::fputs(dfg::write_asm(m).c_str(), stdout);
+  return 0;
+}
+
+int cmd_exec(const Cli& cli) {
+  const auto m = dfg::parse_asm_or_throw(read_file(cli.file));
+  if (auto problems = m.graph.validate(); !problems.empty()) {
+    for (const auto& p : problems)
+      std::fprintf(stderr, "invalid module: %s\n", p.c_str());
+    return 1;
+  }
+  std::vector<machine::IStructureRegion> regions;
+  for (const auto& [b, e] : m.istructures) regions.push_back({b, e});
+  const auto res = machine::run(m.graph, m.memory_cells, cli.mopt, regions);
+  if (!res.stats.completed) {
+    std::fprintf(stderr, "machine error: %s\n", res.stats.error.c_str());
+    return 1;
+  }
+  std::printf("# cycles=%llu ops=%llu ops/cycle=%.2f\n",
+              static_cast<unsigned long long>(res.stats.cycles),
+              static_cast<unsigned long long>(res.stats.ops_fired),
+              res.stats.avg_parallelism());
+  if (cli.report) std::fputs(machine::render_report(res.stats).c_str(), stdout);
+  for (std::size_t c = 0; c < res.store.cells.size(); ++c)
+    std::printf("cell[%zu] = %lld\n", c,
+                static_cast<long long>(res.store.cells[c]));
+  return 0;
+}
+
+int cmd_dot_cfg(const Cli&, const lang::Program& prog) {
+  const auto g = cfg::build_cfg_or_throw(prog);
+  std::fputs(g.to_dot(prog.symbols).c_str(), stdout);
+  return 0;
+}
+
+int cmd_compare(const Cli& cli, const lang::Program& prog) {
+  const auto interp = lang::interpret(prog, 100'000'000);
+  if (!interp.completed) {
+    std::fprintf(stderr, "program does not terminate within fuel\n");
+    return 1;
+  }
+  struct Variant {
+    const char* name;
+    translate::TranslateOptions topt;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"schema1", translate::TranslateOptions::schema1()});
+  variants.push_back({"schema2", translate::TranslateOptions::schema2()});
+  variants.push_back(
+      {"schema2+opt", translate::TranslateOptions::schema2_optimized()});
+  {
+    auto t = translate::TranslateOptions::schema2_optimized();
+    t.dead_store_elimination = true;
+    t.eliminate_memory = true;
+    t.parallel_reads = true;
+    t.post_optimize = true;
+    variants.push_back({"full-stack", t});
+  }
+  // Any array transforms the user asked for become one more rung.
+  if (!cli.topt.parallel_store_arrays.empty() ||
+      !cli.topt.istructure_arrays.empty()) {
+    auto t = variants.back().topt;
+    t.parallel_store_arrays = cli.topt.parallel_store_arrays;
+    t.istructure_arrays = cli.topt.istructure_arrays;
+    variants.push_back({"full+arrays", t});
+  }
+
+  std::printf("%-14s %8s %8s %8s %8s %8s %10s\n", "variant", "ops",
+              "switches", "mem-rw", "cycles", "ctxs", "ops/cycle");
+  for (const Variant& v : variants) {
+    const auto tx = core::compile(prog, v.topt);
+    const auto res = core::execute(tx, cli.mopt);
+    if (!res.stats.completed) {
+      std::printf("%-14s FAILED: %s\n", v.name, res.stats.error.c_str());
+      return 1;
+    }
+    if (!(res.store == interp.store)) {
+      std::printf("%-14s WRONG RESULT (bug!)\n", v.name);
+      return 1;
+    }
+    const auto g = dfg::compute_stats(tx.graph);
+    std::printf("%-14s %8zu %8zu %8llu %8llu %8llu %10.2f\n", v.name,
+                g.nodes, g.switches,
+                static_cast<unsigned long long>(res.stats.mem_reads +
+                                                res.stats.mem_writes),
+                static_cast<unsigned long long>(res.stats.cycles),
+                static_cast<unsigned long long>(res.stats.contexts_allocated),
+                res.stats.avg_parallelism());
+  }
+  std::printf("(all variants verified against the sequential interpreter)\n");
+  return 0;
+}
+
+int cmd_explain(const Cli& cli, const lang::Program& prog) {
+  const auto tx = core::compile(prog, cli.topt);
+  const auto stats = dfg::compute_stats(tx.graph);
+  std::printf("translation: %s\n", cli.topt.describe().c_str());
+  std::printf("  CFG: %zu nodes, %zu edges\n", tx.cfg_nodes, tx.cfg_edges);
+  std::printf("  loops: %zu (nodes split for reducibility: %d)\n", tx.loops,
+              tx.nodes_split);
+  std::printf("  resources (access tokens): %zu\n", tx.num_resources);
+  std::printf("  switch placement: %zu needed\n", tx.switches_placed);
+  std::printf("  fig14 store-parallelized loops: %zu\n",
+              tx.loops_store_parallelized);
+  if (cli.topt.dead_store_elimination)
+    std::printf("  dead stores removed: %zu\n", tx.dead_stores_removed);
+  if (cli.topt.post_optimize)
+    std::printf("  post-pass ops removed: %zu\n", tx.post_opt_removed);
+  if (cli.topt.max_fanout >= 2)
+    std::printf("  replicate nodes inserted: %zu\n", tx.replicates_inserted);
+  std::printf("dataflow graph:\n");
+  std::printf("  %zu operators, %zu arcs (%zu access-token arcs)\n",
+              stats.nodes, stats.arcs, stats.dummy_arcs);
+  std::printf("  switches=%zu merges=%zu synchs=%zu loads=%zu stores=%zu "
+              "alu=%zu loop-nodes=%zu\n",
+              stats.switches, stats.merges, stats.synchs, stats.loads,
+              stats.stores, stats.alu_ops, stats.loop_nodes);
+  std::printf("memory image: %zu cells, %zu I-structure regions\n",
+              tx.memory_cells, tx.istructures.size());
+
+  // Dataflow limit: one run at unlimited width.
+  machine::MachineOptions wide = cli.mopt;
+  wide.width = 0;
+  const auto res = core::execute(tx, wide);
+  if (res.stats.completed) {
+    std::printf("dataflow limit: %llu cycles, %.2f ops/cycle, %llu "
+                "iteration contexts\n",
+                static_cast<unsigned long long>(res.stats.cycles),
+                res.stats.avg_parallelism(),
+                static_cast<unsigned long long>(res.stats.contexts_allocated));
+  } else {
+    std::printf("execution failed: %s\n", res.stats.error.c_str());
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: ctdf <run|interp|dot|dot-cfg|explain|compare|asm|exec>"
+               " <file> "
+               "[options]\n(see the header of tools/ctdf.cpp for the full "
+               "option list)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli = parse_cli(argc, argv);
+  if (!cli.ok) {
+    usage();
+    return 2;
+  }
+  try {
+    if (cli.command == "exec") return cmd_exec(cli);  // dataflow assembly
+    // Expand FORTRAN-style `sub`/`call` constructs first (identity for
+    // programs without them).
+    const auto expanded =
+        lang::expand_subroutines_or_throw(read_file(cli.file));
+    const lang::Program prog = core::parse(expanded.source);
+    if (cli.command == "run") return cmd_run(cli, prog);
+    if (cli.command == "interp") return cmd_interp(cli, prog);
+    if (cli.command == "dot") return cmd_dot(cli, prog);
+    if (cli.command == "dot-cfg") return cmd_dot_cfg(cli, prog);
+    if (cli.command == "explain") return cmd_explain(cli, prog);
+    if (cli.command == "compare") return cmd_compare(cli, prog);
+    if (cli.command == "asm") return cmd_asm(cli, prog);
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
