@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_fanout.dir/ablate_fanout.cpp.o"
+  "CMakeFiles/ablate_fanout.dir/ablate_fanout.cpp.o.d"
+  "ablate_fanout"
+  "ablate_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

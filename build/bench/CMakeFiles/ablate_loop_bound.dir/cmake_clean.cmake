@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_loop_bound.dir/ablate_loop_bound.cpp.o"
+  "CMakeFiles/ablate_loop_bound.dir/ablate_loop_bound.cpp.o.d"
+  "ablate_loop_bound"
+  "ablate_loop_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_loop_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

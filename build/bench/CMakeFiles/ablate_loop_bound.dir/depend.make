@@ -1,0 +1,2 @@
+# Empty dependencies file for ablate_loop_bound.
+# This may be replaced when dependencies are built.

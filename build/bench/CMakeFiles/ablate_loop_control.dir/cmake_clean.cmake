@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_loop_control.dir/ablate_loop_control.cpp.o"
+  "CMakeFiles/ablate_loop_control.dir/ablate_loop_control.cpp.o.d"
+  "ablate_loop_control"
+  "ablate_loop_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_loop_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

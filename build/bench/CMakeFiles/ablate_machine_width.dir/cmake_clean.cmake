@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_machine_width.dir/ablate_machine_width.cpp.o"
+  "CMakeFiles/ablate_machine_width.dir/ablate_machine_width.cpp.o.d"
+  "ablate_machine_width"
+  "ablate_machine_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_machine_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

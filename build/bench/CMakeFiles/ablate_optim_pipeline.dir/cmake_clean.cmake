@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_optim_pipeline.dir/ablate_optim_pipeline.cpp.o"
+  "CMakeFiles/ablate_optim_pipeline.dir/ablate_optim_pipeline.cpp.o.d"
+  "ablate_optim_pipeline"
+  "ablate_optim_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_optim_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_processors.dir/ablate_processors.cpp.o"
+  "CMakeFiles/ablate_processors.dir/ablate_processors.cpp.o.d"
+  "ablate_processors"
+  "ablate_processors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_processors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

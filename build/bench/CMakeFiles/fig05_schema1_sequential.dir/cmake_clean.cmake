@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_schema1_sequential.dir/fig05_schema1_sequential.cpp.o"
+  "CMakeFiles/fig05_schema1_sequential.dir/fig05_schema1_sequential.cpp.o.d"
+  "fig05_schema1_sequential"
+  "fig05_schema1_sequential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_schema1_sequential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

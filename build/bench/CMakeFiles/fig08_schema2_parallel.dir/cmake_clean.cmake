@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_schema2_parallel.dir/fig08_schema2_parallel.cpp.o"
+  "CMakeFiles/fig08_schema2_parallel.dir/fig08_schema2_parallel.cpp.o.d"
+  "fig08_schema2_parallel"
+  "fig08_schema2_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_schema2_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_switch_elimination.dir/fig09_switch_elimination.cpp.o"
+  "CMakeFiles/fig09_switch_elimination.dir/fig09_switch_elimination.cpp.o.d"
+  "fig09_switch_elimination"
+  "fig09_switch_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_switch_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

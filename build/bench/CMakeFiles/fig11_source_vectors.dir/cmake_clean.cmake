@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_source_vectors.dir/fig11_source_vectors.cpp.o"
+  "CMakeFiles/fig11_source_vectors.dir/fig11_source_vectors.cpp.o.d"
+  "fig11_source_vectors"
+  "fig11_source_vectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_source_vectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

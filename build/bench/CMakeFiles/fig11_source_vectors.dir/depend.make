@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_source_vectors.
+# This may be replaced when dependencies are built.

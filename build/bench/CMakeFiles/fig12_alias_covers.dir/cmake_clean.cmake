@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_alias_covers.dir/fig12_alias_covers.cpp.o"
+  "CMakeFiles/fig12_alias_covers.dir/fig12_alias_covers.cpp.o.d"
+  "fig12_alias_covers"
+  "fig12_alias_covers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_alias_covers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_array_parallel.dir/fig14_array_parallel.cpp.o"
+  "CMakeFiles/fig14_array_parallel.dir/fig14_array_parallel.cpp.o.d"
+  "fig14_array_parallel"
+  "fig14_array_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_array_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

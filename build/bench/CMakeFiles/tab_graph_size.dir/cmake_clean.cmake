@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_graph_size.dir/tab_graph_size.cpp.o"
+  "CMakeFiles/tab_graph_size.dir/tab_graph_size.cpp.o.d"
+  "tab_graph_size"
+  "tab_graph_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_graph_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_mem_elim.dir/tab_mem_elim.cpp.o"
+  "CMakeFiles/tab_mem_elim.dir/tab_mem_elim.cpp.o.d"
+  "tab_mem_elim"
+  "tab_mem_elim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_mem_elim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

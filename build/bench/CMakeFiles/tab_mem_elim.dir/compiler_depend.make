@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_mem_elim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_read_parallel.cpp" "bench/CMakeFiles/tab_read_parallel.dir/tab_read_parallel.cpp.o" "gcc" "bench/CMakeFiles/tab_read_parallel.dir/tab_read_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ctdf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/translate/CMakeFiles/ctdf_translate.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/ctdf_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/ctdf_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/ctdf_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ctdf_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ctdf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

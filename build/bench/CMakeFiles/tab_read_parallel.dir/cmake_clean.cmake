@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_read_parallel.dir/tab_read_parallel.cpp.o"
+  "CMakeFiles/tab_read_parallel.dir/tab_read_parallel.cpp.o.d"
+  "tab_read_parallel"
+  "tab_read_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_read_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ssa_merges.dir/tab_ssa_merges.cpp.o"
+  "CMakeFiles/tab_ssa_merges.dir/tab_ssa_merges.cpp.o.d"
+  "tab_ssa_merges"
+  "tab_ssa_merges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ssa_merges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

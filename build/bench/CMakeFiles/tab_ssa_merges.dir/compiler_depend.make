@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_ssa_merges.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_stencil.dir/array_stencil.cpp.o"
+  "CMakeFiles/array_stencil.dir/array_stencil.cpp.o.d"
+  "array_stencil"
+  "array_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

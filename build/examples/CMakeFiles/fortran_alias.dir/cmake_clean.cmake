@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fortran_alias.dir/fortran_alias.cpp.o"
+  "CMakeFiles/fortran_alias.dir/fortran_alias.cpp.o.d"
+  "fortran_alias"
+  "fortran_alias.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fortran_alias.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

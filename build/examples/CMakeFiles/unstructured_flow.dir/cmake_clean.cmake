@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unstructured_flow.dir/unstructured_flow.cpp.o"
+  "CMakeFiles/unstructured_flow.dir/unstructured_flow.cpp.o.d"
+  "unstructured_flow"
+  "unstructured_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unstructured_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

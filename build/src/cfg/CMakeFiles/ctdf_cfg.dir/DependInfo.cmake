@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cfg/build.cpp" "src/cfg/CMakeFiles/ctdf_cfg.dir/build.cpp.o" "gcc" "src/cfg/CMakeFiles/ctdf_cfg.dir/build.cpp.o.d"
+  "/root/repo/src/cfg/control_dep.cpp" "src/cfg/CMakeFiles/ctdf_cfg.dir/control_dep.cpp.o" "gcc" "src/cfg/CMakeFiles/ctdf_cfg.dir/control_dep.cpp.o.d"
+  "/root/repo/src/cfg/dataflow.cpp" "src/cfg/CMakeFiles/ctdf_cfg.dir/dataflow.cpp.o" "gcc" "src/cfg/CMakeFiles/ctdf_cfg.dir/dataflow.cpp.o.d"
+  "/root/repo/src/cfg/dominance.cpp" "src/cfg/CMakeFiles/ctdf_cfg.dir/dominance.cpp.o" "gcc" "src/cfg/CMakeFiles/ctdf_cfg.dir/dominance.cpp.o.d"
+  "/root/repo/src/cfg/graph.cpp" "src/cfg/CMakeFiles/ctdf_cfg.dir/graph.cpp.o" "gcc" "src/cfg/CMakeFiles/ctdf_cfg.dir/graph.cpp.o.d"
+  "/root/repo/src/cfg/intervals.cpp" "src/cfg/CMakeFiles/ctdf_cfg.dir/intervals.cpp.o" "gcc" "src/cfg/CMakeFiles/ctdf_cfg.dir/intervals.cpp.o.d"
+  "/root/repo/src/cfg/ssa.cpp" "src/cfg/CMakeFiles/ctdf_cfg.dir/ssa.cpp.o" "gcc" "src/cfg/CMakeFiles/ctdf_cfg.dir/ssa.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lang/CMakeFiles/ctdf_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ctdf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctdf_cfg.dir/build.cpp.o"
+  "CMakeFiles/ctdf_cfg.dir/build.cpp.o.d"
+  "CMakeFiles/ctdf_cfg.dir/control_dep.cpp.o"
+  "CMakeFiles/ctdf_cfg.dir/control_dep.cpp.o.d"
+  "CMakeFiles/ctdf_cfg.dir/dataflow.cpp.o"
+  "CMakeFiles/ctdf_cfg.dir/dataflow.cpp.o.d"
+  "CMakeFiles/ctdf_cfg.dir/dominance.cpp.o"
+  "CMakeFiles/ctdf_cfg.dir/dominance.cpp.o.d"
+  "CMakeFiles/ctdf_cfg.dir/graph.cpp.o"
+  "CMakeFiles/ctdf_cfg.dir/graph.cpp.o.d"
+  "CMakeFiles/ctdf_cfg.dir/intervals.cpp.o"
+  "CMakeFiles/ctdf_cfg.dir/intervals.cpp.o.d"
+  "CMakeFiles/ctdf_cfg.dir/ssa.cpp.o"
+  "CMakeFiles/ctdf_cfg.dir/ssa.cpp.o.d"
+  "libctdf_cfg.a"
+  "libctdf_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctdf_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctdf_core.dir/compiler.cpp.o"
+  "CMakeFiles/ctdf_core.dir/compiler.cpp.o.d"
+  "libctdf_core.a"
+  "libctdf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctdf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctdf_dfg.dir/asmfmt.cpp.o"
+  "CMakeFiles/ctdf_dfg.dir/asmfmt.cpp.o.d"
+  "CMakeFiles/ctdf_dfg.dir/graph.cpp.o"
+  "CMakeFiles/ctdf_dfg.dir/graph.cpp.o.d"
+  "CMakeFiles/ctdf_dfg.dir/passes.cpp.o"
+  "CMakeFiles/ctdf_dfg.dir/passes.cpp.o.d"
+  "libctdf_dfg.a"
+  "libctdf_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctdf_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

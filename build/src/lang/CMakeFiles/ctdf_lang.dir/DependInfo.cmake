@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/ast.cpp" "src/lang/CMakeFiles/ctdf_lang.dir/ast.cpp.o" "gcc" "src/lang/CMakeFiles/ctdf_lang.dir/ast.cpp.o.d"
+  "/root/repo/src/lang/builder.cpp" "src/lang/CMakeFiles/ctdf_lang.dir/builder.cpp.o" "gcc" "src/lang/CMakeFiles/ctdf_lang.dir/builder.cpp.o.d"
+  "/root/repo/src/lang/corpus.cpp" "src/lang/CMakeFiles/ctdf_lang.dir/corpus.cpp.o" "gcc" "src/lang/CMakeFiles/ctdf_lang.dir/corpus.cpp.o.d"
+  "/root/repo/src/lang/generator.cpp" "src/lang/CMakeFiles/ctdf_lang.dir/generator.cpp.o" "gcc" "src/lang/CMakeFiles/ctdf_lang.dir/generator.cpp.o.d"
+  "/root/repo/src/lang/interp.cpp" "src/lang/CMakeFiles/ctdf_lang.dir/interp.cpp.o" "gcc" "src/lang/CMakeFiles/ctdf_lang.dir/interp.cpp.o.d"
+  "/root/repo/src/lang/lexer.cpp" "src/lang/CMakeFiles/ctdf_lang.dir/lexer.cpp.o" "gcc" "src/lang/CMakeFiles/ctdf_lang.dir/lexer.cpp.o.d"
+  "/root/repo/src/lang/parser.cpp" "src/lang/CMakeFiles/ctdf_lang.dir/parser.cpp.o" "gcc" "src/lang/CMakeFiles/ctdf_lang.dir/parser.cpp.o.d"
+  "/root/repo/src/lang/subroutines.cpp" "src/lang/CMakeFiles/ctdf_lang.dir/subroutines.cpp.o" "gcc" "src/lang/CMakeFiles/ctdf_lang.dir/subroutines.cpp.o.d"
+  "/root/repo/src/lang/symbols.cpp" "src/lang/CMakeFiles/ctdf_lang.dir/symbols.cpp.o" "gcc" "src/lang/CMakeFiles/ctdf_lang.dir/symbols.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ctdf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctdf_lang.dir/ast.cpp.o"
+  "CMakeFiles/ctdf_lang.dir/ast.cpp.o.d"
+  "CMakeFiles/ctdf_lang.dir/builder.cpp.o"
+  "CMakeFiles/ctdf_lang.dir/builder.cpp.o.d"
+  "CMakeFiles/ctdf_lang.dir/corpus.cpp.o"
+  "CMakeFiles/ctdf_lang.dir/corpus.cpp.o.d"
+  "CMakeFiles/ctdf_lang.dir/generator.cpp.o"
+  "CMakeFiles/ctdf_lang.dir/generator.cpp.o.d"
+  "CMakeFiles/ctdf_lang.dir/interp.cpp.o"
+  "CMakeFiles/ctdf_lang.dir/interp.cpp.o.d"
+  "CMakeFiles/ctdf_lang.dir/lexer.cpp.o"
+  "CMakeFiles/ctdf_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/ctdf_lang.dir/parser.cpp.o"
+  "CMakeFiles/ctdf_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/ctdf_lang.dir/subroutines.cpp.o"
+  "CMakeFiles/ctdf_lang.dir/subroutines.cpp.o.d"
+  "CMakeFiles/ctdf_lang.dir/symbols.cpp.o"
+  "CMakeFiles/ctdf_lang.dir/symbols.cpp.o.d"
+  "libctdf_lang.a"
+  "libctdf_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctdf_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

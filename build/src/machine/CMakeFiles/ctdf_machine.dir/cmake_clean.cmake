@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctdf_machine.dir/machine.cpp.o"
+  "CMakeFiles/ctdf_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/ctdf_machine.dir/report.cpp.o"
+  "CMakeFiles/ctdf_machine.dir/report.cpp.o.d"
+  "libctdf_machine.a"
+  "libctdf_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctdf_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libctdf_machine.a"
+)

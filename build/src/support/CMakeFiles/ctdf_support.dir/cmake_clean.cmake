@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctdf_support.dir/diagnostics.cpp.o"
+  "CMakeFiles/ctdf_support.dir/diagnostics.cpp.o.d"
+  "libctdf_support.a"
+  "libctdf_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctdf_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/translate/cover.cpp" "src/translate/CMakeFiles/ctdf_translate.dir/cover.cpp.o" "gcc" "src/translate/CMakeFiles/ctdf_translate.dir/cover.cpp.o.d"
+  "/root/repo/src/translate/options.cpp" "src/translate/CMakeFiles/ctdf_translate.dir/options.cpp.o" "gcc" "src/translate/CMakeFiles/ctdf_translate.dir/options.cpp.o.d"
+  "/root/repo/src/translate/subscript.cpp" "src/translate/CMakeFiles/ctdf_translate.dir/subscript.cpp.o" "gcc" "src/translate/CMakeFiles/ctdf_translate.dir/subscript.cpp.o.d"
+  "/root/repo/src/translate/switch_place.cpp" "src/translate/CMakeFiles/ctdf_translate.dir/switch_place.cpp.o" "gcc" "src/translate/CMakeFiles/ctdf_translate.dir/switch_place.cpp.o.d"
+  "/root/repo/src/translate/translator.cpp" "src/translate/CMakeFiles/ctdf_translate.dir/translator.cpp.o" "gcc" "src/translate/CMakeFiles/ctdf_translate.dir/translator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/ctdf_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfg/CMakeFiles/ctdf_dfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/ctdf_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ctdf_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

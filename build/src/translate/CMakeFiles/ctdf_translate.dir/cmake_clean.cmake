@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctdf_translate.dir/cover.cpp.o"
+  "CMakeFiles/ctdf_translate.dir/cover.cpp.o.d"
+  "CMakeFiles/ctdf_translate.dir/options.cpp.o"
+  "CMakeFiles/ctdf_translate.dir/options.cpp.o.d"
+  "CMakeFiles/ctdf_translate.dir/subscript.cpp.o"
+  "CMakeFiles/ctdf_translate.dir/subscript.cpp.o.d"
+  "CMakeFiles/ctdf_translate.dir/switch_place.cpp.o"
+  "CMakeFiles/ctdf_translate.dir/switch_place.cpp.o.d"
+  "CMakeFiles/ctdf_translate.dir/translator.cpp.o"
+  "CMakeFiles/ctdf_translate.dir/translator.cpp.o.d"
+  "libctdf_translate.a"
+  "libctdf_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctdf_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctdf_test_support.dir/support/equivalence.cpp.o"
+  "CMakeFiles/ctdf_test_support.dir/support/equivalence.cpp.o.d"
+  "CMakeFiles/ctdf_test_support.dir/support/oracles.cpp.o"
+  "CMakeFiles/ctdf_test_support.dir/support/oracles.cpp.o.d"
+  "libctdf_test_support.a"
+  "libctdf_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctdf_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfg.dir/cfg_build_test.cpp.o"
+  "CMakeFiles/test_cfg.dir/cfg_build_test.cpp.o.d"
+  "CMakeFiles/test_cfg.dir/cfg_control_dep_test.cpp.o"
+  "CMakeFiles/test_cfg.dir/cfg_control_dep_test.cpp.o.d"
+  "CMakeFiles/test_cfg.dir/cfg_dataflow_test.cpp.o"
+  "CMakeFiles/test_cfg.dir/cfg_dataflow_test.cpp.o.d"
+  "CMakeFiles/test_cfg.dir/cfg_dominance_test.cpp.o"
+  "CMakeFiles/test_cfg.dir/cfg_dominance_test.cpp.o.d"
+  "CMakeFiles/test_cfg.dir/cfg_intervals_test.cpp.o"
+  "CMakeFiles/test_cfg.dir/cfg_intervals_test.cpp.o.d"
+  "CMakeFiles/test_cfg.dir/cfg_ssa_test.cpp.o"
+  "CMakeFiles/test_cfg.dir/cfg_ssa_test.cpp.o.d"
+  "test_cfg"
+  "test_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

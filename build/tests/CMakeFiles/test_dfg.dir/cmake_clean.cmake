@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dfg.dir/dfg_asm_test.cpp.o"
+  "CMakeFiles/test_dfg.dir/dfg_asm_test.cpp.o.d"
+  "CMakeFiles/test_dfg.dir/dfg_graph_test.cpp.o"
+  "CMakeFiles/test_dfg.dir/dfg_graph_test.cpp.o.d"
+  "CMakeFiles/test_dfg.dir/dfg_passes_test.cpp.o"
+  "CMakeFiles/test_dfg.dir/dfg_passes_test.cpp.o.d"
+  "test_dfg"
+  "test_dfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lang.dir/lang_ast_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang_ast_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang_builder_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang_builder_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang_generator_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang_generator_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang_interp_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang_interp_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang_lexer_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang_lexer_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang_parser_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang_parser_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang_subroutines_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang_subroutines_test.cpp.o.d"
+  "CMakeFiles/test_lang.dir/lang_symbols_test.cpp.o"
+  "CMakeFiles/test_lang.dir/lang_symbols_test.cpp.o.d"
+  "test_lang"
+  "test_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine.dir/machine_bounding_test.cpp.o"
+  "CMakeFiles/test_machine.dir/machine_bounding_test.cpp.o.d"
+  "CMakeFiles/test_machine.dir/machine_loop_test.cpp.o"
+  "CMakeFiles/test_machine.dir/machine_loop_test.cpp.o.d"
+  "CMakeFiles/test_machine.dir/machine_multipe_test.cpp.o"
+  "CMakeFiles/test_machine.dir/machine_multipe_test.cpp.o.d"
+  "CMakeFiles/test_machine.dir/machine_test.cpp.o"
+  "CMakeFiles/test_machine.dir/machine_test.cpp.o.d"
+  "test_machine"
+  "test_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_props.dir/property_array_transforms_test.cpp.o"
+  "CMakeFiles/test_props.dir/property_array_transforms_test.cpp.o.d"
+  "CMakeFiles/test_props.dir/property_confluence_test.cpp.o"
+  "CMakeFiles/test_props.dir/property_confluence_test.cpp.o.d"
+  "CMakeFiles/test_props.dir/property_random_programs_test.cpp.o"
+  "CMakeFiles/test_props.dir/property_random_programs_test.cpp.o.d"
+  "CMakeFiles/test_props.dir/property_theorem1_test.cpp.o"
+  "CMakeFiles/test_props.dir/property_theorem1_test.cpp.o.d"
+  "test_props"
+  "test_props.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_props.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

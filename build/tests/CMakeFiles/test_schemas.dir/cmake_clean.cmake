@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schemas.dir/schema_equivalence_test.cpp.o"
+  "CMakeFiles/test_schemas.dir/schema_equivalence_test.cpp.o.d"
+  "test_schemas"
+  "test_schemas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schemas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_translate.dir/translate_cover_test.cpp.o"
+  "CMakeFiles/test_translate.dir/translate_cover_test.cpp.o.d"
+  "CMakeFiles/test_translate.dir/translate_snapshot_test.cpp.o"
+  "CMakeFiles/test_translate.dir/translate_snapshot_test.cpp.o.d"
+  "CMakeFiles/test_translate.dir/translate_structure_test.cpp.o"
+  "CMakeFiles/test_translate.dir/translate_structure_test.cpp.o.d"
+  "CMakeFiles/test_translate.dir/translate_subscript_test.cpp.o"
+  "CMakeFiles/test_translate.dir/translate_subscript_test.cpp.o.d"
+  "CMakeFiles/test_translate.dir/translate_switch_test.cpp.o"
+  "CMakeFiles/test_translate.dir/translate_switch_test.cpp.o.d"
+  "test_translate"
+  "test_translate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_translate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_support "/root/repo/build/tests/test_support")
+set_tests_properties(test_support PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;16;ctdf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_lang "/root/repo/build/tests/test_lang")
+set_tests_properties(test_lang PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;17;ctdf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cfg "/root/repo/build/tests/test_cfg")
+set_tests_properties(test_cfg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;21;ctdf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_dfg "/root/repo/build/tests/test_dfg")
+set_tests_properties(test_dfg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;24;ctdf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_machine "/root/repo/build/tests/test_machine")
+set_tests_properties(test_machine PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;26;ctdf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_translate "/root/repo/build/tests/test_translate")
+set_tests_properties(test_translate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;28;ctdf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_schemas "/root/repo/build/tests/test_schemas")
+set_tests_properties(test_schemas PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;31;ctdf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_props "/root/repo/build/tests/test_props")
+set_tests_properties(test_props PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;32;ctdf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_transforms "/root/repo/build/tests/test_transforms")
+set_tests_properties(test_transforms PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;35;ctdf_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;13;add_test;/root/repo/tests/CMakeLists.txt;36;ctdf_test;/root/repo/tests/CMakeLists.txt;0;")

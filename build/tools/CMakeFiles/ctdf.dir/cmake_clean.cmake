@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ctdf.dir/ctdf.cpp.o"
+  "CMakeFiles/ctdf.dir/ctdf.cpp.o.d"
+  "ctdf"
+  "ctdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ctdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
