@@ -16,18 +16,30 @@ struct Measurement {
   std::size_t num_resources = 0;
 };
 
+/// Host-parallelism override for every harness in bench/: set
+/// CTDF_HOST_THREADS=N to advance the simulator with N worker threads.
+/// Results are bit-identical either way (enforced by
+/// machine_parallel_equiv_test), so the knob only changes wall-clock.
+inline unsigned host_threads_from_env() {
+  const char* v = std::getenv("CTDF_HOST_THREADS");
+  if (!v || !*v) return 0;
+  const long n = std::strtol(v, nullptr, 10);
+  return n > 0 ? static_cast<unsigned>(n) : 0;
+}
+
 /// Compiles and runs; verifies the result against the interpreter and
 /// aborts loudly on any disagreement (a benchmark over a wrong program
 /// is worse than no benchmark).
 inline Measurement measure(const lang::Program& prog,
                            const translate::TranslateOptions& topt,
-                           const machine::MachineOptions& mopt) {
+                           machine::MachineOptions mopt) {
   const auto interp = lang::interpret(prog, 10'000'000);
   if (!interp.completed) {
     std::fprintf(stderr, "benchmark program did not terminate\n");
     std::abort();
   }
   const auto tx = core::compile(prog, topt);
+  if (mopt.host_threads == 0) mopt.host_threads = host_threads_from_env();
   auto res = core::execute(tx, mopt);
   if (!res.stats.completed) {
     std::fprintf(stderr, "machine failed under %s: %s\n",

@@ -103,6 +103,38 @@ void BM_MachineTokenThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineTokenThroughput)->Range(2, 16);
 
+void BM_MachineHostThreads(benchmark::State& state) {
+  // Wall-clock scaling of the parallel cycle-synchronous engine over
+  // host worker threads (arg 0 = serial legacy path) on a token-heavy
+  // workload. Results are bit-identical at every thread count — only
+  // host time may change — so this measures pure simulator speedup.
+  // Wide pipelined nested loops keep many operators firing per cycle,
+  // which is the shape the sharded engine parallelizes.
+  const auto prog =
+      core::parse(lang::corpus::nested_loops_source(16, 16));
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  const auto tx = core::compile(prog, topt);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    machine::MachineOptions mopt;
+    mopt.loop_mode = machine::LoopMode::kPipelined;
+    mopt.host_threads = static_cast<unsigned>(state.range(0));
+    const auto res = core::execute(tx, mopt);
+    ops += res.stats.ops_fired;
+    benchmark::DoNotOptimize(res.stats.cycles);
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineHostThreads)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_EndToEnd(benchmark::State& state) {
   // Full pipeline: parse → CFG → loop transform → analyses → DFG →
   // simulate, on the paper's running example.

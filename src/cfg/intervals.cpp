@@ -83,6 +83,10 @@ bool has_self_edge(const Graph& g, NodeId n) {
 
 NodeId clone_node(Graph& g, NodeId n) {
   const Node& node = g.node(n);
+  // add_* may grow the node vector and invalidate `node`; copy the
+  // successors out before allocating.
+  const NodeId succ_true = node.succ_true;
+  const NodeId succ_false = node.succ_false;
   NodeId copy;
   switch (node.kind) {
     case NodeKind::kAssign:
@@ -97,8 +101,8 @@ NodeId clone_node(Graph& g, NodeId n) {
     default:
       CTDF_UNREACHABLE("only statements can be split");
   }
-  if (node.succ_true.valid()) g.set_succ(copy, true, node.succ_true);
-  if (node.succ_false.valid()) g.set_succ(copy, false, node.succ_false);
+  if (succ_true.valid()) g.set_succ(copy, true, succ_true);
+  if (succ_false.valid()) g.set_succ(copy, false, succ_false);
   return copy;
 }
 

@@ -1,0 +1,1036 @@
+// Parallel cycle-synchronous execution engine.
+//
+// The simulated machine is inherently cycle-synchronous, so host
+// parallelism comes from sharding one cycle's work, not from relaxing
+// the schedule: RunStats, the final store, and execution reports are
+// bit-identical to the serial engine for every MachineOptions
+// configuration, including seeded (randomized) scheduling. The
+// differential suite in tests/machine_parallel_equiv_test.cpp enforces
+// this.
+//
+// Ownership (W = host_threads workers):
+//  * Matching store: slot (ctx, node) belongs to shard
+//    shard_of(ctx, node). Each shard delivers only its own tokens and
+//    touches only its own slot partition.
+//  * Memory: cells are interleaved across banks in cacheline-sized
+//    blocks (bank_of = (cell >> 3) % W); bank w applies its loads,
+//    stores, and I-structure transitions in global firing order, so
+//    same-cycle accesses to one cell resolve exactly as the serial
+//    engine resolves them.
+//  * Scheduling state (ready queue, RNG, loop contexts, k-bound
+//    credits, statistics) lives with the coordinator (worker 0).
+//
+// One simulated cycle advances in two phases, split into five steps:
+//
+//   phase 1 — match/fire into thread-local outboxes:
+//     [deliver ∥]   each shard drains its inbox bucket for this cycle
+//                   in token-rank order, fills matching slots, and
+//                   emits rank-tagged ready entries.
+//     [schedule]    the coordinator merges the shards' (sorted) ready
+//                   entries into the global queue by rank and replays
+//                   the serial selection rule verbatim: FIFO budget,
+//                   seeded random pops, or per-PE arbitration.
+//     [execute ∥]   selected firings run speculatively: pure operators
+//                   are strided across workers; memory operators are
+//                   resolved to cells, then applied by bank owners in
+//                   firing order. Emissions go to per-worker outboxes
+//                   tagged (seq, intra).
+//   phase 2 — barriered deterministic exchange:
+//     [replay]      the coordinator walks the firing list in order,
+//                   applying everything order-sensitive and cheap:
+//                   token accounting, context allocation/retirement,
+//                   k-bound stalls, statistics, loop-entry firings.
+//     [exchange ∥]  each destination shard collects its tokens from
+//                   every outbox, sorts them by (seq, intra) — the
+//                   fixed tie-break order — and appends them to its
+//                   future inbox buckets; fired slots are erased.
+//
+// The rank (batch, seq, intra) — batch = exchange round, seq = firing
+// position in the cycle, intra = emission index within the firing —
+// totally orders every token exactly as the serial engine's FIFO
+// vectors do, which is what makes the merge deterministic.
+//
+// Error paths (deadlock, collision, I-structure double write, pending
+// store at End) abandon the parallel run; machine::run() then re-runs
+// on the serial engine so error reports match it byte-for-byte,
+// container iteration order included. The cycle-cap report is
+// deterministic and is produced directly.
+#include "machine/engine_parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "support/assert.hpp"
+#include "support/rng.hpp"
+
+namespace ctdf::machine::detail {
+
+namespace {
+
+using dfg::NodeId;
+using dfg::OpKind;
+
+constexpr std::uint32_t kNoInvocation = UINT32_MAX;
+
+/// (batch, seq, intra) — the total order on tokens; see file comment.
+struct Rank {
+  std::uint64_t batch = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t intra = 0;
+
+  friend bool operator<(const Rank& a, const Rank& b) {
+    if (a.batch != b.batch) return a.batch < b.batch;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.intra < b.intra;
+  }
+};
+
+struct PToken {
+  Rank rank;
+  std::uint64_t due = 0;  ///< absolute delivery cycle
+  std::uint32_t ctx = 0;
+  NodeId node;
+  std::uint16_t port = 0;
+  bool requeued = false;  ///< see the serial engine's Token::requeued
+  std::int64_t value = 0;
+};
+
+/// Matching slot; same lifecycle as the serial engine's (created by the
+/// first arriving token, erased when the operator fires).
+struct Slot {
+  std::vector<std::int64_t> values;
+  std::vector<bool> filled;
+  std::uint16_t remaining = 0;
+};
+
+/// A ready operator, tagged with the rank of the token that completed
+/// it so the coordinator can merge shard lists into serial FIFO order.
+struct QEntry {
+  Rank rank;
+  std::uint32_t ctx = 0;
+  NodeId node;
+  bool immediate = false;
+  bool requeued = false;
+  std::uint16_t port = 0;
+  std::int64_t value = 0;
+  /// For immediate LoopExit entries: the invocation context, captured
+  /// at delivery (CtxInfo is immutable after creation).
+  std::uint32_t invocation = kNoInvocation;
+};
+
+enum class FiringClass : std::uint8_t { kPure, kMem, kLoop, kEnd };
+
+struct Firing {
+  QEntry e;
+  std::uint32_t seq = 0;
+  FiringClass klass = FiringClass::kPure;
+  // Filled during parallel execution:
+  std::uint32_t emitted = 0;       ///< tokens emitted into `primary`
+  std::uint32_t primary = 0;       ///< context the emissions landed in
+  std::uint32_t intra_used = 0;    ///< next free intra index
+  std::uint64_t cell = 0;          ///< resolved memory cell (kMem)
+  std::int64_t store_value = 0;    ///< value operand (stores)
+  /// Deferred I-structure reads satisfied by this firing: extra live
+  /// tokens per *other* context. Rare; usually empty.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> extra_live;
+};
+
+struct CtxInfo {
+  cfg::LoopId loop;
+  std::uint32_t invocation = 0;
+  std::uint32_t iter = 0;
+};
+
+struct CtxKey {
+  std::uint32_t loop;
+  std::uint32_t invocation;
+  std::uint32_t iter;
+  bool operator==(const CtxKey&) const = default;
+};
+
+struct CtxKeyHash {
+  std::size_t operator()(const CtxKey& k) const {
+    std::uint64_t h = k.loop;
+    h = h * 0x9e3779b97f4a7c15ULL + k.invocation;
+    h = h * 0x9e3779b97f4a7c15ULL + k.iter;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+struct LoopInstance {
+  unsigned in_flight = 0;
+  std::vector<PToken> stalled;
+};
+
+/// Everything one worker owns exclusively: its matching-store
+/// partition, its inbox, its outbox, and its memory bank's I-structure
+/// deferral lists. Padded so neighbouring shards don't share lines.
+struct alignas(64) Shard {
+  std::unordered_map<std::uint64_t, Slot> slots;
+  std::map<std::uint64_t, std::vector<PToken>> inbox;
+  std::vector<PToken> outbox;
+  std::vector<QEntry> ready;
+  std::vector<std::uint64_t> erase_keys;
+  std::unordered_map<std::size_t,
+                     std::vector<std::pair<std::uint32_t, NodeId>>>
+      deferred;
+  std::uint64_t tokens_sent = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t deferred_reads = 0;
+  bool collision = false;
+  bool istore_error = false;
+};
+
+/// Spin/yield worker pool: worker 0 is the calling (coordinator)
+/// thread. Phases are released by an epoch increment (release) and
+/// collected by an arrival counter (acquire), which is all the
+/// synchronization the engine needs — every structure is either
+/// owner-exclusive within a phase or only read across phases.
+class Pool {
+ public:
+  explicit Pool(unsigned workers) : workers_(workers) {
+    threads_.reserve(workers_ - 1);
+    for (unsigned w = 1; w < workers_; ++w)
+      threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  ~Pool() {
+    shutdown_.store(true, std::memory_order_release);
+    for (auto& t : threads_) t.join();
+  }
+
+  /// Runs fn(w) on every worker (coordinator included) and waits.
+  void run(const std::function<void(unsigned)>& fn) {
+    job_ = &fn;
+    remaining_.store(workers_ - 1, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    fn(0);
+    while (remaining_.load(std::memory_order_acquire) != 0)
+      std::this_thread::yield();
+  }
+
+ private:
+  void worker_loop(unsigned w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      while (epoch_.load(std::memory_order_acquire) == seen) {
+        if (shutdown_.load(std::memory_order_acquire)) return;
+        std::this_thread::yield();
+      }
+      seen = epoch_.load(std::memory_order_acquire);
+      (*job_)(w);
+      remaining_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  unsigned workers_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<unsigned> remaining_{0};
+  std::atomic<bool> shutdown_{false};
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::vector<std::thread> threads_;
+};
+
+class ParallelEngine {
+ public:
+  ParallelEngine(const dfg::Graph& g, std::size_t memory_cells,
+                 const MachineOptions& opt,
+                 const std::vector<IStructureRegion>& istructures)
+      : g_(g),
+        opt_(opt),
+        workers_(std::min(opt.host_threads, 256u)),
+        rng_(opt.scheduler_seed),
+        shards_(workers_),
+        pool_(workers_) {
+    CTDF_ASSERT_MSG(opt_.alu_latency >= 1 && opt_.mem_latency >= 1,
+                    "latencies must be at least one cycle");
+    cells_.assign(memory_cells, 0);
+    istate_.assign(memory_cells, kNormal);
+    for (const auto& r : istructures)
+      for (std::uint32_t c = r.base; c < r.base + r.extent; ++c)
+        istate_[c] = kEmpty;
+    contexts_.push_back(CtxInfo{});
+    live_tokens_.push_back(0);
+    retired_.push_back(false);
+    stats_.fired_by_kind.assign(17, 0);
+    stats_.first_fire_cycle.assign(g.num_nodes(), UINT64_MAX);
+
+    out_index_.resize(g.num_nodes());
+    for (const dfg::Arc& a : g.arcs())
+      out_index_[a.src.index()].push_back(a);
+    consumed_inputs_.resize(g.num_nodes());
+    for (std::size_t n = 0; n < g.num_nodes(); ++n) {
+      const dfg::Node& node = g_.node(NodeId{static_cast<std::uint32_t>(n)});
+      std::uint32_t c = 0;
+      for (std::uint16_t p = 0; p < node.num_inputs; ++p)
+        if (!node.operands[p].is_literal) ++c;
+      consumed_inputs_[n] = c;
+    }
+  }
+
+  /// nullopt = delegate to the serial engine (see header).
+  std::optional<RunResult> run() {
+    boot();
+    exchange(/*batch=*/0, /*cycle_for_profile=*/0);
+
+    std::uint64_t cycle = 0;
+    while (!completed_) {
+      if (cycle >= opt_.max_cycles) {
+        stats_.cycles = cycle;
+        stats_.error = "cycle cap exceeded (possible livelock or "
+                       "non-terminating program)";
+        merge_shard_counters();
+        stats_.completed = false;
+        RunResult out;
+        out.stats = std::move(stats_);
+        out.store.cells = std::move(cells_);
+        return out;
+      }
+      cycle_ = cycle;
+
+      pool_.run([this](unsigned w) { deliver_phase(w); });
+      for (const Shard& s : shards_)
+        if (s.collision) return std::nullopt;
+
+      merge_ready();
+      stats_.peak_ready = std::max<std::uint64_t>(
+          stats_.peak_ready, queue_.size() - head_);
+
+      select();
+      if (!firings_.empty()) {
+        pool_.run([this](unsigned w) { exec_phase(w); });
+        if (!mem_idx_.empty()) {
+          pool_.run([this](unsigned w) { bank_phase(w); });
+          for (const Shard& s : shards_)
+            if (s.istore_error) return std::nullopt;
+        }
+        replay();
+      }
+      if (opt_.record_profile && profile_ok(cycle))
+        stats_.profile[cycle] =
+            static_cast<std::uint32_t>(firings_.size());
+
+      exchange(/*batch=*/cycle + 1, cycle);
+
+      if (completed_) {
+        stats_.cycles = cycle + 1;
+        break;
+      }
+      if (head_ < queue_.size()) {
+        ++cycle;
+      } else {
+        std::uint64_t next = UINT64_MAX;
+        for (const Shard& s : shards_)
+          if (!s.inbox.empty()) next = std::min(next, s.inbox.begin()->first);
+        if (next == UINT64_MAX) return std::nullopt;  // deadlock
+        cycle = next;
+      }
+    }
+
+    return finalize();
+  }
+
+ private:
+  static constexpr std::uint8_t kNormal = 0, kEmpty = 1, kFull = 2;
+
+  [[nodiscard]] std::uint64_t slot_key(std::uint32_t ctx, NodeId node) const {
+    return static_cast<std::uint64_t>(ctx) * g_.num_nodes() + node.index();
+  }
+
+  [[nodiscard]] unsigned shard_of(std::uint32_t ctx, NodeId node) const {
+    const std::uint64_t h = slot_key(ctx, node) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<unsigned>((h >> 33) % workers_);
+  }
+
+  /// Cacheline-block interleave: consecutive 8-cell blocks round-robin
+  /// across banks — balances same-cycle array sweeps without false
+  /// sharing on the cells vector.
+  [[nodiscard]] unsigned bank_of(std::uint64_t cell) const {
+    return static_cast<unsigned>((cell >> 3) % workers_);
+  }
+
+  [[nodiscard]] unsigned pe_of(std::uint32_t ctx, NodeId node) const {
+    if (opt_.processors == 0) return 0;
+    const std::uint64_t key =
+        opt_.placement == Placement::kByNode ? node.value() : ctx;
+    return static_cast<unsigned>(
+        ((key * 0x9e3779b97f4a7c15ULL) >> 33) % opt_.processors);
+  }
+
+  [[nodiscard]] bool non_strict(const dfg::Node& n) const {
+    switch (n.kind) {
+      case OpKind::kMerge:
+      case OpKind::kLoopExit:
+        return true;
+      case OpKind::kLoopEntry:
+        return opt_.loop_mode == LoopMode::kPipelined;
+      default:
+        return false;
+    }
+  }
+
+  bool profile_ok(std::uint64_t cycle) {
+    if (cycle >= (1u << 22)) return false;
+    if (stats_.profile.size() <= cycle) stats_.profile.resize(cycle + 1, 0);
+    return true;
+  }
+
+  // -- boot ---------------------------------------------------------------
+
+  void boot() {
+    const NodeId s = g_.start();
+    const dfg::Node& start = g_.node(s);
+    ++stats_.ops_fired;
+    ++stats_.fired_by_kind[static_cast<std::size_t>(start.kind)];
+    const unsigned from_pe = pe_of(0, s);
+    std::uint32_t intra = 0;
+    for (std::uint16_t p = 0; p < start.num_outputs; ++p) {
+      for (const dfg::Arc& a : out_index_[s.index()]) {
+        if (a.src_port != p) continue;
+        std::uint64_t hop = 0;
+        if (opt_.processors > 0 && pe_of(0, a.dst) != from_pe)
+          hop = opt_.network_latency;
+        coord_outbox_.push_back(PToken{{0, 0, intra++},
+                                       /*due=*/hop,
+                                       /*ctx=*/0, a.dst, a.dst_port,
+                                       /*requeued=*/false,
+                                       start.start_values[p]});
+        ++live_tokens_[0];
+      }
+    }
+  }
+
+  // -- phase 1: deliver (parallel, per shard) -----------------------------
+
+  void deliver_phase(unsigned w) {
+    Shard& s = shards_[w];
+    s.outbox.clear();
+    s.ready.clear();
+    const auto it = s.inbox.find(cycle_);
+    if (it == s.inbox.end()) return;
+    for (const PToken& t : it->second) deliver(s, t);
+    s.inbox.erase(it);
+  }
+
+  void deliver(Shard& s, const PToken& t) {
+    ++s.tokens_sent;
+    const dfg::Node& n = g_.node(t.node);
+    if (non_strict(n)) {
+      QEntry e{t.rank, t.ctx, t.node, /*immediate=*/true, t.requeued,
+               t.port, t.value, kNoInvocation};
+      if (n.kind == OpKind::kLoopExit && contexts_[t.ctx].loop.valid())
+        e.invocation = contexts_[t.ctx].invocation;
+      s.ready.push_back(e);
+      return;
+    }
+    const std::uint64_t key = slot_key(t.ctx, t.node);
+    auto [slot_it, inserted] = s.slots.try_emplace(key);
+    Slot& slot = slot_it->second;
+    if (inserted) {
+      slot.values.assign(n.num_inputs, 0);
+      slot.filled.assign(n.num_inputs, false);
+      slot.remaining = 0;
+      for (std::uint16_t p = 0; p < n.num_inputs; ++p) {
+        if (n.operands[p].is_literal) {
+          slot.values[p] = n.operands[p].literal;
+          slot.filled[p] = true;
+        } else {
+          ++slot.remaining;
+        }
+      }
+    }
+    if (slot.filled[t.port]) {
+      s.collision = true;  // serial rerun reports the exact diagnostic
+      return;
+    }
+    slot.values[t.port] = t.value;
+    slot.filled[t.port] = true;
+    ++s.matches;
+    if (--slot.remaining == 0)
+      s.ready.push_back(QEntry{t.rank, t.ctx, t.node, /*immediate=*/false,
+                               false, 0, 0, kNoInvocation});
+  }
+
+  // -- schedule (coordinator) ---------------------------------------------
+
+  /// Appends the shards' rank-sorted ready lists to the global queue in
+  /// rank order — reproducing the order the serial engine would have
+  /// appended them in while draining the one global pending vector.
+  void merge_ready() {
+    std::vector<std::size_t> cursor(workers_, 0);
+    for (;;) {
+      int best = -1;
+      for (unsigned w = 0; w < workers_; ++w) {
+        const Shard& s = shards_[w];
+        if (cursor[w] >= s.ready.size()) continue;
+        if (best < 0 ||
+            s.ready[cursor[w]].rank <
+                shards_[static_cast<unsigned>(best)]
+                    .ready[cursor[static_cast<unsigned>(best)]]
+                    .rank)
+          best = static_cast<int>(w);
+      }
+      if (best < 0) break;
+      queue_.push_back(
+          shards_[static_cast<unsigned>(best)]
+              .ready[cursor[static_cast<unsigned>(best)]++]);
+    }
+  }
+
+  /// Replays the serial selection rule on the global queue: which ready
+  /// operators fire this cycle, in which order. Mirrors Engine::run()'s
+  /// abstract-pool loop (FIFO budget + optional seeded swaps, stopping
+  /// at End) and Engine::fire_multi_pe (per-PE arbitration, order of
+  /// survivors preserved).
+  void select() {
+    firings_.clear();
+    mem_idx_.clear();
+    if (opt_.processors == 0) {
+      const std::uint64_t budget = opt_.width == 0 ? UINT64_MAX : opt_.width;
+      std::uint64_t fired = 0;
+      while (head_ < queue_.size() && fired < budget) {
+        if (opt_.scheduler_seed != 0) {
+          const std::size_t span = queue_.size() - head_;
+          const std::size_t pick = head_ + rng_.next_below(span);
+          std::swap(queue_[head_], queue_[pick]);
+        }
+        const bool is_end = push_firing(queue_[head_++]);
+        ++fired;
+        if (is_end) break;
+      }
+      if (head_ > 4096 && head_ * 2 > queue_.size()) {
+        queue_.erase(queue_.begin(),
+                     queue_.begin() + static_cast<std::ptrdiff_t>(head_));
+        head_ = 0;
+      }
+    } else {
+      std::vector<std::uint8_t> busy(opt_.processors, 0);
+      std::vector<QEntry> kept;
+      std::size_t i = head_;
+      bool stop = false;
+      for (; i < queue_.size() && !stop; ++i) {
+        const unsigned pe = pe_of(queue_[i].ctx, queue_[i].node);
+        if (busy[pe]) {
+          kept.push_back(queue_[i]);
+          continue;
+        }
+        busy[pe] = 1;
+        stop = push_firing(queue_[i]);
+      }
+      for (; i < queue_.size(); ++i) kept.push_back(queue_[i]);
+      queue_ = std::move(kept);
+      head_ = 0;
+    }
+  }
+
+  /// Classifies and appends one firing; returns true for End (selection
+  /// stops — the serial engine's completed_ check).
+  bool push_firing(const QEntry& e) {
+    Firing f;
+    f.e = e;
+    f.seq = static_cast<std::uint32_t>(firings_.size());
+    switch (g_.node(e.node).kind) {
+      case OpKind::kEnd:
+        f.klass = FiringClass::kEnd;
+        break;
+      case OpKind::kLoopEntry:
+        f.klass = FiringClass::kLoop;
+        break;
+      case OpKind::kLoad:
+      case OpKind::kLoadIdx:
+      case OpKind::kStore:
+      case OpKind::kStoreIdx:
+      case OpKind::kIStore:
+      case OpKind::kIFetch:
+        f.klass = FiringClass::kMem;
+        mem_idx_.push_back(f.seq);
+        break;
+      default:
+        f.klass = FiringClass::kPure;
+        break;
+    }
+    firings_.push_back(std::move(f));
+    return firings_.back().klass == FiringClass::kEnd;
+  }
+
+  // -- execute (parallel) -------------------------------------------------
+
+  /// Emission helper for the parallel phases: one token per out-arc of
+  /// (node, port), tagged (seq, intra) and routed later by the
+  /// exchange. Counts the emissions toward f.primary's live tokens
+  /// (applied by the replay at f's position in the firing order).
+  void emit_exec(Shard& s, Firing& f, std::uint32_t token_ctx, NodeId node,
+                 std::uint16_t port, std::int64_t value,
+                 std::uint64_t latency, unsigned from_pe) {
+    for (const dfg::Arc& a : out_index_[node.index()]) {
+      if (a.src_port != port) continue;
+      std::uint64_t hop = 0;
+      if (opt_.processors > 0 && pe_of(token_ctx, a.dst) != from_pe)
+        hop = opt_.network_latency;
+      s.outbox.push_back(PToken{{0, f.seq, f.intra_used++},
+                               cycle_ + latency + hop, token_ctx, a.dst,
+                               a.dst_port, false, value});
+      ++f.emitted;
+    }
+  }
+
+  /// Pure-operator execution (strided seq % W) plus memory-operand
+  /// resolution; no order-sensitive state is touched.
+  void exec_phase(unsigned w) {
+    Shard& s = shards_[w];
+    const std::uint64_t alu = opt_.alu_latency;
+    for (std::size_t i = w; i < firings_.size(); i += workers_) {
+      Firing& f = firings_[i];
+      const QEntry& e = f.e;
+      const dfg::Node& n = g_.node(e.node);
+      const unsigned from_pe = pe_of(e.ctx, e.node);
+      f.primary = e.ctx;
+      if (f.klass == FiringClass::kEnd || f.klass == FiringClass::kLoop)
+        continue;  // replayed by the coordinator
+      if (e.immediate) {
+        switch (n.kind) {
+          case OpKind::kMerge:
+            emit_exec(s, f, e.ctx, e.node, 0, e.value, alu, from_pe);
+            break;
+          case OpKind::kLoopExit:
+            CTDF_ASSERT_MSG(e.invocation != kNoInvocation,
+                            "loop exit fired outside an iteration context");
+            f.primary = e.invocation;
+            emit_exec(s, f, e.invocation, e.node, e.port, e.value, alu,
+                      from_pe);
+            break;
+          default:
+            CTDF_UNREACHABLE("bad non-strict op");
+        }
+        continue;
+      }
+      const Shard& owner = shards_[shard_of(e.ctx, e.node)];
+      const auto it = owner.slots.find(slot_key(e.ctx, e.node));
+      CTDF_ASSERT(it != owner.slots.end() && it->second.remaining == 0);
+      const std::vector<std::int64_t>& in = it->second.values;
+
+      const auto cell_of = [&](std::int64_t index) {
+        const std::int64_t wrapped = lang::wrap_index(index, n.mem_extent);
+        const std::uint64_t cell =
+            n.mem_base + static_cast<std::uint64_t>(wrapped);
+        CTDF_ASSERT(cell < cells_.size());
+        return cell;
+      };
+
+      switch (n.kind) {
+        case OpKind::kBinOp:
+          emit_exec(s, f, e.ctx, e.node, 0,
+                    lang::eval_binop(n.bop, in[0], in[1]), alu, from_pe);
+          break;
+        case OpKind::kUnOp:
+          emit_exec(s, f, e.ctx, e.node, 0, lang::eval_unop(n.uop, in[0]),
+                    alu, from_pe);
+          break;
+        case OpKind::kSynch:
+          emit_exec(s, f, e.ctx, e.node, 0, 0, alu, from_pe);
+          break;
+        case OpKind::kGate:
+          emit_exec(s, f, e.ctx, e.node, 0, in[0], alu, from_pe);
+          break;
+        case OpKind::kSwitch: {
+          const bool dir = in[dfg::port::kSwitchPred] != 0;
+          emit_exec(s, f, e.ctx, e.node,
+                    dir ? dfg::port::kSwitchTrue : dfg::port::kSwitchFalse,
+                    in[dfg::port::kSwitchData], alu, from_pe);
+          break;
+        }
+        case OpKind::kLoad:
+          f.cell = n.mem_base;
+          CTDF_ASSERT(f.cell < cells_.size());
+          break;
+        case OpKind::kLoadIdx:
+          f.cell = cell_of(in[0]);
+          break;
+        case OpKind::kStore:
+          f.cell = n.mem_base;
+          CTDF_ASSERT(f.cell < cells_.size());
+          f.store_value = in[0];
+          break;
+        case OpKind::kStoreIdx:
+          f.cell = cell_of(in[1]);
+          f.store_value = in[0];
+          break;
+        case OpKind::kIStore:
+          f.cell = cell_of(in[1]);
+          f.store_value = in[0];
+          break;
+        case OpKind::kIFetch:
+          f.cell = cell_of(in[0]);
+          break;
+        default:
+          CTDF_UNREACHABLE("op cannot fire strictly");
+      }
+    }
+  }
+
+  /// Split-phase memory, applied by bank owners in firing order — the
+  /// serial engine's same-cycle read-after-write and write-after-write
+  /// resolutions fall out exactly.
+  void bank_phase(unsigned w) {
+    Shard& s = shards_[w];
+    const std::uint64_t mem = opt_.mem_latency;
+    for (const std::uint32_t idx : mem_idx_) {
+      Firing& f = firings_[idx];
+      if (bank_of(f.cell) != w) continue;
+      const QEntry& e = f.e;
+      const dfg::Node& n = g_.node(e.node);
+      const unsigned from_pe = pe_of(e.ctx, e.node);
+      switch (n.kind) {
+        case OpKind::kLoad:
+        case OpKind::kLoadIdx:
+          emit_exec(s, f, e.ctx, e.node, dfg::port::kLoadValue,
+                    cells_[f.cell], mem, from_pe);
+          emit_exec(s, f, e.ctx, e.node, dfg::port::kLoadAck, 0, mem,
+                    from_pe);
+          break;
+        case OpKind::kStore:
+        case OpKind::kStoreIdx:
+          cells_[f.cell] = f.store_value;
+          emit_exec(s, f, e.ctx, e.node, 0, 0, mem, from_pe);
+          break;
+        case OpKind::kIStore: {
+          if (istate_[f.cell] == kFull) {
+            s.istore_error = true;  // serial rerun reports it
+            return;
+          }
+          istate_[f.cell] = kFull;
+          cells_[f.cell] = f.store_value;
+          emit_exec(s, f, e.ctx, e.node, 0, 0, mem, from_pe);
+          if (const auto d = s.deferred.find(f.cell); d != s.deferred.end()) {
+            for (const auto& [dctx, dnode] : d->second) {
+              const std::uint32_t before = f.emitted;
+              // The serial engine computes the hop origin from the
+              // *storing* firing's context and the reader's node.
+              emit_exec(s, f, dctx, dnode, 0, f.store_value, mem,
+                        pe_of(e.ctx, dnode));
+              f.extra_live.emplace_back(dctx, f.emitted - before);
+              f.emitted = before;  // not in e.ctx: tracked via extra_live
+            }
+            s.deferred.erase(d);
+          }
+          break;
+        }
+        case OpKind::kIFetch:
+          if (istate_[f.cell] == kFull || istate_[f.cell] == kNormal) {
+            emit_exec(s, f, e.ctx, e.node, 0, cells_[f.cell], mem, from_pe);
+          } else {
+            ++s.deferred_reads;
+            s.deferred[f.cell].emplace_back(e.ctx, e.node);
+          }
+          break;
+        default:
+          CTDF_UNREACHABLE("not a memory op");
+      }
+    }
+  }
+
+  // -- phase 2: replay (coordinator) --------------------------------------
+
+  [[nodiscard]] static std::uint64_t instance_key(cfg::LoopId loop,
+                                                  std::uint32_t invocation) {
+    return (static_cast<std::uint64_t>(loop.value()) << 32) | invocation;
+  }
+
+  [[nodiscard]] CtxKey iteration_key(cfg::LoopId loop,
+                                     std::uint32_t from) const {
+    const CtxInfo& cur = contexts_[from];
+    CtxKey key{};
+    key.loop = loop.value();
+    if (cur.loop == loop) {
+      key.invocation = cur.invocation;
+      key.iter = cur.iter + 1;
+    } else {
+      key.invocation = from;
+      key.iter = 0;
+    }
+    return key;
+  }
+
+  std::uint32_t context_for_iteration(cfg::LoopId loop, std::uint32_t from) {
+    const CtxKey key = iteration_key(loop, from);
+    const auto [it, inserted] = ctx_table_.try_emplace(
+        key, static_cast<std::uint32_t>(contexts_.size()));
+    if (inserted) {
+      contexts_.push_back(CtxInfo{loop, key.invocation, key.iter});
+      live_tokens_.push_back(0);
+      retired_.push_back(false);
+      ++stats_.contexts_allocated;
+      ++instances_[instance_key(loop, key.invocation)].in_flight;
+      ++live_contexts_;
+      stats_.peak_live_contexts =
+          std::max<std::uint64_t>(stats_.peak_live_contexts, live_contexts_);
+    }
+    return it->second;
+  }
+
+  /// Identical to the serial engine's consume(), except that stalled
+  /// forwardings re-enter through the coordinator outbox (rank-tagged
+  /// after the triggering firing's own emissions) instead of a direct
+  /// pending push.
+  void consume(Firing& f, std::uint32_t ctx, std::uint32_t n = 1) {
+    CTDF_ASSERT(live_tokens_[ctx] >= n);
+    live_tokens_[ctx] -= n;
+    if (live_tokens_[ctx] != 0 || ctx == 0 || retired_[ctx]) return;
+    retired_[ctx] = true;
+    --live_contexts_;
+    const CtxInfo& info = contexts_[ctx];
+    const auto it = instances_.find(instance_key(info.loop, info.invocation));
+    if (it == instances_.end()) return;
+    LoopInstance& instance = it->second;
+    if (instance.in_flight > 0) --instance.in_flight;
+    if (!instance.stalled.empty()) {
+      auto stalled = std::move(instance.stalled);
+      instance.stalled.clear();
+      for (PToken& t : stalled) {
+        t.rank = Rank{0, f.seq, f.intra_used++};
+        t.due = cycle_ + 1;
+        coord_outbox_.push_back(t);
+      }
+    }
+  }
+
+  void emit_replay(Firing& f, std::uint32_t token_ctx, NodeId node,
+                   std::uint16_t port, std::int64_t value,
+                   std::uint64_t latency, unsigned from_pe) {
+    for (const dfg::Arc& a : out_index_[node.index()]) {
+      if (a.src_port != port) continue;
+      std::uint64_t hop = 0;
+      if (opt_.processors > 0 && pe_of(token_ctx, a.dst) != from_pe)
+        hop = opt_.network_latency;
+      coord_outbox_.push_back(PToken{{0, f.seq, f.intra_used++},
+                                     cycle_ + latency + hop, token_ctx,
+                                     a.dst, a.dst_port, false, value});
+      ++live_tokens_[token_ctx];
+    }
+  }
+
+  /// Walks the firing list in order applying everything the serial
+  /// engine interleaves with execution: statistics, token accounting
+  /// (emission counts were gathered by the parallel phases), context
+  /// allocation/retirement with k-bound credits, and the loop-entry
+  /// operators themselves (their decisions read that very state).
+  void replay() {
+    for (Firing& f : firings_) {
+      const QEntry& e = f.e;
+      const dfg::Node& n = g_.node(e.node);
+      ++stats_.ops_fired;
+      ++stats_.fired_by_kind[static_cast<std::size_t>(n.kind)];
+      if (stats_.first_fire_cycle[e.node.index()] == UINT64_MAX)
+        stats_.first_fire_cycle[e.node.index()] = cycle_;
+      if (opt_.trace)
+        std::fprintf(stderr, "[%8llu] fire %-10s '%s' ctx=%u\n",
+                     static_cast<unsigned long long>(cycle_),
+                     to_string(n.kind), n.label.c_str(), e.ctx);
+      switch (n.kind) {
+        case OpKind::kLoad:
+        case OpKind::kLoadIdx:
+        case OpKind::kIFetch:
+          ++stats_.mem_reads;
+          break;
+        case OpKind::kStore:
+        case OpKind::kStoreIdx:
+        case OpKind::kIStore:
+          ++stats_.mem_writes;
+          break;
+        default:
+          break;
+      }
+
+      if (f.klass == FiringClass::kEnd) {
+        completed_ = true;
+        consume(f, e.ctx, consumed_inputs_[e.node.index()]);
+        schedule_erase(e);
+        continue;
+      }
+      if (f.klass == FiringClass::kLoop) {
+        replay_loop_entry(f);
+        continue;
+      }
+      live_tokens_[f.primary] += f.emitted;
+      for (const auto& [ctx, count] : f.extra_live) live_tokens_[ctx] += count;
+      if (e.immediate) {
+        if (!e.requeued) consume(f, e.ctx);
+      } else {
+        consume(f, e.ctx, consumed_inputs_[e.node.index()]);
+        schedule_erase(e);
+      }
+    }
+  }
+
+  void replay_loop_entry(Firing& f) {
+    const QEntry& e = f.e;
+    const dfg::Node& n = g_.node(e.node);
+    const unsigned from_pe = pe_of(e.ctx, e.node);
+    const std::uint64_t alu = opt_.alu_latency;
+    if (e.immediate) {
+      if (opt_.loop_bound > 0) {
+        const CtxKey key = iteration_key(n.loop, e.ctx);
+        if (!ctx_table_.contains(key)) {
+          auto& inst = instances_[instance_key(n.loop, key.invocation)];
+          if (inst.in_flight >= opt_.loop_bound) {
+            inst.stalled.push_back(PToken{{0, 0, 0}, 0, e.ctx, e.node,
+                                          e.port, true, e.value});
+            ++stats_.throttle_stalls;
+            if (!e.requeued) consume(f, e.ctx);
+            return;
+          }
+        }
+      }
+      const std::uint32_t next = context_for_iteration(n.loop, e.ctx);
+      emit_replay(f, next, e.node, e.port, e.value, alu, from_pe);
+      if (!e.requeued) consume(f, e.ctx);
+      return;
+    }
+    // Barrier mode: strict entry forwards the full circulating set into
+    // the next iteration's context.
+    const Shard& owner = shards_[shard_of(e.ctx, e.node)];
+    const auto it = owner.slots.find(slot_key(e.ctx, e.node));
+    CTDF_ASSERT(it != owner.slots.end() && it->second.remaining == 0);
+    const std::vector<std::int64_t>& in = it->second.values;
+    const std::uint32_t next = context_for_iteration(n.loop, e.ctx);
+    for (std::uint16_t p = 0; p < n.num_inputs; ++p)
+      emit_replay(f, next, e.node, p, in[p], alu, from_pe);
+    consume(f, e.ctx, consumed_inputs_[e.node.index()]);
+    schedule_erase(e);
+  }
+
+  void schedule_erase(const QEntry& e) {
+    shards_[shard_of(e.ctx, e.node)].erase_keys.push_back(
+        slot_key(e.ctx, e.node));
+  }
+
+  // -- phase 2: exchange (parallel, per shard) ----------------------------
+
+  void exchange(std::uint64_t batch, std::uint64_t cycle) {
+    batch_ = batch;
+    cycle_ = cycle;
+    pool_.run([this](unsigned w) { exchange_phase(w); });
+    coord_outbox_.clear();
+    for (Shard& s : shards_) s.erase_keys.clear();
+  }
+
+  void exchange_phase(unsigned w) {
+    Shard& s = shards_[w];
+    for (const std::uint64_t key : s.erase_keys) s.slots.erase(key);
+    route_.clear();
+    const auto take = [&](const std::vector<PToken>& outbox) {
+      for (const PToken& t : outbox)
+        if (shard_of(t.ctx, t.node) == w) route_.push_back(t);
+    };
+    for (const Shard& src : shards_) take(src.outbox);
+    take(coord_outbox_);
+    std::sort(route_.begin(), route_.end(),
+              [](const PToken& a, const PToken& b) { return a.rank < b.rank; });
+    for (PToken& t : route_) {
+      t.rank.batch = batch_;
+      s.inbox[t.due].push_back(t);
+    }
+  }
+
+  // -- completion ---------------------------------------------------------
+
+  void merge_shard_counters() {
+    for (const Shard& s : shards_) {
+      stats_.tokens_sent += s.tokens_sent;
+      stats_.matches += s.matches;
+      stats_.deferred_reads += s.deferred_reads;
+    }
+  }
+
+  std::optional<RunResult> finalize() {
+    stats_.completed = true;
+    const auto is_write = [&](NodeId n) {
+      const OpKind k = g_.node(n).kind;
+      return k == OpKind::kStore || k == OpKind::kStoreIdx ||
+             k == OpKind::kIStore;
+    };
+    for (std::size_t i = head_; i < queue_.size(); ++i) {
+      ++stats_.leftover_tokens;
+      if (is_write(queue_[i].node)) return std::nullopt;  // serial rerun
+    }
+    for (const Shard& s : shards_) {
+      for (const auto& [due, tokens] : s.inbox) {
+        for (const PToken& t : tokens) {
+          ++stats_.leftover_tokens;
+          if (is_write(t.node)) return std::nullopt;
+        }
+      }
+      for (const auto& [key, slot] : s.slots) {
+        (void)slot;
+        const NodeId n{static_cast<std::uint32_t>(key % g_.num_nodes())};
+        if (is_write(n)) return std::nullopt;
+      }
+    }
+    merge_shard_counters();
+    RunResult out;
+    out.stats = std::move(stats_);
+    out.store.cells = std::move(cells_);
+    return out;
+  }
+
+  // -- state --------------------------------------------------------------
+
+  const dfg::Graph& g_;
+  MachineOptions opt_;
+  unsigned workers_;
+  support::SplitMix64 rng_;
+
+  std::vector<std::int64_t> cells_;
+  std::vector<std::uint8_t> istate_;
+
+  std::vector<CtxInfo> contexts_;
+  std::vector<std::uint32_t> live_tokens_;
+  std::vector<bool> retired_;
+  std::uint64_t live_contexts_ = 0;
+  std::unordered_map<std::uint64_t, LoopInstance> instances_;
+  std::unordered_map<CtxKey, std::uint32_t, CtxKeyHash> ctx_table_;
+
+  std::vector<QEntry> queue_;
+  std::size_t head_ = 0;
+  std::vector<Firing> firings_;
+  std::vector<std::uint32_t> mem_idx_;
+  std::vector<PToken> coord_outbox_;
+
+  std::vector<std::vector<dfg::Arc>> out_index_;
+  std::vector<std::uint32_t> consumed_inputs_;
+
+  std::vector<Shard> shards_;
+  Pool pool_;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t batch_ = 0;
+
+  RunStats stats_;
+  bool completed_ = false;
+
+  /// Per-exchange scratch; thread_local so each worker reuses capacity.
+  static thread_local std::vector<PToken> route_;
+};
+
+thread_local std::vector<PToken> ParallelEngine::route_;
+
+}  // namespace
+
+std::optional<RunResult> run_parallel(
+    const dfg::Graph& graph, std::size_t memory_cells,
+    const MachineOptions& options,
+    const std::vector<IStructureRegion>& istructures) {
+  return ParallelEngine{graph, memory_cells, options, istructures}.run();
+}
+
+}  // namespace ctdf::machine::detail

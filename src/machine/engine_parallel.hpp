@@ -1,0 +1,26 @@
+// Internal interface of the parallel cycle-synchronous engine (see
+// engine_parallel.cpp). Not part of the public machine API: callers go
+// through machine::run(), which dispatches on
+// MachineOptions::host_threads.
+#pragma once
+
+#include <optional>
+
+#include "machine/machine.hpp"
+
+namespace ctdf::machine::detail {
+
+/// Runs `graph` on the sharded host-parallel engine. Returns the result
+/// for error-free executions — bit-identical to the serial engine's, by
+/// construction (plus the cycle-cap error, whose report is
+/// deterministic). Returns nullopt when the run hits any other error
+/// path (deadlock, token collision, I-structure double write, store in
+/// flight at End): the caller must re-run on the serial engine, whose
+/// diagnostics (which include container iteration order) are the
+/// reference.
+[[nodiscard]] std::optional<RunResult> run_parallel(
+    const dfg::Graph& graph, std::size_t memory_cells,
+    const MachineOptions& options,
+    const std::vector<IStructureRegion>& istructures);
+
+}  // namespace ctdf::machine::detail

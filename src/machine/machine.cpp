@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "machine/engine_parallel.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
@@ -616,6 +617,17 @@ class Engine {
 RunResult run(const dfg::Graph& graph, std::size_t memory_cells,
               const MachineOptions& options,
               const std::vector<IStructureRegion>& istructures) {
+  // Tracing stays on the serial engine so an error run doesn't print a
+  // partial parallel trace followed by the rerun's full one.
+  if (options.host_threads > 1 && !options.trace) {
+    if (auto r =
+            detail::run_parallel(graph, memory_cells, options, istructures))
+      return std::move(*r);
+    // Error path: the parallel engine saw a deadlock, collision,
+    // I-structure double write, or in-flight store at End. Re-run
+    // serially for the reference diagnostics (whose text depends on
+    // serial container iteration order).
+  }
   return Engine{graph, memory_cells, options, istructures}.run();
 }
 

@@ -75,6 +75,15 @@ struct MachineOptions {
   /// Split-phase memory round-trip latency, cycles.
   unsigned mem_latency = 4;
 
+  /// Host-side execution parallelism of the *simulator itself* (not a
+  /// property of the simulated machine): number of worker threads that
+  /// cooperatively advance one simulated cycle. 0 or 1 = the serial
+  /// legacy engine. Any value produces results bit-identical to the
+  /// serial engine — RunStats, final store, and reports never depend on
+  /// host_threads (see doc/IMPLEMENTATION-NOTES.md, "Parallel engine &
+  /// determinism model").
+  unsigned host_threads = 0;
+
   /// Abort knob for runaway graphs.
   std::uint64_t max_cycles = 50'000'000;
 

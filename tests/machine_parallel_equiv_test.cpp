@@ -1,0 +1,331 @@
+// Differential harness for the parallel engine: for every swept
+// configuration, a run with host_threads ∈ {2, 4, 8} must be
+// bit-identical to the serial engine — every RunStats counter, every
+// per-node first-fire cycle, the per-cycle profile, the error text, and
+// the final store. This is the enforceable form of the determinism
+// guarantee documented on MachineOptions::host_threads (WaveCert-style
+// translation validation, applied to the executor instead of the
+// compiler).
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "dfg/graph.hpp"
+#include "lang/corpus.hpp"
+#include "lang/generator.hpp"
+#include "lang/parser.hpp"
+#include "machine/machine.hpp"
+
+namespace ctdf::machine {
+namespace {
+
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::OpKind;
+
+constexpr unsigned kThreadSweep[] = {2, 4, 8};
+
+void expect_identical(const RunResult& serial, const RunResult& parallel,
+                      const std::string& context) {
+  EXPECT_EQ(serial.stats.completed, parallel.stats.completed) << context;
+  EXPECT_EQ(serial.stats.error, parallel.stats.error) << context;
+  EXPECT_EQ(serial.stats.cycles, parallel.stats.cycles) << context;
+  EXPECT_EQ(serial.stats.ops_fired, parallel.stats.ops_fired) << context;
+  EXPECT_EQ(serial.stats.tokens_sent, parallel.stats.tokens_sent) << context;
+  EXPECT_EQ(serial.stats.matches, parallel.stats.matches) << context;
+  EXPECT_EQ(serial.stats.contexts_allocated, parallel.stats.contexts_allocated)
+      << context;
+  EXPECT_EQ(serial.stats.mem_reads, parallel.stats.mem_reads) << context;
+  EXPECT_EQ(serial.stats.mem_writes, parallel.stats.mem_writes) << context;
+  EXPECT_EQ(serial.stats.peak_live_contexts, parallel.stats.peak_live_contexts)
+      << context;
+  EXPECT_EQ(serial.stats.throttle_stalls, parallel.stats.throttle_stalls)
+      << context;
+  EXPECT_EQ(serial.stats.deferred_reads, parallel.stats.deferred_reads)
+      << context;
+  EXPECT_EQ(serial.stats.peak_ready, parallel.stats.peak_ready) << context;
+  EXPECT_EQ(serial.stats.leftover_tokens, parallel.stats.leftover_tokens)
+      << context;
+  EXPECT_EQ(serial.stats.fired_by_kind, parallel.stats.fired_by_kind)
+      << context;
+  EXPECT_EQ(serial.stats.first_fire_cycle, parallel.stats.first_fire_cycle)
+      << context;
+  EXPECT_EQ(serial.stats.profile, parallel.stats.profile) << context;
+  EXPECT_EQ(serial.store.cells, parallel.store.cells) << context;
+}
+
+/// Runs `tx` serially and at each swept thread count, demanding
+/// identity. The serial result is returned so callers can add their own
+/// sanity assertions on top.
+RunResult check_equivalent(const translate::Translation& tx,
+                           MachineOptions mopt, const std::string& context) {
+  mopt.host_threads = 0;
+  const RunResult serial = core::execute(tx, mopt);
+  for (const unsigned threads : kThreadSweep) {
+    mopt.host_threads = threads;
+    const RunResult parallel = core::execute(tx, mopt);
+    expect_identical(serial, parallel,
+                     context + " host_threads=" + std::to_string(threads));
+  }
+  return serial;
+}
+
+void sweep_program(const lang::Program& prog,
+                   const translate::TranslateOptions& topt,
+                   const std::string& context) {
+  const auto tx = core::compile(prog, topt);
+  for (const auto loop_mode :
+       {LoopMode::kBarrier, LoopMode::kPipelined}) {
+    for (const std::uint64_t seed : {0ull, 7ull, 99ull}) {
+      for (const unsigned width : {0u, 2u}) {
+        MachineOptions mopt;
+        mopt.loop_mode = loop_mode;
+        mopt.scheduler_seed = seed;
+        mopt.width = width;
+        mopt.mem_latency = seed % 2 ? 1 : 9;
+        mopt.record_profile = true;
+        const auto res = check_equivalent(
+            tx, mopt,
+            context + " loop=" + to_string(loop_mode) +
+                " seed=" + std::to_string(seed) +
+                " width=" + std::to_string(width));
+        EXPECT_TRUE(res.stats.completed) << context << ": " << res.stats.error;
+      }
+    }
+  }
+}
+
+TEST(ParallelEquiv, CorpusUnderOptimizedSchema) {
+  for (const auto& np : lang::corpus::all())
+    sweep_program(lang::parse_or_throw(np.source),
+                  translate::TranslateOptions::schema2_optimized(), np.name);
+}
+
+TEST(ParallelEquiv, CorpusUnderMemoryElimination) {
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  topt.parallel_reads = true;
+  for (const auto& np : lang::corpus::all())
+    sweep_program(lang::parse_or_throw(np.source), topt, np.name + "/elim");
+}
+
+TEST(ParallelEquiv, IStructuresAndDeferredReads) {
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.istructure_arrays = {"x"};
+  sweep_program(lang::corpus::array_loop(10), topt, "array_loop_istruct");
+}
+
+TEST(ParallelEquiv, ParallelStoreArrays) {
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.parallel_store_arrays = {"x"};
+  sweep_program(lang::corpus::array_loop(10), topt, "array_loop_parstore");
+}
+
+TEST(ParallelEquiv, MultiPePlacementsAndNetworkLatency) {
+  const auto tx =
+      core::compile(lang::corpus::nested_loops_source(4, 5),
+                    translate::TranslateOptions::schema2_optimized());
+  for (const auto placement : {Placement::kByNode, Placement::kByContext}) {
+    for (const unsigned processors : {1u, 3u, 16u}) {
+      for (const unsigned net : {0u, 2u, 5u}) {
+        MachineOptions mopt;
+        mopt.loop_mode = LoopMode::kPipelined;
+        mopt.processors = processors;
+        mopt.placement = placement;
+        mopt.network_latency = net;
+        mopt.record_profile = true;
+        const auto res = check_equivalent(
+            tx, mopt,
+            std::string("nested_loops pe=") + std::to_string(processors) +
+                " placement=" + to_string(placement) +
+                " net=" + std::to_string(net));
+        EXPECT_TRUE(res.stats.completed) << res.stats.error;
+      }
+    }
+  }
+}
+
+TEST(ParallelEquiv, KBoundedLoops) {
+  const auto tx =
+      core::compile(lang::corpus::array_loop(16),
+                    translate::TranslateOptions::schema2_optimized());
+  for (const unsigned k : {1u, 2u, 4u}) {
+    for (const std::uint64_t seed : {0ull, 5ull}) {
+      MachineOptions mopt;
+      mopt.loop_mode = LoopMode::kPipelined;
+      mopt.loop_bound = k;
+      mopt.scheduler_seed = seed;
+      const auto res = check_equivalent(
+          tx, mopt,
+          "array_loop k=" + std::to_string(k) +
+              " seed=" + std::to_string(seed));
+      EXPECT_TRUE(res.stats.completed) << res.stats.error;
+      if (k == 1) {
+        EXPECT_GT(res.stats.throttle_stalls, 0u);
+      }
+    }
+  }
+}
+
+TEST(ParallelEquiv, RandomPrograms) {
+  for (std::uint64_t gseed = 0; gseed < 6; ++gseed) {
+    lang::GeneratorOptions gopt;
+    gopt.allow_unstructured = true;
+    gopt.allow_aliasing = true;
+    gopt.num_arrays = 1;
+    gopt.max_toplevel_stmts = 8;
+    const auto prog = lang::generate_program(gopt, gseed);
+    auto topt = translate::TranslateOptions::schema2_optimized();
+    topt.parallel_reads = true;
+    const auto tx = core::compile(prog, topt);
+    for (const std::uint64_t seed : {0ull, 3ull}) {
+      MachineOptions mopt;
+      mopt.loop_mode = LoopMode::kPipelined;
+      mopt.scheduler_seed = seed;
+      mopt.width = 3;
+      check_equivalent(tx, mopt,
+                       "gen seed=" + std::to_string(gseed) +
+                           " sched=" + std::to_string(seed));
+    }
+  }
+}
+
+// ---- error-path identity: the parallel entry point must reproduce the
+// serial engine's diagnostics exactly (it does so by delegating any
+// failing run to a serial rerun; the cycle cap is produced directly).
+
+NodeId add_start(Graph& g, std::vector<std::int64_t> values) {
+  Node s;
+  s.kind = OpKind::kStart;
+  s.num_outputs = static_cast<std::uint16_t>(values.size());
+  s.start_values = std::move(values);
+  const NodeId n = g.add(std::move(s));
+  g.set_start(n);
+  return n;
+}
+
+NodeId add_end(Graph& g, std::uint16_t inputs) {
+  Node e;
+  e.kind = OpKind::kEnd;
+  e.num_inputs = inputs;
+  const NodeId n = g.add(std::move(e));
+  g.set_end(n);
+  return n;
+}
+
+void check_graph_equivalent(const Graph& g, std::size_t cells,
+                            MachineOptions mopt,
+                            const std::vector<IStructureRegion>& is,
+                            const std::string& context) {
+  mopt.host_threads = 0;
+  const RunResult serial = run(g, cells, mopt, is);
+  for (const unsigned threads : kThreadSweep) {
+    mopt.host_threads = threads;
+    const RunResult parallel = run(g, cells, mopt, is);
+    expect_identical(serial, parallel,
+                     context + " host_threads=" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelEquiv, DeadlockReportIsIdentical) {
+  Graph g;
+  const NodeId s = add_start(g, {0});
+  const NodeId sy = g.add_synch(2, "starved");
+  g.connect({s, 0}, {sy, 0}, true);
+  const NodeId gate = g.add_gate("never");
+  g.bind_literal({gate, 0}, 0);
+  g.connect({sy, 0}, {gate, 1}, true);
+  g.connect({gate, 0}, {sy, 1}, true);
+  const NodeId e = add_end(g, 1);
+  g.connect({sy, 0}, {e, 0}, true);
+  check_graph_equivalent(g, 0, {}, {}, "deadlock");
+}
+
+TEST(ParallelEquiv, CollisionReportIsIdentical) {
+  Graph g;
+  const NodeId s = add_start(g, {1, 2});
+  const NodeId sy = g.add_synch(2, "victim");
+  g.connect({s, 0}, {sy, 0}, true);
+  g.connect({s, 1}, {sy, 0}, true);
+  const NodeId e = add_end(g, 1);
+  g.connect({sy, 0}, {e, 0}, true);
+  const NodeId gate = g.add_gate("idle");
+  g.bind_literal({gate, 0}, 0);
+  g.connect({sy, 0}, {gate, 1}, true);
+  g.connect({gate, 0}, {sy, 1}, true);
+  check_graph_equivalent(g, 0, {}, {}, "collision");
+}
+
+TEST(ParallelEquiv, DoubleWriteReportIsIdentical) {
+  Graph g;
+  const NodeId s = add_start(g, {0, 0});
+  for (std::uint16_t i = 0; i < 2; ++i) {
+    const NodeId istore = g.add_istore(0, 4, "w");
+    g.bind_literal({istore, 0}, 9);
+    g.bind_literal({istore, 1}, 1);
+    g.connect({s, i}, {istore, 2}, true);
+    if (i == 0) {
+      const NodeId e = add_end(g, 1);
+      g.connect({istore, 0}, {e, 0}, true);
+    }
+  }
+  check_graph_equivalent(g, 4, {}, {{0, 4}}, "double-write");
+}
+
+TEST(ParallelEquiv, UnfiredStoreReportIsIdentical) {
+  Graph g;
+  const NodeId s = add_start(g, {0, 0});
+  const NodeId st = g.add_store(0, "uncollected");
+  g.bind_literal({st, 0}, 9);
+  g.connect({s, 1}, {st, 1}, true);
+  const NodeId sink = g.add_merge("sink");
+  g.connect({st, 0}, {sink, 0}, true);
+  const NodeId e = add_end(g, 1);
+  g.connect({s, 0}, {e, 0}, true);
+  check_graph_equivalent(g, 1, {}, {}, "unfired-store");
+}
+
+TEST(ParallelEquiv, CycleCapReportIsIdentical) {
+  Graph g;
+  const NodeId s = add_start(g, {0});
+  const NodeId m = g.add_merge("spin");
+  g.connect({s, 0}, {m, 0}, true);
+  g.connect({m, 0}, {m, 0}, true);
+  const NodeId never = g.add_gate("never");
+  g.bind_literal({never, 0}, 0);
+  g.connect({never, 0}, {never, 1}, true);
+  const NodeId e = add_end(g, 1);
+  g.connect({never, 0}, {e, 0}, true);
+  MachineOptions o;
+  o.max_cycles = 500;
+  o.record_profile = true;
+  check_graph_equivalent(g, 0, o, {}, "cycle-cap");
+}
+
+TEST(ParallelEquiv, BenignLeftoverTokensAreIdentical) {
+  Graph g;
+  const NodeId s = add_start(g, {0, 0});
+  const NodeId slow = g.add_gate("slow");
+  g.bind_literal({slow, 0}, 1);
+  g.connect({s, 1}, {slow, 1}, true);
+  const NodeId sink = g.add_merge("sink");
+  g.connect({slow, 0}, {sink, 0}, false);
+  const NodeId e = add_end(g, 1);
+  g.connect({s, 0}, {e, 0}, true);
+  check_graph_equivalent(g, 0, {}, {}, "benign-leftover");
+}
+
+TEST(ParallelEquiv, HostThreadsOneUsesSerialPath) {
+  // host_threads == 1 must behave exactly like 0 (serial legacy path).
+  const auto tx = core::compile(lang::corpus::running_example(),
+                                translate::TranslateOptions::schema2_optimized());
+  MachineOptions mopt;
+  mopt.host_threads = 0;
+  const auto a = core::execute(tx, mopt);
+  mopt.host_threads = 1;
+  const auto b = core::execute(tx, mopt);
+  expect_identical(a, b, "host_threads=1");
+}
+
+}  // namespace
+}  // namespace ctdf::machine

@@ -3,7 +3,9 @@
 // I-structures, and loop-context mechanics.
 #include <gtest/gtest.h>
 
+#include "core/compiler.hpp"
 #include "dfg/graph.hpp"
+#include "lang/corpus.hpp"
 #include "machine/machine.hpp"
 #include "machine/report.hpp"
 
@@ -316,6 +318,108 @@ TEST(Machine, UnfiredStoreAtEndIsFatal) {
   const RunResult r = run(g, 1, {});
   EXPECT_FALSE(r.stats.completed);
   EXPECT_NE(r.stats.error.find("uncollected"), std::string::npos);
+}
+
+TEST(Machine, CycleCapReportsCapAsCycleCount) {
+  // Same spin graph as CycleCapReported, but pin down the report: the
+  // run must stop exactly at the cap, with the canonical message, and
+  // the statistics accumulated up to that point must survive.
+  Graph g;
+  const NodeId s = add_start(g, {0});
+  const NodeId m = g.add_merge("spin");
+  g.connect({s, 0}, {m, 0}, true);
+  g.connect({m, 0}, {m, 0}, true);
+  const NodeId never = g.add_gate("never");
+  g.bind_literal({never, 0}, 0);
+  g.connect({never, 0}, {never, 1}, true);
+  const NodeId e = add_end(g, 1);
+  g.connect({never, 0}, {e, 0}, true);
+  MachineOptions o;
+  o.max_cycles = 500;
+  const RunResult r = run(g, 0, o);
+  EXPECT_FALSE(r.stats.completed);
+  EXPECT_EQ(r.stats.error,
+            "cycle cap exceeded (possible livelock or "
+            "non-terminating program)");
+  EXPECT_EQ(r.stats.cycles, 500u);
+  // The merge fires once per cycle (alu latency 1), so essentially
+  // every capped cycle fired one operator.
+  EXPECT_GE(r.stats.ops_fired, 499u);
+  EXPECT_EQ(r.stats.fired_by_kind[static_cast<std::size_t>(OpKind::kEnd)],
+            0u);
+}
+
+TEST(Machine, DeadlockReportListsStarvedSlots) {
+  // Same circular wait as DeadlockDetected; check the diagnostic lists
+  // the starved slot with its missing-input count.
+  Graph g;
+  const NodeId s = add_start(g, {0});
+  const NodeId sy = g.add_synch(2, "starved");
+  g.connect({s, 0}, {sy, 0}, true);
+  const NodeId gate = g.add_gate("never");
+  g.bind_literal({gate, 0}, 0);
+  g.connect({sy, 0}, {gate, 1}, true);
+  g.connect({gate, 0}, {sy, 1}, true);
+  const NodeId e = add_end(g, 1);
+  g.connect({sy, 0}, {e, 0}, true);
+  const RunResult r = run(g, 0, {});
+  EXPECT_FALSE(r.stats.completed);
+  EXPECT_NE(r.stats.error.find("matching slot(s) still waiting"),
+            std::string::npos)
+      << r.stats.error;
+  EXPECT_NE(r.stats.error.find("missing 1 input(s)"), std::string::npos)
+      << r.stats.error;
+}
+
+TEST(Machine, DeadlockReportIncludesDeferredReaders) {
+  // An I-structure read of a cell nobody ever writes leaves a deferred
+  // reader and no pending events: deadlock, and the report must point
+  // at the deferred read (the usual culprit in write-once programs).
+  Graph g;
+  const NodeId s = add_start(g, {0});
+  const NodeId fetch = g.add_ifetch(0, 4, "orphan-read");
+  g.bind_literal({fetch, 0}, 2);
+  g.connect({s, 0}, {fetch, 1}, true);
+  const NodeId e = add_end(g, 1);
+  g.connect({fetch, 0}, {e, 0}, true);
+  const RunResult r = run(g, 4, {}, {{0, 4}});
+  EXPECT_FALSE(r.stats.completed);
+  EXPECT_NE(r.stats.error.find("deadlock"), std::string::npos);
+  EXPECT_NE(r.stats.error.find("I-structure cell(s) with deferred readers"),
+            std::string::npos)
+      << r.stats.error;
+  EXPECT_EQ(r.stats.deferred_reads, 1u);
+}
+
+TEST(Machine, KBoundOneRunsLoopSerially) {
+  // k = 1 is the throttle's corner: pipelined loop control degenerates
+  // to one iteration in flight. Results must still match the
+  // interpreter, with the frame footprint pinned at the bound.
+  const auto prog = lang::corpus::array_loop(16);
+  const auto ref = lang::interpret(prog);
+  ASSERT_TRUE(ref.completed);
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  topt.parallel_store_arrays = {"x"};
+  const auto tx = core::compile(prog, topt);
+
+  MachineOptions mopt;
+  mopt.loop_mode = LoopMode::kPipelined;
+  mopt.mem_latency = 60;  // stretch iteration lifetimes
+  const auto unbounded = core::execute(tx, mopt);
+  ASSERT_TRUE(unbounded.stats.completed) << unbounded.stats.error;
+
+  mopt.loop_bound = 1;
+  const auto k1 = core::execute(tx, mopt);
+  ASSERT_TRUE(k1.stats.completed) << k1.stats.error;
+  EXPECT_EQ(k1.store.cells, ref.store.cells);
+  // One iteration in flight (the bound is exact for a flat loop), so
+  // nearly every forwarding had to stall at the entry at least once.
+  EXPECT_LE(k1.stats.peak_live_contexts, 2u);
+  EXPECT_GT(unbounded.stats.peak_live_contexts,
+            k1.stats.peak_live_contexts);
+  EXPECT_GT(k1.stats.throttle_stalls, 0u);
+  EXPECT_GT(k1.stats.cycles, unbounded.stats.cycles);
 }
 
 TEST(Machine, ReportRendersHeadlinesAndKinds) {

@@ -30,9 +30,13 @@
 //   --network-latency=N     cross-PE token charge (default 2)
 //   --place-by-node         hash instructions to PEs (default: frames)
 //   --sched-seed=N          randomized scheduling (0 = FIFO)
+//   --host-threads=N        simulator worker threads (0 = serial; results
+//                           are bit-identical either way; env fallback
+//                           CTDF_HOST_THREADS)
 //   --trace                 print every operator firing
 //   --print=x,y             print named variables from the final store
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -77,9 +81,17 @@ std::string value_of(const std::string& arg) {
   return eq == std::string::npos ? "" : arg.substr(eq + 1);
 }
 
+unsigned host_threads_from_env() {
+  const char* v = std::getenv("CTDF_HOST_THREADS");
+  if (!v || !*v) return 0;
+  const long n = std::strtol(v, nullptr, 10);
+  return n > 0 ? static_cast<unsigned>(n) : 0;
+}
+
 Cli parse_cli(int argc, char** argv) {
   Cli cli;
   cli.mopt.loop_mode = machine::LoopMode::kPipelined;
+  cli.mopt.host_threads = host_threads_from_env();
   if (argc < 3) {
     cli.ok = false;
     return cli;
@@ -137,6 +149,9 @@ Cli parse_cli(int argc, char** argv) {
       cli.mopt.loop_mode = machine::LoopMode::kBarrier;
     } else if (starts_with(a, "--sched-seed=")) {
       cli.mopt.scheduler_seed = std::stoull(value_of(a));
+    } else if (starts_with(a, "--host-threads=")) {
+      cli.mopt.host_threads =
+          static_cast<unsigned>(std::stoul(value_of(a)));
     } else if (a == "--trace") {
       cli.mopt.trace = true;
     } else if (a == "--report") {
