@@ -1,5 +1,7 @@
 #include "core/compiler.hpp"
 
+#include "core/pipeline.hpp"
+
 namespace ctdf::core {
 
 lang::Program parse(std::string_view source) {
@@ -8,13 +10,12 @@ lang::Program parse(std::string_view source) {
 
 translate::Translation compile(const lang::Program& prog,
                                const translate::TranslateOptions& options) {
-  return translate::translate_or_throw(prog, options);
+  return Pipeline(PipelineOptions(options)).run(prog).translation;
 }
 
 translate::Translation compile(std::string_view source,
                                const translate::TranslateOptions& options) {
-  const lang::Program prog = parse(source);
-  return compile(prog, options);
+  return Pipeline(PipelineOptions(options)).run(source).translation;
 }
 
 machine::RunResult execute(const translate::Translation& tx,

@@ -1,0 +1,125 @@
+#include "core/pipeline.hpp"
+
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "lang/parser.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ctdf::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Collects records into a trace and captures the one requested dump.
+class TraceHooks final : public translate::StageHooks {
+ public:
+  TraceHooks(PipelineTrace& trace, std::optional<Stage> dump_after,
+             std::string& dump)
+      : trace_(trace), dump_after_(dump_after), dump_(dump) {}
+
+  void record(StageRecord r) override { trace_.stages.push_back(std::move(r)); }
+  bool wants_dump(Stage s) override { return dump_after_ == s; }
+  void dump(Stage /*s*/, std::string artifact) override {
+    dump_ = std::move(artifact);
+  }
+
+ private:
+  PipelineTrace& trace_;
+  std::optional<Stage> dump_after_;
+  std::string& dump_;
+};
+
+}  // namespace
+
+bool PipelineOptions::configure_stage(std::string_view name, bool enabled) {
+  if (name == "dse") {
+    translate.dead_store_elimination = enabled;
+  } else if (name == "ssa") {
+    compute_ssa = enabled;
+  } else if (name == "post-opt") {
+    translate.post_optimize = enabled;
+  } else if (name == "validate") {
+    validate = enabled;
+  } else if (name == "fanout-lower" && !enabled) {
+    translate.max_fanout = 0;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Pipeline::Pipeline(PipelineOptions options) : options_(std::move(options)) {}
+
+CompileResult Pipeline::run(std::string_view source) const {
+  CompileResult result;
+  TraceHooks hooks(result.trace, options_.dump_after, result.dump);
+
+  support::DiagnosticEngine diags;
+  const auto t0 = Clock::now();
+  const lang::Program prog = lang::parse(source, diags);
+  StageRecord pr;
+  pr.stage = Stage::kParse;
+  pr.ran = true;
+  pr.nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count();
+  pr.size_in = source.size();
+  pr.size_out = prog.body.size();
+  pr.counters = {
+      {"stmts", static_cast<std::int64_t>(prog.body.size())},
+      {"vars", static_cast<std::int64_t>(prog.symbols.size())}};
+  hooks.record(std::move(pr));
+  diags.throw_if_errors();
+  if (hooks.wants_dump(Stage::kParse))
+    hooks.dump(Stage::kParse, prog.to_string());
+
+  translate::StageSet set;
+  set.ssa = options_.compute_ssa;
+  set.validate = options_.validate;
+  result.translation =
+      translate::run_stages(prog, options_.translate, diags, &hooks, set);
+  diags.throw_if_errors();
+  return result;
+}
+
+CompileResult Pipeline::run(const lang::Program& prog) const {
+  CompileResult result;
+  TraceHooks hooks(result.trace, options_.dump_after, result.dump);
+
+  StageRecord pr;  // no parsing happened on this path
+  pr.stage = Stage::kParse;
+  pr.ran = false;
+  hooks.record(std::move(pr));
+
+  support::DiagnosticEngine diags;
+  translate::StageSet set;
+  set.ssa = options_.compute_ssa;
+  set.validate = options_.validate;
+  result.translation =
+      translate::run_stages(prog, options_.translate, diags, &hooks, set);
+  diags.throw_if_errors();
+  return result;
+}
+
+BatchResult Pipeline::run_many(const std::vector<std::string>& sources) const {
+  BatchResult batch;
+  batch.programs.reserve(sources.size());
+  // Front-end sharing: textually identical sources compile once.
+  std::unordered_map<std::string, std::size_t> seen;
+  for (const std::string& src : sources) {
+    if (const auto it = seen.find(src); it != seen.end()) {
+      batch.programs.push_back(batch.programs[it->second]);
+      ++batch.cache_hits;
+    } else {
+      seen.emplace(src, batch.programs.size());
+      batch.programs.push_back(run(src));
+    }
+    batch.combined.merge(batch.programs.back().trace);
+  }
+  return batch;
+}
+
+}  // namespace ctdf::core

@@ -1,0 +1,104 @@
+// The staged compilation pipeline, driver side.
+//
+// core::Pipeline runs the explicit stage sequence defined in
+// translate/stages.hpp (parse → cfg-build → … → validate) and collects
+// a PipelineTrace: per-stage wall time, artifact sizes, and
+// stage-specific counters. It optionally captures one stage's rendered
+// artifact (`--dump-after` in the ctdf CLI). core::compile is a thin
+// wrapper over Pipeline::run; both produce byte-identical graphs for
+// identical options because the stage orchestration itself lives in
+// translate::run_stages and is shared by every path.
+//
+//   ctdf::core::Pipeline p(ctdf::core::PipelineOptions{
+//       translate::TranslateOptions::schema2_optimized()});
+//   auto r = p.run(source);
+//   std::puts(r.trace.table().c_str());
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "translate/stages.hpp"
+#include "translate/translator.hpp"
+
+namespace ctdf::core {
+
+// The stage vocabulary is defined once, in the translate layer; core
+// re-exports it so downstream users need only this header.
+using translate::PipelineTrace;
+using translate::Stage;
+using translate::StageRecord;
+
+/// Unified configuration for a pipeline run: the translation options
+/// plus the pipeline-level stage toggles and dump selection.
+struct PipelineOptions {
+  translate::TranslateOptions translate;
+
+  /// Run the stats-only `ssa` stage (φ-placement counts in the trace).
+  bool compute_ssa = false;
+
+  /// Run the final `validate` stage (on by default, as core::compile
+  /// always validated).
+  bool validate = true;
+
+  /// Capture the rendered artifact of this stage into
+  /// CompileResult::dump (Graphviz for graph stages, text for
+  /// analyses).
+  std::optional<Stage> dump_after;
+
+  PipelineOptions() = default;
+  /// Implicit on purpose: every TranslateOptions is a valid pipeline
+  /// configuration, so call sites can keep passing schema presets.
+  PipelineOptions(translate::TranslateOptions t) : translate(std::move(t)) {}
+
+  /// Enables/disables a stage by name ("dse", "ssa", "post-opt", ...).
+  /// Returns false for unknown names and for stages that cannot be
+  /// toggled (cfg-build, translate, ...).
+  bool configure_stage(std::string_view name, bool enabled);
+};
+
+struct CompileResult {
+  translate::Translation translation;
+  PipelineTrace trace;
+  /// The artifact requested via PipelineOptions::dump_after (empty when
+  /// none was requested or the stage did not run).
+  std::string dump;
+};
+
+/// Result of a batch run over several sources.
+struct BatchResult {
+  std::vector<CompileResult> programs;
+  /// Per-stage aggregate over the batch (times/sizes/counters summed).
+  PipelineTrace combined;
+  /// Sources that reused a previous identical source's front-end work.
+  std::size_t cache_hits = 0;
+};
+
+class Pipeline {
+ public:
+  explicit Pipeline(PipelineOptions options = {});
+
+  [[nodiscard]] const PipelineOptions& options() const { return options_; }
+
+  /// Full run from source text (the `parse` stage is timed and
+  /// dumpable). Throws support::CompileError on any error.
+  [[nodiscard]] CompileResult run(std::string_view source) const;
+
+  /// Run from an already-parsed program; `parse` is reported skipped.
+  [[nodiscard]] CompileResult run(const lang::Program& prog) const;
+
+  /// Compiles a batch, sharing front-end work: textually identical
+  /// sources are parsed and compiled once and the result is copied
+  /// (traces still list every program; shared compiles count toward
+  /// BatchResult::cache_hits).
+  [[nodiscard]] BatchResult run_many(
+      const std::vector<std::string>& sources) const;
+
+ private:
+  PipelineOptions options_;
+};
+
+}  // namespace ctdf::core

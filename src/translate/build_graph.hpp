@@ -1,0 +1,25 @@
+// Internal interface between the stage orchestrator (stages.cpp) and
+// the fused Fig. 11 graph construction that remains in translator.cpp.
+// Not part of the public translate API.
+#pragma once
+
+#include "cfg/dominance.hpp"
+#include "cfg/intervals.hpp"
+#include "translate/classify.hpp"
+#include "translate/source_vectors.hpp"
+#include "translate/translator.hpp"
+
+namespace ctdf::translate::detail {
+
+/// The `translate` stage: one reverse-postorder pass over the
+/// (loop-transformed) CFG that builds result.graph from the precomputed
+/// stage artifacts. `options` must already be normalized. Only
+/// result.graph is written; the orchestrator owns every other field.
+void build_graph(const lang::Program& prog, const TranslateOptions& options,
+                 support::DiagnosticEngine& diags,
+                 const lang::StorageLayout& layout, const cfg::Graph& cfg,
+                 const cfg::LoopInfo& loops, const Cover& cover,
+                 const ResourceClasses& classes, const SourceVectors& sv,
+                 const cfg::DomTree& pdom, Translation& result);
+
+}  // namespace ctdf::translate::detail

@@ -1,7 +1,9 @@
 // Translation configuration: which schema of the paper to apply.
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "translate/cover.hpp"
@@ -83,6 +85,29 @@ struct TranslateOptions {
   }
 
   [[nodiscard]] std::string describe() const;
+
+  /// The options as the translator actually applies them: Schema 1
+  /// (sequential) forces the unified cover, disables switch optimization
+  /// and memory elimination, enables within-statement parallel reads,
+  /// and drops the array transforms. Idempotent.
+  [[nodiscard]] TranslateOptions normalized() const;
 };
+
+/// Result of feeding one command-line token to apply_schema_flag.
+enum class SchemaFlagParse : std::uint8_t {
+  kNotSchemaFlag,  ///< not a schema option; try other option families
+  kApplied,        ///< recognized and applied to the options
+  kBadValue,       ///< recognized but the value is malformed
+};
+
+/// The one parser for schema-selection flags, shared by the `ctdf` CLI
+/// and the bench harnesses: "--schema1", "--no-opt", "--cover=...",
+/// "--mem-elim", "--dse", "--post-opt", "--max-fanout=N",
+/// "--par-reads", "--fig14=a,b", "--istructure=a,b".
+SchemaFlagParse apply_schema_flag(TranslateOptions& o, std::string_view arg);
+
+/// Splits "a,b,c" into {"a","b","c"} (empty items dropped); used for
+/// the list-valued schema flags and the CLI's --print.
+[[nodiscard]] std::vector<std::string> split_csv(const std::string& s);
 
 }  // namespace ctdf::translate

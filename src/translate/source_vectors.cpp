@@ -1,0 +1,73 @@
+#include "translate/source_vectors.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "support/assert.hpp"
+
+namespace ctdf::translate {
+
+SourceVectors compute_source_vectors(const cfg::Graph& cfg,
+                                     const cfg::LoopInfo& loops,
+                                     const Cover& cover,
+                                     const cfg::ControlDeps& cd,
+                                     std::size_t num_resources,
+                                     bool optimize_switches) {
+  using cfg::NodeId;
+
+  SourceVectors sv;
+  sv.uses.resize(cfg.size());
+  for (NodeId n : cfg.all_nodes()) {
+    const cfg::NodeKind k = cfg.kind(n);
+    if (k == cfg::NodeKind::kAssign || k == cfg::NodeKind::kFork)
+      sv.uses[n] = cover.access_set_union(cfg.refs(n));
+  }
+
+  // Per-loop resource sets.
+  std::vector<std::vector<Resource>> loop_res(loops.loops().size());
+  const auto all_resources = [&] {
+    std::vector<Resource> rs(num_resources);
+    for (Resource r = 0; r < num_resources; ++r) rs[r] = r;
+    return rs;
+  };
+  for (const cfg::Loop& loop : loops.loops()) {
+    loop_res[loop.id.index()] =
+        optimize_switches
+            ? cover.access_set_union(loops.used_vars(cfg, loop.id))
+            : all_resources();
+  }
+
+  std::optional<SwitchPlacement> placement;
+  for (int iteration = 0;; ++iteration) {
+    CTDF_ASSERT_MSG(iteration <= static_cast<int>(num_resources) + 2,
+                    "loop-refs fixpoint failed to converge");
+    for (const cfg::Loop& loop : loops.loops()) {
+      sv.uses[loop.entry] = loop_res[loop.id.index()];
+      for (NodeId x : loop.exits) sv.uses[x] = loop_res[loop.id.index()];
+    }
+    placement.emplace(cfg, cd, sv.uses, num_resources, optimize_switches);
+    ++sv.fixpoint_rounds;
+    if (!optimize_switches) break;
+
+    bool changed = false;
+    for (const cfg::Loop& loop : loops.loops()) {
+      auto& res = loop_res[loop.id.index()];
+      for (NodeId n : loop.members) {
+        if (cfg.kind(n) != cfg::NodeKind::kFork) continue;
+        for (Resource r = 0; r < num_resources; ++r) {
+          if (placement->needs_switch(n, r) &&
+              std::find(res.begin(), res.end(), r) == res.end()) {
+            res.push_back(r);
+            changed = true;
+          }
+        }
+      }
+      std::sort(res.begin(), res.end());
+    }
+    if (!changed) break;
+  }
+  sv.placement = std::move(*placement);
+  return sv;
+}
+
+}  // namespace ctdf::translate

@@ -1,0 +1,39 @@
+// Source vectors and switch placement (paper Section 4, Figs. 10/11).
+//
+// Computes, per CFG node, the resources it consumes/produces (the
+// inputs of Fig. 11's direct construction) and the Fig. 10 switch
+// placement, iterated to the loop-refs fixpoint described in
+// translator.hpp: a resource switched by a fork *inside* a loop must
+// itself circulate through that loop's entry/exit nodes, so placement
+// enlarges loop reference sets until every switched resource is
+// loop-resident.
+//
+// This is the `switch-place` stage of the staged pipeline (stages.hpp).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cfg/control_dep.hpp"
+#include "cfg/graph.hpp"
+#include "cfg/intervals.hpp"
+#include "support/index_map.hpp"
+#include "translate/cover.hpp"
+#include "translate/switch_place.hpp"
+
+namespace ctdf::translate {
+
+struct SourceVectors {
+  /// uses[n]: resources node n touches; loop entry/exit nodes carry the
+  /// (fixpoint-enlarged) reference set of their loop.
+  support::IndexMap<cfg::NodeId, std::vector<Resource>> uses;
+  SwitchPlacement placement;
+  std::size_t fixpoint_rounds = 0;  ///< placement recomputations
+};
+
+[[nodiscard]] SourceVectors compute_source_vectors(
+    const cfg::Graph& cfg, const cfg::LoopInfo& loops, const Cover& cover,
+    const cfg::ControlDeps& cd, std::size_t num_resources,
+    bool optimize_switches);
+
+}  // namespace ctdf::translate

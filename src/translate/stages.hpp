@@ -1,0 +1,129 @@
+// The staged compilation pipeline: one explicit, ordered sequence of
+// named stages from program to executable dataflow graph.
+//
+//   parse → cfg-build → dse → loop-transform → cover → ssa →
+//   dominance → control-dep → switch-place → translate → post-opt →
+//   fanout-lower → validate
+//
+// Each stage declares an input/output artifact (CFG, loop forest,
+// cover/classification, dataflow graph), records wall-time and a
+// stage-specific counter set into a PipelineTrace, and can render its
+// artifact as text/dot for dump points (`ctdf ... --dump-after=STAGE`).
+// `parse` is driven by core::Pipeline — this layer starts from a
+// lang::Program. Optional stages are controlled by TranslateOptions
+// (dse, post-opt, fanout-lower, the switch-place optimization) and by
+// StageSet (ssa, validate); a disabled stage is reported as skipped, so
+// every trace lists the full stage sequence.
+//
+// run_stages is the single implementation behind translate() and
+// core::Pipeline::run: identical options produce byte-identical graphs
+// on every path by construction.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lang/ast.hpp"
+#include "support/diagnostics.hpp"
+#include "translate/options.hpp"
+#include "translate/translator.hpp"
+
+namespace ctdf::translate {
+
+/// Pipeline stages, in execution order.
+enum class Stage : std::uint8_t {
+  kParse,
+  kCfgBuild,
+  kDse,
+  kLoopTransform,
+  kCover,
+  kSsa,
+  kDominance,
+  kControlDep,
+  kSwitchPlace,
+  kTranslate,
+  kPostOpt,
+  kFanoutLower,
+  kValidate,
+};
+
+inline constexpr std::size_t kNumStages = 13;
+
+[[nodiscard]] const char* to_string(Stage s);
+[[nodiscard]] std::optional<Stage> stage_from_name(std::string_view name);
+[[nodiscard]] const std::vector<Stage>& all_stages();
+
+/// One executed (or skipped) stage of a pipeline run.
+struct StageRecord {
+  Stage stage = Stage::kParse;
+  bool ran = false;          ///< false: disabled by options or early error
+  std::int64_t nanos = 0;    ///< wall time (0 when skipped)
+  std::size_t size_in = 0;   ///< artifact size entering (stage-specific unit)
+  std::size_t size_out = 0;  ///< artifact size leaving
+  /// Stage-specific stats, e.g. {"switches", 3} for switch-place.
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+
+  /// Value of a named counter, or -1 when absent.
+  [[nodiscard]] std::int64_t counter(std::string_view name) const;
+};
+
+struct PipelineTrace {
+  std::vector<StageRecord> stages;
+
+  /// The record of stage s, or nullptr if it was never reported.
+  [[nodiscard]] const StageRecord* find(Stage s) const;
+  [[nodiscard]] std::int64_t total_nanos() const;
+
+  /// Human-readable table: stage, time, artifact size in → out (with
+  /// delta), counters. One row per stage, skipped stages dashed.
+  [[nodiscard]] std::string table() const;
+
+  /// Deterministic one-line-per-stage rendering (names, sizes, and
+  /// counters; no times) — the golden-test / diffing format.
+  [[nodiscard]] std::string summary() const;
+
+  /// Accumulates another run's times, sizes, and counters per stage
+  /// (used by Pipeline::run_many to aggregate a corpus).
+  void merge(const PipelineTrace& other);
+};
+
+/// Observer the stage orchestrator reports into; all methods optional.
+class StageHooks {
+ public:
+  virtual ~StageHooks() = default;
+  /// Called once per stage, in order, including skipped stages.
+  virtual void record(StageRecord /*r*/) {}
+  /// Return true to receive the named stage's rendered artifact
+  /// (Graphviz for CFG/DFG stages, text for analyses). Called only for
+  /// stages that actually run.
+  virtual bool wants_dump(Stage /*s*/) { return false; }
+  virtual void dump(Stage /*s*/, std::string /*artifact*/) {}
+};
+
+/// Pipeline-level stage toggles that have no TranslateOptions flag (the
+/// translation-affecting stages carry their own enables there).
+struct StageSet {
+  /// φ-placement stage: classic SSA statistics over the transformed
+  /// CFG, reported in the trace (paper Sec. 6.1's correspondence);
+  /// never affects the produced graph.
+  bool ssa = false;
+  /// Final structural validation of the dataflow graph.
+  bool validate = true;
+};
+
+/// Runs every stage after `parse` over `prog`, reporting per-stage
+/// records and requested dump artifacts to `hooks` (may be null).
+/// Frontend/structural problems go to `diags`; on error the returned
+/// translation is partial and the remaining stages are reported as
+/// skipped.
+[[nodiscard]] Translation run_stages(const lang::Program& prog,
+                                     const TranslateOptions& options,
+                                     support::DiagnosticEngine& diags,
+                                     StageHooks* hooks = nullptr,
+                                     const StageSet& set = {});
+
+}  // namespace ctdf::translate

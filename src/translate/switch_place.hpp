@@ -20,6 +20,9 @@ namespace ctdf::translate {
 
 class SwitchPlacement {
  public:
+  /// Empty placement (no forks, no switches); assign a computed one.
+  SwitchPlacement() = default;
+
   /// `uses[n]` must list the resources node n uses (loop entry/exit
   /// refs included). When `optimize` is false every fork (every node
   /// with a false out-edge except start) needs every resource.

@@ -1,19 +1,21 @@
+// The fused Fig. 11 construction: one reverse-postorder pass over the
+// loop-transformed CFG that wires the dataflow graph from the stage
+// artifacts (cover, resource classification, source vectors, switch
+// placement, postdominators). Orchestration — stage order, timing,
+// stats, dumps — lives in stages.cpp; this file only builds the graph.
 #include "translate/translator.hpp"
 
 #include <algorithm>
 #include <map>
-#include <optional>
 #include <unordered_map>
 
-#include "cfg/build.hpp"
-#include "cfg/control_dep.hpp"
-#include "cfg/dataflow.hpp"
 #include "cfg/dominance.hpp"
 #include "cfg/intervals.hpp"
-#include "dfg/passes.hpp"
 #include "support/assert.hpp"
-#include "translate/subscript.hpp"
-#include "translate/switch_place.hpp"
+#include "translate/build_graph.hpp"
+#include "translate/classify.hpp"
+#include "translate/source_vectors.hpp"
+#include "translate/stages.hpp"
 
 namespace ctdf::translate {
 
@@ -57,207 +59,27 @@ bool subsumes(const std::vector<PortRef>& a, const std::vector<PortRef>& b) {
 class Builder {
  public:
   Builder(const lang::Program& prog, const TranslateOptions& options,
-          support::DiagnosticEngine& diags)
-      : prog_(prog), opt_(options), diags_(diags), layout_(prog.symbols) {
-    if (opt_.sequential) {
-      opt_.cover = CoverStrategy::kUnified;
-      opt_.optimize_switches = false;
-      opt_.eliminate_memory = false;
-      opt_.parallel_reads = true;
-      opt_.parallel_store_arrays.clear();
-      opt_.istructure_arrays.clear();
-    }
-  }
-
-  Translation run() {
-    cfg_ = cfg::build_cfg(prog_, diags_);
-    if (diags_.has_errors()) return std::move(result_);
-    if (opt_.dead_store_elimination)
-      result_.dead_stores_removed =
-          cfg::eliminate_dead_stores(cfg_, prog_.symbols);
-    result_.cfg_nodes = cfg_.size();
-    for (NodeId n : cfg_.all_nodes()) result_.cfg_edges += cfg_.succs(n).size();
-
-    if (!opt_.sequential) {
-      loops_ = cfg::transform_loops(cfg_, diags_);
-      if (diags_.has_errors()) return std::move(result_);
-      result_.loops = loops_.loops().size();
-      result_.nodes_split = loops_.nodes_split();
-    }
-
-    cover_ = Cover::make(prog_.symbols, opt_.cover);
-    num_res_ = cover_.size();
-    result_.num_resources = num_res_;
-    classify_resources();
-    compute_uses_and_placement();
-
-    build();
-    if (diags_.has_errors()) return std::move(result_);
-
-    if (opt_.post_optimize)
-      result_.post_opt_removed =
-          dfg::optimize_graph(result_.graph).total_removed();
-    if (opt_.max_fanout >= 2)
-      result_.replicates_inserted =
-          dfg::lower_fanout(result_.graph, opt_.max_fanout);
-
-    result_.memory_cells = layout_.total_cells();
-    for (auto& problem : result_.graph.validate())
-      diags_.error({}, "DFG validation: " + problem);
-    return std::move(result_);
-  }
-
- private:
-  // ---------------------------------------------------------------------
-  // Resource classification: memory elimination (Sec. 6.1), I-structure
-  // arrays, and Fig. 14 loop-store parallelization.
-  // ---------------------------------------------------------------------
-
-  void classify_resources() {
-    eliminated_.assign(num_res_, false);
-    istructure_.assign(num_res_, false);
-    if (opt_.eliminate_memory) {
-      for (Resource r = 0; r < num_res_; ++r)
-        eliminated_[r] = cover_.eliminable(r, prog_.symbols);
-    }
-
-    const auto singleton_array_resource =
-        [&](const std::string& name) -> std::optional<Resource> {
-      const auto v = prog_.symbols.lookup(name);
-      if (!v || !prog_.symbols.is_array(*v)) {
-        diags_.warning({}, "'" + name + "' is not a declared array; ignored");
-        return std::nullopt;
-      }
-      if (prog_.symbols.alias_class(*v).size() != 1 ||
-          cover_.access_set(*v).size() != 1) {
-        diags_.warning({}, "array '" + name +
-                               "' is aliased or covered jointly; cannot "
-                               "relax its access ordering");
-        return std::nullopt;
-      }
-      const Resource r = cover_.access_set(*v).front();
-      if (cover_.element(r).size() != 1) return std::nullopt;
-      return r;
-    };
-
-    for (const auto& name : opt_.istructure_arrays) {
-      if (const auto r = singleton_array_resource(name)) {
-        istructure_[*r] = true;
-        const VarId v = cover_.singleton_var(*r);
-        result_.istructures.push_back(
-            IRegion{static_cast<std::uint32_t>(layout_.base(v)),
-                    static_cast<std::uint32_t>(layout_.extent(v))});
-      }
-    }
-
-    // Fig. 14: per (loop, array) qualification. Requires the user to
-    // nominate the array AND a conservative subscript check: inside the
-    // loop the array is only stored to, each store's subscript is
-    // i or i±c for a simple induction variable i of that loop.
-    marked_.assign(loops_.loops().size(), {});
-    for (const auto& name : opt_.parallel_store_arrays) {
-      const auto r = singleton_array_resource(name);
-      if (!r || istructure_[*r]) continue;
-      const VarId a = cover_.singleton_var(*r);
-      for (const cfg::Loop& loop : loops_.loops()) {
-        if (qualifies_fig14(loop, a)) {
-          marked_[loop.id.index()].push_back(*r);
-          ++result_.loops_store_parallelized;
-        }
-      }
-    }
-  }
-
-  [[nodiscard]] bool qualifies_fig14(const cfg::Loop& loop, VarId a) const {
-    return stores_parallelizable(cfg_, loop, a, prog_.symbols);
-  }
-
-  /// Is resource r "split" into (go, chain) tokens at node n?
-  [[nodiscard]] bool split_at(NodeId n, Resource r) const {
-    if (istructure_[r]) return true;
-    for (const cfg::Loop& loop : loops_.loops()) {
-      const auto& ms = marked_[loop.id.index()];
-      if (std::find(ms.begin(), ms.end(), r) != ms.end() &&
-          loops_.in_loop(n, loop.id))
-        return true;
-    }
-    return false;
-  }
-
-  [[nodiscard]] bool marked_in(cfg::LoopId l, Resource r) const {
-    const auto& ms = marked_[l.index()];
-    return std::find(ms.begin(), ms.end(), r) != ms.end();
-  }
-
-  // ---------------------------------------------------------------------
-  // Uses and switch placement (Figs. 10/11 inputs), with the loop-refs
-  // fixpoint described in translator.hpp.
-  // ---------------------------------------------------------------------
-
-  void compute_uses_and_placement() {
-    uses_.resize(cfg_.size());
-    for (NodeId n : cfg_.all_nodes()) {
-      const cfg::NodeKind k = cfg_.kind(n);
-      if (k == cfg::NodeKind::kAssign || k == cfg::NodeKind::kFork)
-        uses_[n] = cover_.access_set_union(cfg_.refs(n));
-    }
-
-    pdom_.emplace(cfg_, cfg::DomDirection::kPostdom);
-    cd_.emplace(cfg_, *pdom_);
-
-    // Per-loop resource sets.
-    std::vector<std::vector<Resource>> loop_res(loops_.loops().size());
-    const auto all_resources = [&] {
-      std::vector<Resource> rs(num_res_);
-      for (Resource r = 0; r < num_res_; ++r) rs[r] = r;
-      return rs;
-    };
-    for (const cfg::Loop& loop : loops_.loops()) {
-      loop_res[loop.id.index()] =
-          opt_.optimize_switches
-              ? cover_.access_set_union(loops_.used_vars(cfg_, loop.id))
-              : all_resources();
-    }
-
-    for (int iteration = 0;; ++iteration) {
-      CTDF_ASSERT_MSG(iteration <= static_cast<int>(num_res_) + 2,
-                      "loop-refs fixpoint failed to converge");
-      for (const cfg::Loop& loop : loops_.loops()) {
-        uses_[loop.entry] = loop_res[loop.id.index()];
-        for (NodeId x : loop.exits) uses_[x] = loop_res[loop.id.index()];
-      }
-      placement_.emplace(cfg_, *cd_, uses_, num_res_,
-                         opt_.optimize_switches);
-      if (!opt_.optimize_switches) break;
-
-      bool changed = false;
-      for (const cfg::Loop& loop : loops_.loops()) {
-        auto& res = loop_res[loop.id.index()];
-        for (NodeId n : loop.members) {
-          if (cfg_.kind(n) != cfg::NodeKind::kFork) continue;
-          for (Resource r = 0; r < num_res_; ++r) {
-            if (placement_->needs_switch(n, r) &&
-                std::find(res.begin(), res.end(), r) == res.end()) {
-              res.push_back(r);
-              changed = true;
-            }
-          }
-        }
-        std::sort(res.begin(), res.end());
-      }
-      if (!changed) break;
-    }
-    result_.switches_placed = placement_->total();
-  }
+          support::DiagnosticEngine& diags, const lang::StorageLayout& layout,
+          const cfg::Graph& cfg, const cfg::LoopInfo& loops,
+          const Cover& cover, const ResourceClasses& classes,
+          const SourceVectors& sv, const cfg::DomTree& pdom,
+          Translation& result)
+      : prog_(prog),
+        opt_(options),
+        diags_(diags),
+        layout_(layout),
+        cfg_(cfg),
+        loops_(loops),
+        cover_(cover),
+        classes_(classes),
+        sv_(sv),
+        pdom_(pdom),
+        num_res_(cover.size()),
+        result_(result) {}
 
   // ---------------------------------------------------------------------
   // Construction (fused Fig. 11 + wiring), one RPO pass.
   // ---------------------------------------------------------------------
-
-  struct Sink {
-    PortRef main;
-    PortRef chain;
-  };
 
   void build() {
     dfg::Graph& g = result_.graph;
@@ -320,6 +142,12 @@ class Builder {
     }
   }
 
+ private:
+  /// Is resource r "split" into (go, chain) tokens at node n?
+  [[nodiscard]] bool split_at(NodeId n, Resource r) const {
+    return classes_.split_at(loops_, n, r);
+  }
+
   /// Pushes `sources` for resource r along the CFG edge into `to` (or a
   /// bypass jump). If `to` was already processed the sources must either
   /// wire into a registered sink (loop entries, cyclic joins) or be
@@ -354,7 +182,9 @@ class Builder {
         "new token source reached an already-constructed node");
   }
 
-  [[nodiscard]] bool arc_dummy(Resource r) const { return !eliminated_[r]; }
+  [[nodiscard]] bool arc_dummy(Resource r) const {
+    return !classes_.eliminated[r];
+  }
 
   /// Collapses a source set to one port, inserting a dataflow merge when
   /// several exclusive sources feed the same consumer (paper Sec. 4.2:
@@ -423,7 +253,7 @@ class Builder {
   void build_loop_entry(NodeId n) {
     dfg::Graph& g = result_.graph;
     const cfg::Node& node = cfg_.node(n);
-    const auto& res = uses_[n];
+    const auto& res = sv_.uses[n];
     const NodeId succ = node.succ_true;
 
     if (!res.empty()) {
@@ -473,7 +303,7 @@ class Builder {
   void build_loop_exit(NodeId n) {
     dfg::Graph& g = result_.graph;
     const cfg::Node& node = cfg_.node(n);
-    const auto& res = uses_[n];
+    const auto& res = sv_.uses[n];
     const NodeId succ = node.succ_true;
     const NodeId pred = cfg_.preds(n).front();
 
@@ -546,7 +376,7 @@ class Builder {
         for (PortRef p : in.main) g.connect(p, {sy, 0}, true);
         for (PortRef p : in.chain) g.connect(p, {sy, 1}, true);
         g.connect({sy, 0}, dst, true);
-      } else if (eliminated_[r]) {
+      } else if (classes_.eliminated[r]) {
         // Write the token-carried value back so the final store is
         // observable (and comparable with the reference interpreter).
         const VarId v = cover_.singleton_var(r);
@@ -586,7 +416,7 @@ class Builder {
   }
 
   void init_statement(NodeId n, StmtCtx& sc) {
-    for (Resource r : uses_[n]) {
+    for (Resource r : sv_.uses[n]) {
       Comp& in = incoming_[n][r];
       CurState st;
       st.entry_main = coalesce(in.main, r, "in " + res_name(r));
@@ -668,7 +498,7 @@ class Builder {
 
   ValueSrc read_scalar(StmtCtx& sc, VarId v) {
     const auto& rs = cover_.access_set(v);
-    if (rs.size() == 1 && eliminated_[rs.front()])
+    if (rs.size() == 1 && classes_.eliminated[rs.front()])
       return ValueSrc::of(state_of(sc, rs.front()).main);
 
     if (const auto it = sc.scalar_loads.find(v.value());
@@ -691,7 +521,7 @@ class Builder {
     const auto base = static_cast<std::uint32_t>(layout_.base(a));
     const auto extent = static_cast<std::int64_t>(layout_.extent(a));
 
-    if (rs.size() == 1 && istructure_[rs.front()]) {
+    if (rs.size() == 1 && classes_.istructure[rs.front()]) {
       const dfg::NodeId f =
           g.add_ifetch(base, extent, prog_.symbols.name(a) + "[]");
       wire_value(index, {f, 0});
@@ -751,7 +581,7 @@ class Builder {
     const auto extent = static_cast<std::int64_t>(layout_.extent(v));
 
     // Memory-eliminated scalar: the new value becomes the token.
-    if (rs.size() == 1 && eliminated_[rs.front()]) {
+    if (rs.size() == 1 && classes_.eliminated[rs.front()]) {
       CurState& st = state_of(sc, rs.front());
       if (value.is_literal) {
         const dfg::NodeId gate = g.add_gate(prog_.symbols.name(v) + ":=" +
@@ -766,7 +596,7 @@ class Builder {
     }
 
     // I-structure array: concurrent write, ack joins the chain.
-    if (rs.size() == 1 && istructure_[rs.front()]) {
+    if (rs.size() == 1 && classes_.istructure[rs.front()]) {
       CurState& st = state_of(sc, rs.front());
       const dfg::NodeId istore =
           g.add_istore(base, extent, prog_.symbols.name(v) + "[]!");
@@ -827,7 +657,7 @@ class Builder {
       write_lvalue(n, sc, node.lhs, value, index);
       flush_all_reads(sc);
       const NodeId succ = node.succ_true;
-      for (Resource r : uses_[n]) {
+      for (Resource r : sv_.uses[n]) {
         CurState& st = state_of(sc, r);
         Comp out;
         out.main.push_back(st.main);
@@ -849,7 +679,7 @@ class Builder {
 
     const NodeId succ_t = node.succ_true;
     const NodeId succ_f = node.succ_false;
-    const NodeId ipdom = pdom_->idom(n);
+    const NodeId ipdom = pdom_.idom(n);
 
     const auto add_switch = [&](PortRef data, Resource r,
                                 const char* tag) -> dfg::NodeId {
@@ -862,7 +692,7 @@ class Builder {
 
     for (Resource r = 0; r < num_res_; ++r) {
       const bool used = sc.cur.contains(r);
-      if (placement_->needs_switch(n, r)) {
+      if (sv_.placement.needs_switch(n, r)) {
         if (!used && incoming_[n][r].empty()) {
           // Conservative placement marked this fork, but no token is
           // actually routed through it (it can only happen when the
@@ -906,39 +736,53 @@ class Builder {
 
   // --- members ---------------------------------------------------------------
 
+  struct Sink {
+    PortRef main;
+    PortRef chain;
+  };
+
   const lang::Program& prog_;
-  TranslateOptions opt_;
+  const TranslateOptions& opt_;  ///< already normalized by the orchestrator
   support::DiagnosticEngine& diags_;
-  lang::StorageLayout layout_;
+  const lang::StorageLayout& layout_;
 
-  cfg::Graph cfg_;
-  cfg::LoopInfo loops_;
-  Cover cover_;
-  std::size_t num_res_ = 0;
-
-  std::vector<bool> eliminated_;
-  std::vector<bool> istructure_;
-  std::vector<std::vector<Resource>> marked_;  // per loop
-
-  support::IndexMap<NodeId, std::vector<Resource>> uses_;
-  std::optional<cfg::DomTree> pdom_;
-  std::optional<cfg::ControlDeps> cd_;
-  std::optional<SwitchPlacement> placement_;
+  const cfg::Graph& cfg_;
+  const cfg::LoopInfo& loops_;
+  const Cover& cover_;
+  const ResourceClasses& classes_;
+  const SourceVectors& sv_;
+  const cfg::DomTree& pdom_;
+  std::size_t num_res_;
 
   support::IndexMap<NodeId, std::uint32_t> rpo_index_;
   support::IndexMap<NodeId, std::vector<Comp>> incoming_;
   support::IndexMap<NodeId, std::vector<Sink>> sinks_;
   std::vector<bool> processed_;
 
-  Translation result_;
+  Translation& result_;
 };
 
 }  // namespace
 
+namespace detail {
+
+void build_graph(const lang::Program& prog, const TranslateOptions& options,
+                 support::DiagnosticEngine& diags,
+                 const lang::StorageLayout& layout, const cfg::Graph& cfg,
+                 const cfg::LoopInfo& loops, const Cover& cover,
+                 const ResourceClasses& classes, const SourceVectors& sv,
+                 const cfg::DomTree& pdom, Translation& result) {
+  Builder(prog, options, diags, layout, cfg, loops, cover, classes, sv, pdom,
+          result)
+      .build();
+}
+
+}  // namespace detail
+
 Translation translate(const lang::Program& prog,
                       const TranslateOptions& options,
                       support::DiagnosticEngine& diags) {
-  return Builder{prog, options, diags}.run();
+  return run_stages(prog, options, diags);
 }
 
 Translation translate_or_throw(const lang::Program& prog,

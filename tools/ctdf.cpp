@@ -21,6 +21,20 @@
 //   --fig14=a,b             Sec. 6.3 store parallelization for arrays
 //   --istructure=a,b        Sec. 6.3 write-once arrays on I-structures
 //
+// Pipeline options:
+//   --stage-stats           print the per-stage pipeline table (time,
+//                           artifact sizes, counters); run/explain
+//   --dump-after=STAGE      print the named stage's artifact instead of
+//                           the final graph (dot command), e.g.
+//                           `ctdf dot f.ctdf --post-opt
+//                            --dump-after=translate` shows the graph
+//                           before the cleanup passes. Stages: parse,
+//                           cfg-build, dse, loop-transform, cover, ssa,
+//                           dominance, control-dep, switch-place,
+//                           translate, post-opt, fanout-lower, validate
+//   --ssa                   run the stats-only SSA stage (φ placement,
+//                           visible via --stage-stats / --dump-after)
+//
 // Machine options:
 //   --width=N               operators fired per cycle (0 = unlimited)
 //   --mem-latency=N         split-phase memory round trip (default 4)
@@ -45,13 +59,17 @@
 
 #include "cfg/build.hpp"
 #include "core/compiler.hpp"
+#include "core/pipeline.hpp"
 #include "dfg/asmfmt.hpp"
 #include "lang/subroutines.hpp"
 #include "machine/report.hpp"
+#include "support/env.hpp"
 
 using namespace ctdf;
 
 namespace {
+
+using translate::split_csv;
 
 struct Cli {
   std::string command;
@@ -60,17 +78,11 @@ struct Cli {
   machine::MachineOptions mopt;
   std::vector<std::string> print_vars;
   bool report = false;
+  bool stage_stats = false;
+  bool compute_ssa = false;
+  std::optional<core::Stage> dump_after;
   bool ok = true;
 };
-
-std::vector<std::string> split_csv(const std::string& s) {
-  std::vector<std::string> out;
-  std::stringstream ss(s);
-  std::string item;
-  while (std::getline(ss, item, ','))
-    if (!item.empty()) out.push_back(item);
-  return out;
-}
 
 bool starts_with(const std::string& s, const char* prefix) {
   return s.rfind(prefix, 0) == 0;
@@ -81,17 +93,10 @@ std::string value_of(const std::string& arg) {
   return eq == std::string::npos ? "" : arg.substr(eq + 1);
 }
 
-unsigned host_threads_from_env() {
-  const char* v = std::getenv("CTDF_HOST_THREADS");
-  if (!v || !*v) return 0;
-  const long n = std::strtol(v, nullptr, 10);
-  return n > 0 ? static_cast<unsigned>(n) : 0;
-}
-
 Cli parse_cli(int argc, char** argv) {
   Cli cli;
   cli.mopt.loop_mode = machine::LoopMode::kPipelined;
-  cli.mopt.host_threads = host_threads_from_env();
+  cli.mopt.host_threads = support::host_threads_from_env();
   if (argc < 3) {
     cli.ok = false;
     return cli;
@@ -100,36 +105,27 @@ Cli parse_cli(int argc, char** argv) {
   cli.file = argv[2];
   for (int i = 3; i < argc; ++i) {
     const std::string a = argv[i];
-    if (a == "--schema1") {
-      cli.topt = translate::TranslateOptions::schema1();
-    } else if (a == "--no-opt") {
-      cli.topt.optimize_switches = false;
-    } else if (starts_with(a, "--cover=")) {
-      const auto v = value_of(a);
-      if (v == "singleton")
-        cli.topt.cover = translate::CoverStrategy::kSingleton;
-      else if (v == "alias-class")
-        cli.topt.cover = translate::CoverStrategy::kAliasClass;
-      else if (v == "component")
-        cli.topt.cover = translate::CoverStrategy::kComponent;
-      else if (v == "unified")
-        cli.topt.cover = translate::CoverStrategy::kUnified;
-      else
+    // Schema-selection flags share one parser with the bench harnesses.
+    switch (translate::apply_schema_flag(cli.topt, a)) {
+      case translate::SchemaFlagParse::kApplied:
+        continue;
+      case translate::SchemaFlagParse::kBadValue:
+        std::fprintf(stderr, "bad value: %s\n", a.c_str());
         cli.ok = false;
-    } else if (a == "--mem-elim") {
-      cli.topt.eliminate_memory = true;
-    } else if (a == "--dse") {
-      cli.topt.dead_store_elimination = true;
-    } else if (a == "--post-opt") {
-      cli.topt.post_optimize = true;
-    } else if (starts_with(a, "--max-fanout=")) {
-      cli.topt.max_fanout = std::stoul(value_of(a));
-    } else if (a == "--par-reads") {
-      cli.topt.parallel_reads = true;
-    } else if (starts_with(a, "--fig14=")) {
-      cli.topt.parallel_store_arrays = split_csv(value_of(a));
-    } else if (starts_with(a, "--istructure=")) {
-      cli.topt.istructure_arrays = split_csv(value_of(a));
+        continue;
+      case translate::SchemaFlagParse::kNotSchemaFlag:
+        break;
+    }
+    if (a == "--stage-stats") {
+      cli.stage_stats = true;
+    } else if (a == "--ssa") {
+      cli.compute_ssa = true;
+    } else if (starts_with(a, "--dump-after=")) {
+      cli.dump_after = translate::stage_from_name(value_of(a));
+      if (!cli.dump_after) {
+        std::fprintf(stderr, "unknown stage: %s\n", value_of(a).c_str());
+        cli.ok = false;
+      }
     } else if (starts_with(a, "--width=")) {
       cli.mopt.width = static_cast<unsigned>(std::stoul(value_of(a)));
     } else if (starts_with(a, "--mem-latency=")) {
@@ -218,8 +214,23 @@ int cmd_interp(const Cli& cli, const lang::Program& prog) {
   return 0;
 }
 
+core::Pipeline make_pipeline(const Cli& cli) {
+  core::PipelineOptions po(cli.topt);
+  po.compute_ssa = cli.compute_ssa;
+  po.dump_after = cli.dump_after;
+  return core::Pipeline(po);
+}
+
+void maybe_print_stage_stats(const Cli& cli, const core::CompileResult& cr) {
+  if (!cli.stage_stats) return;
+  std::printf("pipeline stages (%s):\n%s", cli.topt.describe().c_str(),
+              cr.trace.table().c_str());
+}
+
 int cmd_run(const Cli& cli, const lang::Program& prog) {
-  const auto tx = core::compile(prog, cli.topt);
+  const auto cr = make_pipeline(cli).run(prog);
+  maybe_print_stage_stats(cli, cr);
+  const auto& tx = cr.translation;
   const auto res = core::execute(tx, cli.mopt);
   if (!res.stats.completed) {
     std::fprintf(stderr, "machine error: %s\n", res.stats.error.c_str());
@@ -242,8 +253,19 @@ int cmd_run(const Cli& cli, const lang::Program& prog) {
 }
 
 int cmd_dot(const Cli& cli, const lang::Program& prog) {
-  const auto tx = core::compile(prog, cli.topt);
-  std::fputs(tx.graph.to_dot().c_str(), stdout);
+  const auto cr = make_pipeline(cli).run(prog);
+  if (cli.dump_after) {
+    if (cr.dump.empty()) {
+      std::fprintf(stderr,
+                   "stage '%s' did not run under these options "
+                   "(see --stage-stats)\n",
+                   translate::to_string(*cli.dump_after));
+      return 1;
+    }
+    std::fputs(cr.dump.c_str(), stdout);
+    return 0;
+  }
+  std::fputs(cr.translation.graph.to_dot().c_str(), stdout);
   return 0;
 }
 
@@ -348,7 +370,9 @@ int cmd_compare(const Cli& cli, const lang::Program& prog) {
 }
 
 int cmd_explain(const Cli& cli, const lang::Program& prog) {
-  const auto tx = core::compile(prog, cli.topt);
+  const auto cr = make_pipeline(cli).run(prog);
+  maybe_print_stage_stats(cli, cr);
+  const auto& tx = cr.translation;
   const auto stats = dfg::compute_stats(tx.graph);
   std::printf("translation: %s\n", cli.topt.describe().c_str());
   std::printf("  CFG: %zu nodes, %zu edges\n", tx.cfg_nodes, tx.cfg_edges);
