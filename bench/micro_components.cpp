@@ -3,6 +3,8 @@
 // token-matching engine.
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
 #include "cfg/build.hpp"
 #include "cfg/control_dep.hpp"
 #include "cfg/dominance.hpp"
@@ -10,6 +12,7 @@
 #include "core/compiler.hpp"
 #include "lang/corpus.hpp"
 #include "lang/generator.hpp"
+#include "machine/exec.hpp"
 
 using namespace ctdf;
 
@@ -103,6 +106,43 @@ void BM_MachineTokenThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineTokenThroughput)->Range(2, 16);
 
+void BM_LowerExecProgram(benchmark::State& state) {
+  // Graph → ExecProgram lowering cost (the pipeline's `lower` stage):
+  // one-time per compilation, amortized over every machine run.
+  const auto prog = gen(static_cast<int>(state.range(0)));
+  const auto tx =
+      core::compile(prog, translate::TranslateOptions::schema2_optimized());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(machine::lower(tx.graph));
+  state.counters["nodes"] =
+      static_cast<double>(tx.graph.num_nodes());
+  state.SetComplexityN(static_cast<std::int64_t>(tx.graph.num_nodes()));
+}
+BENCHMARK(BM_LowerExecProgram)->Range(8, 128)->Complexity(benchmark::oN);
+
+void BM_MachineMatchThroughput(benchmark::State& state) {
+  // Steady-state token-matching rate of the ETS frame store: tokens
+  // landing in frame slots per second of host time (serial engine,
+  // program lowered once outside the loop).
+  const auto prog = core::parse(lang::corpus::nested_loops_source(
+      static_cast<int>(state.range(0)), 8));
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  const auto tx = core::compile(prog, topt);
+  const auto ep = machine::lower(tx.graph);
+  std::uint64_t matches = 0;
+  for (auto _ : state) {
+    machine::MachineOptions mopt;
+    mopt.loop_mode = machine::LoopMode::kPipelined;
+    const auto res = machine::run(ep, tx.memory_cells, mopt);
+    matches += res.stats.matches;
+    benchmark::DoNotOptimize(res.stats.cycles);
+  }
+  state.counters["matches/s"] = benchmark::Counter(
+      static_cast<double>(matches), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineMatchThroughput)->Range(2, 16);
+
 void BM_MachineHostThreads(benchmark::State& state) {
   // Wall-clock scaling of the parallel cycle-synchronous engine over
   // host worker threads (arg 0 = serial legacy path) on a token-heavy
@@ -115,6 +155,14 @@ void BM_MachineHostThreads(benchmark::State& state) {
   auto topt = translate::TranslateOptions::schema2_optimized();
   topt.eliminate_memory = true;
   const auto tx = core::compile(prog, topt);
+  const unsigned cores = std::thread::hardware_concurrency();
+  state.counters["host-cores"] = static_cast<double>(cores);
+  if (cores <= 1 && state.range(0) > 1) {
+    // Multi-worker rows on a single-core host measure only scheduling
+    // overhead, not speedup; skip them instead of reporting noise.
+    state.SkipWithError("single host core: no parallel speedup measurable");
+    return;
+  }
   std::uint64_t ops = 0;
   for (auto _ : state) {
     machine::MachineOptions mopt;

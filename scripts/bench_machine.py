@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Machine-simulator benchmark gate.
+
+Runs the micro_components google-benchmark harness, extracts the
+simulator's operator throughput (BM_MachineTokenThroughput), the
+frame-store matching rate (BM_MachineMatchThroughput), and the graph →
+ExecProgram lowering time (BM_LowerExecProgram), and writes them to a
+JSON summary (BENCH_machine.json).
+
+With --check BASELINE it additionally compares against a committed
+baseline and exits non-zero on a regression beyond --tolerance
+(default 25%): throughput/match rates lower, or lowering time higher.
+
+Usage:
+  scripts/bench_machine.py --bench build/bench/micro_components \
+      --out BENCH_machine.json [--check BENCH_machine.json]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+FILTER = "|".join(
+    [
+        "BM_MachineTokenThroughput",
+        "BM_MachineMatchThroughput",
+        "BM_LowerExecProgram/",  # skip the _BigO/_RMS aggregate rows
+    ]
+)
+
+
+def run_bench(bench_path):
+    cmd = [
+        bench_path,
+        f"--benchmark_filter={FILTER}",
+        "--benchmark_format=json",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark run failed ({proc.returncode})")
+    return json.loads(proc.stdout)
+
+
+def summarize(report):
+    out = {"machine_ops_per_s": {}, "matches_per_s": {}, "lowering_ns": {}}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        name = b["name"].replace("/real_time", "")
+        if "BM_MachineTokenThroughput" in name and "ops/s" in b:
+            out["machine_ops_per_s"][name] = b["ops/s"]
+        elif "BM_MachineMatchThroughput" in name and "matches/s" in b:
+            out["matches_per_s"][name] = b["matches/s"]
+        elif "BM_LowerExecProgram" in name:
+            out["lowering_ns"][name] = b["real_time"]
+    return out
+
+
+def check(current, baseline, tolerance):
+    failures = []
+
+    def compare(section, regressed, direction):
+        for name, base in baseline.get(section, {}).items():
+            now = current.get(section, {}).get(name)
+            if now is None or base <= 0:
+                continue
+            ratio = now / base
+            flag = "REGRESSION" if regressed(ratio) else "ok"
+            print(f"  {name}: {base:.3g} -> {now:.3g} "
+                  f"({ratio:.1%} of baseline, {direction}) {flag}")
+            if regressed(ratio):
+                failures.append(name)
+
+    print("throughput (higher is better):")
+    compare("machine_ops_per_s", lambda r: r < 1.0 - tolerance, "ops/s")
+    compare("matches_per_s", lambda r: r < 1.0 - tolerance, "matches/s")
+    print("lowering time (lower is better):")
+    compare("lowering_ns", lambda r: r > 1.0 + tolerance, "ns")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bench", required=True,
+                    help="path to the micro_components binary")
+    ap.add_argument("--out", default="BENCH_machine.json",
+                    help="summary JSON to write")
+    ap.add_argument("--check", metavar="BASELINE",
+                    help="baseline JSON to compare against")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative regression (default 0.25)")
+    args = ap.parse_args()
+
+    summary = summarize(run_bench(args.bench))
+    with open(args.out, "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        with open(args.check) as f:
+            baseline = json.load(f)
+        failures = check(summary, baseline, args.tolerance)
+        if failures:
+            print(f"FAIL: {len(failures)} benchmark(s) regressed beyond "
+                  f"{args.tolerance:.0%}: {', '.join(failures)}")
+            return 1
+        print("all benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

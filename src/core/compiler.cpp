@@ -18,13 +18,32 @@ translate::Translation compile(std::string_view source,
   return Pipeline(PipelineOptions(options)).run(source).translation;
 }
 
-machine::RunResult execute(const translate::Translation& tx,
-                           const machine::MachineOptions& options) {
+namespace {
+
+std::vector<machine::IStructureRegion> istructure_regions(
+    const translate::Translation& tx) {
   std::vector<machine::IStructureRegion> regions;
   regions.reserve(tx.istructures.size());
   for (const auto& r : tx.istructures)
     regions.push_back({r.base, r.extent});
-  return machine::run(tx.graph, tx.memory_cells, options, regions);
+  return regions;
+}
+
+}  // namespace
+
+machine::RunResult execute(const translate::Translation& tx,
+                           const machine::MachineOptions& options) {
+  return machine::run(tx.graph, tx.memory_cells, options,
+                      istructure_regions(tx));
+}
+
+machine::RunResult execute(const CompileResult& cr,
+                           const machine::MachineOptions& options) {
+  const translate::Translation& tx = cr.translation;
+  if (cr.exec.num_ops() == 0)  // `lower` stage disabled
+    return execute(tx, options);
+  return machine::run(cr.exec, tx.memory_cells, options,
+                      istructure_regions(tx));
 }
 
 std::int64_t read_scalar(const lang::Program& prog, const lang::Store& store,

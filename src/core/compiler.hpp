@@ -15,6 +15,7 @@
 #include "lang/ast.hpp"
 #include "lang/interp.hpp"
 #include "lang/parser.hpp"
+#include "core/pipeline.hpp"
 #include "machine/machine.hpp"
 #include "translate/translator.hpp"
 
@@ -33,8 +34,15 @@ namespace ctdf::core {
 [[nodiscard]] translate::Translation compile(std::string_view source,
                                              const translate::TranslateOptions& options);
 
-/// Runs a translation on the simulated dataflow machine.
+/// Runs a translation on the simulated dataflow machine (lowers the
+/// graph internally on every call).
 [[nodiscard]] machine::RunResult execute(const translate::Translation& tx,
+                                         const machine::MachineOptions& options);
+
+/// Runs a pipeline compilation, reusing the ExecProgram cached by the
+/// `lower` stage; falls back to lowering on the fly when that stage was
+/// disabled.
+[[nodiscard]] machine::RunResult execute(const CompileResult& cr,
                                          const machine::MachineOptions& options);
 
 /// Reads a scalar variable (by name) out of a final store using the

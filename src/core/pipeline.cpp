@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "lang/parser.hpp"
+#include "machine/exec.hpp"
 #include "support/diagnostics.hpp"
 
 namespace ctdf::core {
@@ -32,6 +33,35 @@ class TraceHooks final : public translate::StageHooks {
   std::string& dump_;
 };
 
+/// Lowers the translated graph into CompileResult::exec and appends the
+/// `lower` stage record. Emitted here, not in translate::run_stages:
+/// the translate library cannot depend on the machine library.
+void run_lower_stage(const PipelineOptions& options, CompileResult& result,
+                     TraceHooks& hooks) {
+  StageRecord r;
+  r.stage = Stage::kLower;
+  if (!options.lower) {
+    hooks.record(std::move(r));
+    return;
+  }
+  const auto t0 = Clock::now();
+  result.exec = machine::lower(result.translation.graph);
+  r.ran = true;
+  r.nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+          .count();
+  r.size_in = result.translation.graph.num_nodes();
+  r.size_out = result.exec.num_ops();
+  r.counters = {
+      {"ops", static_cast<std::int64_t>(result.exec.num_ops())},
+      {"dests", static_cast<std::int64_t>(result.exec.num_dests())},
+      {"frame-slots", static_cast<std::int64_t>(result.exec.frame_slots())},
+      {"literals", static_cast<std::int64_t>(result.exec.num_literals())}};
+  hooks.record(std::move(r));
+  if (hooks.wants_dump(Stage::kLower))
+    hooks.dump(Stage::kLower, machine::render(result.exec));
+}
+
 }  // namespace
 
 bool PipelineOptions::configure_stage(std::string_view name, bool enabled) {
@@ -43,6 +73,8 @@ bool PipelineOptions::configure_stage(std::string_view name, bool enabled) {
     translate.post_optimize = enabled;
   } else if (name == "validate") {
     validate = enabled;
+  } else if (name == "lower") {
+    lower = enabled;
   } else if (name == "fanout-lower" && !enabled) {
     translate.max_fanout = 0;
   } else {
@@ -82,6 +114,7 @@ CompileResult Pipeline::run(std::string_view source) const {
   result.translation =
       translate::run_stages(prog, options_.translate, diags, &hooks, set);
   diags.throw_if_errors();
+  run_lower_stage(options_, result, hooks);
   return result;
 }
 
@@ -101,6 +134,7 @@ CompileResult Pipeline::run(const lang::Program& prog) const {
   result.translation =
       translate::run_stages(prog, options_.translate, diags, &hooks, set);
   diags.throw_if_errors();
+  run_lower_stage(options_, result, hooks);
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "lang/ast.hpp"
+#include "machine/exec.hpp"
 #include "translate/stages.hpp"
 #include "translate/translator.hpp"
 
@@ -44,6 +45,10 @@ struct PipelineOptions {
   /// always validated).
   bool validate = true;
 
+  /// Run the `lower` stage: graph → machine::ExecProgram, cached in
+  /// CompileResult::exec so execution needs no per-run lowering.
+  bool lower = true;
+
   /// Capture the rendered artifact of this stage into
   /// CompileResult::dump (Graphviz for graph stages, text for
   /// analyses).
@@ -62,6 +67,9 @@ struct PipelineOptions {
 
 struct CompileResult {
   translate::Translation translation;
+  /// The lowered program (empty when PipelineOptions::lower is off).
+  /// machine::run's ExecProgram overload executes it directly.
+  machine::ExecProgram exec;
   PipelineTrace trace;
   /// The artifact requested via PipelineOptions::dump_after (empty when
   /// none was requested or the stage did not run).

@@ -70,7 +70,44 @@ enum class OpKind : std::uint8_t {
   kGate,
 };
 
+/// Number of OpKind enumerators — the size of any per-kind table (e.g.
+/// RunStats::fired_by_kind).
+inline constexpr std::size_t kNumOpKinds = 16;
+static_assert(static_cast<std::size_t>(OpKind::kGate) + 1 == kNumOpKinds,
+              "kNumOpKinds must track the OpKind enumerator count");
+
 [[nodiscard]] const char* to_string(OpKind k);
+
+/// Operators that address the token store (split-phase memory or
+/// I-structure cells).
+[[nodiscard]] constexpr bool is_memory_op(OpKind k) {
+  switch (k) {
+    case OpKind::kLoad:
+    case OpKind::kLoadIdx:
+    case OpKind::kStore:
+    case OpKind::kStoreIdx:
+    case OpKind::kIStore:
+    case OpKind::kIFetch:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Memory operators that mutate cells (an acknowledgement still in
+/// flight when End fires means memory is not final).
+[[nodiscard]] constexpr bool is_write_op(OpKind k) {
+  return k == OpKind::kStore || k == OpKind::kStoreIdx ||
+         k == OpKind::kIStore;
+}
+
+/// Operators that forward each arriving token immediately instead of
+/// rendezvousing in a matching slot, regardless of machine
+/// configuration. (LoopEntry is additionally non-strict under pipelined
+/// loop control — a machine-mode property, so not encoded here.)
+[[nodiscard]] constexpr bool is_non_strict_base(OpKind k) {
+  return k == OpKind::kMerge || k == OpKind::kLoopExit;
+}
 
 /// Well-known port indices.
 namespace port {

@@ -6,12 +6,15 @@
 // bit-identical to the serial engine for every MachineOptions
 // configuration, including seeded (randomized) scheduling. The
 // differential suite in tests/machine_parallel_equiv_test.cpp enforces
-// this.
+// this. Operator semantics and the ETS frame store are shared with the
+// serial engine (machine/fire.hpp, machine/frames.hpp); this file owns
+// only the sharding, phase barriers, and deterministic token exchange.
 //
 // Ownership (W = host_threads workers):
-//  * Matching store: slot (ctx, node) belongs to shard
-//    shard_of(ctx, node). Each shard delivers only its own tokens and
-//    touches only its own slot partition.
+//  * Matching frames: context c's frame belongs to shard shard_of(c).
+//    Each shard delivers only its own contexts' tokens and writes only
+//    its own frames; the execute phase reads other shards' frames
+//    between barriers, when nothing writes them.
 //  * Memory: cells are interleaved across banks in cacheline-sized
 //    blocks (bank_of = (cell >> 3) % W); bank w applies its loads,
 //    stores, and I-structure transitions in global firing order, so
@@ -24,7 +27,7 @@
 //
 //   phase 1 — match/fire into thread-local outboxes:
 //     [deliver ∥]   each shard drains its inbox bucket for this cycle
-//                   in token-rank order, fills matching slots, and
+//                   in token-rank order, fills its frame slots, and
 //                   emits rank-tagged ready entries.
 //     [schedule]    the coordinator merges the shards' (sorted) ready
 //                   entries into the global queue by rank and replays
@@ -43,7 +46,8 @@
 //     [exchange ∥]  each destination shard collects its tokens from
 //                   every outbox, sorts them by (seq, intra) — the
 //                   fixed tie-break order — and appends them to its
-//                   future inbox buckets; fired slots are erased.
+//                   future inbox buckets; fired frame slots are
+//                   released.
 //
 // The rank (batch, seq, intra) — batch = exchange round, seq = firing
 // position in the cycle, intra = emission index within the firing —
@@ -52,9 +56,9 @@
 //
 // Error paths (deadlock, collision, I-structure double write, pending
 // store at End) abandon the parallel run; machine::run() then re-runs
-// on the serial engine so error reports match it byte-for-byte,
-// container iteration order included. The cycle-cap report is
-// deterministic and is produced directly.
+// on the serial engine so error reports match it byte-for-byte, frame
+// scan order included. The cycle-cap report is deterministic and is
+// produced directly.
 #include "machine/engine_parallel.hpp"
 
 #include <algorithm>
@@ -63,10 +67,11 @@
 #include <functional>
 #include <map>
 #include <thread>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "machine/fire.hpp"
+#include "machine/frames.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
@@ -92,22 +97,11 @@ struct Rank {
   }
 };
 
+/// An in-flight token plus its delivery schedule.
 struct PToken {
   Rank rank;
   std::uint64_t due = 0;  ///< absolute delivery cycle
-  std::uint32_t ctx = 0;
-  NodeId node;
-  std::uint16_t port = 0;
-  bool requeued = false;  ///< see the serial engine's Token::requeued
-  std::int64_t value = 0;
-};
-
-/// Matching slot; same lifecycle as the serial engine's (created by the
-/// first arriving token, erased when the operator fires).
-struct Slot {
-  std::vector<std::int64_t> values;
-  std::vector<bool> filled;
-  std::uint16_t remaining = 0;
+  Token tok;
 };
 
 /// A ready operator, tagged with the rank of the token that completed
@@ -142,45 +136,16 @@ struct Firing {
   std::vector<std::pair<std::uint32_t, std::uint32_t>> extra_live;
 };
 
-struct CtxInfo {
-  cfg::LoopId loop;
-  std::uint32_t invocation = 0;
-  std::uint32_t iter = 0;
-};
-
-struct CtxKey {
-  std::uint32_t loop;
-  std::uint32_t invocation;
-  std::uint32_t iter;
-  bool operator==(const CtxKey&) const = default;
-};
-
-struct CtxKeyHash {
-  std::size_t operator()(const CtxKey& k) const {
-    std::uint64_t h = k.loop;
-    h = h * 0x9e3779b97f4a7c15ULL + k.invocation;
-    h = h * 0x9e3779b97f4a7c15ULL + k.iter;
-    return static_cast<std::size_t>(h ^ (h >> 32));
-  }
-};
-
-struct LoopInstance {
-  unsigned in_flight = 0;
-  std::vector<PToken> stalled;
-};
-
-/// Everything one worker owns exclusively: its matching-store
-/// partition, its inbox, its outbox, and its memory bank's I-structure
-/// deferral lists. Padded so neighbouring shards don't share lines.
+/// Everything one worker owns exclusively: its inbox, its outbox, its
+/// ready list, and its memory bank's I-structure deferral lists (its
+/// frame partition lives in the shared FrameStore, keyed by context).
+/// Padded so neighbouring shards don't share lines.
 struct alignas(64) Shard {
-  std::unordered_map<std::uint64_t, Slot> slots;
   std::map<std::uint64_t, std::vector<PToken>> inbox;
   std::vector<PToken> outbox;
   std::vector<QEntry> ready;
-  std::vector<std::uint64_t> erase_keys;
-  std::unordered_map<std::size_t,
-                     std::vector<std::pair<std::uint32_t, NodeId>>>
-      deferred;
+  std::vector<std::pair<std::uint32_t, NodeId>> released;  ///< fired slots
+  DeferredMap deferred;
   std::uint64_t tokens_sent = 0;
   std::uint64_t matches = 0;
   std::uint64_t deferred_reads = 0;
@@ -243,39 +208,21 @@ class Pool {
 
 class ParallelEngine {
  public:
-  ParallelEngine(const dfg::Graph& g, std::size_t memory_cells,
+  ParallelEngine(const ExecProgram& ep, std::size_t memory_cells,
                  const MachineOptions& opt,
                  const std::vector<IStructureRegion>& istructures)
-      : g_(g),
+      : ep_(ep),
         opt_(opt),
         workers_(std::min(opt.host_threads, 256u)),
         rng_(opt.scheduler_seed),
+        frames_(ep),
         shards_(workers_),
         pool_(workers_) {
     CTDF_ASSERT_MSG(opt_.alu_latency >= 1 && opt_.mem_latency >= 1,
                     "latencies must be at least one cycle");
-    cells_.assign(memory_cells, 0);
-    istate_.assign(memory_cells, kNormal);
-    for (const auto& r : istructures)
-      for (std::uint32_t c = r.base; c < r.base + r.extent; ++c)
-        istate_[c] = kEmpty;
-    contexts_.push_back(CtxInfo{});
-    live_tokens_.push_back(0);
-    retired_.push_back(false);
-    stats_.fired_by_kind.assign(17, 0);
-    stats_.first_fire_cycle.assign(g.num_nodes(), UINT64_MAX);
-
-    out_index_.resize(g.num_nodes());
-    for (const dfg::Arc& a : g.arcs())
-      out_index_[a.src.index()].push_back(a);
-    consumed_inputs_.resize(g.num_nodes());
-    for (std::size_t n = 0; n < g.num_nodes(); ++n) {
-      const dfg::Node& node = g_.node(NodeId{static_cast<std::uint32_t>(n)});
-      std::uint32_t c = 0;
-      for (std::uint16_t p = 0; p < node.num_inputs; ++p)
-        if (!node.operands[p].is_literal) ++c;
-      consumed_inputs_[n] = c;
-    }
+    mem_.init(memory_cells, istructures);
+    stats_.fired_by_kind.assign(dfg::kNumOpKinds, 0);
+    stats_.first_fire_cycle.assign(ep.num_ops(), UINT64_MAX);
   }
 
   /// nullopt = delegate to the serial engine (see header).
@@ -293,10 +240,13 @@ class ParallelEngine {
         stats_.completed = false;
         RunResult out;
         out.stats = std::move(stats_);
-        out.store.cells = std::move(cells_);
+        out.store = std::move(mem_.store);
         return out;
       }
       cycle_ = cycle;
+      // Contexts only appear during replay (coordinator), so growing
+      // the frame table here keeps the parallel deliver resize-free.
+      frames_.ensure_contexts(cs_.size());
 
       pool_.run([this](unsigned w) { deliver_phase(w); });
       for (const Shard& s : shards_)
@@ -341,14 +291,9 @@ class ParallelEngine {
   }
 
  private:
-  static constexpr std::uint8_t kNormal = 0, kEmpty = 1, kFull = 2;
-
-  [[nodiscard]] std::uint64_t slot_key(std::uint32_t ctx, NodeId node) const {
-    return static_cast<std::uint64_t>(ctx) * g_.num_nodes() + node.index();
-  }
-
-  [[nodiscard]] unsigned shard_of(std::uint32_t ctx, NodeId node) const {
-    const std::uint64_t h = slot_key(ctx, node) * 0x9e3779b97f4a7c15ULL;
+  [[nodiscard]] unsigned shard_of(std::uint32_t ctx) const {
+    const std::uint64_t h =
+        static_cast<std::uint64_t>(ctx) * 0x9e3779b97f4a7c15ULL;
     return static_cast<unsigned>((h >> 33) % workers_);
   }
 
@@ -367,18 +312,6 @@ class ParallelEngine {
         ((key * 0x9e3779b97f4a7c15ULL) >> 33) % opt_.processors);
   }
 
-  [[nodiscard]] bool non_strict(const dfg::Node& n) const {
-    switch (n.kind) {
-      case OpKind::kMerge:
-      case OpKind::kLoopExit:
-        return true;
-      case OpKind::kLoopEntry:
-        return opt_.loop_mode == LoopMode::kPipelined;
-      default:
-        return false;
-    }
-  }
-
   bool profile_ok(std::uint64_t cycle) {
     if (cycle >= (1u << 22)) return false;
     if (stats_.profile.size() <= cycle) stats_.profile.resize(cycle + 1, 0);
@@ -388,24 +321,22 @@ class ParallelEngine {
   // -- boot ---------------------------------------------------------------
 
   void boot() {
-    const NodeId s = g_.start();
-    const dfg::Node& start = g_.node(s);
+    const NodeId s = ep_.start();
+    const ExecOp& start = ep_.op(s);
     ++stats_.ops_fired;
     ++stats_.fired_by_kind[static_cast<std::size_t>(start.kind)];
     const unsigned from_pe = pe_of(0, s);
     std::uint32_t intra = 0;
     for (std::uint16_t p = 0; p < start.num_outputs; ++p) {
-      for (const dfg::Arc& a : out_index_[s.index()]) {
-        if (a.src_port != p) continue;
+      for (const ExecDest& d : ep_.dests(start, p)) {
         std::uint64_t hop = 0;
-        if (opt_.processors > 0 && pe_of(0, a.dst) != from_pe)
+        if (opt_.processors > 0 && pe_of(0, d.node) != from_pe)
           hop = opt_.network_latency;
-        coord_outbox_.push_back(PToken{{0, 0, intra++},
-                                       /*due=*/hop,
-                                       /*ctx=*/0, a.dst, a.dst_port,
-                                       /*requeued=*/false,
-                                       start.start_values[p]});
-        ++live_tokens_[0];
+        coord_outbox_.push_back(
+            PToken{{0, 0, intra++},
+                   /*due=*/hop,
+                   Token{0, d.node, d.port, ep_.start_values()[p], false}});
+        cs_.add_live(0);
       }
     }
   }
@@ -424,41 +355,29 @@ class ParallelEngine {
 
   void deliver(Shard& s, const PToken& t) {
     ++s.tokens_sent;
-    const dfg::Node& n = g_.node(t.node);
-    if (non_strict(n)) {
-      QEntry e{t.rank, t.ctx, t.node, /*immediate=*/true, t.requeued,
-               t.port, t.value, kNoInvocation};
-      if (n.kind == OpKind::kLoopExit && contexts_[t.ctx].loop.valid())
-        e.invocation = contexts_[t.ctx].invocation;
+    const ExecOp& op = ep_.op(t.tok.node);
+    if (non_strict(op, opt_.loop_mode)) {
+      QEntry e{t.rank,     t.tok.ctx,  t.tok.node,  /*immediate=*/true,
+               t.tok.requeued, t.tok.port, t.tok.value, kNoInvocation};
+      if (op.kind == OpKind::kLoopExit && cs_.info(t.tok.ctx).loop.valid())
+        e.invocation = cs_.info(t.tok.ctx).invocation;
       s.ready.push_back(e);
       return;
     }
-    const std::uint64_t key = slot_key(t.ctx, t.node);
-    auto [slot_it, inserted] = s.slots.try_emplace(key);
-    Slot& slot = slot_it->second;
-    if (inserted) {
-      slot.values.assign(n.num_inputs, 0);
-      slot.filled.assign(n.num_inputs, false);
-      slot.remaining = 0;
-      for (std::uint16_t p = 0; p < n.num_inputs; ++p) {
-        if (n.operands[p].is_literal) {
-          slot.values[p] = n.operands[p].literal;
-          slot.filled[p] = true;
-        } else {
-          ++slot.remaining;
-        }
-      }
+    switch (frames_.deliver(t.tok.ctx, op, t.tok.port, t.tok.value)) {
+      case FrameStore::Deliver::kCollision:
+        s.collision = true;  // serial rerun reports the exact diagnostic
+        return;
+      case FrameStore::Deliver::kCompleted:
+        ++s.matches;
+        s.ready.push_back(QEntry{t.rank, t.tok.ctx, t.tok.node,
+                                 /*immediate=*/false, false, 0, 0,
+                                 kNoInvocation});
+        break;
+      case FrameStore::Deliver::kStored:
+        ++s.matches;
+        break;
     }
-    if (slot.filled[t.port]) {
-      s.collision = true;  // serial rerun reports the exact diagnostic
-      return;
-    }
-    slot.values[t.port] = t.value;
-    slot.filled[t.port] = true;
-    ++s.matches;
-    if (--slot.remaining == 0)
-      s.ready.push_back(QEntry{t.rank, t.ctx, t.node, /*immediate=*/false,
-                               false, 0, 0, kNoInvocation});
   }
 
   // -- schedule (coordinator) ---------------------------------------------
@@ -539,25 +458,16 @@ class ParallelEngine {
     Firing f;
     f.e = e;
     f.seq = static_cast<std::uint32_t>(firings_.size());
-    switch (g_.node(e.node).kind) {
-      case OpKind::kEnd:
-        f.klass = FiringClass::kEnd;
-        break;
-      case OpKind::kLoopEntry:
-        f.klass = FiringClass::kLoop;
-        break;
-      case OpKind::kLoad:
-      case OpKind::kLoadIdx:
-      case OpKind::kStore:
-      case OpKind::kStoreIdx:
-      case OpKind::kIStore:
-      case OpKind::kIFetch:
-        f.klass = FiringClass::kMem;
-        mem_idx_.push_back(f.seq);
-        break;
-      default:
-        f.klass = FiringClass::kPure;
-        break;
+    const ExecOp& op = ep_.op(e.node);
+    if (op.kind == OpKind::kEnd) {
+      f.klass = FiringClass::kEnd;
+    } else if (op.kind == OpKind::kLoopEntry) {
+      f.klass = FiringClass::kLoop;
+    } else if (op.flags & kExecMem) {
+      f.klass = FiringClass::kMem;
+      mem_idx_.push_back(f.seq);
+    } else {
+      f.klass = FiringClass::kPure;
     }
     firings_.push_back(std::move(f));
     return firings_.back().klass == FiringClass::kEnd;
@@ -572,14 +482,14 @@ class ParallelEngine {
   void emit_exec(Shard& s, Firing& f, std::uint32_t token_ctx, NodeId node,
                  std::uint16_t port, std::int64_t value,
                  std::uint64_t latency, unsigned from_pe) {
-    for (const dfg::Arc& a : out_index_[node.index()]) {
-      if (a.src_port != port) continue;
+    for (const ExecDest& d : ep_.dests(node, port)) {
       std::uint64_t hop = 0;
-      if (opt_.processors > 0 && pe_of(token_ctx, a.dst) != from_pe)
+      if (opt_.processors > 0 && pe_of(token_ctx, d.node) != from_pe)
         hop = opt_.network_latency;
       s.outbox.push_back(PToken{{0, f.seq, f.intra_used++},
-                               cycle_ + latency + hop, token_ctx, a.dst,
-                               a.dst_port, false, value});
+                                cycle_ + latency + hop,
+                                Token{token_ctx, d.node, d.port, value,
+                                      false}});
       ++f.emitted;
     }
   }
@@ -592,13 +502,13 @@ class ParallelEngine {
     for (std::size_t i = w; i < firings_.size(); i += workers_) {
       Firing& f = firings_[i];
       const QEntry& e = f.e;
-      const dfg::Node& n = g_.node(e.node);
+      const ExecOp& op = ep_.op(e.node);
       const unsigned from_pe = pe_of(e.ctx, e.node);
       f.primary = e.ctx;
       if (f.klass == FiringClass::kEnd || f.klass == FiringClass::kLoop)
         continue;  // replayed by the coordinator
       if (e.immediate) {
-        switch (n.kind) {
+        switch (op.kind) {
           case OpKind::kMerge:
             emit_exec(s, f, e.ctx, e.node, 0, e.value, alu, from_pe);
             break;
@@ -614,66 +524,19 @@ class ParallelEngine {
         }
         continue;
       }
-      const Shard& owner = shards_[shard_of(e.ctx, e.node)];
-      const auto it = owner.slots.find(slot_key(e.ctx, e.node));
-      CTDF_ASSERT(it != owner.slots.end() && it->second.remaining == 0);
-      const std::vector<std::int64_t>& in = it->second.values;
-
-      const auto cell_of = [&](std::int64_t index) {
-        const std::int64_t wrapped = lang::wrap_index(index, n.mem_extent);
-        const std::uint64_t cell =
-            n.mem_base + static_cast<std::uint64_t>(wrapped);
-        CTDF_ASSERT(cell < cells_.size());
-        return cell;
-      };
-
-      switch (n.kind) {
-        case OpKind::kBinOp:
-          emit_exec(s, f, e.ctx, e.node, 0,
-                    lang::eval_binop(n.bop, in[0], in[1]), alu, from_pe);
-          break;
-        case OpKind::kUnOp:
-          emit_exec(s, f, e.ctx, e.node, 0, lang::eval_unop(n.uop, in[0]),
-                    alu, from_pe);
-          break;
-        case OpKind::kSynch:
-          emit_exec(s, f, e.ctx, e.node, 0, 0, alu, from_pe);
-          break;
-        case OpKind::kGate:
-          emit_exec(s, f, e.ctx, e.node, 0, in[0], alu, from_pe);
-          break;
-        case OpKind::kSwitch: {
-          const bool dir = in[dfg::port::kSwitchPred] != 0;
-          emit_exec(s, f, e.ctx, e.node,
-                    dir ? dfg::port::kSwitchTrue : dfg::port::kSwitchFalse,
-                    in[dfg::port::kSwitchData], alu, from_pe);
-          break;
-        }
-        case OpKind::kLoad:
-          f.cell = n.mem_base;
-          CTDF_ASSERT(f.cell < cells_.size());
-          break;
-        case OpKind::kLoadIdx:
-          f.cell = cell_of(in[0]);
-          break;
-        case OpKind::kStore:
-          f.cell = n.mem_base;
-          CTDF_ASSERT(f.cell < cells_.size());
-          f.store_value = in[0];
-          break;
-        case OpKind::kStoreIdx:
-          f.cell = cell_of(in[1]);
-          f.store_value = in[0];
-          break;
-        case OpKind::kIStore:
-          f.cell = cell_of(in[1]);
-          f.store_value = in[0];
-          break;
-        case OpKind::kIFetch:
-          f.cell = cell_of(in[0]);
-          break;
-        default:
-          CTDF_UNREACHABLE("op cannot fire strictly");
+      // The firing context's frame belongs to another shard, but the
+      // deliver barrier has passed and slots are only released at the
+      // exchange: reading it here is race-free.
+      CTDF_ASSERT(frames_.has(e.ctx, op) && frames_.remaining(e.ctx, op) == 0);
+      const std::int64_t* in = frames_.inputs(e.ctx, op);
+      if (op.flags & kExecMem) {
+        const MemAccess a = resolve_mem(op, in, mem_.store.cells.size());
+        f.cell = a.cell;
+        f.store_value = a.store_value;
+      } else {
+        fire_pure(op, in, [&](std::uint16_t port, std::int64_t value) {
+          emit_exec(s, f, e.ctx, e.node, port, value, alu, from_pe);
+        });
       }
     }
   }
@@ -688,134 +551,59 @@ class ParallelEngine {
       Firing& f = firings_[idx];
       if (bank_of(f.cell) != w) continue;
       const QEntry& e = f.e;
-      const dfg::Node& n = g_.node(e.node);
+      const ExecOp& op = ep_.op(e.node);
       const unsigned from_pe = pe_of(e.ctx, e.node);
-      switch (n.kind) {
-        case OpKind::kLoad:
-        case OpKind::kLoadIdx:
-          emit_exec(s, f, e.ctx, e.node, dfg::port::kLoadValue,
-                    cells_[f.cell], mem, from_pe);
-          emit_exec(s, f, e.ctx, e.node, dfg::port::kLoadAck, 0, mem,
-                    from_pe);
-          break;
-        case OpKind::kStore:
-        case OpKind::kStoreIdx:
-          cells_[f.cell] = f.store_value;
-          emit_exec(s, f, e.ctx, e.node, 0, 0, mem, from_pe);
-          break;
-        case OpKind::kIStore: {
-          if (istate_[f.cell] == kFull) {
-            s.istore_error = true;  // serial rerun reports it
-            return;
-          }
-          istate_[f.cell] = kFull;
-          cells_[f.cell] = f.store_value;
-          emit_exec(s, f, e.ctx, e.node, 0, 0, mem, from_pe);
-          if (const auto d = s.deferred.find(f.cell); d != s.deferred.end()) {
-            for (const auto& [dctx, dnode] : d->second) {
-              const std::uint32_t before = f.emitted;
-              // The serial engine computes the hop origin from the
-              // *storing* firing's context and the reader's node.
-              emit_exec(s, f, dctx, dnode, 0, f.store_value, mem,
-                        pe_of(e.ctx, dnode));
-              f.extra_live.emplace_back(dctx, f.emitted - before);
-              f.emitted = before;  // not in e.ctx: tracked via extra_live
-            }
-            s.deferred.erase(d);
-          }
-          break;
-        }
-        case OpKind::kIFetch:
-          if (istate_[f.cell] == kFull || istate_[f.cell] == kNormal) {
-            emit_exec(s, f, e.ctx, e.node, 0, cells_[f.cell], mem, from_pe);
-          } else {
-            ++s.deferred_reads;
-            s.deferred[f.cell].emplace_back(e.ctx, e.node);
-          }
-          break;
-        default:
-          CTDF_UNREACHABLE("not a memory op");
+      const MemAccess a{f.cell, f.store_value};
+      const bool ok = apply_mem(
+          op, e.ctx, e.node, a, mem_, s.deferred,
+          [&](std::uint16_t port, std::int64_t value) {
+            emit_exec(s, f, e.ctx, e.node, port, value, mem, from_pe);
+          },
+          [&](std::uint32_t dctx, NodeId dnode, std::int64_t value) {
+            const std::uint32_t before = f.emitted;
+            // The serial engine computes the hop origin from the
+            // *storing* firing's context and the reader's node.
+            emit_exec(s, f, dctx, dnode, 0, value, mem,
+                      pe_of(e.ctx, dnode));
+            f.extra_live.emplace_back(dctx, f.emitted - before);
+            f.emitted = before;  // not in e.ctx: tracked via extra_live
+          },
+          [&] { ++s.deferred_reads; });
+      if (!ok) {
+        s.istore_error = true;  // serial rerun reports it
+        return;
       }
     }
   }
 
   // -- phase 2: replay (coordinator) --------------------------------------
 
-  [[nodiscard]] static std::uint64_t instance_key(cfg::LoopId loop,
-                                                  std::uint32_t invocation) {
-    return (static_cast<std::uint64_t>(loop.value()) << 32) | invocation;
-  }
-
-  [[nodiscard]] CtxKey iteration_key(cfg::LoopId loop,
-                                     std::uint32_t from) const {
-    const CtxInfo& cur = contexts_[from];
-    CtxKey key{};
-    key.loop = loop.value();
-    if (cur.loop == loop) {
-      key.invocation = cur.invocation;
-      key.iter = cur.iter + 1;
-    } else {
-      key.invocation = from;
-      key.iter = 0;
-    }
-    return key;
-  }
-
-  std::uint32_t context_for_iteration(cfg::LoopId loop, std::uint32_t from) {
-    const CtxKey key = iteration_key(loop, from);
-    const auto [it, inserted] = ctx_table_.try_emplace(
-        key, static_cast<std::uint32_t>(contexts_.size()));
-    if (inserted) {
-      contexts_.push_back(CtxInfo{loop, key.invocation, key.iter});
-      live_tokens_.push_back(0);
-      retired_.push_back(false);
-      ++stats_.contexts_allocated;
-      ++instances_[instance_key(loop, key.invocation)].in_flight;
-      ++live_contexts_;
-      stats_.peak_live_contexts =
-          std::max<std::uint64_t>(stats_.peak_live_contexts, live_contexts_);
-    }
-    return it->second;
-  }
-
   /// Identical to the serial engine's consume(), except that stalled
   /// forwardings re-enter through the coordinator outbox (rank-tagged
   /// after the triggering firing's own emissions) instead of a direct
   /// pending push.
   void consume(Firing& f, std::uint32_t ctx, std::uint32_t n = 1) {
-    CTDF_ASSERT(live_tokens_[ctx] >= n);
-    live_tokens_[ctx] -= n;
-    if (live_tokens_[ctx] != 0 || ctx == 0 || retired_[ctx]) return;
-    retired_[ctx] = true;
-    --live_contexts_;
-    const CtxInfo& info = contexts_[ctx];
-    const auto it = instances_.find(instance_key(info.loop, info.invocation));
-    if (it == instances_.end()) return;
-    LoopInstance& instance = it->second;
-    if (instance.in_flight > 0) --instance.in_flight;
-    if (!instance.stalled.empty()) {
-      auto stalled = std::move(instance.stalled);
-      instance.stalled.clear();
+    cs_.consume(ctx, n, [&](std::vector<PToken>&& stalled) {
       for (PToken& t : stalled) {
         t.rank = Rank{0, f.seq, f.intra_used++};
         t.due = cycle_ + 1;
         coord_outbox_.push_back(t);
       }
-    }
+    });
   }
 
   void emit_replay(Firing& f, std::uint32_t token_ctx, NodeId node,
                    std::uint16_t port, std::int64_t value,
                    std::uint64_t latency, unsigned from_pe) {
-    for (const dfg::Arc& a : out_index_[node.index()]) {
-      if (a.src_port != port) continue;
+    for (const ExecDest& d : ep_.dests(node, port)) {
       std::uint64_t hop = 0;
-      if (opt_.processors > 0 && pe_of(token_ctx, a.dst) != from_pe)
+      if (opt_.processors > 0 && pe_of(token_ctx, d.node) != from_pe)
         hop = opt_.network_latency;
       coord_outbox_.push_back(PToken{{0, f.seq, f.intra_used++},
-                                     cycle_ + latency + hop, token_ctx,
-                                     a.dst, a.dst_port, false, value});
-      ++live_tokens_[token_ctx];
+                                     cycle_ + latency + hop,
+                                     Token{token_ctx, d.node, d.port, value,
+                                           false}});
+      cs_.add_live(token_ctx);
     }
   }
 
@@ -827,91 +615,76 @@ class ParallelEngine {
   void replay() {
     for (Firing& f : firings_) {
       const QEntry& e = f.e;
-      const dfg::Node& n = g_.node(e.node);
+      const ExecOp& op = ep_.op(e.node);
       ++stats_.ops_fired;
-      ++stats_.fired_by_kind[static_cast<std::size_t>(n.kind)];
+      ++stats_.fired_by_kind[static_cast<std::size_t>(op.kind)];
       if (stats_.first_fire_cycle[e.node.index()] == UINT64_MAX)
         stats_.first_fire_cycle[e.node.index()] = cycle_;
       if (opt_.trace)
         std::fprintf(stderr, "[%8llu] fire %-10s '%s' ctx=%u\n",
                      static_cast<unsigned long long>(cycle_),
-                     to_string(n.kind), n.label.c_str(), e.ctx);
-      switch (n.kind) {
-        case OpKind::kLoad:
-        case OpKind::kLoadIdx:
-        case OpKind::kIFetch:
-          ++stats_.mem_reads;
-          break;
-        case OpKind::kStore:
-        case OpKind::kStoreIdx:
-        case OpKind::kIStore:
+                     to_string(op.kind), ep_.label(e.node.index()).c_str(),
+                     e.ctx);
+      if (op.flags & kExecMem) {
+        if (op.flags & kExecWrite)
           ++stats_.mem_writes;
-          break;
-        default:
-          break;
+        else
+          ++stats_.mem_reads;
       }
 
       if (f.klass == FiringClass::kEnd) {
         completed_ = true;
-        consume(f, e.ctx, consumed_inputs_[e.node.index()]);
-        schedule_erase(e);
+        consume(f, e.ctx, op.consumed_inputs);
+        schedule_release(e);
         continue;
       }
       if (f.klass == FiringClass::kLoop) {
         replay_loop_entry(f);
         continue;
       }
-      live_tokens_[f.primary] += f.emitted;
-      for (const auto& [ctx, count] : f.extra_live) live_tokens_[ctx] += count;
+      cs_.add_live(f.primary, f.emitted);
+      for (const auto& [ctx, count] : f.extra_live) cs_.add_live(ctx, count);
       if (e.immediate) {
         if (!e.requeued) consume(f, e.ctx);
       } else {
-        consume(f, e.ctx, consumed_inputs_[e.node.index()]);
-        schedule_erase(e);
+        consume(f, e.ctx, op.consumed_inputs);
+        schedule_release(e);
       }
     }
   }
 
   void replay_loop_entry(Firing& f) {
     const QEntry& e = f.e;
-    const dfg::Node& n = g_.node(e.node);
+    const ExecOp& op = ep_.op(e.node);
     const unsigned from_pe = pe_of(e.ctx, e.node);
     const std::uint64_t alu = opt_.alu_latency;
     if (e.immediate) {
-      if (opt_.loop_bound > 0) {
-        const CtxKey key = iteration_key(n.loop, e.ctx);
-        if (!ctx_table_.contains(key)) {
-          auto& inst = instances_[instance_key(n.loop, key.invocation)];
-          if (inst.in_flight >= opt_.loop_bound) {
-            inst.stalled.push_back(PToken{{0, 0, 0}, 0, e.ctx, e.node,
-                                          e.port, true, e.value});
-            ++stats_.throttle_stalls;
-            if (!e.requeued) consume(f, e.ctx);
-            return;
-          }
-        }
+      if (auto* inst = cs_.bound_block(op.loop, e.ctx, opt_.loop_bound)) {
+        inst->stalled.push_back(
+            PToken{{0, 0, 0}, 0, Token{e.ctx, e.node, e.port, e.value, true}});
+        ++stats_.throttle_stalls;
+        if (!e.requeued) consume(f, e.ctx);
+        return;
       }
-      const std::uint32_t next = context_for_iteration(n.loop, e.ctx);
+      const std::uint32_t next =
+          cs_.context_for_iteration(op.loop, e.ctx, stats_);
       emit_replay(f, next, e.node, e.port, e.value, alu, from_pe);
       if (!e.requeued) consume(f, e.ctx);
       return;
     }
     // Barrier mode: strict entry forwards the full circulating set into
     // the next iteration's context.
-    const Shard& owner = shards_[shard_of(e.ctx, e.node)];
-    const auto it = owner.slots.find(slot_key(e.ctx, e.node));
-    CTDF_ASSERT(it != owner.slots.end() && it->second.remaining == 0);
-    const std::vector<std::int64_t>& in = it->second.values;
-    const std::uint32_t next = context_for_iteration(n.loop, e.ctx);
-    for (std::uint16_t p = 0; p < n.num_inputs; ++p)
+    CTDF_ASSERT(frames_.has(e.ctx, op) && frames_.remaining(e.ctx, op) == 0);
+    const std::int64_t* in = frames_.inputs(e.ctx, op);
+    const std::uint32_t next = cs_.context_for_iteration(op.loop, e.ctx, stats_);
+    for (std::uint16_t p = 0; p < op.num_inputs; ++p)
       emit_replay(f, next, e.node, p, in[p], alu, from_pe);
-    consume(f, e.ctx, consumed_inputs_[e.node.index()]);
-    schedule_erase(e);
+    consume(f, e.ctx, op.consumed_inputs);
+    schedule_release(e);
   }
 
-  void schedule_erase(const QEntry& e) {
-    shards_[shard_of(e.ctx, e.node)].erase_keys.push_back(
-        slot_key(e.ctx, e.node));
+  void schedule_release(const QEntry& e) {
+    shards_[shard_of(e.ctx)].released.emplace_back(e.ctx, e.node);
   }
 
   // -- phase 2: exchange (parallel, per shard) ----------------------------
@@ -921,16 +694,17 @@ class ParallelEngine {
     cycle_ = cycle;
     pool_.run([this](unsigned w) { exchange_phase(w); });
     coord_outbox_.clear();
-    for (Shard& s : shards_) s.erase_keys.clear();
+    for (Shard& s : shards_) s.released.clear();
   }
 
   void exchange_phase(unsigned w) {
     Shard& s = shards_[w];
-    for (const std::uint64_t key : s.erase_keys) s.slots.erase(key);
+    for (const auto& [ctx, node] : s.released)
+      frames_.release(ctx, ep_.op(node));
     route_.clear();
     const auto take = [&](const std::vector<PToken>& outbox) {
       for (const PToken& t : outbox)
-        if (shard_of(t.ctx, t.node) == w) route_.push_back(t);
+        if (shard_of(t.tok.ctx) == w) route_.push_back(t);
     };
     for (const Shard& src : shards_) take(src.outbox);
     take(coord_outbox_);
@@ -955,9 +729,7 @@ class ParallelEngine {
   std::optional<RunResult> finalize() {
     stats_.completed = true;
     const auto is_write = [&](NodeId n) {
-      const OpKind k = g_.node(n).kind;
-      return k == OpKind::kStore || k == OpKind::kStoreIdx ||
-             k == OpKind::kIStore;
+      return (ep_.op(n).flags & kExecWrite) != 0;
     };
     for (std::size_t i = head_; i < queue_.size(); ++i) {
       ++stats_.leftover_tokens;
@@ -967,47 +739,40 @@ class ParallelEngine {
       for (const auto& [due, tokens] : s.inbox) {
         for (const PToken& t : tokens) {
           ++stats_.leftover_tokens;
-          if (is_write(t.node)) return std::nullopt;
+          if (is_write(t.tok.node)) return std::nullopt;
         }
       }
-      for (const auto& [key, slot] : s.slots) {
-        (void)slot;
-        const NodeId n{static_cast<std::uint32_t>(key % g_.num_nodes())};
-        if (is_write(n)) return std::nullopt;
-      }
     }
+    bool write_waiting = false;
+    frames_.for_each_live(
+        [&](std::uint32_t, std::uint32_t op_idx, std::uint16_t) {
+          if (ep_.op(op_idx).flags & kExecWrite) write_waiting = true;
+        });
+    if (write_waiting) return std::nullopt;
     merge_shard_counters();
     RunResult out;
     out.stats = std::move(stats_);
-    out.store.cells = std::move(cells_);
+    out.store = std::move(mem_.store);
     return out;
   }
 
   // -- state --------------------------------------------------------------
 
-  const dfg::Graph& g_;
+  const ExecProgram& ep_;
   MachineOptions opt_;
   unsigned workers_;
   support::SplitMix64 rng_;
 
-  std::vector<std::int64_t> cells_;
-  std::vector<std::uint8_t> istate_;
+  MemoryState mem_;
 
-  std::vector<CtxInfo> contexts_;
-  std::vector<std::uint32_t> live_tokens_;
-  std::vector<bool> retired_;
-  std::uint64_t live_contexts_ = 0;
-  std::unordered_map<std::uint64_t, LoopInstance> instances_;
-  std::unordered_map<CtxKey, std::uint32_t, CtxKeyHash> ctx_table_;
+  ContextState<PToken> cs_;
+  FrameStore frames_;
 
   std::vector<QEntry> queue_;
   std::size_t head_ = 0;
   std::vector<Firing> firings_;
   std::vector<std::uint32_t> mem_idx_;
   std::vector<PToken> coord_outbox_;
-
-  std::vector<std::vector<dfg::Arc>> out_index_;
-  std::vector<std::uint32_t> consumed_inputs_;
 
   std::vector<Shard> shards_;
   Pool pool_;
@@ -1027,10 +792,10 @@ thread_local std::vector<PToken> ParallelEngine::route_;
 }  // namespace
 
 std::optional<RunResult> run_parallel(
-    const dfg::Graph& graph, std::size_t memory_cells,
+    const ExecProgram& program, std::size_t memory_cells,
     const MachineOptions& options,
     const std::vector<IStructureRegion>& istructures) {
-  return ParallelEngine{graph, memory_cells, options, istructures}.run();
+  return ParallelEngine{program, memory_cells, options, istructures}.run();
 }
 
 }  // namespace ctdf::machine::detail

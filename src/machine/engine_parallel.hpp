@@ -6,20 +6,20 @@
 
 #include <optional>
 
+#include "machine/exec.hpp"
 #include "machine/machine.hpp"
 
 namespace ctdf::machine::detail {
 
-/// Runs `graph` on the sharded host-parallel engine. Returns the result
-/// for error-free executions — bit-identical to the serial engine's, by
-/// construction (plus the cycle-cap error, whose report is
+/// Runs a lowered program on the sharded host-parallel engine. Returns
+/// the result for error-free executions — bit-identical to the serial
+/// engine's, by construction (plus the cycle-cap error, whose report is
 /// deterministic). Returns nullopt when the run hits any other error
 /// path (deadlock, token collision, I-structure double write, store in
 /// flight at End): the caller must re-run on the serial engine, whose
-/// diagnostics (which include container iteration order) are the
-/// reference.
+/// diagnostics (which include the frame-scan order) are the reference.
 [[nodiscard]] std::optional<RunResult> run_parallel(
-    const dfg::Graph& graph, std::size_t memory_cells,
+    const ExecProgram& program, std::size_t memory_cells,
     const MachineOptions& options,
     const std::vector<IStructureRegion>& istructures);
 

@@ -1,0 +1,149 @@
+// ExecProgram — the one-time lowering of a dfg::Graph into the flat
+// struct-of-arrays form both simulation engines execute (paper Section
+// 2.2; the layout mirrors Monsoon's explicit token store [17]).
+//
+// Lowering precomputes everything the per-token hot path would
+// otherwise chase pointers or hash for:
+//  * a dense op table (kind, strictness flags, arities, operator
+//    payload) indexed by dfg::NodeId;
+//  * inline literal operands (is-literal mask + values in one flat
+//    array, sliced per op);
+//  * contiguous fan-out destination arrays, grouped by (op, out-port)
+//    in graph-arc order — the emission order the engines must preserve;
+//  * a per-context frame-slot layout: every strict op owns a fixed
+//    range [frame_base, frame_base + num_inputs) of the context frame,
+//    so token matching is a presence-bit set in a dense array (a true
+//    ETS frame) instead of a hash-map slot lookup.
+//
+// The lowering is per-graph, not per-MachineOptions: LoopEntry's
+// strictness depends on LoopMode (pipelined = non-strict), so the op
+// table records base strictness flags and the engines resolve the mode-
+// dependent part at run time. Labels are copied so diagnostics need no
+// Graph.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace ctdf::machine {
+
+/// One fan-out destination: the in-port fed by an out-port's arc.
+struct ExecDest {
+  dfg::NodeId node;
+  std::uint16_t port = 0;
+};
+
+/// ExecOp::flags bits (base strictness; see header comment).
+inline constexpr std::uint8_t kExecNonStrict = 1;  ///< Merge / LoopExit
+inline constexpr std::uint8_t kExecLoopEntry = 2;
+inline constexpr std::uint8_t kExecMem = 4;
+inline constexpr std::uint8_t kExecWrite = 8;
+
+inline constexpr std::uint32_t kNoFrameSlot = UINT32_MAX;
+
+/// One lowered operator. POD row of the dense op table; index == the
+/// source dfg::NodeId.
+struct ExecOp {
+  dfg::OpKind kind = dfg::OpKind::kSynch;
+  std::uint8_t flags = 0;
+  std::uint16_t num_inputs = 0;
+  std::uint16_t num_outputs = 0;
+  /// Non-literal inputs: tokens one firing consumes, and the initial
+  /// presence count of a freshly created frame slot.
+  std::uint16_t consumed_inputs = 0;
+  std::uint32_t first_operand = 0;  ///< into the operand tables
+  std::uint32_t first_port = 0;     ///< into the fan-out port index
+  /// First frame value slot of this op's matching range, kNoFrameSlot
+  /// for ops that never rendezvous (Start, Merge, LoopExit).
+  std::uint32_t frame_base = kNoFrameSlot;
+  /// Dense index among framed ops (per-frame presence-state array).
+  std::uint32_t strict_index = UINT32_MAX;
+
+  lang::BinOp bop = lang::BinOp::kAdd;  ///< kBinOp
+  lang::UnOp uop = lang::UnOp::kNeg;    ///< kUnOp
+  std::uint32_t mem_base = 0;           ///< memory ops
+  std::int64_t mem_extent = 1;          ///< memory ops (index wrapping)
+  cfg::LoopId loop;                     ///< kLoopEntry / kLoopExit
+
+  [[nodiscard]] bool framed() const { return frame_base != kNoFrameSlot; }
+};
+
+class ExecProgram {
+ public:
+  [[nodiscard]] std::size_t num_ops() const { return ops_.size(); }
+  [[nodiscard]] const ExecOp& op(std::uint32_t idx) const { return ops_[idx]; }
+  [[nodiscard]] const ExecOp& op(dfg::NodeId n) const {
+    return ops_[n.index()];
+  }
+
+  [[nodiscard]] dfg::NodeId start() const { return start_; }
+  [[nodiscard]] dfg::NodeId end() const { return end_; }
+  [[nodiscard]] std::span<const std::int64_t> start_values() const {
+    return start_values_;
+  }
+
+  /// Fan-out destinations of (op, out-port), in graph-arc order.
+  [[nodiscard]] std::span<const ExecDest> dests(const ExecOp& o,
+                                                std::uint16_t port) const {
+    const std::uint32_t p = o.first_port + port;
+    return {fanout_.data() + fanout_begin_[p],
+            fanout_.data() + fanout_begin_[p + 1]};
+  }
+  [[nodiscard]] std::span<const ExecDest> dests(dfg::NodeId n,
+                                                std::uint16_t port) const {
+    return dests(op(n), port);
+  }
+
+  [[nodiscard]] bool literal_at(const ExecOp& o, std::uint16_t port) const {
+    return operand_is_literal_[o.first_operand + port] != 0;
+  }
+  [[nodiscard]] std::int64_t literal_value(const ExecOp& o,
+                                           std::uint16_t port) const {
+    return operand_literal_[o.first_operand + port];
+  }
+
+  [[nodiscard]] const std::string& label(std::uint32_t idx) const {
+    return labels_[idx];
+  }
+
+  /// Frame geometry: value/presence slots per context, and the number
+  /// of ops carrying a slot range (the per-frame state array length).
+  [[nodiscard]] std::size_t frame_slots() const { return frame_slots_; }
+  [[nodiscard]] std::size_t num_framed_ops() const { return num_framed_; }
+
+  /// Aggregates reported by the pipeline's `lower` stage trace.
+  [[nodiscard]] std::size_t num_dests() const { return fanout_.size(); }
+  [[nodiscard]] std::size_t num_literals() const {
+    std::size_t n = 0;
+    for (const std::uint8_t b : operand_is_literal_) n += b;
+    return n;
+  }
+
+ private:
+  friend ExecProgram lower(const dfg::Graph& g);
+
+  std::vector<ExecOp> ops_;
+  std::vector<ExecDest> fanout_;          ///< all dests, port-contiguous
+  std::vector<std::uint32_t> fanout_begin_;  ///< per (op, port), +1 sentinel
+  std::vector<std::uint8_t> operand_is_literal_;
+  std::vector<std::int64_t> operand_literal_;
+  std::vector<std::string> labels_;
+  std::vector<std::int64_t> start_values_;
+  dfg::NodeId start_;
+  dfg::NodeId end_;
+  std::size_t frame_slots_ = 0;
+  std::size_t num_framed_ = 0;
+};
+
+/// Lowers a graph; O(nodes + arcs), run once per compilation (the
+/// pipeline's `lower` stage) and cached in core::CompileResult.
+[[nodiscard]] ExecProgram lower(const dfg::Graph& g);
+
+/// Human-readable op-table rendering (`ctdf ... --dump-exec`).
+[[nodiscard]] std::string render(const ExecProgram& p);
+
+}  // namespace ctdf::machine

@@ -1,0 +1,135 @@
+// The shared firing core: what one matched operator firing *does*, as
+// pure functions from the matched inputs and a small machine-state
+// interface to emitted (port, value) tokens and memory effects. Both
+// engines call these — the serial engine inline in its fire loop, the
+// parallel engine from its execute and bank phases — so the operator
+// semantics exist in exactly one place and the engines differ only in
+// scheduling and token transport.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/graph.hpp"
+#include "machine/exec.hpp"
+#include "machine/frames.hpp"
+#include "machine/machine.hpp"
+#include "machine/options.hpp"
+#include "support/assert.hpp"
+
+namespace ctdf::machine {
+
+/// Effective strictness of a lowered op: Merge/LoopExit always forward
+/// immediately; LoopEntry additionally does under pipelined loop
+/// control (a machine-mode decision, which is why it is resolved here
+/// and not in the lowering).
+[[nodiscard]] inline bool non_strict(const ExecOp& op, LoopMode mode) {
+  if (op.flags & kExecNonStrict) return true;
+  return (op.flags & kExecLoopEntry) != 0 && mode == LoopMode::kPipelined;
+}
+
+/// Updatable memory plus the I-structure cell states layered on it.
+struct MemoryState {
+  static constexpr std::uint8_t kNormal = 0, kEmpty = 1, kFull = 2;
+
+  lang::Store store;
+  std::vector<std::uint8_t> istate;  ///< per cell
+
+  void init(std::size_t memory_cells,
+            const std::vector<IStructureRegion>& istructures);
+};
+
+/// A resolved memory request: the absolute cell and, for writes, the
+/// value operand.
+struct MemAccess {
+  std::uint64_t cell = 0;
+  std::int64_t store_value = 0;
+};
+
+/// Resolves a memory op's matched inputs to the cell it addresses
+/// (index operands wrapped into the op's extent).
+[[nodiscard]] MemAccess resolve_mem(const ExecOp& op, const std::int64_t* in,
+                                    std::size_t num_cells);
+
+/// Fires a pure (ALU-class) operator: emit(port, value) per output
+/// token.
+template <class EmitFn>
+void fire_pure(const ExecOp& op, const std::int64_t* in, EmitFn&& emit) {
+  switch (op.kind) {
+    case dfg::OpKind::kBinOp:
+      emit(std::uint16_t{0}, lang::eval_binop(op.bop, in[0], in[1]));
+      break;
+    case dfg::OpKind::kUnOp:
+      emit(std::uint16_t{0}, lang::eval_unop(op.uop, in[0]));
+      break;
+    case dfg::OpKind::kSynch:
+      emit(std::uint16_t{0}, std::int64_t{0});
+      break;
+    case dfg::OpKind::kGate:
+      emit(std::uint16_t{0}, in[0]);
+      break;
+    case dfg::OpKind::kSwitch: {
+      const bool dir = in[dfg::port::kSwitchPred] != 0;
+      emit(dir ? dfg::port::kSwitchTrue : dfg::port::kSwitchFalse,
+           in[dfg::port::kSwitchData]);
+      break;
+    }
+    default:
+      CTDF_UNREACHABLE("not a pure op");
+  }
+}
+
+/// Applies a resolved memory request: cell mutation, acknowledgement /
+/// value emission, and I-structure deferral. The caller supplies the
+/// transport — emit(port, value) for the firing op's own outputs,
+/// emit_deferred(ctx, node, value) for deferred readers an I-store
+/// satisfies (tokens in *other* contexts), count_deferred_read() when a
+/// fetch parks. mem_reads/mem_writes are counted by the engines (the
+/// parallel engine counts in replay order, after the bank already
+/// applied the effect). Returns false on an I-structure double write —
+/// memory and the deferral map are untouched, and no tokens were
+/// emitted; the caller reports the error.
+template <class EmitFn, class EmitDeferredFn, class CountFn>
+[[nodiscard]] bool apply_mem(const ExecOp& op, std::uint32_t ctx,
+                             dfg::NodeId node, const MemAccess& a,
+                             MemoryState& m, DeferredMap& deferred,
+                             EmitFn&& emit, EmitDeferredFn&& emit_deferred,
+                             CountFn&& count_deferred_read) {
+  switch (op.kind) {
+    case dfg::OpKind::kLoad:
+    case dfg::OpKind::kLoadIdx:
+      emit(dfg::port::kLoadValue, m.store.cells[a.cell]);
+      emit(dfg::port::kLoadAck, std::int64_t{0});
+      break;
+    case dfg::OpKind::kStore:
+    case dfg::OpKind::kStoreIdx:
+      m.store.cells[a.cell] = a.store_value;
+      emit(std::uint16_t{0}, std::int64_t{0});
+      break;
+    case dfg::OpKind::kIStore: {
+      if (m.istate[a.cell] == MemoryState::kFull) return false;
+      m.istate[a.cell] = MemoryState::kFull;
+      m.store.cells[a.cell] = a.store_value;
+      emit(std::uint16_t{0}, std::int64_t{0});
+      if (const auto d = deferred.find(a.cell); d != deferred.end()) {
+        for (const auto& [dctx, dnode] : d->second)
+          emit_deferred(dctx, dnode, a.store_value);
+        deferred.erase(d);
+      }
+      break;
+    }
+    case dfg::OpKind::kIFetch:
+      if (m.istate[a.cell] != MemoryState::kEmpty) {
+        emit(std::uint16_t{0}, m.store.cells[a.cell]);
+      } else {
+        count_deferred_read();
+        deferred[a.cell].emplace_back(ctx, node);
+      }
+      break;
+    default:
+      CTDF_UNREACHABLE("not a memory op");
+  }
+  return true;
+}
+
+}  // namespace ctdf::machine

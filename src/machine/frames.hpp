@@ -1,0 +1,306 @@
+// Shared machine-state types of the two simulation engines: the token,
+// the dense explicit-token-store frames that replace hash-map matching
+// slots, and the context / loop-instance bookkeeping (iteration
+// contexts, k-bound credits, retirement). machine.cpp and
+// engine_parallel.cpp both build on these — each type is defined here
+// and nowhere else, so the differential suite compares two engines that
+// share one set of semantics-bearing definitions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/exec.hpp"
+#include "machine/machine.hpp"
+#include "support/assert.hpp"
+#include "support/bitset.hpp"
+
+namespace ctdf::machine {
+
+/// A token: (context, instruction, port, value).
+struct Token {
+  std::uint32_t ctx = 0;
+  dfg::NodeId node;
+  std::uint16_t port = 0;
+  std::int64_t value = 0;
+  /// True for a loop-entry forwarding re-delivered after a k-bound
+  /// stall: it was already consumed from its source context when it
+  /// was buffered, so a successful re-fire must not consume it again.
+  bool requeued = false;
+};
+
+/// An iteration context — the role Monsoon frames play.
+struct CtxInfo {
+  cfg::LoopId loop;              ///< invalid for the root context
+  std::uint32_t invocation = 0;  ///< context the loop was entered from
+  std::uint32_t iter = 0;
+};
+
+struct CtxKey {
+  std::uint32_t loop;
+  std::uint32_t invocation;
+  std::uint32_t iter;
+  bool operator==(const CtxKey&) const = default;
+};
+
+struct CtxKeyHash {
+  std::size_t operator()(const CtxKey& k) const {
+    std::uint64_t h = k.loop;
+    h = h * 0x9e3779b97f4a7c15ULL + k.invocation;
+    h = h * 0x9e3779b97f4a7c15ULL + k.iter;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+/// One loop invocation's k-bound state. TokenT is the engine's in-
+/// flight token type (the parallel engine's carries a delivery rank).
+template <class TokenT>
+struct LoopInstance {
+  unsigned in_flight = 0;      ///< allocated, not yet retired iterations
+  std::vector<TokenT> stalled;  ///< forwardings blocked by the k-bound
+};
+
+/// Deferred I-structure readers per cell: (context, fetch node).
+using DeferredMap =
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::pair<std::uint32_t, dfg::NodeId>>>;
+
+/// Dense per-context matching frames (the explicit token store). Each
+/// context owns one frame: a value slot plus presence bit per strict
+/// input port (laid out by ExecProgram), and a per-framed-op state word
+/// that is kNotCreated until the first token arrives and counts the
+/// missing inputs afterwards. A slot range is (re-)initialized on
+/// creation — literal ports pre-filled — and released when the op
+/// fires, mirroring the try_emplace/erase lifecycle the hash-map store
+/// had.
+///
+/// Frames are allocated lazily and never freed: retired contexts can
+/// transiently revive (an inner loop exiting later re-injects tokens),
+/// and the parallel engine shards frame ownership by context, so the
+/// pointer table may only grow between parallel phases
+/// (ensure_contexts, coordinator-only).
+class FrameStore {
+ public:
+  explicit FrameStore(const ExecProgram& ep) : ep_(&ep) {}
+
+  enum class Deliver : std::uint8_t { kStored, kCompleted, kCollision };
+
+  /// Grows the frame pointer table; call before any phase that may
+  /// deliver to a context (the parallel engine's workers must never
+  /// resize it concurrently).
+  void ensure_contexts(std::size_t n) {
+    if (frames_.size() < n) frames_.resize(n);
+  }
+
+  /// Files one token into (ctx, op)'s slot range.
+  Deliver deliver(std::uint32_t ctx, const ExecOp& op, std::uint16_t port,
+                  std::int64_t value) {
+    Frame& f = frame(ctx);
+    std::uint16_t& state = f.state[op.strict_index];
+    if (state == kNotCreated) {
+      for (std::uint16_t p = 0; p < op.num_inputs; ++p) {
+        const std::uint32_t slot = op.frame_base + p;
+        if (ep_->literal_at(op, p)) {
+          f.values[slot] = ep_->literal_value(op, p);
+          f.filled.set(slot);
+        } else {
+          f.filled.reset(slot);
+        }
+      }
+      state = op.consumed_inputs;
+    }
+    const std::uint32_t slot = op.frame_base + port;
+    if (f.filled.test(slot)) return Deliver::kCollision;
+    f.values[slot] = value;
+    f.filled.set(slot);
+    return --state == 0 ? Deliver::kCompleted : Deliver::kStored;
+  }
+
+  [[nodiscard]] bool has(std::uint32_t ctx, const ExecOp& op) const {
+    return ctx < frames_.size() && frames_[ctx] &&
+           frames_[ctx]->state[op.strict_index] != kNotCreated;
+  }
+
+  [[nodiscard]] std::uint16_t remaining(std::uint32_t ctx,
+                                        const ExecOp& op) const {
+    return frames_[ctx]->state[op.strict_index];
+  }
+
+  /// The matched input values; valid until release().
+  [[nodiscard]] const std::int64_t* inputs(std::uint32_t ctx,
+                                           const ExecOp& op) const {
+    return frames_[ctx]->values.data() + op.frame_base;
+  }
+
+  /// The op fired: its slot range becomes re-creatable.
+  void release(std::uint32_t ctx, const ExecOp& op) {
+    frames_[ctx]->state[op.strict_index] = kNotCreated;
+  }
+
+  /// Live (created, not yet fired) slots, for diagnostics.
+  [[nodiscard]] std::size_t live_slots() const {
+    std::size_t n = 0;
+    for_each_live([&](std::uint32_t, std::uint32_t, std::uint16_t) { ++n; });
+    return n;
+  }
+
+  /// f(ctx, op index, missing inputs) per live slot, context-major
+  /// ascending — the deterministic scan order of the deadlock report
+  /// and the end-of-run pending-store check.
+  template <class F>
+  void for_each_live(F&& f) const {
+    for (std::uint32_t ctx = 0; ctx < frames_.size(); ++ctx) {
+      if (!frames_[ctx]) continue;
+      const Frame& fr = *frames_[ctx];
+      for (std::uint32_t i = 0; i < ep_->num_ops(); ++i) {
+        const ExecOp& op = ep_->op(i);
+        if (!op.framed()) continue;
+        if (fr.state[op.strict_index] != kNotCreated)
+          f(ctx, i, fr.state[op.strict_index]);
+      }
+    }
+  }
+
+ private:
+  static constexpr std::uint16_t kNotCreated = 0xFFFF;
+
+  struct Frame {
+    explicit Frame(const ExecProgram& ep)
+        : values(ep.frame_slots(), 0),
+          filled(ep.frame_slots()),
+          state(ep.num_framed_ops(), kNotCreated) {}
+    std::vector<std::int64_t> values;
+    support::Bitset filled;
+    std::vector<std::uint16_t> state;
+  };
+
+  Frame& frame(std::uint32_t ctx) {
+    if (ctx >= frames_.size()) frames_.resize(ctx + 1);
+    if (!frames_[ctx]) frames_[ctx] = std::make_unique<Frame>(*ep_);
+    return *frames_[ctx];
+  }
+
+  const ExecProgram* ep_;
+  std::vector<std::unique_ptr<Frame>> frames_;
+};
+
+/// Context allocation, token-liveness accounting, and k-bound credits —
+/// identical in both engines; the engine supplies only what happens to
+/// forwardings released from a stall (serial: next-cycle pending push;
+/// parallel: re-rank into the coordinator outbox).
+template <class TokenT>
+class ContextState {
+ public:
+  ContextState() {
+    contexts_.push_back(CtxInfo{});  // root context 0
+    live_tokens_.push_back(0);
+    retired_.push_back(false);
+  }
+
+  [[nodiscard]] std::size_t size() const { return contexts_.size(); }
+  [[nodiscard]] const CtxInfo& info(std::uint32_t ctx) const {
+    return contexts_[ctx];
+  }
+
+  void add_live(std::uint32_t ctx, std::uint32_t n = 1) {
+    live_tokens_[ctx] += n;
+  }
+
+  [[nodiscard]] static std::uint64_t instance_key(cfg::LoopId loop,
+                                                  std::uint32_t invocation) {
+    return (static_cast<std::uint64_t>(loop.value()) << 32) | invocation;
+  }
+
+  [[nodiscard]] CtxKey iteration_key(cfg::LoopId loop,
+                                     std::uint32_t from) const {
+    const CtxInfo& cur = contexts_[from];
+    CtxKey key{};
+    key.loop = loop.value();
+    if (cur.loop == loop) {
+      key.invocation = cur.invocation;
+      key.iter = cur.iter + 1;
+    } else {
+      key.invocation = from;
+      key.iter = 0;
+    }
+    return key;
+  }
+
+  /// k-bounded loops: if starting the iteration (loop ← from) would
+  /// exceed `bound`, returns the instance the forwarding must stall in;
+  /// nullptr when it may proceed. bound 0 = unbounded.
+  [[nodiscard]] LoopInstance<TokenT>* bound_block(cfg::LoopId loop,
+                                                  std::uint32_t from,
+                                                  unsigned bound) {
+    if (bound == 0) return nullptr;
+    const CtxKey key = iteration_key(loop, from);
+    if (ctx_table_.contains(key)) return nullptr;
+    LoopInstance<TokenT>& inst =
+        instances_[instance_key(loop, key.invocation)];
+    return inst.in_flight >= bound ? &inst : nullptr;
+  }
+
+  /// The context of iteration (loop ← from), allocating it (and a
+  /// k-bound credit) on first use.
+  std::uint32_t context_for_iteration(cfg::LoopId loop, std::uint32_t from,
+                                      RunStats& stats) {
+    const CtxKey key = iteration_key(loop, from);
+    const auto [it, inserted] = ctx_table_.try_emplace(
+        key, static_cast<std::uint32_t>(contexts_.size()));
+    if (inserted) {
+      contexts_.push_back(CtxInfo{loop, key.invocation, key.iter});
+      live_tokens_.push_back(0);
+      retired_.push_back(false);
+      ++stats.contexts_allocated;
+      ++instances_[instance_key(loop, key.invocation)].in_flight;
+      ++live_contexts_;
+      stats.peak_live_contexts =
+          std::max<std::uint64_t>(stats.peak_live_contexts, live_contexts_);
+    }
+    return it->second;
+  }
+
+  /// n tokens of `ctx` were consumed; retire the context when its last
+  /// token dies, releasing a k-bound credit and handing any stalled
+  /// forwardings to on_stalled(std::vector<TokenT>&&). Contexts can
+  /// transiently hit zero and come back (an inner loop exiting later
+  /// re-injects tokens), so retirement is once-only and the bound is
+  /// approximate across nested-loop boundaries.
+  template <class OnStalled>
+  void consume(std::uint32_t ctx, std::uint32_t n, OnStalled&& on_stalled) {
+    CTDF_ASSERT(live_tokens_[ctx] >= n);
+    live_tokens_[ctx] -= n;
+    if (live_tokens_[ctx] != 0 || ctx == 0 || retired_[ctx]) return;
+    retired_[ctx] = true;
+    --live_contexts_;
+    const CtxInfo& info = contexts_[ctx];
+    const auto it = instances_.find(instance_key(info.loop, info.invocation));
+    if (it == instances_.end()) return;
+    LoopInstance<TokenT>& instance = it->second;
+    if (instance.in_flight > 0) --instance.in_flight;
+    if (!instance.stalled.empty()) {
+      auto stalled = std::move(instance.stalled);
+      instance.stalled.clear();
+      on_stalled(std::move(stalled));
+    }
+  }
+
+  /// Forwardings currently buffered by the k-bound (deadlock report).
+  [[nodiscard]] std::size_t stalled_total() const {
+    std::size_t n = 0;
+    for (const auto& [k, inst] : instances_) n += inst.stalled.size();
+    return n;
+  }
+
+ private:
+  std::vector<CtxInfo> contexts_;
+  std::vector<std::uint32_t> live_tokens_;
+  std::vector<bool> retired_;
+  std::uint64_t live_contexts_ = 0;
+  std::unordered_map<std::uint64_t, LoopInstance<TokenT>> instances_;
+  std::unordered_map<CtxKey, std::uint32_t, CtxKeyHash> ctx_table_;
+};
+
+}  // namespace ctdf::machine

@@ -2,10 +2,12 @@
 
 #include <cstdio>
 #include <map>
-#include <unordered_map>
 #include <utility>
 
 #include "machine/engine_parallel.hpp"
+#include "machine/exec.hpp"
+#include "machine/fire.hpp"
+#include "machine/frames.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
@@ -15,46 +17,6 @@ namespace {
 
 using dfg::NodeId;
 using dfg::OpKind;
-
-struct Token {
-  std::uint32_t ctx = 0;
-  NodeId node;
-  std::uint16_t port = 0;
-  std::int64_t value = 0;
-  /// True for a loop-entry forwarding re-delivered after a k-bound
-  /// stall: it was already consumed from its source context when it
-  /// was buffered, so a successful re-fire must not consume it again.
-  bool requeued = false;
-};
-
-struct CtxInfo {
-  cfg::LoopId loop;            ///< invalid for the root context
-  std::uint32_t invocation = 0;  ///< context the loop was entered from
-  std::uint32_t iter = 0;
-};
-
-/// Matching slot for a strict operator in one context.
-struct Slot {
-  std::vector<std::int64_t> values;
-  std::vector<bool> filled;
-  std::uint16_t remaining = 0;
-};
-
-struct CtxKey {
-  std::uint32_t loop;
-  std::uint32_t invocation;
-  std::uint32_t iter;
-  bool operator==(const CtxKey&) const = default;
-};
-
-struct CtxKeyHash {
-  std::size_t operator()(const CtxKey& k) const {
-    std::uint64_t h = k.loop;
-    h = h * 0x9e3779b97f4a7c15ULL + k.invocation;
-    h = h * 0x9e3779b97f4a7c15ULL + k.iter;
-    return static_cast<std::size_t>(h ^ (h >> 32));
-  }
-};
 
 struct ReadyEntry {
   std::uint32_t ctx = 0;
@@ -68,27 +30,15 @@ struct ReadyEntry {
 
 class Engine {
  public:
-  Engine(const dfg::Graph& g, std::size_t memory_cells,
+  Engine(const ExecProgram& ep, std::size_t memory_cells,
          const MachineOptions& opt,
          const std::vector<IStructureRegion>& istructures)
-      : g_(g), opt_(opt), rng_(opt.scheduler_seed) {
+      : ep_(ep), opt_(opt), rng_(opt.scheduler_seed), frames_(ep) {
     CTDF_ASSERT_MSG(opt_.alu_latency >= 1 && opt_.mem_latency >= 1,
                     "latencies must be at least one cycle");
-    store_.cells.assign(memory_cells, 0);
-    istate_.assign(memory_cells, kNormal);
-    for (const auto& r : istructures)
-      for (std::uint32_t c = r.base; c < r.base + r.extent; ++c)
-        istate_[c] = kEmpty;
-    contexts_.push_back(CtxInfo{});  // root context 0
-    live_tokens_.push_back(0);
-    retired_.push_back(false);
-    stats_.fired_by_kind.assign(17, 0);
-    stats_.first_fire_cycle.assign(g.num_nodes(), UINT64_MAX);
-
-    // Pre-index out-arcs by (node, port) for O(1) emission.
-    out_index_.resize(g.num_nodes());
-    for (const dfg::Arc& a : g.arcs())
-      out_index_[a.src.index()].push_back(a);
+    mem_.init(memory_cells, istructures);
+    stats_.fired_by_kind.assign(dfg::kNumOpKinds, 0);
+    stats_.first_fire_cycle.assign(ep.num_ops(), UINT64_MAX);
   }
 
   RunResult run() {
@@ -150,9 +100,7 @@ class Engine {
       // A *store* still in flight, however, means memory is not final
       // and the translation failed to collect its acknowledgement.
       const auto is_write = [&](NodeId n) {
-        const OpKind k = g_.node(n).kind;
-        return k == OpKind::kStore || k == OpKind::kStoreIdx ||
-               k == OpKind::kIStore;
+        return (ep_.op(n).flags & kExecWrite) != 0;
       };
       NodeId pending_write;
       for (std::size_t i = ready_head_; i < ready_.size(); ++i) {
@@ -165,24 +113,22 @@ class Engine {
           if (is_write(t.node)) pending_write = t.node;
         }
       }
-      for (const auto& [key, slot] : slots_) {
-        (void)slot;
-        const NodeId n{static_cast<std::uint32_t>(key % g_.num_nodes())};
-        if (is_write(n)) pending_write = n;
-      }
+      frames_.for_each_live(
+          [&](std::uint32_t, std::uint32_t op_idx, std::uint16_t) {
+            if (ep_.op(op_idx).flags & kExecWrite)
+              pending_write = NodeId{op_idx};
+          });
       if (pending_write.valid()) {
         stats_.completed = false;
         stats_.error =
-            "end fired while store '" + g_.node(pending_write).label +
+            "end fired while store '" + ep_.label(pending_write.index()) +
             "' was still in flight — its acknowledgement is not collected";
       }
     }
-    return RunResult{std::move(stats_), std::move(store_)};
+    return RunResult{std::move(stats_), std::move(mem_.store)};
   }
 
  private:
-  static constexpr std::uint8_t kNormal = 0, kEmpty = 1, kFull = 2;
-
   bool profile_ok(std::uint64_t cycle) {
     if (cycle >= (1u << 22)) return false;
     if (stats_.profile.size() <= cycle) stats_.profile.resize(cycle + 1, 0);
@@ -190,64 +136,38 @@ class Engine {
   }
 
   void boot() {
-    const NodeId s = g_.start();
-    const dfg::Node& start = g_.node(s);
+    const NodeId s = ep_.start();
+    const ExecOp& start = ep_.op(s);
     ++stats_.ops_fired;
     ++stats_.fired_by_kind[static_cast<std::size_t>(start.kind)];
     for (std::uint16_t p = 0; p < start.num_outputs; ++p)
-      emit(0, s, p, start.start_values[p], /*cycle=*/0, /*latency=*/0);
-  }
-
-  [[nodiscard]] bool non_strict(const dfg::Node& n) const {
-    switch (n.kind) {
-      case OpKind::kMerge:
-      case OpKind::kLoopExit:
-        return true;
-      case OpKind::kLoopEntry:
-        return opt_.loop_mode == LoopMode::kPipelined;
-      default:
-        return false;
-    }
+      emit(0, s, p, ep_.start_values()[p], /*cycle=*/0, /*latency=*/0);
   }
 
   void deliver(const Token& t, std::uint64_t cycle) {
     ++stats_.tokens_sent;
-    const dfg::Node& n = g_.node(t.node);
-    if (non_strict(n)) {
+    const ExecOp& op = ep_.op(t.node);
+    if (non_strict(op, opt_.loop_mode)) {
       ready_.push_back({t.ctx, t.node, true, t.requeued, t.port, t.value});
       return;
     }
-    const std::uint64_t key =
-        static_cast<std::uint64_t>(t.ctx) * g_.num_nodes() + t.node.index();
-    auto [it, inserted] = slots_.try_emplace(key);
-    Slot& slot = it->second;
-    if (inserted) {
-      slot.values.assign(n.num_inputs, 0);
-      slot.filled.assign(n.num_inputs, false);
-      slot.remaining = 0;
-      for (std::uint16_t p = 0; p < n.num_inputs; ++p) {
-        if (n.operands[p].is_literal) {
-          slot.values[p] = n.operands[p].literal;
-          slot.filled[p] = true;
-        } else {
-          ++slot.remaining;
-        }
-      }
+    switch (frames_.deliver(t.ctx, op, t.port, t.value)) {
+      case FrameStore::Deliver::kCollision:
+        stats_.error = "token collision at node " +
+                       std::to_string(t.node.value()) + " (" +
+                       to_string(op.kind) + " '" + ep_.label(t.node.index()) +
+                       "') port " + std::to_string(t.port) + " in context " +
+                       std::to_string(t.ctx) + " at cycle " +
+                       std::to_string(cycle);
+        return;
+      case FrameStore::Deliver::kCompleted:
+        ++stats_.matches;
+        ready_.push_back({t.ctx, t.node, false, false, 0, 0});
+        break;
+      case FrameStore::Deliver::kStored:
+        ++stats_.matches;
+        break;
     }
-    if (slot.filled[t.port]) {
-      stats_.error = "token collision at node " +
-                     std::to_string(t.node.value()) + " (" +
-                     to_string(n.kind) + " '" + n.label + "') port " +
-                     std::to_string(t.port) + " in context " +
-                     std::to_string(t.ctx) + " at cycle " +
-                     std::to_string(cycle);
-      return;
-    }
-    slot.values[t.port] = t.value;
-    slot.filled[t.port] = true;
-    ++stats_.matches;
-    if (--slot.remaining == 0)
-      ready_.push_back({t.ctx, t.node, false, false, 0, 0});
   }
 
   [[nodiscard]] unsigned pe_of(std::uint32_t ctx, NodeId node) const {
@@ -301,110 +221,48 @@ class Engine {
   void emit(std::uint32_t ctx, NodeId node, std::uint16_t port,
             std::int64_t value, std::uint64_t cycle, std::uint64_t latency) {
     const unsigned from_pe = pe_of(fire_ctx_, node);
-    for (const dfg::Arc& a : out_index_[node.index()]) {
-      if (a.src_port != port) continue;
+    for (const ExecDest& d : ep_.dests(node, port)) {
       std::uint64_t hop = 0;
-      if (opt_.processors > 0 && pe_of(ctx, a.dst) != from_pe)
+      if (opt_.processors > 0 && pe_of(ctx, d.node) != from_pe)
         hop = opt_.network_latency;
       pending_[cycle + latency + hop].push_back(
-          Token{ctx, a.dst, a.dst_port, value});
-      ++live_tokens_[ctx];
+          Token{ctx, d.node, d.port, value});
+      cs_.add_live(ctx);
     }
   }
 
-  [[nodiscard]] static std::uint64_t instance_key(cfg::LoopId loop,
-                                                  std::uint32_t invocation) {
-    return (static_cast<std::uint64_t>(loop.value()) << 32) | invocation;
-  }
-
-  struct LoopInstance {
-    unsigned in_flight = 0;       ///< allocated, not yet retired iterations
-    std::vector<Token> stalled;   ///< forwardings blocked by the k-bound
-  };
-
-  [[nodiscard]] CtxKey iteration_key(cfg::LoopId loop,
-                                     std::uint32_t from) const {
-    const CtxInfo& cur = contexts_[from];
-    CtxKey key{};
-    key.loop = loop.value();
-    if (cur.loop == loop) {
-      key.invocation = cur.invocation;
-      key.iter = cur.iter + 1;
-    } else {
-      key.invocation = from;
-      key.iter = 0;
-    }
-    return key;
-  }
-
-  std::uint32_t context_for_iteration(cfg::LoopId loop, std::uint32_t from) {
-    const CtxKey key = iteration_key(loop, from);
-    const auto [it, inserted] =
-        ctx_table_.try_emplace(key, static_cast<std::uint32_t>(contexts_.size()));
-    if (inserted) {
-      contexts_.push_back(CtxInfo{loop, key.invocation, key.iter});
-      live_tokens_.push_back(0);
-      retired_.push_back(false);
-      ++stats_.contexts_allocated;
-      auto& instance = instances_[instance_key(loop, key.invocation)];
-      ++instance.in_flight;
-      ++live_contexts_;
-      stats_.peak_live_contexts =
-          std::max<std::uint64_t>(stats_.peak_live_contexts, live_contexts_);
-    }
-    return it->second;
-  }
-
-  /// One token of `ctx` was consumed; retire the context when its last
-  /// token dies, releasing a k-bound credit (and re-attempting any
-  /// forwardings stalled on it). Contexts can transiently hit zero and
-  /// come back (an inner loop exiting later re-injects tokens), so
-  /// retirement is once-only and the bound is approximate across
-  /// nested-loop boundaries.
   void consume(std::uint32_t ctx, std::uint64_t cycle, std::uint32_t n = 1) {
-    CTDF_ASSERT(live_tokens_[ctx] >= n);
-    live_tokens_[ctx] -= n;
-    if (live_tokens_[ctx] != 0 || ctx == 0 || retired_[ctx]) return;
-    retired_[ctx] = true;
-    --live_contexts_;
-    const CtxInfo& info = contexts_[ctx];
-    const auto it = instances_.find(instance_key(info.loop, info.invocation));
-    if (it == instances_.end()) return;
-    LoopInstance& instance = it->second;
-    if (instance.in_flight > 0) --instance.in_flight;
-    if (!instance.stalled.empty()) {
+    cs_.consume(ctx, n, [&](std::vector<Token>&& stalled) {
       // Re-deliver the stalled forwardings to the loop entry; they are
       // still counted live in their source contexts, so push them
       // without re-counting.
-      auto stalled = std::move(instance.stalled);
-      instance.stalled.clear();
       for (Token& t : stalled) pending_[cycle + 1].push_back(t);
-    }
+    });
   }
 
   void fire(const ReadyEntry& e, std::uint64_t cycle) {
-    const dfg::Node& n = g_.node(e.node);
+    const ExecOp& op = ep_.op(e.node);
     fire_ctx_ = e.ctx;
     ++stats_.ops_fired;
-    ++stats_.fired_by_kind[static_cast<std::size_t>(n.kind)];
+    ++stats_.fired_by_kind[static_cast<std::size_t>(op.kind)];
     if (stats_.first_fire_cycle[e.node.index()] == UINT64_MAX)
       stats_.first_fire_cycle[e.node.index()] = cycle;
     if (opt_.trace)
       std::fprintf(stderr, "[%8llu] fire %-10s '%s' ctx=%u\n",
-                   static_cast<unsigned long long>(cycle), to_string(n.kind),
-                   n.label.c_str(), e.ctx);
+                   static_cast<unsigned long long>(cycle), to_string(op.kind),
+                   ep_.label(e.node.index()).c_str(), e.ctx);
     const std::uint64_t alu = opt_.alu_latency;
     const std::uint64_t mem = opt_.mem_latency;
 
     // Non-strict firings: one token in, forwarded.
     if (e.immediate) {
-      switch (n.kind) {
+      switch (op.kind) {
         case OpKind::kMerge:
           emit(e.ctx, e.node, 0, e.value, cycle, alu);
           consume(e.ctx, cycle);
           return;
         case OpKind::kLoopExit: {
-          const CtxInfo& cur = contexts_[e.ctx];
+          const CtxInfo& cur = cs_.info(e.ctx);
           CTDF_ASSERT_MSG(cur.loop.valid(),
                           "loop exit fired outside an iteration context");
           emit(cur.invocation, e.node, e.port, e.value, cycle, alu);
@@ -415,24 +273,18 @@ class Engine {
           // k-bounded loops: stall the forwarding (token stays live in
           // its source context) if starting the target iteration would
           // exceed the bound.
-          if (opt_.loop_bound > 0) {
-            const CtxKey key = iteration_key(n.loop, e.ctx);
-            if (!ctx_table_.contains(key)) {
-              auto& inst = instances_[instance_key(
-                  n.loop, key.invocation)];
-              if (inst.in_flight >= opt_.loop_bound) {
-                // Buffer the forwarding in the loop entry: consumed
-                // from its source context now (so that context can
-                // retire and release a credit), re-fired on retirement.
-                inst.stalled.push_back(
-                    Token{e.ctx, e.node, e.port, e.value, true});
-                ++stats_.throttle_stalls;
-                if (!e.requeued) consume(e.ctx, cycle);
-                return;
-              }
-            }
+          if (auto* inst = cs_.bound_block(op.loop, e.ctx, opt_.loop_bound)) {
+            // Buffer the forwarding in the loop entry: consumed from its
+            // source context now (so that context can retire and release
+            // a credit), re-fired on retirement.
+            inst->stalled.push_back(
+                Token{e.ctx, e.node, e.port, e.value, true});
+            ++stats_.throttle_stalls;
+            if (!e.requeued) consume(e.ctx, cycle);
+            return;
           }
-          const std::uint32_t next = context_for_iteration(n.loop, e.ctx);
+          const std::uint32_t next =
+              cs_.context_for_iteration(op.loop, e.ctx, stats_);
           emit(next, e.node, e.port, e.value, cycle, alu);
           if (!e.requeued) consume(e.ctx, cycle);
           return;
@@ -442,171 +294,100 @@ class Engine {
       }
     }
 
-    // Strict firings: consume the matching slot.
-    const std::uint64_t key =
-        static_cast<std::uint64_t>(e.ctx) * g_.num_nodes() + e.node.index();
-    const auto it = slots_.find(key);
-    CTDF_ASSERT(it != slots_.end() && it->second.remaining == 0);
-    const std::vector<std::int64_t> in = std::move(it->second.values);
-    slots_.erase(it);
-    // Count the tokens this firing consumes; the consume() itself runs
-    // after the outputs are emitted so a context never transiently
-    // retires while its own successor tokens are being produced.
-    std::uint32_t consumed_inputs = 0;
-    for (std::uint16_t p = 0; p < n.num_inputs; ++p)
-      if (!n.operands[p].is_literal) ++consumed_inputs;
+    // Strict firings: consume the frame-slot range — copy the matched
+    // inputs out and release it before executing, so the op is
+    // re-creatable even while its own emissions are being produced.
+    CTDF_ASSERT(frames_.has(e.ctx, op) && frames_.remaining(e.ctx, op) == 0);
+    const std::int64_t* slots = frames_.inputs(e.ctx, op);
+    in_buf_.assign(slots, slots + op.num_inputs);
+    frames_.release(e.ctx, op);
+    const std::int64_t* in = in_buf_.data();
+    // The consume() itself runs after the outputs are emitted so a
+    // context never transiently retires while its own successor tokens
+    // are being produced.
 
-    const auto cell_of = [&](std::int64_t index) {
-      const std::int64_t w = lang::wrap_index(index, n.mem_extent);
-      const std::size_t cell = n.mem_base + static_cast<std::size_t>(w);
-      CTDF_ASSERT(cell < store_.cells.size());
-      return cell;
-    };
-
-    switch (n.kind) {
-      case OpKind::kBinOp:
-        emit(e.ctx, e.node, 0, lang::eval_binop(n.bop, in[0], in[1]), cycle,
-             alu);
-        break;
-      case OpKind::kUnOp:
-        emit(e.ctx, e.node, 0, lang::eval_unop(n.uop, in[0]), cycle, alu);
-        break;
-      case OpKind::kSynch:
-        emit(e.ctx, e.node, 0, 0, cycle, alu);
-        break;
-      case OpKind::kGate:
-        emit(e.ctx, e.node, 0, in[0], cycle, alu);
-        break;
-      case OpKind::kSwitch: {
-        const bool dir = in[dfg::port::kSwitchPred] != 0;
-        emit(e.ctx, e.node,
-             dir ? dfg::port::kSwitchTrue : dfg::port::kSwitchFalse,
-             in[dfg::port::kSwitchData], cycle, alu);
-        break;
-      }
-      case OpKind::kLoad: {
-        ++stats_.mem_reads;
-        emit(e.ctx, e.node, dfg::port::kLoadValue, store_.cells[n.mem_base],
-             cycle, mem);
-        emit(e.ctx, e.node, dfg::port::kLoadAck, 0, cycle, mem);
-        break;
-      }
-      case OpKind::kLoadIdx: {
-        ++stats_.mem_reads;
-        const std::size_t cell = cell_of(in[0]);
-        emit(e.ctx, e.node, dfg::port::kLoadValue, store_.cells[cell], cycle,
-             mem);
-        emit(e.ctx, e.node, dfg::port::kLoadAck, 0, cycle, mem);
-        break;
-      }
-      case OpKind::kStore:
+    if (op.flags & kExecMem) {
+      if (op.flags & kExecWrite)
         ++stats_.mem_writes;
-        store_.cells[n.mem_base] = in[0];
-        emit(e.ctx, e.node, 0, 0, cycle, mem);
-        break;
-      case OpKind::kStoreIdx: {
-        ++stats_.mem_writes;
-        store_.cells[cell_of(in[1])] = in[0];
-        emit(e.ctx, e.node, 0, 0, cycle, mem);
-        break;
-      }
-      case OpKind::kIStore: {
-        ++stats_.mem_writes;
-        const std::size_t cell = cell_of(in[1]);
-        if (istate_[cell] == kFull) {
-          stats_.error = "I-structure double write to cell " +
-                         std::to_string(cell) + " by node '" + n.label + "'";
-          return;
-        }
-        istate_[cell] = kFull;
-        store_.cells[cell] = in[0];
-        emit(e.ctx, e.node, 0, 0, cycle, mem);
-        if (const auto d = deferred_.find(cell); d != deferred_.end()) {
-          for (const auto& [ctx, node] : d->second)
-            emit(ctx, node, 0, in[0], cycle, mem);
-          deferred_.erase(d);
-        }
-        break;
-      }
-      case OpKind::kIFetch: {
+      else
         ++stats_.mem_reads;
-        const std::size_t cell = cell_of(in[0]);
-        if (istate_[cell] == kFull || istate_[cell] == kNormal) {
-          emit(e.ctx, e.node, 0, store_.cells[cell], cycle, mem);
-        } else {
-          ++stats_.deferred_reads;
-          deferred_[cell].emplace_back(e.ctx, e.node);
+      const MemAccess a = resolve_mem(op, in, mem_.store.cells.size());
+      const bool ok = apply_mem(
+          op, e.ctx, e.node, a, mem_, deferred_,
+          [&](std::uint16_t port, std::int64_t value) {
+            emit(e.ctx, e.node, port, value, cycle, mem);
+          },
+          [&](std::uint32_t dctx, NodeId dnode, std::int64_t value) {
+            emit(dctx, dnode, 0, value, cycle, mem);
+          },
+          [&] { ++stats_.deferred_reads; });
+      if (!ok) {
+        stats_.error = "I-structure double write to cell " +
+                       std::to_string(a.cell) + " by node '" +
+                       ep_.label(e.node.index()) + "'";
+        return;
+      }
+    } else {
+      switch (op.kind) {
+        case OpKind::kLoopEntry: {
+          // Barrier mode: the full circulating set starts the next
+          // iteration in a freshly allocated context.
+          const std::uint32_t next =
+              cs_.context_for_iteration(op.loop, e.ctx, stats_);
+          for (std::uint16_t p = 0; p < op.num_inputs; ++p)
+            emit(next, e.node, p, in[p], cycle, alu);
+          break;
         }
-        break;
+        case OpKind::kEnd:
+          completed_ = true;
+          break;
+        default:
+          fire_pure(op, in, [&](std::uint16_t port, std::int64_t value) {
+            emit(e.ctx, e.node, port, value, cycle, alu);
+          });
       }
-      case OpKind::kLoopEntry: {
-        // Barrier mode: the full circulating set starts the next
-        // iteration in a freshly allocated context.
-        const std::uint32_t next = context_for_iteration(n.loop, e.ctx);
-        for (std::uint16_t p = 0; p < n.num_inputs; ++p)
-          emit(next, e.node, p, in[p], cycle, alu);
-        break;
-      }
-      case OpKind::kEnd:
-        completed_ = true;
-        break;
-      case OpKind::kStart:
-      case OpKind::kMerge:
-      case OpKind::kLoopExit:
-        CTDF_UNREACHABLE("op cannot fire strictly");
     }
-    consume(e.ctx, cycle, consumed_inputs);
+    consume(e.ctx, cycle, op.consumed_inputs);
   }
 
   std::string deadlock_report() const {
     std::string msg = "deadlock: no events pending, end never fired; " +
-                      std::to_string(slots_.size()) +
+                      std::to_string(frames_.live_slots()) +
                       " matching slot(s) still waiting";
     int listed = 0;
-    for (const auto& [key, slot] : slots_) {
-      if (listed++ >= 5) break;
-      const NodeId node{static_cast<std::uint32_t>(key % g_.num_nodes())};
-      const dfg::Node& n = g_.node(node);
-      msg += "\n  waiting: node " + std::to_string(node.value()) + " (" +
-             to_string(n.kind) + " '" + n.label + "') ctx " +
-             std::to_string(key / g_.num_nodes()) + " missing " +
-             std::to_string(slot.remaining) + " input(s)";
-    }
+    frames_.for_each_live([&](std::uint32_t ctx, std::uint32_t op_idx,
+                              std::uint16_t remaining) {
+      if (listed++ >= 5) return;
+      msg += "\n  waiting: node " + std::to_string(op_idx) + " (" +
+             to_string(ep_.op(op_idx).kind) + " '" + ep_.label(op_idx) +
+             "') ctx " + std::to_string(ctx) + " missing " +
+             std::to_string(remaining) + " input(s)";
+    });
     if (!deferred_.empty())
       msg += "\n  plus " + std::to_string(deferred_.size()) +
              " I-structure cell(s) with deferred readers";
-    std::size_t stalled = 0;
-    for (const auto& [k, inst] : instances_) stalled += inst.stalled.size();
+    const std::size_t stalled = cs_.stalled_total();
     if (stalled > 0)
       msg += "\n  plus " + std::to_string(stalled) +
              " forwarding(s) stalled by the loop bound";
     return msg;
   }
 
-  const dfg::Graph& g_;
+  const ExecProgram& ep_;
   MachineOptions opt_;
   support::SplitMix64 rng_;
 
-  lang::Store store_;
-  std::vector<std::uint8_t> istate_;
-  std::unordered_map<std::size_t,
-                     std::vector<std::pair<std::uint32_t, NodeId>>>
-      deferred_;
+  MemoryState mem_;
+  DeferredMap deferred_;
 
-  std::vector<CtxInfo> contexts_;
-  std::vector<std::uint32_t> live_tokens_;
-  std::vector<bool> retired_;
-  std::uint64_t live_contexts_ = 0;
-  std::unordered_map<std::uint64_t, LoopInstance> instances_;
-  std::unordered_map<CtxKey, std::uint32_t, CtxKeyHash> ctx_table_;
-  std::unordered_map<std::uint64_t, Slot> slots_;
+  ContextState<Token> cs_;
+  FrameStore frames_;
 
   std::map<std::uint64_t, std::vector<Token>> pending_;
   std::vector<ReadyEntry> ready_;
   std::size_t ready_head_ = 0;
   std::uint32_t fire_ctx_ = 0;  ///< context of the firing in progress
-
-  std::vector<std::vector<dfg::Arc>> out_index_;
+  std::vector<std::int64_t> in_buf_;  ///< matched inputs of the firing
 
   RunStats stats_;
   bool completed_ = false;
@@ -614,21 +395,27 @@ class Engine {
 
 }  // namespace
 
-RunResult run(const dfg::Graph& graph, std::size_t memory_cells,
+RunResult run(const ExecProgram& program, std::size_t memory_cells,
               const MachineOptions& options,
               const std::vector<IStructureRegion>& istructures) {
   // Tracing stays on the serial engine so an error run doesn't print a
   // partial parallel trace followed by the rerun's full one.
   if (options.host_threads > 1 && !options.trace) {
     if (auto r =
-            detail::run_parallel(graph, memory_cells, options, istructures))
+            detail::run_parallel(program, memory_cells, options, istructures))
       return std::move(*r);
     // Error path: the parallel engine saw a deadlock, collision,
     // I-structure double write, or in-flight store at End. Re-run
     // serially for the reference diagnostics (whose text depends on
-    // serial container iteration order).
+    // the serial engine's frame-scan order).
   }
-  return Engine{graph, memory_cells, options, istructures}.run();
+  return Engine{program, memory_cells, options, istructures}.run();
+}
+
+RunResult run(const dfg::Graph& graph, std::size_t memory_cells,
+              const MachineOptions& options,
+              const std::vector<IStructureRegion>& istructures) {
+  return run(lower(graph), memory_cells, options, istructures);
 }
 
 }  // namespace ctdf::machine

@@ -36,6 +36,8 @@
 
 namespace ctdf::machine {
 
+class ExecProgram;
+
 struct RunStats {
   bool completed = false;
   std::string error;  ///< non-empty on deadlock/collision/cap
@@ -90,7 +92,16 @@ struct IStructureRegion {
 };
 
 /// Executes `graph` against a zeroed memory of `memory_cells` cells.
+/// Lowers the graph to an ExecProgram internally; callers that execute
+/// one program repeatedly should lower once and use the overload below.
 [[nodiscard]] RunResult run(const dfg::Graph& graph, std::size_t memory_cells,
+                            const MachineOptions& options,
+                            const std::vector<IStructureRegion>& istructures = {});
+
+/// Executes an already-lowered program (see machine/exec.hpp; the
+/// pipeline's `lower` stage caches one in core::CompileResult).
+[[nodiscard]] RunResult run(const ExecProgram& program,
+                            std::size_t memory_cells,
                             const MachineOptions& options,
                             const std::vector<IStructureRegion>& istructures = {});
 

@@ -33,6 +33,7 @@ const char* to_string(Stage s) {
     case Stage::kPostOpt: return "post-opt";
     case Stage::kFanoutLower: return "fanout-lower";
     case Stage::kValidate: return "validate";
+    case Stage::kLower: return "lower";
   }
   CTDF_UNREACHABLE("bad Stage");
 }

@@ -49,9 +49,13 @@ enum class Stage : std::uint8_t {
   kPostOpt,
   kFanoutLower,
   kValidate,
+  /// Graph → machine::ExecProgram lowering. Lives above the translate
+  /// layer (it needs the machine library), so run_stages never emits
+  /// its record: core::Pipeline appends it, like kParse.
+  kLower,
 };
 
-inline constexpr std::size_t kNumStages = 13;
+inline constexpr std::size_t kNumStages = 14;
 
 [[nodiscard]] const char* to_string(Stage s);
 [[nodiscard]] std::optional<Stage> stage_from_name(std::string_view name);

@@ -71,7 +71,8 @@ TEST(Pipeline, GoldenTraceRunningExample) {
             "post-opt: 11 -> 11 removed=0 switches-folded=0 "
             "merges-collapsed=0 dead=0 unfireable=0 iterations=1\n"
             "fanout-lower: skipped\n"
-            "validate: 11 -> 11 problems=0\n");
+            "validate: 11 -> 11 problems=0\n"
+            "lower: 11 -> 11 ops=11 dests=19 frame-slots=18 literals=3\n");
 }
 
 TEST(Pipeline, GoldenTraceFig9) {
@@ -92,7 +93,8 @@ TEST(Pipeline, GoldenTraceFig9) {
             "post-opt: 11 -> 11 removed=0 switches-folded=0 "
             "merges-collapsed=0 dead=0 unfireable=0 iterations=1\n"
             "fanout-lower: skipped\n"
-            "validate: 11 -> 11 problems=0\n");
+            "validate: 11 -> 11 problems=0\n"
+            "lower: 11 -> 11 ops=11 dests=17 frame-slots=19 literals=4\n");
 }
 
 TEST(Pipeline, GoldenTraceArrayLoop) {
@@ -113,7 +115,8 @@ TEST(Pipeline, GoldenTraceArrayLoop) {
             "post-opt: 10 -> 10 removed=0 switches-folded=0 "
             "merges-collapsed=0 dead=0 unfireable=0 iterations=1\n"
             "fanout-lower: skipped\n"
-            "validate: 10 -> 10 problems=0\n");
+            "validate: 10 -> 10 problems=0\n"
+            "lower: 10 -> 10 ops=10 dests=18 frame-slots=17 literals=3\n");
 }
 
 TEST(Pipeline, CompileIsAThinWrapperOverRun) {
@@ -180,8 +183,37 @@ TEST(Pipeline, ConfigureStageByName) {
   EXPECT_TRUE(po.translate.post_optimize);
   EXPECT_TRUE(po.configure_stage("validate", false));
   EXPECT_FALSE(po.validate);
+  EXPECT_TRUE(po.configure_stage("lower", false));
+  EXPECT_FALSE(po.lower);
   EXPECT_FALSE(po.configure_stage("cfg-build", false));  // not optional
   EXPECT_FALSE(po.configure_stage("bogus", true));
+}
+
+TEST(Pipeline, LowerStageCachesExecProgram) {
+  PipelineOptions po(full_stack());
+  po.dump_after = Stage::kLower;
+  const auto r = Pipeline(po).run(lang::corpus::running_example_source());
+  const auto* ls = r.trace.find(Stage::kLower);
+  ASSERT_NE(ls, nullptr);
+  EXPECT_TRUE(ls->ran);
+  EXPECT_GT(ls->nanos, 0);
+  EXPECT_EQ(r.exec.num_ops(), r.translation.graph.num_nodes());
+  EXPECT_EQ(ls->counter("ops"), static_cast<std::int64_t>(r.exec.num_ops()));
+  EXPECT_EQ(r.dump.rfind("exec program", 0), 0u) << r.dump.substr(0, 40);
+
+  // Executing the cached program matches the lower-on-the-fly path.
+  const machine::MachineOptions mo;
+  const auto via_cached = core::execute(r, mo);
+  const auto via_graph = core::execute(r.translation, mo);
+  EXPECT_EQ(via_cached.store, via_graph.store);
+  EXPECT_EQ(via_cached.stats.cycles, via_graph.stats.cycles);
+
+  // Disabling the stage reports it skipped and leaves exec empty.
+  PipelineOptions off(full_stack());
+  ASSERT_TRUE(off.configure_stage("lower", false));
+  const auto ro = Pipeline(off).run(lang::corpus::running_example_source());
+  EXPECT_FALSE(ro.trace.find(Stage::kLower)->ran);
+  EXPECT_EQ(ro.exec.num_ops(), 0u);
 }
 
 TEST(Pipeline, RunManySharesIdenticalSources) {

@@ -31,9 +31,13 @@
 //                           before the cleanup passes. Stages: parse,
 //                           cfg-build, dse, loop-transform, cover, ssa,
 //                           dominance, control-dep, switch-place,
-//                           translate, post-opt, fanout-lower, validate
+//                           translate, post-opt, fanout-lower, validate,
+//                           lower
 //   --ssa                   run the stats-only SSA stage (φ placement,
 //                           visible via --stage-stats / --dump-after)
+//   --dump-exec             print the lowered ExecProgram op table
+//                           (frame slots, fan-out, literals); accepted
+//                           by run, dot, explain, and exec
 //
 // Machine options:
 //   --width=N               operators fired per cycle (0 = unlimited)
@@ -62,6 +66,7 @@
 #include "core/pipeline.hpp"
 #include "dfg/asmfmt.hpp"
 #include "lang/subroutines.hpp"
+#include "machine/exec.hpp"
 #include "machine/report.hpp"
 #include "support/env.hpp"
 
@@ -80,6 +85,7 @@ struct Cli {
   bool report = false;
   bool stage_stats = false;
   bool compute_ssa = false;
+  bool dump_exec = false;
   std::optional<core::Stage> dump_after;
   bool ok = true;
 };
@@ -118,6 +124,8 @@ Cli parse_cli(int argc, char** argv) {
     }
     if (a == "--stage-stats") {
       cli.stage_stats = true;
+    } else if (a == "--dump-exec") {
+      cli.dump_exec = true;
     } else if (a == "--ssa") {
       cli.compute_ssa = true;
     } else if (starts_with(a, "--dump-after=")) {
@@ -227,11 +235,16 @@ void maybe_print_stage_stats(const Cli& cli, const core::CompileResult& cr) {
               cr.trace.table().c_str());
 }
 
+void maybe_dump_exec(const Cli& cli, const core::CompileResult& cr) {
+  if (!cli.dump_exec) return;
+  std::fputs(machine::render(cr.exec).c_str(), stdout);
+}
+
 int cmd_run(const Cli& cli, const lang::Program& prog) {
   const auto cr = make_pipeline(cli).run(prog);
   maybe_print_stage_stats(cli, cr);
-  const auto& tx = cr.translation;
-  const auto res = core::execute(tx, cli.mopt);
+  maybe_dump_exec(cli, cr);
+  const auto res = core::execute(cr, cli.mopt);
   if (!res.stats.completed) {
     std::fprintf(stderr, "machine error: %s\n", res.stats.error.c_str());
     return 1;
@@ -254,6 +267,10 @@ int cmd_run(const Cli& cli, const lang::Program& prog) {
 
 int cmd_dot(const Cli& cli, const lang::Program& prog) {
   const auto cr = make_pipeline(cli).run(prog);
+  if (cli.dump_exec) {
+    maybe_dump_exec(cli, cr);
+    return 0;
+  }
   if (cli.dump_after) {
     if (cr.dump.empty()) {
       std::fprintf(stderr,
@@ -286,6 +303,10 @@ int cmd_exec(const Cli& cli) {
     for (const auto& p : problems)
       std::fprintf(stderr, "invalid module: %s\n", p.c_str());
     return 1;
+  }
+  if (cli.dump_exec) {
+    std::fputs(machine::render(machine::lower(m.graph)).c_str(), stdout);
+    return 0;
   }
   std::vector<machine::IStructureRegion> regions;
   for (const auto& [b, e] : m.istructures) regions.push_back({b, e});
@@ -372,6 +393,7 @@ int cmd_compare(const Cli& cli, const lang::Program& prog) {
 int cmd_explain(const Cli& cli, const lang::Program& prog) {
   const auto cr = make_pipeline(cli).run(prog);
   maybe_print_stage_stats(cli, cr);
+  maybe_dump_exec(cli, cr);
   const auto& tx = cr.translation;
   const auto stats = dfg::compute_stats(tx.graph);
   std::printf("translation: %s\n", cli.topt.describe().c_str());
