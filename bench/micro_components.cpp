@@ -143,6 +143,57 @@ void BM_MachineMatchThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_MachineMatchThroughput)->Range(2, 16);
 
+void BM_MachineIdleCycles(benchmark::State& state) {
+  // Latency-bound regime: barrier loops over high-latency split-phase
+  // memory serialize the iterations, so most simulated cycles deliver
+  // only a handful of tokens and the run is dominated by the pending-
+  // queue bookkeeping (map-node churn in the scan engine vs bucket
+  // reuse + bitmap jumps in the event engine). Arg: 0 = scan engine,
+  // 1 = event engine; same results either way, only host time differs.
+  const auto prog = core::parse(lang::corpus::nested_loops_source(12, 12));
+  const auto tx =
+      core::compile(prog, translate::TranslateOptions::schema2_optimized());
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    machine::MachineOptions mopt;
+    mopt.loop_mode = machine::LoopMode::kBarrier;
+    mopt.mem_latency = 16;
+    mopt.engine = state.range(0) ? machine::EngineKind::kEvent
+                                 : machine::EngineKind::kScan;
+    const auto res = core::execute(tx, mopt);
+    ops += res.stats.ops_fired;
+    benchmark::DoNotOptimize(res.stats.cycles);
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineIdleCycles)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_FrameAlloc(benchmark::State& state) {
+  // Context-churn regime: deep pipelined nested loops allocate and
+  // retire an iteration frame per trip. The scan engine pays a heap
+  // allocation per context for the life of the run; the event engine
+  // hands retired frames back to the arena freelist. Arg: 0 = scan,
+  // 1 = event. Reports iteration contexts started per second.
+  const auto prog = core::parse(lang::corpus::nested_loops_source(16, 16));
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  const auto tx = core::compile(prog, topt);
+  std::uint64_t ctxs = 0;
+  for (auto _ : state) {
+    machine::MachineOptions mopt;
+    mopt.loop_mode = machine::LoopMode::kPipelined;
+    mopt.engine = state.range(0) ? machine::EngineKind::kEvent
+                                 : machine::EngineKind::kScan;
+    const auto res = core::execute(tx, mopt);
+    ctxs += res.stats.contexts_allocated;
+    benchmark::DoNotOptimize(res.stats.cycles);
+  }
+  state.counters["ctxs/s"] = benchmark::Counter(
+      static_cast<double>(ctxs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FrameAlloc)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
 void BM_MachineHostThreads(benchmark::State& state) {
   // Wall-clock scaling of the parallel cycle-synchronous engine over
   // host worker threads (arg 0 = serial legacy path) on a token-heavy

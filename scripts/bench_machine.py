@@ -3,17 +3,33 @@
 
 Runs the micro_components google-benchmark harness, extracts the
 simulator's operator throughput (BM_MachineTokenThroughput), the
-frame-store matching rate (BM_MachineMatchThroughput), and the graph →
-ExecProgram lowering time (BM_LowerExecProgram), and writes them to a
-JSON summary (BENCH_machine.json).
+frame-store matching rate (BM_MachineMatchThroughput), the graph →
+ExecProgram lowering time (BM_LowerExecProgram), the latency-bound
+engine comparison (BM_MachineIdleCycles, arg 0 = scan / 1 = event), and
+the context-churn comparison (BM_FrameAlloc), and writes them to a JSON
+summary (BENCH_machine.json).
 
 With --check BASELINE it additionally compares against a committed
 baseline and exits non-zero on a regression beyond --tolerance
-(default 25%): throughput/match rates lower, or lowering time higher.
+(default 25%): throughput/match/context rates lower, or lowering time
+higher. It also requires the event engine to beat the scan engine on
+the latency-bound workload by at least --event-speedup-floor.
 
 Usage:
   scripts/bench_machine.py --bench build/bench/micro_components \
       --out BENCH_machine.json [--check BENCH_machine.json]
+
+Regenerating the committed baseline (after an intentional perf change,
+on a quiet machine, from a Release build):
+
+  cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+  cmake --build build -j --target micro_components
+  scripts/bench_machine.py --bench build/bench/micro_components --record
+
+--record rewrites BENCH_machine.json in place (keys sorted, trailing
+newline — byte-stable for a given set of numbers) and skips the
+regression check; commit the result together with the change that
+motivated it.
 """
 
 import argparse
@@ -25,9 +41,20 @@ FILTER = "|".join(
     [
         "BM_MachineTokenThroughput",
         "BM_MachineMatchThroughput",
+        "BM_MachineIdleCycles",
+        "BM_FrameAlloc",
         "BM_LowerExecProgram/",  # skip the _BigO/_RMS aggregate rows
     ]
 )
+
+# section -> (benchmark prefix, counter key, higher_is_better)
+SECTIONS = {
+    "machine_ops_per_s": ("BM_MachineTokenThroughput", "ops/s", True),
+    "matches_per_s": ("BM_MachineMatchThroughput", "matches/s", True),
+    "idle_ops_per_s": ("BM_MachineIdleCycles", "ops/s", True),
+    "frame_ctxs_per_s": ("BM_FrameAlloc", "ctxs/s", True),
+    "lowering_ns": ("BM_LowerExecProgram", "real_time", False),
+}
 
 
 def run_bench(bench_path):
@@ -44,21 +71,30 @@ def run_bench(bench_path):
 
 
 def summarize(report):
-    out = {"machine_ops_per_s": {}, "matches_per_s": {}, "lowering_ns": {}}
+    out = {section: {} for section in SECTIONS}
     for b in report.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
         name = b["name"].replace("/real_time", "")
-        if "BM_MachineTokenThroughput" in name and "ops/s" in b:
-            out["machine_ops_per_s"][name] = b["ops/s"]
-        elif "BM_MachineMatchThroughput" in name and "matches/s" in b:
-            out["matches_per_s"][name] = b["matches/s"]
-        elif "BM_LowerExecProgram" in name:
-            out["lowering_ns"][name] = b["real_time"]
+        for section, (prefix, key, _) in SECTIONS.items():
+            if name.startswith(prefix) and key in b:
+                out[section][name] = b[key]
+                break
     return out
 
 
-def check(current, baseline, tolerance):
+def event_speedup(summary):
+    """Event-over-scan throughput ratio on the latency-bound workload,
+    or None when either row is missing."""
+    rows = summary.get("idle_ops_per_s", {})
+    scan = rows.get("BM_MachineIdleCycles/0")
+    event = rows.get("BM_MachineIdleCycles/1")
+    if not scan or not event:
+        return None
+    return event / scan
+
+
+def check(current, baseline, tolerance, speedup_floor):
     failures = []
 
     def compare(section, regressed, direction):
@@ -74,10 +110,20 @@ def check(current, baseline, tolerance):
                 failures.append(name)
 
     print("throughput (higher is better):")
-    compare("machine_ops_per_s", lambda r: r < 1.0 - tolerance, "ops/s")
-    compare("matches_per_s", lambda r: r < 1.0 - tolerance, "matches/s")
+    for section, (_, key, higher) in SECTIONS.items():
+        if not higher:
+            continue
+        compare(section, lambda r: r < 1.0 - tolerance, key)
     print("lowering time (lower is better):")
     compare("lowering_ns", lambda r: r > 1.0 + tolerance, "ns")
+
+    speedup = event_speedup(current)
+    if speedup is not None:
+        flag = "ok" if speedup >= speedup_floor else "REGRESSION"
+        print(f"event-engine speedup on BM_MachineIdleCycles: "
+              f"{speedup:.2f}x (floor {speedup_floor:.2f}x) {flag}")
+        if speedup < speedup_floor:
+            failures.append("event-speedup")
     return failures
 
 
@@ -89,8 +135,15 @@ def main():
                     help="summary JSON to write")
     ap.add_argument("--check", metavar="BASELINE",
                     help="baseline JSON to compare against")
+    ap.add_argument("--record", action="store_true",
+                    help="rewrite the baseline (--out) in place and skip "
+                         "the regression check; see the module docstring "
+                         "for the full regeneration workflow")
     ap.add_argument("--tolerance", type=float, default=0.25,
                     help="allowed relative regression (default 0.25)")
+    ap.add_argument("--event-speedup-floor", type=float, default=1.2,
+                    help="required event/scan throughput ratio on the "
+                         "latency-bound workload (default 1.2)")
     args = ap.parse_args()
 
     summary = summarize(run_bench(args.bench))
@@ -99,10 +152,20 @@ def main():
         f.write("\n")
     print(f"wrote {args.out}")
 
+    if args.record:
+        speedup = event_speedup(summary)
+        if speedup is not None:
+            print(f"event-engine speedup on BM_MachineIdleCycles: "
+                  f"{speedup:.2f}x")
+        print("baseline recorded; commit it with the change that "
+              "motivated the new numbers")
+        return 0
+
     if args.check:
         with open(args.check) as f:
             baseline = json.load(f)
-        failures = check(summary, baseline, args.tolerance)
+        failures = check(summary, baseline, args.tolerance,
+                         args.event_speedup_floor)
         if failures:
             print(f"FAIL: {len(failures)} benchmark(s) regressed beyond "
                   f"{args.tolerance:.0%}: {', '.join(failures)}")

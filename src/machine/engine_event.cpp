@@ -1,0 +1,59 @@
+#include "machine/engine_event.hpp"
+
+#include <algorithm>
+
+#include "machine/calendar.hpp"
+#include "machine/engine_serial.hpp"
+
+namespace ctdf::machine::detail {
+
+namespace {
+
+/// Calendar-queue pending policy: O(1) push/drain, bitmap idle jump,
+/// and arena frames recycled when their iteration context retires.
+struct WheelPending {
+  static constexpr bool kRecycleFrames = true;
+
+  explicit WheelPending(const MachineOptions& opt) : q_(event_horizon(opt)) {}
+
+  void push(std::uint64_t due, const Token& t) { q_.push(due, t); }
+
+  template <class F>
+  void drain(std::uint64_t cycle, F&& f) {
+    q_.drain(cycle, static_cast<F&&>(f));
+  }
+
+  [[nodiscard]] bool empty() const { return q_.empty(); }
+
+  [[nodiscard]] std::uint64_t next_due(std::uint64_t cycle) const {
+    return q_.next_due(cycle);
+  }
+
+  template <class F>
+  void for_each_pending(std::uint64_t cycle, F&& f) const {
+    q_.for_each_pending(cycle, static_cast<F&&>(f));
+  }
+
+  CalendarQueue q_;
+};
+
+}  // namespace
+
+std::uint64_t event_horizon(const MachineOptions& opt) {
+  // Firings schedule at cycle + alu or mem latency, plus one network
+  // hop when producer and consumer land on different PEs; k-bound
+  // stalls re-deliver at cycle + 1.
+  std::uint64_t h = std::max<std::uint64_t>(opt.alu_latency, opt.mem_latency);
+  if (opt.processors > 0) h += opt.network_latency;
+  return h;
+}
+
+RunResult run_event(const ExecProgram& program, std::size_t memory_cells,
+                    const MachineOptions& options,
+                    const std::vector<IStructureRegion>& istructures) {
+  return SerialEngine<WheelPending>{program, memory_cells, options,
+                                    istructures}
+      .run();
+}
+
+}  // namespace ctdf::machine::detail

@@ -1,0 +1,26 @@
+// Event-driven serial engine: SerialEngine over a calendar-queue
+// pending policy, with frame recycling on context retirement. See
+// calendar.hpp for the queue and engine_serial.hpp for the shared
+// engine body.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machine/exec.hpp"
+#include "machine/machine.hpp"
+#include "machine/options.hpp"
+
+namespace ctdf::machine::detail {
+
+/// The farthest ahead of the current cycle any delivery can be
+/// scheduled under `opt`: the wheel must span at least this. run()
+/// falls back to the scan engine when this reaches
+/// CalendarQueue::kMaxHorizon (absurd latency configurations).
+[[nodiscard]] std::uint64_t event_horizon(const MachineOptions& opt);
+
+RunResult run_event(const ExecProgram& program, std::size_t memory_cells,
+                    const MachineOptions& options,
+                    const std::vector<IStructureRegion>& istructures);
+
+}  // namespace ctdf::machine::detail

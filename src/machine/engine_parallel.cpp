@@ -245,8 +245,9 @@ class ParallelEngine {
       }
       cycle_ = cycle;
       // Contexts only appear during replay (coordinator), so growing
-      // the frame table here keeps the parallel deliver resize-free.
-      frames_.ensure_contexts(cs_.size());
+      // the frame table — and carving their arena frames — here keeps
+      // the parallel deliver phase resize- and allocation-free.
+      frames_.materialize_contexts(cs_.size());
 
       pool_.run([this](unsigned w) { deliver_phase(w); });
       for (const Shard& s : shards_)

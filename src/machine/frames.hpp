@@ -7,6 +7,8 @@
 // share one set of semantics-bearing definitions.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -15,7 +17,6 @@
 #include "machine/exec.hpp"
 #include "machine/machine.hpp"
 #include "support/assert.hpp"
-#include "support/bitset.hpp"
 
 namespace ctdf::machine {
 
@@ -76,68 +77,109 @@ using DeferredMap =
 /// fires, mirroring the try_emplace/erase lifecycle the hash-map store
 /// had.
 ///
-/// Frames are allocated lazily and never freed: retired contexts can
-/// transiently revive (an inner loop exiting later re-injects tokens),
-/// and the parallel engine shards frame ownership by context, so the
-/// pointer table may only grow between parallel phases
-/// (ensure_contexts, coordinator-only).
+/// Storage is a slab arena: frames are fixed-size records (values,
+/// presence words, state words — geometry fixed by the ExecProgram)
+/// carved out of large chunks, so creating an iteration context costs a
+/// bump-pointer step instead of three vector allocations. A frame whose
+/// context retires can be handed back via recycle(); the freelist
+/// re-issues it to the next iteration without re-initialization (a
+/// retiring context has zero live tokens, hence zero created slots, so
+/// a recycled frame is already in the all-kNotCreated state a fresh one
+/// starts in). Retired contexts can transiently revive (an inner loop
+/// exiting later re-injects tokens); a revived context simply draws a
+/// fresh frame.
+///
+/// The serial engines allocate lazily on first delivery. The parallel
+/// engine shards frame *ownership* by context while the pointer table
+/// and the arena are only ever grown by the coordinator
+/// (materialize_contexts, between phases); it never recycles, because
+/// slot releases are deferred to the exchange phase and could land
+/// after the owning context retired.
 class FrameStore {
  public:
-  explicit FrameStore(const ExecProgram& ep) : ep_(&ep) {}
+  explicit FrameStore(const ExecProgram& ep)
+      : ep_(&ep),
+        slots_(ep.frame_slots()),
+        words_((ep.frame_slots() + 63) / 64),
+        nstates_(ep.num_framed_ops()) {
+    const std::size_t bytes = slots_ * sizeof(std::int64_t) +
+                              words_ * sizeof(std::uint64_t) +
+                              nstates_ * sizeof(std::uint16_t);
+    stride_ = std::max<std::size_t>((bytes + 7) & ~std::size_t{7}, 8);
+    frames_per_chunk_ = std::max<std::size_t>(1, kChunkBytes / stride_);
+  }
 
   enum class Deliver : std::uint8_t { kStored, kCompleted, kCollision };
 
-  /// Grows the frame pointer table; call before any phase that may
-  /// deliver to a context (the parallel engine's workers must never
-  /// resize it concurrently).
-  void ensure_contexts(std::size_t n) {
-    if (frames_.size() < n) frames_.resize(n);
+  /// Grows the frame pointer table *and* materializes a frame for every
+  /// context below n. The parallel engine calls this from the
+  /// coordinator each cycle so its workers touch the arena
+  /// allocation-free (and the pointer table is never resized
+  /// concurrently).
+  void materialize_contexts(std::size_t n) {
+    if (frames_.size() < n) frames_.resize(n, nullptr);
+    for (std::size_t c = 0; c < n; ++c)
+      if (!frames_[c]) frames_[c] = alloc_frame();
   }
 
   /// Files one token into (ctx, op)'s slot range.
   Deliver deliver(std::uint32_t ctx, const ExecOp& op, std::uint16_t port,
                   std::int64_t value) {
-    Frame& f = frame(ctx);
-    std::uint16_t& state = f.state[op.strict_index];
+    std::byte* f = frame(ctx);
+    std::uint16_t& state = states(f)[op.strict_index];
     if (state == kNotCreated) {
       for (std::uint16_t p = 0; p < op.num_inputs; ++p) {
         const std::uint32_t slot = op.frame_base + p;
         if (ep_->literal_at(op, p)) {
-          f.values[slot] = ep_->literal_value(op, p);
-          f.filled.set(slot);
+          values(f)[slot] = ep_->literal_value(op, p);
+          bit_set(f, slot);
         } else {
-          f.filled.reset(slot);
+          bit_reset(f, slot);
         }
       }
       state = op.consumed_inputs;
     }
     const std::uint32_t slot = op.frame_base + port;
-    if (f.filled.test(slot)) return Deliver::kCollision;
-    f.values[slot] = value;
-    f.filled.set(slot);
+    if (bit_test(f, slot)) return Deliver::kCollision;
+    values(f)[slot] = value;
+    bit_set(f, slot);
     return --state == 0 ? Deliver::kCompleted : Deliver::kStored;
   }
 
   [[nodiscard]] bool has(std::uint32_t ctx, const ExecOp& op) const {
     return ctx < frames_.size() && frames_[ctx] &&
-           frames_[ctx]->state[op.strict_index] != kNotCreated;
+           states(frames_[ctx])[op.strict_index] != kNotCreated;
   }
 
   [[nodiscard]] std::uint16_t remaining(std::uint32_t ctx,
                                         const ExecOp& op) const {
-    return frames_[ctx]->state[op.strict_index];
+    return states(frames_[ctx])[op.strict_index];
   }
 
   /// The matched input values; valid until release().
   [[nodiscard]] const std::int64_t* inputs(std::uint32_t ctx,
                                            const ExecOp& op) const {
-    return frames_[ctx]->values.data() + op.frame_base;
+    return values(frames_[ctx]) + op.frame_base;
   }
 
   /// The op fired: its slot range becomes re-creatable.
   void release(std::uint32_t ctx, const ExecOp& op) {
-    frames_[ctx]->state[op.strict_index] = kNotCreated;
+    states(frames_[ctx])[op.strict_index] = kNotCreated;
   }
+
+  /// The context retired: hand its frame back to the freelist (serial
+  /// engines only; see class comment). Safe on contexts that never
+  /// received a strict token.
+  void recycle(std::uint32_t ctx) {
+    if (ctx >= frames_.size() || !frames_[ctx]) return;
+    free_.push_back(frames_[ctx]);
+    frames_[ctx] = nullptr;
+    ++recycled_;
+  }
+
+  /// Frames handed back by recycle() over the run (engine-internal
+  /// telemetry; never part of RunStats).
+  [[nodiscard]] std::uint64_t recycled() const { return recycled_; }
 
   /// Live (created, not yet fired) slots, for diagnostics.
   [[nodiscard]] std::size_t live_slots() const {
@@ -153,37 +195,88 @@ class FrameStore {
   void for_each_live(F&& f) const {
     for (std::uint32_t ctx = 0; ctx < frames_.size(); ++ctx) {
       if (!frames_[ctx]) continue;
-      const Frame& fr = *frames_[ctx];
+      const std::uint16_t* st = states(frames_[ctx]);
       for (std::uint32_t i = 0; i < ep_->num_ops(); ++i) {
         const ExecOp& op = ep_->op(i);
         if (!op.framed()) continue;
-        if (fr.state[op.strict_index] != kNotCreated)
-          f(ctx, i, fr.state[op.strict_index]);
+        if (st[op.strict_index] != kNotCreated)
+          f(ctx, i, st[op.strict_index]);
       }
     }
   }
 
  private:
   static constexpr std::uint16_t kNotCreated = 0xFFFF;
+  /// Arena chunk size; amortizes to ~one allocation per kChunkBytes of
+  /// frame traffic (with recycling, usually a handful per run).
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
 
-  struct Frame {
-    explicit Frame(const ExecProgram& ep)
-        : values(ep.frame_slots(), 0),
-          filled(ep.frame_slots()),
-          state(ep.num_framed_ops(), kNotCreated) {}
-    std::vector<std::int64_t> values;
-    support::Bitset filled;
-    std::vector<std::uint16_t> state;
-  };
+  // Frame record layout at p: values | presence words | state words.
+  [[nodiscard]] std::int64_t* values(std::byte* p) const {
+    return reinterpret_cast<std::int64_t*>(p);
+  }
+  [[nodiscard]] const std::int64_t* values(const std::byte* p) const {
+    return reinterpret_cast<const std::int64_t*>(p);
+  }
+  [[nodiscard]] std::uint64_t* bits(std::byte* p) const {
+    return reinterpret_cast<std::uint64_t*>(p + slots_ * sizeof(std::int64_t));
+  }
+  [[nodiscard]] std::uint16_t* states(std::byte* p) const {
+    return reinterpret_cast<std::uint16_t*>(p + slots_ * sizeof(std::int64_t) +
+                                            words_ * sizeof(std::uint64_t));
+  }
+  [[nodiscard]] const std::uint16_t* states(const std::byte* p) const {
+    return reinterpret_cast<const std::uint16_t*>(
+        p + slots_ * sizeof(std::int64_t) + words_ * sizeof(std::uint64_t));
+  }
 
-  Frame& frame(std::uint32_t ctx) {
-    if (ctx >= frames_.size()) frames_.resize(ctx + 1);
-    if (!frames_[ctx]) frames_[ctx] = std::make_unique<Frame>(*ep_);
-    return *frames_[ctx];
+  void bit_set(std::byte* p, std::uint32_t i) {
+    bits(p)[i >> 6] |= std::uint64_t{1} << (i & 63);
+  }
+  void bit_reset(std::byte* p, std::uint32_t i) {
+    bits(p)[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  }
+  [[nodiscard]] bool bit_test(std::byte* p, std::uint32_t i) const {
+    return (bits(p)[i >> 6] >> (i & 63)) & 1;
+  }
+
+  std::byte* alloc_frame() {
+    if (!free_.empty()) {
+      // Recycled frames are clean (all states kNotCreated) — a context
+      // only retires once its last token is consumed, and every created
+      // slot holds at least one live token.
+      std::byte* p = free_.back();
+      free_.pop_back();
+      return p;
+    }
+    if (chunks_.empty() || next_in_chunk_ == frames_per_chunk_) {
+      chunks_.push_back(std::make_unique<std::byte[]>(
+          stride_ * frames_per_chunk_));
+      next_in_chunk_ = 0;
+    }
+    std::byte* p = chunks_.back().get() + next_in_chunk_++ * stride_;
+    std::uint16_t* st = states(p);
+    for (std::size_t i = 0; i < nstates_; ++i) st[i] = kNotCreated;
+    return p;
+  }
+
+  std::byte* frame(std::uint32_t ctx) {
+    if (ctx >= frames_.size()) frames_.resize(ctx + 1, nullptr);
+    if (!frames_[ctx]) frames_[ctx] = alloc_frame();
+    return frames_[ctx];
   }
 
   const ExecProgram* ep_;
-  std::vector<std::unique_ptr<Frame>> frames_;
+  std::size_t slots_;
+  std::size_t words_;
+  std::size_t nstates_;
+  std::size_t stride_ = 0;
+  std::size_t frames_per_chunk_ = 0;
+  std::size_t next_in_chunk_ = 0;
+  std::uint64_t recycled_ = 0;
+  std::vector<std::byte*> frames_;  ///< per-context frame, null = none
+  std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::vector<std::byte*> free_;
 };
 
 /// Context allocation, token-liveness accounting, and k-bound credits —
@@ -267,17 +360,19 @@ class ContextState {
   /// forwardings to on_stalled(std::vector<TokenT>&&). Contexts can
   /// transiently hit zero and come back (an inner loop exiting later
   /// re-injects tokens), so retirement is once-only and the bound is
-  /// approximate across nested-loop boundaries.
+  /// approximate across nested-loop boundaries. Returns true iff this
+  /// call retired the context (the event engine recycles its frame on
+  /// that edge).
   template <class OnStalled>
-  void consume(std::uint32_t ctx, std::uint32_t n, OnStalled&& on_stalled) {
+  bool consume(std::uint32_t ctx, std::uint32_t n, OnStalled&& on_stalled) {
     CTDF_ASSERT(live_tokens_[ctx] >= n);
     live_tokens_[ctx] -= n;
-    if (live_tokens_[ctx] != 0 || ctx == 0 || retired_[ctx]) return;
+    if (live_tokens_[ctx] != 0 || ctx == 0 || retired_[ctx]) return false;
     retired_[ctx] = true;
     --live_contexts_;
     const CtxInfo& info = contexts_[ctx];
     const auto it = instances_.find(instance_key(info.loop, info.invocation));
-    if (it == instances_.end()) return;
+    if (it == instances_.end()) return true;
     LoopInstance<TokenT>& instance = it->second;
     if (instance.in_flight > 0) --instance.in_flight;
     if (!instance.stalled.empty()) {
@@ -285,6 +380,7 @@ class ContextState {
       instance.stalled.clear();
       on_stalled(std::move(stalled));
     }
+    return true;
   }
 
   /// Forwardings currently buffered by the k-bound (deadlock report).

@@ -1,403 +1,25 @@
 #include "machine/machine.hpp"
 
-#include <cstdio>
-#include <map>
 #include <utility>
 
+#include "machine/calendar.hpp"
+#include "machine/engine_event.hpp"
 #include "machine/engine_parallel.hpp"
-#include "machine/exec.hpp"
-#include "machine/fire.hpp"
-#include "machine/frames.hpp"
-#include "support/assert.hpp"
-#include "support/rng.hpp"
+#include "machine/engine_serial.hpp"
 
 namespace ctdf::machine {
-
-namespace {
-
-using dfg::NodeId;
-using dfg::OpKind;
-
-struct ReadyEntry {
-  std::uint32_t ctx = 0;
-  NodeId node;
-  /// Non-strict firings carry their single token inline.
-  bool immediate = false;
-  bool requeued = false;  ///< see Token::requeued
-  std::uint16_t port = 0;
-  std::int64_t value = 0;
-};
-
-class Engine {
- public:
-  Engine(const ExecProgram& ep, std::size_t memory_cells,
-         const MachineOptions& opt,
-         const std::vector<IStructureRegion>& istructures)
-      : ep_(ep), opt_(opt), rng_(opt.scheduler_seed), frames_(ep) {
-    CTDF_ASSERT_MSG(opt_.alu_latency >= 1 && opt_.mem_latency >= 1,
-                    "latencies must be at least one cycle");
-    mem_.init(memory_cells, istructures);
-    stats_.fired_by_kind.assign(dfg::kNumOpKinds, 0);
-    stats_.first_fire_cycle.assign(ep.num_ops(), UINT64_MAX);
-  }
-
-  RunResult run() {
-    boot();
-    std::uint64_t cycle = 0;
-    while (!completed_ && stats_.error.empty()) {
-      if (cycle >= opt_.max_cycles) {
-        stats_.cycles = cycle;
-        stats_.error = "cycle cap exceeded (possible livelock or "
-                       "non-terminating program)";
-        break;
-      }
-      // 1. Deliver tokens due this cycle.
-      if (const auto it = pending_.find(cycle); it != pending_.end()) {
-        for (const Token& t : it->second) deliver(t, cycle);
-        pending_.erase(it);
-      }
-      stats_.peak_ready = std::max<std::uint64_t>(
-          stats_.peak_ready, ready_.size() - ready_head_);
-
-      // 2. Fire ready operators: either the abstract pool bounded by
-      // `width`, or one operator per processing element per cycle.
-      std::uint32_t fired = 0;
-      if (opt_.processors == 0) {
-        const std::uint64_t budget =
-            opt_.width == 0 ? UINT64_MAX : opt_.width;
-        while (ready_head_ < ready_.size() && fired < budget && !completed_ &&
-               stats_.error.empty()) {
-          fire(pop_ready(), cycle);
-          ++fired;
-        }
-      } else {
-        fired = fire_multi_pe(cycle);
-      }
-      if (opt_.record_profile && profile_ok(cycle))
-        stats_.profile[cycle] = fired;
-
-      // 3. Advance time: next cycle if work remains ready, else jump to
-      // the next scheduled delivery.
-      if (completed_ || !stats_.error.empty()) {
-        stats_.cycles = cycle + 1;
-        break;
-      }
-      if (ready_head_ < ready_.size()) {
-        ++cycle;
-      } else if (!pending_.empty()) {
-        cycle = pending_.begin()->first;
-      } else {
-        stats_.cycles = cycle + 1;
-        stats_.error = deadlock_report();
-        break;
-      }
-    }
-    stats_.completed = completed_ && stats_.error.empty();
-    if (stats_.completed) {
-      // Tokens may legally still be draining when End fires (dead value
-      // chains — e.g. a loop value overwritten before use — produce
-      // tokens End does not transitively wait for). That is recorded.
-      // A *store* still in flight, however, means memory is not final
-      // and the translation failed to collect its acknowledgement.
-      const auto is_write = [&](NodeId n) {
-        return (ep_.op(n).flags & kExecWrite) != 0;
-      };
-      NodeId pending_write;
-      for (std::size_t i = ready_head_; i < ready_.size(); ++i) {
-        ++stats_.leftover_tokens;
-        if (is_write(ready_[i].node)) pending_write = ready_[i].node;
-      }
-      for (const auto& [c, v] : pending_) {
-        for (const Token& t : v) {
-          ++stats_.leftover_tokens;
-          if (is_write(t.node)) pending_write = t.node;
-        }
-      }
-      frames_.for_each_live(
-          [&](std::uint32_t, std::uint32_t op_idx, std::uint16_t) {
-            if (ep_.op(op_idx).flags & kExecWrite)
-              pending_write = NodeId{op_idx};
-          });
-      if (pending_write.valid()) {
-        stats_.completed = false;
-        stats_.error =
-            "end fired while store '" + ep_.label(pending_write.index()) +
-            "' was still in flight — its acknowledgement is not collected";
-      }
-    }
-    return RunResult{std::move(stats_), std::move(mem_.store)};
-  }
-
- private:
-  bool profile_ok(std::uint64_t cycle) {
-    if (cycle >= (1u << 22)) return false;
-    if (stats_.profile.size() <= cycle) stats_.profile.resize(cycle + 1, 0);
-    return true;
-  }
-
-  void boot() {
-    const NodeId s = ep_.start();
-    const ExecOp& start = ep_.op(s);
-    ++stats_.ops_fired;
-    ++stats_.fired_by_kind[static_cast<std::size_t>(start.kind)];
-    for (std::uint16_t p = 0; p < start.num_outputs; ++p)
-      emit(0, s, p, ep_.start_values()[p], /*cycle=*/0, /*latency=*/0);
-  }
-
-  void deliver(const Token& t, std::uint64_t cycle) {
-    ++stats_.tokens_sent;
-    const ExecOp& op = ep_.op(t.node);
-    if (non_strict(op, opt_.loop_mode)) {
-      ready_.push_back({t.ctx, t.node, true, t.requeued, t.port, t.value});
-      return;
-    }
-    switch (frames_.deliver(t.ctx, op, t.port, t.value)) {
-      case FrameStore::Deliver::kCollision:
-        stats_.error = "token collision at node " +
-                       std::to_string(t.node.value()) + " (" +
-                       to_string(op.kind) + " '" + ep_.label(t.node.index()) +
-                       "') port " + std::to_string(t.port) + " in context " +
-                       std::to_string(t.ctx) + " at cycle " +
-                       std::to_string(cycle);
-        return;
-      case FrameStore::Deliver::kCompleted:
-        ++stats_.matches;
-        ready_.push_back({t.ctx, t.node, false, false, 0, 0});
-        break;
-      case FrameStore::Deliver::kStored:
-        ++stats_.matches;
-        break;
-    }
-  }
-
-  [[nodiscard]] unsigned pe_of(std::uint32_t ctx, NodeId node) const {
-    if (opt_.processors == 0) return 0;
-    const std::uint64_t key =
-        opt_.placement == Placement::kByNode ? node.value() : ctx;
-    return static_cast<unsigned>(
-        ((key * 0x9e3779b97f4a7c15ULL) >> 33) % opt_.processors);
-  }
-
-  /// One cycle of multi-PE issue: each PE fires at most one ready
-  /// operator (FIFO per PE); the rest wait.
-  std::uint32_t fire_multi_pe(std::uint64_t cycle) {
-    std::vector<std::uint8_t> busy(opt_.processors, 0);
-    std::vector<ReadyEntry> kept;
-    std::uint32_t fired = 0;
-    std::size_t i = ready_head_;
-    for (; i < ready_.size() && !completed_ && stats_.error.empty(); ++i) {
-      const unsigned pe = pe_of(ready_[i].ctx, ready_[i].node);
-      if (busy[pe]) {
-        kept.push_back(ready_[i]);
-        continue;
-      }
-      busy[pe] = 1;
-      fire(ready_[i], cycle);
-      ++fired;
-    }
-    for (; i < ready_.size(); ++i) kept.push_back(ready_[i]);
-    ready_ = std::move(kept);
-    ready_head_ = 0;
-    return fired;
-  }
-
-  ReadyEntry pop_ready() {
-    if (opt_.scheduler_seed != 0) {
-      const std::size_t span = ready_.size() - ready_head_;
-      const std::size_t pick = ready_head_ + rng_.next_below(span);
-      std::swap(ready_[ready_head_], ready_[pick]);
-    }
-    ReadyEntry e = ready_[ready_head_++];
-    if (ready_head_ > 4096 && ready_head_ * 2 > ready_.size()) {
-      ready_.erase(ready_.begin(),
-                   ready_.begin() + static_cast<std::ptrdiff_t>(ready_head_));
-      ready_head_ = 0;
-    }
-    return e;
-  }
-
-  /// Schedules value onto every arc out of (node, port), counting each
-  /// token as live in its context until a firing consumes it.
-  void emit(std::uint32_t ctx, NodeId node, std::uint16_t port,
-            std::int64_t value, std::uint64_t cycle, std::uint64_t latency) {
-    const unsigned from_pe = pe_of(fire_ctx_, node);
-    for (const ExecDest& d : ep_.dests(node, port)) {
-      std::uint64_t hop = 0;
-      if (opt_.processors > 0 && pe_of(ctx, d.node) != from_pe)
-        hop = opt_.network_latency;
-      pending_[cycle + latency + hop].push_back(
-          Token{ctx, d.node, d.port, value});
-      cs_.add_live(ctx);
-    }
-  }
-
-  void consume(std::uint32_t ctx, std::uint64_t cycle, std::uint32_t n = 1) {
-    cs_.consume(ctx, n, [&](std::vector<Token>&& stalled) {
-      // Re-deliver the stalled forwardings to the loop entry; they are
-      // still counted live in their source contexts, so push them
-      // without re-counting.
-      for (Token& t : stalled) pending_[cycle + 1].push_back(t);
-    });
-  }
-
-  void fire(const ReadyEntry& e, std::uint64_t cycle) {
-    const ExecOp& op = ep_.op(e.node);
-    fire_ctx_ = e.ctx;
-    ++stats_.ops_fired;
-    ++stats_.fired_by_kind[static_cast<std::size_t>(op.kind)];
-    if (stats_.first_fire_cycle[e.node.index()] == UINT64_MAX)
-      stats_.first_fire_cycle[e.node.index()] = cycle;
-    if (opt_.trace)
-      std::fprintf(stderr, "[%8llu] fire %-10s '%s' ctx=%u\n",
-                   static_cast<unsigned long long>(cycle), to_string(op.kind),
-                   ep_.label(e.node.index()).c_str(), e.ctx);
-    const std::uint64_t alu = opt_.alu_latency;
-    const std::uint64_t mem = opt_.mem_latency;
-
-    // Non-strict firings: one token in, forwarded.
-    if (e.immediate) {
-      switch (op.kind) {
-        case OpKind::kMerge:
-          emit(e.ctx, e.node, 0, e.value, cycle, alu);
-          consume(e.ctx, cycle);
-          return;
-        case OpKind::kLoopExit: {
-          const CtxInfo& cur = cs_.info(e.ctx);
-          CTDF_ASSERT_MSG(cur.loop.valid(),
-                          "loop exit fired outside an iteration context");
-          emit(cur.invocation, e.node, e.port, e.value, cycle, alu);
-          consume(e.ctx, cycle);
-          return;
-        }
-        case OpKind::kLoopEntry: {
-          // k-bounded loops: stall the forwarding (token stays live in
-          // its source context) if starting the target iteration would
-          // exceed the bound.
-          if (auto* inst = cs_.bound_block(op.loop, e.ctx, opt_.loop_bound)) {
-            // Buffer the forwarding in the loop entry: consumed from its
-            // source context now (so that context can retire and release
-            // a credit), re-fired on retirement.
-            inst->stalled.push_back(
-                Token{e.ctx, e.node, e.port, e.value, true});
-            ++stats_.throttle_stalls;
-            if (!e.requeued) consume(e.ctx, cycle);
-            return;
-          }
-          const std::uint32_t next =
-              cs_.context_for_iteration(op.loop, e.ctx, stats_);
-          emit(next, e.node, e.port, e.value, cycle, alu);
-          if (!e.requeued) consume(e.ctx, cycle);
-          return;
-        }
-        default:
-          CTDF_UNREACHABLE("bad non-strict op");
-      }
-    }
-
-    // Strict firings: consume the frame-slot range — copy the matched
-    // inputs out and release it before executing, so the op is
-    // re-creatable even while its own emissions are being produced.
-    CTDF_ASSERT(frames_.has(e.ctx, op) && frames_.remaining(e.ctx, op) == 0);
-    const std::int64_t* slots = frames_.inputs(e.ctx, op);
-    in_buf_.assign(slots, slots + op.num_inputs);
-    frames_.release(e.ctx, op);
-    const std::int64_t* in = in_buf_.data();
-    // The consume() itself runs after the outputs are emitted so a
-    // context never transiently retires while its own successor tokens
-    // are being produced.
-
-    if (op.flags & kExecMem) {
-      if (op.flags & kExecWrite)
-        ++stats_.mem_writes;
-      else
-        ++stats_.mem_reads;
-      const MemAccess a = resolve_mem(op, in, mem_.store.cells.size());
-      const bool ok = apply_mem(
-          op, e.ctx, e.node, a, mem_, deferred_,
-          [&](std::uint16_t port, std::int64_t value) {
-            emit(e.ctx, e.node, port, value, cycle, mem);
-          },
-          [&](std::uint32_t dctx, NodeId dnode, std::int64_t value) {
-            emit(dctx, dnode, 0, value, cycle, mem);
-          },
-          [&] { ++stats_.deferred_reads; });
-      if (!ok) {
-        stats_.error = "I-structure double write to cell " +
-                       std::to_string(a.cell) + " by node '" +
-                       ep_.label(e.node.index()) + "'";
-        return;
-      }
-    } else {
-      switch (op.kind) {
-        case OpKind::kLoopEntry: {
-          // Barrier mode: the full circulating set starts the next
-          // iteration in a freshly allocated context.
-          const std::uint32_t next =
-              cs_.context_for_iteration(op.loop, e.ctx, stats_);
-          for (std::uint16_t p = 0; p < op.num_inputs; ++p)
-            emit(next, e.node, p, in[p], cycle, alu);
-          break;
-        }
-        case OpKind::kEnd:
-          completed_ = true;
-          break;
-        default:
-          fire_pure(op, in, [&](std::uint16_t port, std::int64_t value) {
-            emit(e.ctx, e.node, port, value, cycle, alu);
-          });
-      }
-    }
-    consume(e.ctx, cycle, op.consumed_inputs);
-  }
-
-  std::string deadlock_report() const {
-    std::string msg = "deadlock: no events pending, end never fired; " +
-                      std::to_string(frames_.live_slots()) +
-                      " matching slot(s) still waiting";
-    int listed = 0;
-    frames_.for_each_live([&](std::uint32_t ctx, std::uint32_t op_idx,
-                              std::uint16_t remaining) {
-      if (listed++ >= 5) return;
-      msg += "\n  waiting: node " + std::to_string(op_idx) + " (" +
-             to_string(ep_.op(op_idx).kind) + " '" + ep_.label(op_idx) +
-             "') ctx " + std::to_string(ctx) + " missing " +
-             std::to_string(remaining) + " input(s)";
-    });
-    if (!deferred_.empty())
-      msg += "\n  plus " + std::to_string(deferred_.size()) +
-             " I-structure cell(s) with deferred readers";
-    const std::size_t stalled = cs_.stalled_total();
-    if (stalled > 0)
-      msg += "\n  plus " + std::to_string(stalled) +
-             " forwarding(s) stalled by the loop bound";
-    return msg;
-  }
-
-  const ExecProgram& ep_;
-  MachineOptions opt_;
-  support::SplitMix64 rng_;
-
-  MemoryState mem_;
-  DeferredMap deferred_;
-
-  ContextState<Token> cs_;
-  FrameStore frames_;
-
-  std::map<std::uint64_t, std::vector<Token>> pending_;
-  std::vector<ReadyEntry> ready_;
-  std::size_t ready_head_ = 0;
-  std::uint32_t fire_ctx_ = 0;  ///< context of the firing in progress
-  std::vector<std::int64_t> in_buf_;  ///< matched inputs of the firing
-
-  RunStats stats_;
-  bool completed_ = false;
-};
-
-}  // namespace
 
 RunResult run(const ExecProgram& program, std::size_t memory_cells,
               const MachineOptions& options,
               const std::vector<IStructureRegion>& istructures) {
+  // The event engine is serial by design (host_threads is documented as
+  // ignored); absurd latency configurations whose horizon would need a
+  // degenerate wheel fall back to the scan engine transparently —
+  // results are byte-identical either way.
+  if (options.engine == EngineKind::kEvent &&
+      detail::event_horizon(options) < CalendarQueue::kMaxHorizon) {
+    return detail::run_event(program, memory_cells, options, istructures);
+  }
   // Tracing stays on the serial engine so an error run doesn't print a
   // partial parallel trace followed by the rerun's full one.
   if (options.host_threads > 1 && !options.trace) {
@@ -409,7 +31,9 @@ RunResult run(const ExecProgram& program, std::size_t memory_cells,
     // serially for the reference diagnostics (whose text depends on
     // the serial engine's frame-scan order).
   }
-  return Engine{program, memory_cells, options, istructures}.run();
+  return detail::SerialEngine<detail::MapPending>{program, memory_cells,
+                                                  options, istructures}
+      .run();
 }
 
 RunResult run(const dfg::Graph& graph, std::size_t memory_cells,

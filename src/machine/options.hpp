@@ -39,7 +39,30 @@ enum class Placement : std::uint8_t {
   return p == Placement::kByNode ? "by-node" : "by-context";
 }
 
+/// Which execution engine advances simulated time.
+enum class EngineKind : std::uint8_t {
+  /// The legacy serial engine: in-flight tokens live in an ordered
+  /// map keyed by delivery cycle, frames are allocated per context and
+  /// never freed. Reference semantics; `host_threads` > 1 shards its
+  /// cycles across workers.
+  kScan,
+  /// Event-driven serial engine: a calendar (timing-wheel) queue keyed
+  /// by cycle timestamp replaces the per-cycle map walk, with recycled
+  /// token buckets and arena frames returned to a freelist when their
+  /// iteration context retires. Produces byte-identical RunStats,
+  /// stores, and error reports (enforced by
+  /// tests/machine_event_equiv_test.cpp); `host_threads` is ignored.
+  kEvent,
+};
+
+[[nodiscard]] inline const char* to_string(EngineKind e) {
+  return e == EngineKind::kScan ? "scan" : "event";
+}
+
 struct MachineOptions {
+  /// Execution engine (see EngineKind; results never depend on this).
+  EngineKind engine = EngineKind::kScan;
+
   LoopMode loop_mode = LoopMode::kBarrier;
 
   /// Operators fired per cycle across the machine; 0 = unlimited

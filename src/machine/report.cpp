@@ -1,6 +1,7 @@
 #include "machine/report.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <sstream>
 
 #include "dfg/graph.hpp"
@@ -65,6 +66,72 @@ std::string render_report(const RunStats& stats) {
     os << "] (peak " << peak << " ops/cycle, " << bucket
        << " cycles/column)\n";
   }
+  return os.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_stats_json(const RunStats& stats,
+                              const MachineOptions& opt) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"options\": {"
+     << "\"engine\": \"" << to_string(opt.engine) << "\", "
+     << "\"loop_mode\": \"" << to_string(opt.loop_mode) << "\", "
+     << "\"width\": " << opt.width << ", "
+     << "\"loop_bound\": " << opt.loop_bound << ", "
+     << "\"processors\": " << opt.processors << ", "
+     << "\"placement\": \"" << to_string(opt.placement) << "\", "
+     << "\"network_latency\": " << opt.network_latency << ", "
+     << "\"alu_latency\": " << opt.alu_latency << ", "
+     << "\"mem_latency\": " << opt.mem_latency << ", "
+     << "\"host_threads\": " << opt.host_threads << ", "
+     << "\"scheduler_seed\": " << opt.scheduler_seed << "},\n";
+  os << "  \"completed\": " << (stats.completed ? "true" : "false") << ",\n";
+  os << "  \"error\": \"" << json_escape(stats.error) << "\",\n";
+  os << "  \"cycles\": " << stats.cycles << ",\n";
+  os << "  \"ops_fired\": " << stats.ops_fired << ",\n";
+  os << "  \"tokens_sent\": " << stats.tokens_sent << ",\n";
+  os << "  \"matches\": " << stats.matches << ",\n";
+  os << "  \"contexts_allocated\": " << stats.contexts_allocated << ",\n";
+  os << "  \"mem_reads\": " << stats.mem_reads << ",\n";
+  os << "  \"mem_writes\": " << stats.mem_writes << ",\n";
+  os << "  \"peak_live_contexts\": " << stats.peak_live_contexts << ",\n";
+  os << "  \"throttle_stalls\": " << stats.throttle_stalls << ",\n";
+  os << "  \"deferred_reads\": " << stats.deferred_reads << ",\n";
+  os << "  \"peak_ready\": " << stats.peak_ready << ",\n";
+  os << "  \"leftover_tokens\": " << stats.leftover_tokens << ",\n";
+  os << "  \"avg_parallelism\": " << stats.avg_parallelism() << ",\n";
+  os << "  \"fired_by_kind\": {";
+  bool first = true;
+  for (std::size_t k = 0; k < stats.fired_by_kind.size(); ++k) {
+    if (stats.fired_by_kind[k] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << '"' << dfg::to_string(static_cast<dfg::OpKind>(k)) << "\": "
+       << stats.fired_by_kind[k];
+  }
+  os << "}\n}";
   return os.str();
 }
 

@@ -14,4 +14,16 @@ namespace ctdf::machine {
 /// ops-per-cycle timeline rendered as a text sparkline.
 [[nodiscard]] std::string render_report(const RunStats& stats);
 
+/// Escapes a string for embedding in a JSON string literal.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// One JSON object covering the machine configuration and every
+/// RunStats counter (fired_by_kind keyed by op-kind name; the per-node
+/// and per-cycle vectors are summarized, not dumped). Keys are emitted
+/// in a fixed order so the output is deterministic for a given run.
+/// `ctdf run --stats-json` wraps this together with the pipeline-stage
+/// counters.
+[[nodiscard]] std::string render_stats_json(const RunStats& stats,
+                                            const MachineOptions& opt);
+
 }  // namespace ctdf::machine

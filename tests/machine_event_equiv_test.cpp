@@ -1,0 +1,400 @@
+// Differential harness for the event engine: for every swept
+// configuration, a run with engine=event (calendar queue + frame
+// recycling) must be bit-identical to the scan engine — every RunStats
+// counter, every per-node first-fire cycle, the per-cycle profile, the
+// error text, and the final store. Both engines instantiate one
+// SerialEngine template (engine_serial.hpp), so this suite guards the
+// pending-queue policies (and the recycling they enable) against
+// drift rather than establishing equivalence from scratch.
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+#include "dfg/graph.hpp"
+#include "lang/corpus.hpp"
+#include "lang/generator.hpp"
+#include "lang/parser.hpp"
+#include "machine/machine.hpp"
+
+namespace ctdf::machine {
+namespace {
+
+using dfg::Graph;
+using dfg::Node;
+using dfg::NodeId;
+using dfg::OpKind;
+
+void expect_identical(const RunResult& scan, const RunResult& event,
+                      const std::string& context) {
+  EXPECT_EQ(scan.stats.completed, event.stats.completed) << context;
+  EXPECT_EQ(scan.stats.error, event.stats.error) << context;
+  EXPECT_EQ(scan.stats.cycles, event.stats.cycles) << context;
+  EXPECT_EQ(scan.stats.ops_fired, event.stats.ops_fired) << context;
+  EXPECT_EQ(scan.stats.tokens_sent, event.stats.tokens_sent) << context;
+  EXPECT_EQ(scan.stats.matches, event.stats.matches) << context;
+  EXPECT_EQ(scan.stats.contexts_allocated, event.stats.contexts_allocated)
+      << context;
+  EXPECT_EQ(scan.stats.mem_reads, event.stats.mem_reads) << context;
+  EXPECT_EQ(scan.stats.mem_writes, event.stats.mem_writes) << context;
+  EXPECT_EQ(scan.stats.peak_live_contexts, event.stats.peak_live_contexts)
+      << context;
+  EXPECT_EQ(scan.stats.throttle_stalls, event.stats.throttle_stalls)
+      << context;
+  EXPECT_EQ(scan.stats.deferred_reads, event.stats.deferred_reads) << context;
+  EXPECT_EQ(scan.stats.peak_ready, event.stats.peak_ready) << context;
+  EXPECT_EQ(scan.stats.leftover_tokens, event.stats.leftover_tokens)
+      << context;
+  EXPECT_EQ(scan.stats.fired_by_kind, event.stats.fired_by_kind) << context;
+  EXPECT_EQ(scan.stats.first_fire_cycle, event.stats.first_fire_cycle)
+      << context;
+  EXPECT_EQ(scan.stats.profile, event.stats.profile) << context;
+  EXPECT_EQ(scan.store.cells, event.store.cells) << context;
+}
+
+/// Runs `tx` under the scan and event engines, demanding identity. The
+/// scan result is returned for callers' own sanity assertions.
+RunResult check_event(const translate::Translation& tx, MachineOptions mopt,
+                      const std::string& context) {
+  mopt.engine = EngineKind::kScan;
+  mopt.host_threads = 0;
+  const RunResult scan = core::execute(tx, mopt);
+  mopt.engine = EngineKind::kEvent;
+  const RunResult event = core::execute(tx, mopt);
+  expect_identical(scan, event, context + " engine=event");
+  return scan;
+}
+
+void sweep_program(const lang::Program& prog,
+                   const translate::TranslateOptions& topt,
+                   const std::string& context) {
+  const auto tx = core::compile(prog, topt);
+  for (const auto loop_mode : {LoopMode::kBarrier, LoopMode::kPipelined}) {
+    for (const std::uint64_t seed : {0ull, 7ull, 99ull}) {
+      for (const unsigned width : {0u, 2u}) {
+        MachineOptions mopt;
+        mopt.loop_mode = loop_mode;
+        mopt.scheduler_seed = seed;
+        mopt.width = width;
+        mopt.mem_latency = seed % 2 ? 1 : 9;
+        mopt.record_profile = true;
+        const auto res = check_event(
+            tx, mopt,
+            context + " loop=" + to_string(loop_mode) +
+                " seed=" + std::to_string(seed) +
+                " width=" + std::to_string(width));
+        EXPECT_TRUE(res.stats.completed) << context << ": " << res.stats.error;
+      }
+    }
+  }
+}
+
+TEST(EventEquiv, CorpusUnderOptimizedSchema) {
+  for (const auto& np : lang::corpus::all())
+    sweep_program(lang::parse_or_throw(np.source),
+                  translate::TranslateOptions::schema2_optimized(), np.name);
+}
+
+TEST(EventEquiv, CorpusUnderMemoryElimination) {
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  topt.parallel_reads = true;
+  for (const auto& np : lang::corpus::all())
+    sweep_program(lang::parse_or_throw(np.source), topt, np.name + "/elim");
+}
+
+TEST(EventEquiv, IStructuresAndDeferredReads) {
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.istructure_arrays = {"x"};
+  sweep_program(lang::corpus::array_loop(10), topt, "array_loop_istruct");
+}
+
+TEST(EventEquiv, MultiPePlacementsAndNetworkLatency) {
+  // The wheel horizon must absorb the cross-PE hop surcharge.
+  const auto tx =
+      core::compile(lang::corpus::nested_loops_source(4, 5),
+                    translate::TranslateOptions::schema2_optimized());
+  for (const auto placement : {Placement::kByNode, Placement::kByContext}) {
+    for (const unsigned processors : {1u, 3u, 16u}) {
+      for (const unsigned net : {0u, 2u, 5u}) {
+        MachineOptions mopt;
+        mopt.loop_mode = LoopMode::kPipelined;
+        mopt.processors = processors;
+        mopt.placement = placement;
+        mopt.network_latency = net;
+        mopt.record_profile = true;
+        const auto res = check_event(
+            tx, mopt,
+            std::string("nested_loops pe=") + std::to_string(processors) +
+                " placement=" + to_string(placement) +
+                " net=" + std::to_string(net));
+        EXPECT_TRUE(res.stats.completed) << res.stats.error;
+      }
+    }
+  }
+}
+
+TEST(EventEquiv, KBoundedLoops) {
+  // Stall re-delivery lands at cycle + 1 — the wheel's shortest slot.
+  const auto tx = core::compile(
+      lang::corpus::array_loop(16),
+      translate::TranslateOptions::schema2_optimized());
+  for (const unsigned k : {1u, 2u, 4u}) {
+    for (const std::uint64_t seed : {0ull, 5ull}) {
+      MachineOptions mopt;
+      mopt.loop_mode = LoopMode::kPipelined;
+      mopt.loop_bound = k;
+      mopt.scheduler_seed = seed;
+      const auto res = check_event(tx, mopt,
+                                   "array_loop k=" + std::to_string(k) +
+                                       " seed=" + std::to_string(seed));
+      EXPECT_TRUE(res.stats.completed) << res.stats.error;
+      if (k == 1) {
+        EXPECT_GT(res.stats.throttle_stalls, 0u);
+      }
+    }
+  }
+}
+
+TEST(EventEquiv, RandomPrograms) {
+  for (std::uint64_t gseed = 0; gseed < 6; ++gseed) {
+    lang::GeneratorOptions gopt;
+    gopt.allow_unstructured = true;
+    gopt.allow_aliasing = true;
+    gopt.num_arrays = 1;
+    gopt.max_toplevel_stmts = 8;
+    const auto prog = lang::generate_program(gopt, gseed);
+    auto topt = translate::TranslateOptions::schema2_optimized();
+    topt.parallel_reads = true;
+    const auto tx = core::compile(prog, topt);
+    for (const std::uint64_t seed : {0ull, 3ull}) {
+      MachineOptions mopt;
+      mopt.loop_mode = LoopMode::kPipelined;
+      mopt.scheduler_seed = seed;
+      mopt.width = 3;
+      check_event(tx, mopt,
+                  "gen seed=" + std::to_string(gseed) +
+                      " sched=" + std::to_string(seed));
+    }
+  }
+}
+
+TEST(EventEquiv, ThreeWayWithParallelEngine) {
+  // One three-way row: scan-serial, scan-parallel, and event must all
+  // agree on the corpus at defaults (the full thread ladder lives in
+  // machine_parallel_equiv_test.cpp).
+  for (const auto& np : lang::corpus::all()) {
+    const auto tx =
+        core::compile(lang::parse_or_throw(np.source),
+                      translate::TranslateOptions::schema2_optimized());
+    MachineOptions mopt;
+    mopt.loop_mode = LoopMode::kPipelined;
+    mopt.record_profile = true;
+    const RunResult scan = core::execute(tx, mopt);
+    mopt.host_threads = 4;
+    const RunResult parallel = core::execute(tx, mopt);
+    mopt.host_threads = 0;
+    mopt.engine = EngineKind::kEvent;
+    const RunResult event = core::execute(tx, mopt);
+    expect_identical(scan, parallel, np.name + " 3way/parallel");
+    expect_identical(scan, event, np.name + " 3way/event");
+  }
+}
+
+TEST(EventEquiv, EventEngineIgnoresHostThreads) {
+  const auto tx =
+      core::compile(lang::corpus::running_example(),
+                    translate::TranslateOptions::schema2_optimized());
+  MachineOptions mopt;
+  mopt.engine = EngineKind::kEvent;
+  const RunResult a = core::execute(tx, mopt);
+  mopt.host_threads = 8;
+  const RunResult b = core::execute(tx, mopt);
+  expect_identical(a, b, "event host_threads=8");
+}
+
+TEST(EventEquiv, AbsurdLatencyFallsBackToScan) {
+  // A horizon at or past CalendarQueue::kMaxHorizon must transparently
+  // take the scan path — same results, no degenerate wheel.
+  const auto tx =
+      core::compile(lang::corpus::running_example(),
+                    translate::TranslateOptions::schema2_optimized());
+  MachineOptions mopt;
+  mopt.mem_latency = 1u << 21;
+  const RunResult scan = core::execute(tx, mopt);
+  mopt.engine = EngineKind::kEvent;
+  const RunResult event = core::execute(tx, mopt);
+  expect_identical(scan, event, "huge-latency fallback");
+  EXPECT_TRUE(scan.stats.completed) << scan.stats.error;
+}
+
+// ---- error-path identity: diagnostics (including their text, which
+// depends on leftover-token iteration order) must not depend on the
+// engine.
+
+NodeId add_start(Graph& g, std::vector<std::int64_t> values) {
+  Node s;
+  s.kind = OpKind::kStart;
+  s.num_outputs = static_cast<std::uint16_t>(values.size());
+  s.start_values = std::move(values);
+  const NodeId n = g.add(std::move(s));
+  g.set_start(n);
+  return n;
+}
+
+NodeId add_end(Graph& g, std::uint16_t inputs) {
+  Node e;
+  e.kind = OpKind::kEnd;
+  e.num_inputs = inputs;
+  const NodeId n = g.add(std::move(e));
+  g.set_end(n);
+  return n;
+}
+
+void check_graph_event(const Graph& g, std::size_t cells, MachineOptions mopt,
+                       const std::vector<IStructureRegion>& is,
+                       const std::string& context) {
+  mopt.engine = EngineKind::kScan;
+  const RunResult scan = run(g, cells, mopt, is);
+  mopt.engine = EngineKind::kEvent;
+  const RunResult event = run(g, cells, mopt, is);
+  expect_identical(scan, event, context + " engine=event");
+}
+
+TEST(EventEquiv, DeadlockReportIsIdentical) {
+  Graph g;
+  const NodeId s = add_start(g, {0});
+  const NodeId sy = g.add_synch(2, "starved");
+  g.connect({s, 0}, {sy, 0}, true);
+  const NodeId gate = g.add_gate("never");
+  g.bind_literal({gate, 0}, 0);
+  g.connect({sy, 0}, {gate, 1}, true);
+  g.connect({gate, 0}, {sy, 1}, true);
+  const NodeId e = add_end(g, 1);
+  g.connect({sy, 0}, {e, 0}, true);
+  check_graph_event(g, 0, {}, {}, "deadlock");
+}
+
+TEST(EventEquiv, CollisionReportIsIdentical) {
+  Graph g;
+  const NodeId s = add_start(g, {1, 2});
+  const NodeId sy = g.add_synch(2, "victim");
+  g.connect({s, 0}, {sy, 0}, true);
+  g.connect({s, 1}, {sy, 0}, true);
+  const NodeId e = add_end(g, 1);
+  g.connect({sy, 0}, {e, 0}, true);
+  const NodeId gate = g.add_gate("idle");
+  g.bind_literal({gate, 0}, 0);
+  g.connect({sy, 0}, {gate, 1}, true);
+  g.connect({gate, 0}, {sy, 1}, true);
+  check_graph_event(g, 0, {}, {}, "collision");
+}
+
+TEST(EventEquiv, DoubleWriteReportIsIdentical) {
+  Graph g;
+  const NodeId s = add_start(g, {0, 0});
+  for (std::uint16_t i = 0; i < 2; ++i) {
+    const NodeId istore = g.add_istore(0, 4, "w");
+    g.bind_literal({istore, 0}, 9);
+    g.bind_literal({istore, 1}, 1);
+    g.connect({s, i}, {istore, 2}, true);
+    if (i == 0) {
+      const NodeId e = add_end(g, 1);
+      g.connect({istore, 0}, {e, 0}, true);
+    }
+  }
+  check_graph_event(g, 4, {}, {{0, 4}}, "double-write");
+}
+
+TEST(EventEquiv, UnfiredStoreReportIsIdentical) {
+  Graph g;
+  const NodeId s = add_start(g, {0, 0});
+  const NodeId st = g.add_store(0, "uncollected");
+  g.bind_literal({st, 0}, 9);
+  g.connect({s, 1}, {st, 1}, true);
+  const NodeId sink = g.add_merge("sink");
+  g.connect({st, 0}, {sink, 0}, true);
+  const NodeId e = add_end(g, 1);
+  g.connect({s, 0}, {e, 0}, true);
+  check_graph_event(g, 1, {}, {}, "unfired-store");
+}
+
+TEST(EventEquiv, CycleCapReportIsIdentical) {
+  Graph g;
+  const NodeId s = add_start(g, {0});
+  const NodeId m = g.add_merge("spin");
+  g.connect({s, 0}, {m, 0}, true);
+  g.connect({m, 0}, {m, 0}, true);
+  const NodeId never = g.add_gate("never");
+  g.bind_literal({never, 0}, 0);
+  g.connect({never, 0}, {never, 1}, true);
+  const NodeId e = add_end(g, 1);
+  g.connect({never, 0}, {e, 0}, true);
+  MachineOptions o;
+  o.max_cycles = 500;
+  o.record_profile = true;
+  check_graph_event(g, 0, o, {}, "cycle-cap");
+}
+
+// ---- token-drain accounting after End: tokens legally still in flight
+// when End fires (dead value chains) must be counted as leftovers, and
+// the operators they were bound for must NOT count as firings — in
+// either engine, whether the token was sitting in the ready pool or
+// still in the pending queue.
+
+TEST(EventEquiv, DrainedReadyTokenDoesNotCountAsFiring) {
+  // start.0 → end fires first; start.1 → gate is ready but never fires.
+  Graph g;
+  const NodeId s = add_start(g, {0, 0});
+  const NodeId e = add_end(g, 1);
+  g.connect({s, 0}, {e, 0}, true);
+  const NodeId gate = g.add_gate("slow");
+  g.bind_literal({gate, 0}, 1);
+  g.connect({s, 1}, {gate, 1}, true);
+  const NodeId sink = g.add_merge("sink");
+  g.connect({gate, 0}, {sink, 0}, false);
+
+  MachineOptions o;
+  o.engine = EngineKind::kScan;
+  const RunResult scan = run(g, 0, o);
+  o.engine = EngineKind::kEvent;
+  const RunResult event = run(g, 0, o);
+  expect_identical(scan, event, "ready-drain");
+  ASSERT_TRUE(scan.stats.completed) << scan.stats.error;
+  // Only start and end fired; the gate's token drained unfired.
+  EXPECT_EQ(scan.stats.ops_fired, 2u);
+  EXPECT_EQ(scan.stats.leftover_tokens, 1u);
+  EXPECT_EQ(scan.stats.fired_by_kind[static_cast<std::size_t>(OpKind::kGate)],
+            0u);
+}
+
+TEST(EventEquiv, DrainedPendingTokenDoesNotCountAsFiring) {
+  // The gate fires before End does, so its output token is deep in the
+  // pending queue when the run completes: the leftover count must find
+  // it there (the wheel's ring scan vs the scan engine's map walk).
+  Graph g;
+  const NodeId s = add_start(g, {0, 0});
+  const NodeId gate = g.add_gate("fires");
+  g.bind_literal({gate, 0}, 1);
+  g.connect({s, 0}, {gate, 1}, true);
+  const NodeId sink = g.add_merge("sink");
+  g.connect({gate, 0}, {sink, 0}, false);
+  const NodeId e = add_end(g, 1);
+  g.connect({s, 1}, {e, 0}, true);
+
+  MachineOptions o;
+  o.alu_latency = 7;
+  o.engine = EngineKind::kScan;
+  const RunResult scan = run(g, 0, o);
+  o.engine = EngineKind::kEvent;
+  const RunResult event = run(g, 0, o);
+  expect_identical(scan, event, "pending-drain");
+  ASSERT_TRUE(scan.stats.completed) << scan.stats.error;
+  // start, gate, and end fired; the sink merge's token is still seven
+  // cycles out when End fires and must not become a merge firing.
+  EXPECT_EQ(scan.stats.ops_fired, 3u);
+  EXPECT_EQ(scan.stats.leftover_tokens, 1u);
+  EXPECT_EQ(scan.stats.fired_by_kind[static_cast<std::size_t>(OpKind::kMerge)],
+            0u);
+}
+
+}  // namespace
+}  // namespace ctdf::machine

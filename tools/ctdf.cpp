@@ -40,6 +40,9 @@
 //                           by run, dot, explain, and exec
 //
 // Machine options:
+//   --engine=scan|event     pending-token engine (default scan): event
+//                           uses a calendar queue + frame recycling;
+//                           results are byte-identical either way
 //   --width=N               operators fired per cycle (0 = unlimited)
 //   --mem-latency=N         split-phase memory round trip (default 4)
 //   --barrier               barrier loop control (default: pipelined)
@@ -53,6 +56,9 @@
 //                           CTDF_HOST_THREADS)
 //   --trace                 print every operator firing
 //   --print=x,y             print named variables from the final store
+//   --stats-json            (run) emit RunStats + machine options +
+//                           pipeline-stage counters as a JSON object on
+//                           stdout instead of the usual summary/store
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -83,6 +89,7 @@ struct Cli {
   machine::MachineOptions mopt;
   std::vector<std::string> print_vars;
   bool report = false;
+  bool stats_json = false;
   bool stage_stats = false;
   bool compute_ssa = false;
   bool dump_exec = false;
@@ -134,6 +141,16 @@ Cli parse_cli(int argc, char** argv) {
         std::fprintf(stderr, "unknown stage: %s\n", value_of(a).c_str());
         cli.ok = false;
       }
+    } else if (starts_with(a, "--engine=")) {
+      const std::string v = value_of(a);
+      if (v == "scan") {
+        cli.mopt.engine = machine::EngineKind::kScan;
+      } else if (v == "event") {
+        cli.mopt.engine = machine::EngineKind::kEvent;
+      } else {
+        std::fprintf(stderr, "bad value: %s\n", a.c_str());
+        cli.ok = false;
+      }
     } else if (starts_with(a, "--width=")) {
       cli.mopt.width = static_cast<unsigned>(std::stoul(value_of(a)));
     } else if (starts_with(a, "--mem-latency=")) {
@@ -161,6 +178,8 @@ Cli parse_cli(int argc, char** argv) {
     } else if (a == "--report") {
       cli.report = true;
       cli.mopt.record_profile = true;
+    } else if (a == "--stats-json") {
+      cli.stats_json = true;
     } else if (starts_with(a, "--print=")) {
       cli.print_vars = split_csv(value_of(a));
     } else {
@@ -240,6 +259,32 @@ void maybe_dump_exec(const Cli& cli, const core::CompileResult& cr) {
   std::fputs(machine::render(cr.exec).c_str(), stdout);
 }
 
+/// Pipeline-stage records (times, artifact sizes, counters) as a JSON
+/// object — the compilation half of `ctdf run --stats-json`.
+std::string pipeline_json(const translate::PipelineTrace& trace) {
+  std::ostringstream os;
+  os << "{\n    \"total_nanos\": " << trace.total_nanos()
+     << ",\n    \"stages\": [";
+  bool first = true;
+  for (const auto& r : trace.stages) {
+    if (!first) os << ',';
+    first = false;
+    os << "\n      {\"stage\": \"" << translate::to_string(r.stage)
+       << "\", \"ran\": " << (r.ran ? "true" : "false")
+       << ", \"nanos\": " << r.nanos << ", \"size_in\": " << r.size_in
+       << ", \"size_out\": " << r.size_out << ", \"counters\": {";
+    bool first_counter = true;
+    for (const auto& [name, value] : r.counters) {
+      if (!first_counter) os << ", ";
+      first_counter = false;
+      os << '"' << machine::json_escape(name) << "\": " << value;
+    }
+    os << "}}";
+  }
+  os << "\n    ]\n  }";
+  return os.str();
+}
+
 int cmd_run(const Cli& cli, const lang::Program& prog) {
   const auto cr = make_pipeline(cli).run(prog);
   maybe_print_stage_stats(cli, cr);
@@ -248,6 +293,12 @@ int cmd_run(const Cli& cli, const lang::Program& prog) {
   if (!res.stats.completed) {
     std::fprintf(stderr, "machine error: %s\n", res.stats.error.c_str());
     return 1;
+  }
+  if (cli.stats_json) {
+    std::printf("{\n  \"machine\": %s,\n  \"pipeline\": %s\n}\n",
+                machine::render_stats_json(res.stats, cli.mopt).c_str(),
+                pipeline_json(cr.trace).c_str());
+    return 0;
   }
   std::printf("# %s | %s loop control, width %u, mem latency %u\n",
               cli.topt.describe().c_str(), to_string(cli.mopt.loop_mode),
