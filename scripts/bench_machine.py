@@ -5,15 +5,22 @@ Runs the micro_components google-benchmark harness, extracts the
 simulator's operator throughput (BM_MachineTokenThroughput), the
 frame-store matching rate (BM_MachineMatchThroughput), the graph →
 ExecProgram lowering time (BM_LowerExecProgram), the latency-bound
-engine comparison (BM_MachineIdleCycles, arg 0 = scan / 1 = event), and
-the context-churn comparison (BM_FrameAlloc), and writes them to a JSON
+engine comparison (BM_MachineIdleCycles, arg 0 = scan / 1 = event),
+the context-churn comparison (BM_FrameAlloc), the fault-machinery
+overhead pair (BM_MachineFaultsOff, arg 0 = legacy path / 1 = fault
+path engaged with zero rates), and the deterministic recovery cost
+(BM_MachineFaultRecovery, cycles per run), and writes them to a JSON
 summary (BENCH_machine.json).
 
 With --check BASELINE it additionally compares against a committed
 baseline and exits non-zero on a regression beyond --tolerance
-(default 25%): throughput/match/context rates lower, or lowering time
-higher. It also requires the event engine to beat the scan engine on
-the latency-bound workload by at least --event-speedup-floor.
+(default 25%, or a per-section override): throughput/match/context
+rates lower, or lowering time / recovery cycles higher. It also
+requires the event engine to beat the scan engine on the latency-bound
+workload by at least --event-speedup-floor, and holds the engaged-but-
+faultless path to within --faults-overhead-floor of the legacy path
+(both ratios are measured within one run, so they are host-
+independent).
 
 Usage:
   scripts/bench_machine.py --bench build/bench/micro_components \
@@ -34,6 +41,7 @@ motivated it.
 
 import argparse
 import json
+import re
 import subprocess
 import sys
 
@@ -42,16 +50,25 @@ FILTER = "|".join(
         "BM_MachineTokenThroughput",
         "BM_MachineMatchThroughput",
         "BM_MachineIdleCycles",
+        "BM_MachineFaultsOff",
+        "BM_MachineFaultRecovery",
         "BM_FrameAlloc",
         "BM_LowerExecProgram/",  # skip the _BigO/_RMS aggregate rows
     ]
 )
 
-# section -> (benchmark prefix, counter key, higher_is_better)
+# section -> (benchmark prefix, counter key, higher_is_better
+#             [, tolerance override])
+# BM_MachineFaultRecovery reports *simulated* cycles — a deterministic
+# function of the fault seed, so any baseline drift there is a real
+# semantic change, not noise; gate it tightly.
 SECTIONS = {
     "machine_ops_per_s": ("BM_MachineTokenThroughput", "ops/s", True),
     "matches_per_s": ("BM_MachineMatchThroughput", "matches/s", True),
     "idle_ops_per_s": ("BM_MachineIdleCycles", "ops/s", True),
+    "faults_off_ops_per_s": ("BM_MachineFaultsOff", "ops/s", True),
+    "fault_recovery_cycles": ("BM_MachineFaultRecovery", "cycles/run",
+                              False, 0.05),
     "frame_ctxs_per_s": ("BM_FrameAlloc", "ctxs/s", True),
     "lowering_ns": ("BM_LowerExecProgram", "real_time", False),
 }
@@ -62,6 +79,9 @@ def run_bench(bench_path):
         bench_path,
         f"--benchmark_filter={FILTER}",
         "--benchmark_format=json",
+        # Shuffle repeated benchmarks (BM_MachineFaultsOff) so frequency
+        # drift doesn't land entirely on one side of the overhead ratio.
+        "--benchmark_enable_random_interleaving=true",
     ]
     proc = subprocess.run(cmd, capture_output=True, text=True)
     if proc.returncode != 0:
@@ -73,10 +93,15 @@ def run_bench(bench_path):
 def summarize(report):
     out = {section: {} for section in SECTIONS}
     for b in report.get("benchmarks", []):
+        # Repeated benchmarks report aggregates only; keep the median
+        # row under the plain benchmark name.
         if b.get("run_type") == "aggregate":
-            continue
-        name = b["name"].replace("/real_time", "")
-        for section, (prefix, key, _) in SECTIONS.items():
+            if b.get("aggregate_name") != "median":
+                continue
+        name = re.sub(r"/repeats:\d+|_median", "",
+                      b["name"].replace("/real_time", ""))
+        for section, spec in SECTIONS.items():
+            prefix, key = spec[0], spec[1]
             if name.startswith(prefix) and key in b:
                 out[section][name] = b[key]
                 break
@@ -94,28 +119,45 @@ def event_speedup(summary):
     return event / scan
 
 
-def check(current, baseline, tolerance, speedup_floor):
+def faults_overhead(summary):
+    """Engaged-but-faultless over legacy-path throughput ratio on
+    BM_MachineFaultsOff, or None when either row is missing. Both rows
+    come from the same run, so the ratio is host-independent."""
+    rows = summary.get("faults_off_ops_per_s", {})
+    legacy = rows.get("BM_MachineFaultsOff/0")
+    engaged = rows.get("BM_MachineFaultsOff/1")
+    if not legacy or not engaged:
+        return None
+    return engaged / legacy
+
+
+def check(current, baseline, tolerance, speedup_floor, overhead_floor):
     failures = []
 
-    def compare(section, regressed, direction):
+    def compare(section, spec):
+        key, higher = spec[1], spec[2]
+        tol = spec[3] if len(spec) > 3 else tolerance
         for name, base in baseline.get(section, {}).items():
             now = current.get(section, {}).get(name)
             if now is None or base <= 0:
                 continue
             ratio = now / base
-            flag = "REGRESSION" if regressed(ratio) else "ok"
+            bad = ratio < 1.0 - tol if higher else ratio > 1.0 + tol
+            flag = "REGRESSION" if bad else "ok"
             print(f"  {name}: {base:.3g} -> {now:.3g} "
-                  f"({ratio:.1%} of baseline, {direction}) {flag}")
-            if regressed(ratio):
+                  f"({ratio:.1%} of baseline, {key}, "
+                  f"tol {tol:.0%}) {flag}")
+            if bad:
                 failures.append(name)
 
     print("throughput (higher is better):")
-    for section, (_, key, higher) in SECTIONS.items():
-        if not higher:
-            continue
-        compare(section, lambda r: r < 1.0 - tolerance, key)
-    print("lowering time (lower is better):")
-    compare("lowering_ns", lambda r: r > 1.0 + tolerance, "ns")
+    for section, spec in SECTIONS.items():
+        if spec[2]:
+            compare(section, spec)
+    print("time / simulated cycles (lower is better):")
+    for section, spec in SECTIONS.items():
+        if not spec[2]:
+            compare(section, spec)
 
     speedup = event_speedup(current)
     if speedup is not None:
@@ -124,6 +166,15 @@ def check(current, baseline, tolerance, speedup_floor):
               f"{speedup:.2f}x (floor {speedup_floor:.2f}x) {flag}")
         if speedup < speedup_floor:
             failures.append("event-speedup")
+
+    overhead = faults_overhead(current)
+    if overhead is not None:
+        flag = "ok" if overhead >= overhead_floor else "REGRESSION"
+        print(f"fault-path overhead on BM_MachineFaultsOff: "
+              f"{overhead:.1%} of legacy throughput "
+              f"(floor {overhead_floor:.0%}) {flag}")
+        if overhead < overhead_floor:
+            failures.append("faults-off-overhead")
     return failures
 
 
@@ -144,6 +195,10 @@ def main():
     ap.add_argument("--event-speedup-floor", type=float, default=1.2,
                     help="required event/scan throughput ratio on the "
                          "latency-bound workload (default 1.2)")
+    ap.add_argument("--faults-overhead-floor", type=float, default=0.95,
+                    help="required engaged-but-faultless/legacy "
+                         "throughput ratio on BM_MachineFaultsOff "
+                         "(default 0.95, i.e. at most 5%% overhead)")
     args = ap.parse_args()
 
     summary = summarize(run_bench(args.bench))
@@ -157,6 +212,10 @@ def main():
         if speedup is not None:
             print(f"event-engine speedup on BM_MachineIdleCycles: "
                   f"{speedup:.2f}x")
+        overhead = faults_overhead(summary)
+        if overhead is not None:
+            print(f"fault-path overhead on BM_MachineFaultsOff: "
+                  f"{overhead:.1%} of legacy throughput")
         print("baseline recorded; commit it with the change that "
               "motivated the new numbers")
         return 0
@@ -165,7 +224,8 @@ def main():
         with open(args.check) as f:
             baseline = json.load(f)
         failures = check(summary, baseline, args.tolerance,
-                         args.event_speedup_floor)
+                         args.event_speedup_floor,
+                         args.faults_overhead_floor)
         if failures:
             print(f"FAIL: {len(failures)} benchmark(s) regressed beyond "
                   f"{args.tolerance:.0%}: {', '.join(failures)}")

@@ -42,9 +42,12 @@ struct WheelPending {
 std::uint64_t event_horizon(const MachineOptions& opt) {
   // Firings schedule at cycle + alu or mem latency, plus one network
   // hop when producer and consumer land on different PEs; k-bound
-  // stalls re-deliver at cycle + 1.
+  // stalls re-deliver at cycle + 1. Fault injection can add at most
+  // max_fault_delay (the full retry/backoff ladder plus jitter and
+  // duplicate spread) to any single delivery.
   std::uint64_t h = std::max<std::uint64_t>(opt.alu_latency, opt.mem_latency);
   if (opt.processors > 0) h += opt.network_latency;
+  h += max_fault_delay(opt.faults);
   return h;
 }
 

@@ -59,6 +59,14 @@
 // on the serial engine so error reports match it byte-for-byte, frame
 // scan order included. The cycle-cap report is deterministic and is
 // produced directly.
+//
+// Fault injection (machine/faults.hpp) changes the delegation rule:
+// a faulted rerun would draw a *different* deterministic fault stream
+// (the serial engine's nonce ids, not this engine's rank-derived ids)
+// and could fail differently or not at all — so when faults are
+// engaged every error is reported directly instead of via nullopt.
+// Fault decisions here are pure functions of (cycle, firing seq, intra
+// index), which workers compute race-free from their own firing slots.
 #include "machine/engine_parallel.hpp"
 
 #include <algorithm>
@@ -67,9 +75,11 @@
 #include <functional>
 #include <map>
 #include <thread>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "machine/faults.hpp"
 #include "machine/fire.hpp"
 #include "machine/frames.hpp"
 #include "support/assert.hpp"
@@ -117,14 +127,18 @@ struct QEntry {
   /// For immediate LoopExit entries: the invocation context, captured
   /// at delivery (CtxInfo is immutable after creation).
   std::uint32_t invocation = kNoInvocation;
+  bool refire = false;  ///< see Token::refire
 };
 
-enum class FiringClass : std::uint8_t { kPure, kMem, kLoop, kEnd };
+enum class FiringClass : std::uint8_t { kPure, kMem, kLoop, kEnd, kNack };
 
 struct Firing {
   QEntry e;
   std::uint32_t seq = 0;
   FiringClass klass = FiringClass::kPure;
+  // kNack only: NACKs absorbed and the summed backoff before refire.
+  std::uint32_t nacks = 0;
+  std::uint64_t nack_delay = 0;
   // Filled during parallel execution:
   std::uint32_t emitted = 0;       ///< tokens emitted into `primary`
   std::uint32_t primary = 0;       ///< context the emissions landed in
@@ -151,6 +165,21 @@ struct alignas(64) Shard {
   std::uint64_t deferred_reads = 0;
   bool collision = false;
   bool istore_error = false;
+
+  // Fault injection (owner-exclusive; merged / resolved by the
+  // coordinator between phases).
+  std::unordered_set<std::uint64_t> dedup_seen;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t retries = 0;
+  bool retry_exhausted = false;
+  Rank fail_rank;       ///< lowest-rank exhausted transmission
+  NodeId fail_node;     ///< its destination
+  Rank collision_rank;  ///< lowest-rank collision (fault mode reports
+  Token collision_tok;  ///< directly instead of delegating)
+  std::uint32_t istore_seq = UINT32_MAX;  ///< lowest failing firing seq
+  std::uint64_t istore_cell = 0;
+  NodeId istore_node;
 };
 
 /// Spin/yield worker pool: worker 0 is the calling (coordinator)
@@ -220,6 +249,7 @@ class ParallelEngine {
         pool_(workers_) {
     CTDF_ASSERT_MSG(opt_.alu_latency >= 1 && opt_.mem_latency >= 1,
                     "latencies must be at least one cycle");
+    if (fault_active(opt)) fault_.emplace(opt.faults);
     mem_.init(memory_cells, istructures);
     stats_.fired_by_kind.assign(dfg::kNumOpKinds, 0);
     stats_.first_fire_cycle.assign(ep.num_ops(), UINT64_MAX);
@@ -234,8 +264,10 @@ class ParallelEngine {
     while (!completed_) {
       if (cycle >= opt_.max_cycles) {
         stats_.cycles = cycle;
-        stats_.error = "cycle cap exceeded (possible livelock or "
-                       "non-terminating program)";
+        stats_.fail(ErrorCode::kCycleCap,
+                    "cycle cap exceeded (possible livelock or "
+                    "non-terminating program)",
+                    fault_ ? progress_diagnosis() : std::string{});
         merge_shard_counters();
         stats_.completed = false;
         RunResult out;
@@ -251,25 +283,70 @@ class ParallelEngine {
 
       pool_.run([this](unsigned w) { deliver_phase(w); });
       for (const Shard& s : shards_)
-        if (s.collision) return std::nullopt;
+        if (s.collision) {
+          if (fault_) return fail_result(collision_error());
+          return std::nullopt;
+        }
 
       merge_ready();
       stats_.peak_ready = std::max<std::uint64_t>(
           stats_.peak_ready, queue_.size() - head_);
 
       select();
+      if (fatal_) return fail_result(std::move(*fatal_));
       if (!firings_.empty()) {
         pool_.run([this](unsigned w) { exec_phase(w); });
         if (!mem_idx_.empty()) {
           pool_.run([this](unsigned w) { bank_phase(w); });
           for (const Shard& s : shards_)
-            if (s.istore_error) return std::nullopt;
+            if (s.istore_error) {
+              if (fault_) return fail_result(istore_error());
+              return std::nullopt;
+            }
+        }
+        if (fault_) {
+          // A worker saw a transmission exhaust its retry budget: pick
+          // the lowest-rank one (the first the serial order would hit).
+          const Shard* worst = nullptr;
+          for (const Shard& s : shards_)
+            if (s.retry_exhausted &&
+                (!worst || s.fail_rank < worst->fail_rank))
+              worst = &s;
+          if (worst) {
+            ++stats_.watchdog_triggers;
+            return fail_result(RunError{
+                ErrorCode::kRetryExhausted,
+                "retry budget exhausted: token for node '" +
+                    ep_.label(worst->fail_node.index()) + "' dropped " +
+                    std::to_string(opt_.faults.max_attempts) +
+                    " time(s) in the network",
+                progress_diagnosis()});
+          }
         }
         replay();
+        if (fatal_) return fail_result(std::move(*fatal_));
       }
       if (opt_.record_profile && profile_ok(cycle))
         stats_.profile[cycle] =
             static_cast<std::uint32_t>(firings_.size());
+
+      // No-progress watchdog (see the serial engine): an unbroken run
+      // of zero-firing cycles means the recovery machinery is spinning.
+      if (fault_ && !completed_) {
+        if (firings_.empty()) {
+          if (++no_fire_steps_ >= fault_->watchdog_limit()) {
+            ++stats_.watchdog_triggers;
+            return fail_result(RunError{
+                ErrorCode::kDeadlock,
+                "watchdog: no operator fired for " +
+                    std::to_string(no_fire_steps_) +
+                    " scheduler step(s) — livelock or stalled recovery",
+                progress_diagnosis()});
+          }
+        } else {
+          no_fire_steps_ = 0;
+        }
+      }
 
       exchange(/*batch=*/cycle + 1, cycle);
 
@@ -283,7 +360,10 @@ class ParallelEngine {
         std::uint64_t next = UINT64_MAX;
         for (const Shard& s : shards_)
           if (!s.inbox.empty()) next = std::min(next, s.inbox.begin()->first);
-        if (next == UINT64_MAX) return std::nullopt;  // deadlock
+        if (next == UINT64_MAX) {
+          if (fault_) return fail_result(deadlock_error());
+          return std::nullopt;  // deadlock
+        }
         cycle = next;
       }
     }
@@ -355,6 +435,27 @@ class ParallelEngine {
   }
 
   void deliver(Shard& s, const PToken& t) {
+    if (fault_) {
+      if (t.tok.refire) {
+        // NACKed memory firing / capacity-stalled barrier entry
+        // re-entering ready: operands still matched in the frame.
+        QEntry e{t.rank, t.tok.ctx,    t.tok.node, /*immediate=*/false,
+                 false,  0,            0,          kNoInvocation,
+                 /*refire=*/true};
+        s.ready.push_back(e);
+        return;
+      }
+      if (t.tok.seq != 0) {
+        // Both copies of a duplicated token hash to this shard (same
+        // ctx), so the seen-set is owner-exclusive.
+        const auto [it, inserted] = s.dedup_seen.insert(t.tok.seq);
+        if (!inserted) {
+          s.dedup_seen.erase(it);
+          ++s.duplicates_dropped;
+          return;
+        }
+      }
+    }
     ++s.tokens_sent;
     const ExecOp& op = ep_.op(t.tok.node);
     if (non_strict(op, opt_.loop_mode)) {
@@ -367,7 +468,13 @@ class ParallelEngine {
     }
     switch (frames_.deliver(t.tok.ctx, op, t.tok.port, t.tok.value)) {
       case FrameStore::Deliver::kCollision:
-        s.collision = true;  // serial rerun reports the exact diagnostic
+        // Fault-free: serial rerun reports the exact diagnostic.
+        // Faulted: record the lowest-rank collision for direct report.
+        if (fault_ && (!s.collision || t.rank < s.collision_rank)) {
+          s.collision_rank = t.rank;
+          s.collision_tok = t.tok;
+        }
+        s.collision = true;
         return;
       case FrameStore::Deliver::kCompleted:
         ++s.matches;
@@ -465,6 +572,32 @@ class ParallelEngine {
     } else if (op.kind == OpKind::kLoopEntry) {
       f.klass = FiringClass::kLoop;
     } else if (op.flags & kExecMem) {
+      // Split-phase memory NACK, rolled here (coordinator, firing
+      // order) so the decision stream is deterministic. A NACKed
+      // attempt occupies its selection slot but is not executed.
+      if (fault_ && !e.refire) {
+        const FaultState::Nack n = fault_->nack(fault_->next_id());
+        if (n.exhausted) {
+          ++stats_.watchdog_triggers;
+          if (!fatal_)
+            fatal_ = RunError{ErrorCode::kRetryExhausted,
+                              "retry budget exhausted: memory NACKed node '" +
+                                  ep_.label(e.node.index()) + "' " +
+                                  std::to_string(opt_.faults.max_attempts) +
+                                  " time(s)",
+                              progress_diagnosis()};
+          f.klass = FiringClass::kNack;
+          firings_.push_back(std::move(f));
+          return false;
+        }
+        if (n.nacks > 0) {
+          f.klass = FiringClass::kNack;
+          f.nacks = n.nacks;
+          f.nack_delay = n.delay;
+          firings_.push_back(std::move(f));
+          return false;
+        }
+      }
       f.klass = FiringClass::kMem;
       mem_idx_.push_back(f.seq);
     } else {
@@ -487,10 +620,36 @@ class ParallelEngine {
       std::uint64_t hop = 0;
       if (opt_.processors > 0 && pe_of(token_ctx, d.node) != from_pe)
         hop = opt_.network_latency;
-      s.outbox.push_back(PToken{{0, f.seq, f.intra_used++},
-                                cycle_ + latency + hop,
-                                Token{token_ctx, d.node, d.port, value,
-                                      false}});
+      const std::uint32_t slot = f.intra_used++;
+      Token t{token_ctx, d.node, d.port, value, false};
+      std::uint64_t due = cycle_ + latency + hop;
+      if (fault_ && hop > 0) {
+        // Cross-PE network faults, rolled from the emission's rank (a
+        // pure function of cycle/seq/intra — race-free on workers). A
+        // drop is its own recovery: the retransmission ladder is rolled
+        // up front and the token scheduled once with the total backoff.
+        const FaultState::Transit tr = fault_->transit(tid(f.seq, slot));
+        if (tr.exhausted) {
+          const Rank r{0, f.seq, slot};
+          if (!s.retry_exhausted || r < s.fail_rank) {
+            s.fail_rank = r;
+            s.fail_node = d.node;
+          }
+          s.retry_exhausted = true;
+        }
+        s.faults_injected += tr.drops + tr.jitters + (tr.duplicated ? 1 : 0);
+        s.retries += tr.drops;
+        due += tr.delay;
+        if (tr.duplicated) {
+          // Both copies share one sequence number (receiver dedup); the
+          // duplicate takes its own intra slot so ranks stay unique, and
+          // is not counted live — the logical token exists once.
+          t.seq = fault_->seq_for(tid(f.seq, slot));
+          s.outbox.push_back(PToken{{0, f.seq, f.intra_used++},
+                                    cycle_ + latency + hop + tr.dup_delay, t});
+        }
+      }
+      s.outbox.push_back(PToken{{0, f.seq, slot}, due, t});
       ++f.emitted;
     }
   }
@@ -506,7 +665,8 @@ class ParallelEngine {
       const ExecOp& op = ep_.op(e.node);
       const unsigned from_pe = pe_of(e.ctx, e.node);
       f.primary = e.ctx;
-      if (f.klass == FiringClass::kEnd || f.klass == FiringClass::kLoop)
+      if (f.klass == FiringClass::kEnd || f.klass == FiringClass::kLoop ||
+          f.klass == FiringClass::kNack)
         continue;  // replayed by the coordinator
       if (e.immediate) {
         switch (op.kind) {
@@ -571,7 +731,14 @@ class ParallelEngine {
           },
           [&] { ++s.deferred_reads; });
       if (!ok) {
-        s.istore_error = true;  // serial rerun reports it
+        // Fault-free: serial rerun reports it. Faulted: record the
+        // details for a direct report (istore_error()).
+        if (fault_ && f.seq < s.istore_seq) {
+          s.istore_seq = f.seq;
+          s.istore_cell = a.cell;
+          s.istore_node = e.node;
+        }
+        s.istore_error = true;
         return;
       }
     }
@@ -584,13 +751,50 @@ class ParallelEngine {
   /// after the triggering firing's own emissions) instead of a direct
   /// pending push.
   void consume(Firing& f, std::uint32_t ctx, std::uint32_t n = 1) {
-    cs_.consume(ctx, n, [&](std::vector<PToken>&& stalled) {
-      for (PToken& t : stalled) {
+    const bool retired =
+        cs_.consume(ctx, n, [&](std::vector<PToken>&& stalled) {
+          for (PToken& t : stalled) {
+            t.rank = Rank{0, f.seq, f.intra_used++};
+            t.due = cycle_ + 1;
+            coord_outbox_.push_back(t);
+          }
+        });
+    if (retired && !cap_stalled_.empty()) {
+      // A frame was freed: wake everything blocked on capacity. The
+      // first to re-fire claims it; the rest re-stall.
+      for (PToken& t : cap_stalled_) {
         t.rank = Rank{0, f.seq, f.intra_used++};
         t.due = cycle_ + 1;
         coord_outbox_.push_back(t);
       }
-    });
+      cap_stalled_.clear();
+    }
+  }
+
+  /// Parallel analogue of the serial engine's capacity_stall: finite
+  /// frame store back-pressure, not a firing — no counters advance
+  /// beyond the stall count.
+  bool capacity_stall(Firing& f) {
+    const QEntry& e = f.e;
+    const ExecOp& op = ep_.op(e.node);
+    if (!cs_.would_allocate(op.loop, e.ctx) ||
+        cs_.live_contexts() < opt_.frame_capacity)
+      return false;
+    ++stats_.backpressure_stalls;
+    if (e.immediate) {
+      // Pipelined forwarding: buffer it, consumed from its source
+      // context now so that context can retire and free its own frame.
+      cap_stalled_.push_back(
+          PToken{{0, 0, 0}, 0, Token{e.ctx, e.node, e.port, e.value, true}});
+      if (!e.requeued) consume(f, e.ctx);
+    } else {
+      // Barrier entry: the circulating set stays matched in the frame;
+      // re-ready the whole firing once a retirement frees capacity.
+      Token t{e.ctx, e.node, 0, 0};
+      t.refire = true;
+      cap_stalled_.push_back(PToken{{0, 0, 0}, 0, t});
+    }
+    return true;
   }
 
   void emit_replay(Firing& f, std::uint32_t token_ctx, NodeId node,
@@ -600,10 +804,35 @@ class ParallelEngine {
       std::uint64_t hop = 0;
       if (opt_.processors > 0 && pe_of(token_ctx, d.node) != from_pe)
         hop = opt_.network_latency;
-      coord_outbox_.push_back(PToken{{0, f.seq, f.intra_used++},
-                                     cycle_ + latency + hop,
-                                     Token{token_ctx, d.node, d.port, value,
-                                           false}});
+      const std::uint32_t slot = f.intra_used++;
+      Token t{token_ctx, d.node, d.port, value, false};
+      std::uint64_t due = cycle_ + latency + hop;
+      if (fault_ && hop > 0) {
+        // Coordinator-side emissions (loop entries): same fault model as
+        // emit_exec, but counters land in stats_ directly and retry
+        // exhaustion is reported through fatal_.
+        const FaultState::Transit tr = fault_->transit(tid(f.seq, slot));
+        if (tr.exhausted) {
+          ++stats_.watchdog_triggers;
+          if (!fatal_)
+            fatal_ = RunError{ErrorCode::kRetryExhausted,
+                              "retry budget exhausted: token for node '" +
+                                  ep_.label(d.node.index()) + "' dropped " +
+                                  std::to_string(opt_.faults.max_attempts) +
+                                  " time(s) in the network",
+                              progress_diagnosis()};
+        }
+        stats_.faults_injected += tr.drops + tr.jitters + (tr.duplicated ? 1 : 0);
+        stats_.retries += tr.drops;
+        due += tr.delay;
+        if (tr.duplicated) {
+          t.seq = fault_->seq_for(tid(f.seq, slot));
+          coord_outbox_.push_back(
+              PToken{{0, f.seq, f.intra_used++},
+                     cycle_ + latency + hop + tr.dup_delay, t});
+        }
+      }
+      coord_outbox_.push_back(PToken{{0, f.seq, slot}, due, t});
       cs_.add_live(token_ctx);
     }
   }
@@ -617,6 +846,22 @@ class ParallelEngine {
     for (Firing& f : firings_) {
       const QEntry& e = f.e;
       const ExecOp& op = ep_.op(e.node);
+      if (f.klass == FiringClass::kNack) {
+        // A rejected memory attempt is not a firing — no counters
+        // advance; the op re-readies after the summed backoff with its
+        // operands still matched in the frame.
+        stats_.nacks_seen += f.nacks;
+        stats_.retries += f.nacks;
+        stats_.faults_injected += f.nacks;
+        Token retry{e.ctx, e.node, 0, 0};
+        retry.refire = true;
+        coord_outbox_.push_back(PToken{{0, f.seq, f.intra_used++},
+                                       cycle_ + f.nack_delay, retry});
+        continue;
+      }
+      if (fault_ && f.klass == FiringClass::kLoop &&
+          opt_.frame_capacity > 0 && capacity_stall(f))
+        continue;
       ++stats_.ops_fired;
       ++stats_.fired_by_kind[static_cast<std::size_t>(op.kind)];
       if (stats_.first_fire_cycle[e.node.index()] == UINT64_MAX)
@@ -724,6 +969,9 @@ class ParallelEngine {
       stats_.tokens_sent += s.tokens_sent;
       stats_.matches += s.matches;
       stats_.deferred_reads += s.deferred_reads;
+      stats_.duplicates_dropped += s.duplicates_dropped;
+      stats_.faults_injected += s.faults_injected;
+      stats_.retries += s.retries;
     }
   }
 
@@ -732,29 +980,182 @@ class ParallelEngine {
     const auto is_write = [&](NodeId n) {
       return (ep_.op(n).flags & kExecWrite) != 0;
     };
+    // Fault-free, a pending write delegates to the serial rerun for a
+    // byte-identical report; faulted, it is reported directly.
+    const auto pending_write = [&](NodeId n) -> std::optional<RunResult> {
+      if (!fault_) return std::nullopt;
+      return fail_result(RunError{
+          ErrorCode::kStoreInFlight,
+          "end fired while store '" + ep_.label(n.index()) +
+              "' was still in flight — its acknowledgement is not collected",
+          {}});
+    };
     for (std::size_t i = head_; i < queue_.size(); ++i) {
       ++stats_.leftover_tokens;
-      if (is_write(queue_[i].node)) return std::nullopt;  // serial rerun
+      if (is_write(queue_[i].node)) return pending_write(queue_[i].node);
     }
     for (const Shard& s : shards_) {
       for (const auto& [due, tokens] : s.inbox) {
         for (const PToken& t : tokens) {
           ++stats_.leftover_tokens;
-          if (is_write(t.tok.node)) return std::nullopt;
+          if (is_write(t.tok.node)) return pending_write(t.tok.node);
         }
       }
     }
-    bool write_waiting = false;
+    NodeId write_waiting;
     frames_.for_each_live(
         [&](std::uint32_t, std::uint32_t op_idx, std::uint16_t) {
-          if (ep_.op(op_idx).flags & kExecWrite) write_waiting = true;
+          if (ep_.op(op_idx).flags & kExecWrite)
+            write_waiting = NodeId{op_idx};
         });
-    if (write_waiting) return std::nullopt;
+    if (write_waiting.valid()) return pending_write(write_waiting);
     merge_shard_counters();
     RunResult out;
     out.stats = std::move(stats_);
     out.store = std::move(mem_.store);
     return out;
+  }
+
+  // -- fault reporting ----------------------------------------------------
+
+  /// Deterministic fault id for the emission at (this cycle, firing
+  /// seq, intra slot) — the parallel counterpart of the serial engine's
+  /// nonce stream, computable race-free by any worker.
+  [[nodiscard]] std::uint64_t tid(std::uint32_t seq,
+                                  std::uint32_t intra) const {
+    return (cycle_ + 1) * 0x9e3779b97f4a7c15ULL ^
+           (static_cast<std::uint64_t>(seq) << 21) ^ intra;
+  }
+
+  /// Direct error report (fault mode only — a faulted serial rerun
+  /// would draw a different fault stream, see the file comment).
+  RunResult fail_result(RunError err) {
+    merge_shard_counters();
+    stats_.fail(std::move(err));
+    stats_.cycles = cycle_ + 1;
+    stats_.completed = false;
+    RunResult out;
+    out.stats = std::move(stats_);
+    out.store = std::move(mem_.store);
+    return out;
+  }
+
+  RunError collision_error() const {
+    const Shard* worst = nullptr;
+    for (const Shard& s : shards_)
+      if (s.collision && (!worst || s.collision_rank < worst->collision_rank))
+        worst = &s;
+    CTDF_ASSERT(worst != nullptr);
+    const Token& t = worst->collision_tok;
+    return RunError{ErrorCode::kSlotCollision,
+                    "token collision at node " + std::to_string(t.node.value()) +
+                        " (" + to_string(ep_.op(t.node).kind) + " '" +
+                        ep_.label(t.node.index()) + "') port " +
+                        std::to_string(t.port) + " in context " +
+                        std::to_string(t.ctx) + " at cycle " +
+                        std::to_string(cycle_),
+                    {}};
+  }
+
+  RunError istore_error() const {
+    const Shard* worst = nullptr;
+    for (const Shard& s : shards_)
+      if (s.istore_error && s.istore_seq != UINT32_MAX &&
+          (!worst || s.istore_seq < worst->istore_seq))
+        worst = &s;
+    CTDF_ASSERT(worst != nullptr);
+    return RunError{ErrorCode::kIStoreDoubleWrite,
+                    "I-structure double write to cell " +
+                        std::to_string(worst->istore_cell) + " by node '" +
+                        ep_.label(worst->istore_node.index()) + "'",
+                    {}};
+  }
+
+  /// Per-loop live/throttled breakdown (see the serial engine).
+  std::string loop_breakdown() const {
+    std::string msg =
+        "  loop state: " + std::to_string(cs_.live_contexts()) +
+        " live iteration context(s), " +
+        std::to_string(stats_.throttle_stalls) +
+        " k-bound throttle stall(s), " +
+        std::to_string(cap_stalled_.size()) +
+        " forwarding(s) blocked on frame capacity";
+    cs_.for_each_instance([&](std::uint32_t loop, std::uint32_t invocation,
+                              unsigned in_flight, std::size_t stalled) {
+      msg += "\n  loop " + std::to_string(loop) + " invocation ctx " +
+             std::to_string(invocation) + ": " + std::to_string(in_flight) +
+             " iteration(s) in flight, " + std::to_string(stalled) +
+             " stalled forwarding(s)";
+    });
+    return msg;
+  }
+
+  /// Structured no-progress diagnosis (watchdog, retry exhaustion,
+  /// fault-mode cycle cap): what is blocked and what is oldest in
+  /// flight. The oldest pending token is the minimum (due, rank) over
+  /// the shards' first inbox buckets.
+  std::string progress_diagnosis() const {
+    std::string msg = "  blocked: " + std::to_string(frames_.live_slots()) +
+                      " matching slot(s) still waiting";
+    const PToken* oldest = nullptr;
+    std::uint64_t oldest_due = 0;
+    for (const Shard& s : shards_) {
+      if (s.inbox.empty()) continue;
+      const auto& [due, tokens] = *s.inbox.begin();
+      if (tokens.empty()) continue;
+      const PToken& t = tokens.front();
+      if (!oldest || due < oldest_due ||
+          (due == oldest_due && t.rank < oldest->rank)) {
+        oldest = &t;
+        oldest_due = due;
+      }
+    }
+    if (oldest)
+      msg += "\n  oldest pending token: node " +
+             std::to_string(oldest->tok.node.value()) + " ('" +
+             ep_.label(oldest->tok.node.index()) + "') port " +
+             std::to_string(oldest->tok.port) + " ctx " +
+             std::to_string(oldest->tok.ctx);
+    return msg + "\n" + loop_breakdown();
+  }
+
+  RunError deadlock_error() const {
+    RunError err;
+    std::string detail;
+    int listed = 0;
+    frames_.for_each_live([&](std::uint32_t ctx, std::uint32_t op_idx,
+                              std::uint16_t remaining) {
+      if (listed++ >= 5) return;
+      detail += "  waiting: node " + std::to_string(op_idx) + " (" +
+                to_string(ep_.op(op_idx).kind) + " '" + ep_.label(op_idx) +
+                "') ctx " + std::to_string(ctx) + " missing " +
+                std::to_string(remaining) + " input(s)\n";
+    });
+    std::size_t deferred = 0;
+    for (const Shard& s : shards_) deferred += s.deferred.size();
+    if (deferred > 0)
+      detail += "  plus " + std::to_string(deferred) +
+                " I-structure cell(s) with deferred readers\n";
+    const std::size_t stalled = cs_.stalled_total();
+    if (stalled > 0)
+      detail += "  plus " + std::to_string(stalled) +
+                " forwarding(s) stalled by the loop bound\n";
+    detail += loop_breakdown();
+    if (!cap_stalled_.empty()) {
+      err.code = ErrorCode::kFrameExhausted;
+      err.message = "frame store exhausted: " +
+                    std::to_string(cap_stalled_.size()) +
+                    " loop forwarding(s) blocked on frame capacity " +
+                    std::to_string(opt_.frame_capacity) +
+                    " with no context able to retire";
+    } else {
+      err.code = ErrorCode::kDeadlock;
+      err.message = "deadlock: no events pending, end never fired; " +
+                    std::to_string(frames_.live_slots()) +
+                    " matching slot(s) still waiting";
+    }
+    err.diagnosis = std::move(detail);
+    return err;
   }
 
   // -- state --------------------------------------------------------------
@@ -780,6 +1181,13 @@ class ParallelEngine {
 
   std::uint64_t cycle_ = 0;
   std::uint64_t batch_ = 0;
+
+  std::optional<FaultState> fault_;  ///< engaged iff fault_active(opt_)
+  std::optional<RunError> fatal_;    ///< first coordinator-side failure
+  /// Loop-entry work blocked by frame_capacity, engine-global (see the
+  /// serial engine).
+  std::vector<PToken> cap_stalled_;
+  std::uint64_t no_fire_steps_ = 0;
 
   RunStats stats_;
   bool completed_ = false;

@@ -23,10 +23,14 @@
 
 #include <cstdio>
 #include <map>
+#include <optional>
+#include <string>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "machine/exec.hpp"
+#include "machine/faults.hpp"
 #include "machine/fire.hpp"
 #include "machine/frames.hpp"
 #include "machine/machine.hpp"
@@ -44,6 +48,7 @@ struct ReadyEntry {
   bool requeued = false;  ///< see Token::requeued
   std::uint16_t port = 0;
   std::int64_t value = 0;
+  bool refire = false;  ///< see Token::refire
 };
 
 /// The scan engine's pending queue: an ordered map of delivery cycle →
@@ -91,6 +96,10 @@ class SerialEngine {
         pending_(opt) {
     CTDF_ASSERT_MSG(opt_.alu_latency >= 1 && opt_.mem_latency >= 1,
                     "latencies must be at least one cycle");
+    // The fault machinery engages only when the plan can actually bite;
+    // otherwise every fault branch below is one dead `if (fault_)` and
+    // the engine is byte-identical to its fault-free self.
+    if (fault_active(opt)) fault_.emplace(opt.faults);
     mem_.init(memory_cells, istructures);
     stats_.fired_by_kind.assign(dfg::kNumOpKinds, 0);
     stats_.first_fire_cycle.assign(ep.num_ops(), UINT64_MAX);
@@ -102,8 +111,10 @@ class SerialEngine {
     while (!completed_ && stats_.error.empty()) {
       if (cycle >= opt_.max_cycles) {
         stats_.cycles = cycle;
-        stats_.error = "cycle cap exceeded (possible livelock or "
-                       "non-terminating program)";
+        stats_.fail(ErrorCode::kCycleCap,
+                    "cycle cap exceeded (possible livelock or "
+                    "non-terminating program)",
+                    fault_ ? progress_diagnosis(cycle) : std::string{});
         break;
       }
       // 1. Deliver tokens due this cycle.
@@ -128,6 +139,25 @@ class SerialEngine {
       if (opt_.record_profile && profile_ok(cycle))
         stats_.profile[cycle] = fired;
 
+      // No-progress watchdog (faulted runs only): scheduler steps can
+      // legally fire nothing while operands trickle in, but an unbroken
+      // run of them means the recovery machinery is spinning.
+      if (fault_ && completed_ == false && stats_.error.empty()) {
+        if (fired == 0) {
+          if (++no_fire_steps_ >= fault_->watchdog_limit()) {
+            ++stats_.watchdog_triggers;
+            stats_.fail(ErrorCode::kDeadlock,
+                        "watchdog: no operator fired for " +
+                            std::to_string(no_fire_steps_) +
+                            " scheduler step(s) — livelock or stalled "
+                            "recovery",
+                        progress_diagnosis(cycle));
+          }
+        } else {
+          no_fire_steps_ = 0;
+        }
+      }
+
       // 3. Advance time: next cycle if work remains ready, else jump to
       // the next scheduled delivery.
       if (completed_ || !stats_.error.empty()) {
@@ -140,7 +170,7 @@ class SerialEngine {
         cycle = pending_.next_due(cycle);
       } else {
         stats_.cycles = cycle + 1;
-        stats_.error = deadlock_report();
+        stats_.fail(deadlock_error());
         break;
       }
     }
@@ -170,9 +200,10 @@ class SerialEngine {
           });
       if (pending_write.valid()) {
         stats_.completed = false;
-        stats_.error =
+        stats_.fail(
+            ErrorCode::kStoreInFlight,
             "end fired while store '" + ep_.label(pending_write.index()) +
-            "' was still in flight — its acknowledgement is not collected";
+                "' was still in flight — its acknowledgement is not collected");
       }
     }
     return RunResult{std::move(stats_), std::move(mem_.store)};
@@ -190,11 +221,28 @@ class SerialEngine {
     const ExecOp& start = ep_.op(s);
     ++stats_.ops_fired;
     ++stats_.fired_by_kind[static_cast<std::size_t>(start.kind)];
+    // Boot emissions model program loading, not network traffic: they
+    // are exempt from fault injection.
+    booting_ = true;
     for (std::uint16_t p = 0; p < start.num_outputs; ++p)
       emit(0, s, p, ep_.start_values()[p], /*cycle=*/0, /*latency=*/0);
+    booting_ = false;
   }
 
   void deliver(const Token& t, std::uint64_t cycle) {
+    if (fault_) {
+      if (t.refire) {
+        // A NACKed memory firing (or a capacity-stalled barrier entry)
+        // re-entering the ready queue: its operands are still matched
+        // in the frame, so re-ready the op without filing a slot.
+        ready_.push_back({t.ctx, t.node, false, false, 0, 0, true});
+        return;
+      }
+      if (t.seq != 0 && !dedup_accept(t.seq)) {
+        ++stats_.duplicates_dropped;
+        return;
+      }
+    }
     ++stats_.tokens_sent;
     const ExecOp& op = ep_.op(t.node);
     if (non_strict(op, opt_.loop_mode)) {
@@ -203,12 +251,14 @@ class SerialEngine {
     }
     switch (frames_.deliver(t.ctx, op, t.port, t.value)) {
       case FrameStore::Deliver::kCollision:
-        stats_.error = "token collision at node " +
-                       std::to_string(t.node.value()) + " (" +
-                       to_string(op.kind) + " '" + ep_.label(t.node.index()) +
-                       "') port " + std::to_string(t.port) + " in context " +
-                       std::to_string(t.ctx) + " at cycle " +
-                       std::to_string(cycle);
+        stats_.fail(ErrorCode::kSlotCollision,
+                    "token collision at node " +
+                        std::to_string(t.node.value()) + " (" +
+                        to_string(op.kind) + " '" +
+                        ep_.label(t.node.index()) + "') port " +
+                        std::to_string(t.port) + " in context " +
+                        std::to_string(t.ctx) + " at cycle " +
+                        std::to_string(cycle));
         return;
       case FrameStore::Deliver::kCompleted:
         ++stats_.matches;
@@ -275,7 +325,36 @@ class SerialEngine {
       std::uint64_t hop = 0;
       if (opt_.processors > 0 && pe_of(ctx, d.node) != from_pe)
         hop = opt_.network_latency;
-      pending_.push(cycle + latency + hop, Token{ctx, d.node, d.port, value});
+      Token t{ctx, d.node, d.port, value};
+      std::uint64_t due = cycle + latency + hop;
+      if (fault_ && hop > 0 && !booting_) {
+        // Network fault injection (cross-PE transmissions only). A drop
+        // is modeled as its own recovery: the retransmission ladder is
+        // rolled up front and the token is scheduled once with the total
+        // backoff delay — same arrival cycle, no token ever in limbo.
+        const FaultState::Transit f = fault_->transit(fault_->next_id());
+        if (f.exhausted) {
+          ++stats_.watchdog_triggers;
+          if (stats_.error.empty())
+            stats_.fail(ErrorCode::kRetryExhausted,
+                        "retry budget exhausted: token for node '" +
+                            ep_.label(d.node.index()) + "' dropped " +
+                            std::to_string(opt_.faults.max_attempts) +
+                            " time(s) in the network",
+                        progress_diagnosis(cycle));
+        }
+        stats_.faults_injected += f.drops + f.jitters + (f.duplicated ? 1 : 0);
+        stats_.retries += f.drops;
+        due += f.delay;
+        if (f.duplicated) {
+          // Both copies share one sequence number; the receiver delivers
+          // whichever lands first and drops the other, so the logical
+          // token is counted live exactly once.
+          t.seq = fault_->next_seq();
+          pending_.push(cycle + latency + hop + f.dup_delay, t);
+        }
+      }
+      pending_.push(due, t);
       cs_.add_live(ctx);
     }
   }
@@ -293,10 +372,73 @@ class SerialEngine {
       // no created slot — hand it back for the next iteration.
       if (retired) frames_.recycle(ctx);
     }
+    if (retired && !cap_stalled_.empty()) {
+      // A frame was freed: wake everything blocked on capacity. The
+      // first to re-fire claims it; the rest re-stall.
+      for (Token& t : cap_stalled_) pending_.push(cycle + 1, t);
+      cap_stalled_.clear();
+    }
+  }
+
+  /// Finite frame store: true (and buffers the work) when firing this
+  /// loop entry would allocate an iteration context beyond
+  /// frame_capacity. Back-pressure, not a firing — no counters advance
+  /// beyond the stall count, so the semantic counters of a degraded run
+  /// match the unconstrained one.
+  bool capacity_stall(const ReadyEntry& e, const ExecOp& op,
+                      std::uint64_t cycle) {
+    if (!cs_.would_allocate(op.loop, e.ctx) ||
+        cs_.live_contexts() < opt_.frame_capacity)
+      return false;
+    ++stats_.backpressure_stalls;
+    if (e.immediate) {
+      // Pipelined forwarding: buffer it, consumed from its source
+      // context now so that context can retire and free its own frame.
+      cap_stalled_.push_back(Token{e.ctx, e.node, e.port, e.value, true});
+      if (!e.requeued) consume(e.ctx, cycle);
+    } else {
+      // Barrier entry: the circulating set stays matched in the frame;
+      // re-ready the whole firing once a retirement frees capacity.
+      Token t{e.ctx, e.node, 0, 0};
+      t.refire = true;
+      cap_stalled_.push_back(t);
+    }
+    return true;
   }
 
   void fire(const ReadyEntry& e, std::uint64_t cycle) {
     const ExecOp& op = ep_.op(e.node);
+    if (fault_) {
+      if ((op.flags & kExecMem) && !e.refire) {
+        // Split-phase memory NACK: the memory rejects the request and
+        // the firing retries after capped exponential backoff, operands
+        // still matched in the frame. A rejected attempt is not a
+        // firing — no counters advance.
+        const FaultState::Nack n = fault_->nack(fault_->next_id());
+        if (n.exhausted) {
+          ++stats_.watchdog_triggers;
+          stats_.fail(ErrorCode::kRetryExhausted,
+                      "retry budget exhausted: memory NACKed node '" +
+                          ep_.label(e.node.index()) + "' " +
+                          std::to_string(opt_.faults.max_attempts) +
+                          " time(s)",
+                      progress_diagnosis(cycle));
+          return;
+        }
+        if (n.nacks > 0) {
+          stats_.nacks_seen += n.nacks;
+          stats_.retries += n.nacks;
+          stats_.faults_injected += n.nacks;
+          Token retry{e.ctx, e.node, 0, 0};
+          retry.refire = true;
+          pending_.push(cycle + n.delay, retry);
+          return;
+        }
+      }
+      if (opt_.frame_capacity > 0 && op.kind == dfg::OpKind::kLoopEntry &&
+          capacity_stall(e, op, cycle))
+        return;
+    }
     fire_ctx_ = e.ctx;
     ++stats_.ops_fired;
     ++stats_.fired_by_kind[static_cast<std::size_t>(op.kind)];
@@ -377,9 +519,10 @@ class SerialEngine {
           },
           [&] { ++stats_.deferred_reads; });
       if (!ok) {
-        stats_.error = "I-structure double write to cell " +
-                       std::to_string(a.cell) + " by node '" +
-                       ep_.label(e.node.index()) + "'";
+        stats_.fail(ErrorCode::kIStoreDoubleWrite,
+                    "I-structure double write to cell " +
+                        std::to_string(a.cell) + " by node '" +
+                        ep_.label(e.node.index()) + "'");
         return;
       }
     } else {
@@ -405,27 +548,83 @@ class SerialEngine {
     consume(e.ctx, cycle, op.consumed_inputs);
   }
 
-  std::string deadlock_report() const {
-    std::string msg = "deadlock: no events pending, end never fired; " +
-                      std::to_string(frames_.live_slots()) +
+  /// The per-loop live/throttled breakdown shared by the deadlock
+  /// report and the watchdog diagnosis: distinguishes k-bound- or
+  /// capacity-induced stalls from translation bugs.
+  std::string loop_breakdown() const {
+    std::string msg =
+        "  loop state: " + std::to_string(cs_.live_contexts()) +
+        " live iteration context(s), " +
+        std::to_string(stats_.throttle_stalls) +
+        " k-bound throttle stall(s), " +
+        std::to_string(cap_stalled_.size()) +
+        " forwarding(s) blocked on frame capacity";
+    cs_.for_each_instance([&](std::uint32_t loop, std::uint32_t invocation,
+                              unsigned in_flight, std::size_t stalled) {
+      msg += "\n  loop " + std::to_string(loop) + " invocation ctx " +
+             std::to_string(invocation) + ": " + std::to_string(in_flight) +
+             " iteration(s) in flight, " + std::to_string(stalled) +
+             " stalled forwarding(s)";
+    });
+    return msg;
+  }
+
+  /// Structured no-progress diagnosis (watchdog, retry exhaustion,
+  /// fault-mode cycle cap): what is blocked and what is oldest in
+  /// flight.
+  std::string progress_diagnosis(std::uint64_t cycle) const {
+    std::string msg = "  blocked: " + std::to_string(frames_.live_slots()) +
                       " matching slot(s) still waiting";
+    bool first = true;
+    pending_.for_each_pending(cycle, [&](const Token& t) {
+      if (!first) return;
+      first = false;
+      msg += "\n  oldest pending token: node " +
+             std::to_string(t.node.value()) + " ('" +
+             ep_.label(t.node.index()) + "') port " + std::to_string(t.port) +
+             " ctx " + std::to_string(t.ctx);
+    });
+    return msg + "\n" + loop_breakdown();
+  }
+
+  RunError deadlock_error() const {
+    RunError err;
+    std::string detail;
     int listed = 0;
     frames_.for_each_live([&](std::uint32_t ctx, std::uint32_t op_idx,
                               std::uint16_t remaining) {
       if (listed++ >= 5) return;
-      msg += "\n  waiting: node " + std::to_string(op_idx) + " (" +
-             to_string(ep_.op(op_idx).kind) + " '" + ep_.label(op_idx) +
-             "') ctx " + std::to_string(ctx) + " missing " +
-             std::to_string(remaining) + " input(s)";
+      detail += "  waiting: node " + std::to_string(op_idx) + " (" +
+                to_string(ep_.op(op_idx).kind) + " '" + ep_.label(op_idx) +
+                "') ctx " + std::to_string(ctx) + " missing " +
+                std::to_string(remaining) + " input(s)\n";
     });
     if (!deferred_.empty())
-      msg += "\n  plus " + std::to_string(deferred_.size()) +
-             " I-structure cell(s) with deferred readers";
+      detail += "  plus " + std::to_string(deferred_.size()) +
+                " I-structure cell(s) with deferred readers\n";
     const std::size_t stalled = cs_.stalled_total();
     if (stalled > 0)
-      msg += "\n  plus " + std::to_string(stalled) +
-             " forwarding(s) stalled by the loop bound";
-    return msg;
+      detail += "  plus " + std::to_string(stalled) +
+                " forwarding(s) stalled by the loop bound\n";
+    detail += loop_breakdown();
+    if (!cap_stalled_.empty()) {
+      // Every queue is empty yet forwardings are still blocked on frame
+      // capacity: the finite frame store can never free a frame — that
+      // is resource exhaustion, not a translation bug.
+      err.code = ErrorCode::kFrameExhausted;
+      err.message = "frame store exhausted: " +
+                    std::to_string(cap_stalled_.size()) +
+                    " loop forwarding(s) blocked on frame capacity " +
+                    std::to_string(opt_.frame_capacity) +
+                    " with no context able to retire";
+    } else {
+      err.code = ErrorCode::kDeadlock;
+      err.message = "deadlock: no events pending, end never fired; " +
+                    std::to_string(frames_.live_slots()) +
+                    " matching slot(s) still waiting";
+    }
+    err.diagnosis = std::move(detail);
+    return err;
   }
 
   const ExecProgram& ep_;
@@ -443,6 +642,24 @@ class SerialEngine {
   std::size_t ready_head_ = 0;
   std::uint32_t fire_ctx_ = 0;  ///< context of the firing in progress
   std::vector<std::int64_t> in_buf_;  ///< matched inputs of the firing
+
+  /// First arrival of a seq wins; the second is dropped and the entry
+  /// forgotten (a seq is used by exactly two copies, so the set stays
+  /// bounded by the duplicates currently in flight).
+  bool dedup_accept(std::uint64_t seq) {
+    const auto [it, inserted] = dedup_seen_.insert(seq);
+    if (!inserted) dedup_seen_.erase(it);
+    return inserted;
+  }
+
+  std::optional<FaultState> fault_;  ///< engaged iff fault_active(opt_)
+  bool booting_ = false;
+  /// Loop-entry work blocked by frame_capacity, engine-global: any
+  /// retirement may free the frame a blocked forwarding needs, whatever
+  /// loop it belongs to.
+  std::vector<Token> cap_stalled_;
+  std::unordered_set<std::uint64_t> dedup_seen_;
+  std::uint64_t no_fire_steps_ = 0;
 
   RunStats stats_;
   bool completed_ = false;

@@ -30,6 +30,13 @@ struct Token {
   /// stall: it was already consumed from its source context when it
   /// was buffered, so a successful re-fire must not consume it again.
   bool requeued = false;
+  /// Fault recovery (machine/faults.hpp): a NACKed memory firing
+  /// re-entering the ready queue — its operands are still matched in
+  /// the frame, so delivery must re-ready the op without filing a slot.
+  bool refire = false;
+  /// Nonzero for a token the network duplicated: both copies carry the
+  /// same sequence number and the receiver delivers exactly one.
+  std::uint64_t seq = 0;
 };
 
 /// An iteration context — the role Monsoon frames play.
@@ -388,6 +395,35 @@ class ContextState {
     std::size_t n = 0;
     for (const auto& [k, inst] : instances_) n += inst.stalled.size();
     return n;
+  }
+
+  /// Iteration contexts currently live (allocated, not retired) — the
+  /// population a finite frame_capacity caps.
+  [[nodiscard]] std::uint64_t live_contexts() const { return live_contexts_; }
+
+  /// Would starting iteration (loop ← from) allocate a fresh context
+  /// (i.e. draw down frame capacity), or does the iteration's context
+  /// already exist?
+  [[nodiscard]] bool would_allocate(cfg::LoopId loop,
+                                    std::uint32_t from) const {
+    return !ctx_table_.contains(iteration_key(loop, from));
+  }
+
+  /// f(loop id, invocation ctx, iterations in flight, stalled
+  /// forwardings) per loop instance, in (loop, invocation) order — the
+  /// per-loop breakdown of the deadlock / watchdog diagnosis.
+  template <class F>
+  void for_each_instance(F&& f) const {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(instances_.size());
+    for (const auto& [k, inst] : instances_) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    for (const std::uint64_t k : keys) {
+      const LoopInstance<TokenT>& inst = instances_.at(k);
+      f(static_cast<std::uint32_t>(k >> 32),
+        static_cast<std::uint32_t>(k & 0xFFFFFFFFu), inst.in_flight,
+        inst.stalled.size());
+    }
   }
 
  private:

@@ -32,6 +32,7 @@
 
 #include "dfg/graph.hpp"
 #include "lang/interp.hpp"
+#include "machine/faults.hpp"
 #include "machine/options.hpp"
 
 namespace ctdf::machine {
@@ -40,7 +41,22 @@ class ExecProgram;
 
 struct RunStats {
   bool completed = false;
-  std::string error;  ///< non-empty on deadlock/collision/cap
+  /// Rendered error_detail (message [+ "\n" + diagnosis]); non-empty on
+  /// any failure. Kept for backward compatibility — new code should
+  /// consult error_detail.code.
+  std::string error;
+  /// Typed failure taxonomy (machine/faults.hpp).
+  RunError error_detail;
+
+  /// Records a failure: sets error_detail and the rendered string.
+  void fail(ErrorCode code, std::string message, std::string diagnosis = {}) {
+    error_detail = RunError{code, std::move(message), std::move(diagnosis)};
+    error = error_detail.render();
+  }
+  void fail(RunError err) {
+    error_detail = std::move(err);
+    error = error_detail.render();
+  }
 
   std::uint64_t cycles = 0;
   std::uint64_t ops_fired = 0;
@@ -60,6 +76,15 @@ struct RunStats {
   /// Tokens still draining when End fired (dead value chains; see
   /// machine.cpp — a draining *store* is an error instead).
   std::uint64_t leftover_tokens = 0;
+
+  /// Fault-injection accounting (all zero on fault-free runs; see
+  /// machine/faults.hpp).
+  std::uint64_t faults_injected = 0;   ///< drops + duplicates + jitters + NACKs
+  std::uint64_t retries = 0;           ///< retransmissions + memory refires
+  std::uint64_t nacks_seen = 0;        ///< memory NACKs absorbed
+  std::uint64_t duplicates_dropped = 0;  ///< dedup'd redundant deliveries
+  std::uint64_t watchdog_triggers = 0;   ///< livelock/retry-budget diagnoses
+  std::uint64_t backpressure_stalls = 0;  ///< frame-capacity stalls
 
   /// Fired-operator counts by dfg::OpKind (indexed by its value).
   std::vector<std::uint64_t> fired_by_kind;

@@ -59,6 +59,45 @@ enum class EngineKind : std::uint8_t {
   return e == EngineKind::kScan ? "scan" : "event";
 }
 
+/// Deterministic fault-injection plan (see machine/faults.hpp for the
+/// model and the recovery machinery). All rates are per-event
+/// probabilities in [0,1]; every decision is a pure function of `seed`
+/// and the event's identity, so faulted runs are exactly reproducible.
+/// With every rate zero the plan is inert and the engines run their
+/// fault-free code paths unchanged.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+
+  /// Per-transmission probability that a cross-PE token is dropped and
+  /// must be retransmitted after backoff (multi-processor mode only —
+  /// the abstract pool has no network to lose tokens in).
+  double drop = 0.0;
+  /// Probability that a cross-PE token is duplicated in the network;
+  /// the receiver drops the second copy by sequence number.
+  double dup = 0.0;
+  /// Probability of 1-4 cycles of extra network delay on a cross-PE
+  /// token.
+  double jitter = 0.0;
+  /// Per-firing probability that the split-phase memory NACKs a
+  /// request; the firing retries after backoff.
+  double nack = 0.0;
+
+  /// Transmission attempts (first try + retries) before the retry
+  /// budget is exhausted and the run fails with kRetryExhausted.
+  unsigned max_attempts = 6;
+  /// Exponential backoff before retry k: base << (k-1) cycles ...
+  unsigned backoff_base = 2;
+  /// ... capped at this many cycles.
+  unsigned backoff_cap = 64;
+  /// Scheduler steps without a single firing before the no-progress
+  /// watchdog declares livelock; 0 = a generous default (1M steps).
+  std::uint64_t watchdog_steps = 0;
+
+  [[nodiscard]] bool enabled() const {
+    return drop > 0.0 || dup > 0.0 || jitter > 0.0 || nack > 0.0;
+  }
+};
+
 struct MachineOptions {
   /// Execution engine (see EngineKind; results never depend on this).
   EngineKind engine = EngineKind::kScan;
@@ -109,6 +148,16 @@ struct MachineOptions {
 
   /// Abort knob for runaway graphs.
   std::uint64_t max_cycles = 50'000'000;
+
+  /// Finite frame store: at most this many iteration contexts may be
+  /// live at once. A loop entry that would allocate beyond the capacity
+  /// back-pressures (the forwarding waits for a context to retire)
+  /// instead of aborting — graceful degradation, like an adaptive
+  /// k-bound. 0 = unbounded (today's behavior).
+  std::uint64_t frame_capacity = 0;
+
+  /// Deterministic fault injection (inert by default).
+  FaultPlan faults;
 
   /// 0 = deterministic FIFO scheduling. Non-zero seeds randomize the
   /// choice of which ready operator fires next — used by the

@@ -369,6 +369,17 @@ TEST(Machine, DeadlockReportListsStarvedSlots) {
       << r.stats.error;
   EXPECT_NE(r.stats.error.find("missing 1 input(s)"), std::string::npos)
       << r.stats.error;
+  // The report carries the per-loop live/throttled breakdown (and the
+  // typed code) even outside loops — the headline line is always there.
+  EXPECT_NE(r.stats.error.find("loop state:"), std::string::npos)
+      << r.stats.error;
+  EXPECT_NE(r.stats.error.find("live iteration context(s)"),
+            std::string::npos)
+      << r.stats.error;
+  EXPECT_NE(r.stats.error.find("k-bound throttle stall(s)"),
+            std::string::npos)
+      << r.stats.error;
+  EXPECT_EQ(r.stats.error_detail.code, ErrorCode::kDeadlock);
 }
 
 TEST(Machine, DeadlockReportIncludesDeferredReaders) {

@@ -51,6 +51,17 @@
 //   --network-latency=N     cross-PE token charge (default 2)
 //   --place-by-node         hash instructions to PEs (default: frames)
 //   --sched-seed=N          randomized scheduling (0 = FIFO)
+//   --max-cycles=N          abort with a cycle-cap error after N cycles
+//   --faults=SPEC           deterministic fault injection (comma list:
+//                           drop=P,dup=P,jitter=P,nack=P rates in [0,1];
+//                           attempts=N, backoff=N, cap=N retry ladder;
+//                           watchdog=N no-progress steps). Recovery is
+//                           built in; within-budget plans preserve the
+//                           final store and semantic counters.
+//   --fault-seed=N          fault stream seed (default 0)
+//   --frame-capacity=N      finite frame store: at most N live iteration
+//                           contexts, loop entries stall (back-pressure)
+//                           at the bound (0 = unbounded)
 //   --host-threads=N        simulator worker threads (0 = serial; results
 //                           are bit-identical either way; env fallback
 //                           CTDF_HOST_THREADS)
@@ -170,6 +181,20 @@ Cli parse_cli(int argc, char** argv) {
       cli.mopt.loop_mode = machine::LoopMode::kBarrier;
     } else if (starts_with(a, "--sched-seed=")) {
       cli.mopt.scheduler_seed = std::stoull(value_of(a));
+    } else if (starts_with(a, "--max-cycles=")) {
+      cli.mopt.max_cycles = std::stoull(value_of(a));
+    } else if (starts_with(a, "--frame-capacity=")) {
+      cli.mopt.frame_capacity = std::stoull(value_of(a));
+    } else if (starts_with(a, "--fault-seed=")) {
+      cli.mopt.faults.seed = std::stoull(value_of(a));
+    } else if (starts_with(a, "--faults=")) {
+      const std::string complaint =
+          machine::parse_fault_spec(value_of(a), cli.mopt.faults);
+      if (!complaint.empty()) {
+        std::fprintf(stderr, "bad value: %s (%s)\n", a.c_str(),
+                     complaint.c_str());
+        cli.ok = false;
+      }
     } else if (starts_with(a, "--host-threads=")) {
       cli.mopt.host_threads =
           static_cast<unsigned>(std::stoul(value_of(a)));
@@ -290,15 +315,21 @@ int cmd_run(const Cli& cli, const lang::Program& prog) {
   maybe_print_stage_stats(cli, cr);
   maybe_dump_exec(cli, cr);
   const auto res = core::execute(cr, cli.mopt);
-  if (!res.stats.completed) {
-    std::fprintf(stderr, "machine error: %s\n", res.stats.error.c_str());
-    return 1;
-  }
   if (cli.stats_json) {
+    // Error runs still get a full, valid JSON document (with the typed
+    // error object populated) — only the exit code differs.
     std::printf("{\n  \"machine\": %s,\n  \"pipeline\": %s\n}\n",
                 machine::render_stats_json(res.stats, cli.mopt).c_str(),
                 pipeline_json(cr.trace).c_str());
+    if (!res.stats.completed) {
+      std::fprintf(stderr, "machine error: %s\n", res.stats.error.c_str());
+      return 1;
+    }
     return 0;
+  }
+  if (!res.stats.completed) {
+    std::fprintf(stderr, "machine error: %s\n", res.stats.error.c_str());
+    return 1;
   }
   std::printf("# %s | %s loop control, width %u, mem latency %u\n",
               cli.topt.describe().c_str(), to_string(cli.mopt.loop_mode),
