@@ -268,6 +268,42 @@ BENCHMARK(BM_MachineFaultsOff)
     ->Repetitions(5)
     ->ReportAggregatesOnly(true);
 
+void BM_MachineIntegrityOverhead(benchmark::State& state) {
+  // Tagged dataflow-integrity checking overhead gate, on a workload
+  // that keeps real memory traffic (no mem-elim, so the race check and
+  // split-phase accounting are exercised, not just the slot tags).
+  // Arg 0: --check=off — by construction a no-op (the shadow tag rows
+  // are never allocated, the per-delivery branch tests one bool), so
+  // this row must track the pre-checking baseline exactly. Arg 1:
+  // --check=integrity — the documented-multiplier row the bench gate
+  // holds (scripts/bench_machine.py, --integrity-overhead-floor).
+  const auto prog = core::parse(lang::corpus::nested_loops_source(8, 8));
+  const auto tx =
+      core::compile(prog, translate::TranslateOptions::schema2_optimized());
+  std::uint64_t ops = 0, checks = 0;
+  for (auto _ : state) {
+    machine::MachineOptions mopt;
+    mopt.loop_mode = machine::LoopMode::kPipelined;
+    mopt.processors = 2;
+    if (state.range(0)) mopt.check = machine::CheckMode::kIntegrity;
+    const auto res = core::execute(tx, mopt);
+    ops += res.stats.ops_fired;
+    checks += res.stats.integrity_checks;
+    benchmark::DoNotOptimize(res.stats.cycles);
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+  state.counters["checks/run"] = benchmark::Counter(
+      static_cast<double>(checks), benchmark::Counter::kAvgIterations);
+}
+// Same median-of-five discipline as the faults-off gate: the off row
+// gates at ~0%, so single-run noise would swamp the signal.
+BENCHMARK(BM_MachineIntegrityOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true);
+
 void BM_MachineFaultRecovery(benchmark::State& state) {
   // Simulated cost of fault recovery: cycles to completion under a
   // seeded plan, against the zero-rate rows as reference. Args:

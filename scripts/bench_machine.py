@@ -8,7 +8,9 @@ ExecProgram lowering time (BM_LowerExecProgram), the latency-bound
 engine comparison (BM_MachineIdleCycles, arg 0 = scan / 1 = event),
 the context-churn comparison (BM_FrameAlloc), the fault-machinery
 overhead pair (BM_MachineFaultsOff, arg 0 = legacy path / 1 = fault
-path engaged with zero rates), and the deterministic recovery cost
+path engaged with zero rates), the integrity-checker cost pair
+(BM_MachineIntegrityOverhead, arg 0 = --check=off / 1 =
+--check=integrity), and the deterministic recovery cost
 (BM_MachineFaultRecovery, cycles per run), and writes them to a JSON
 summary (BENCH_machine.json).
 
@@ -17,10 +19,13 @@ baseline and exits non-zero on a regression beyond --tolerance
 (default 25%, or a per-section override): throughput/match/context
 rates lower, or lowering time / recovery cycles higher. It also
 requires the event engine to beat the scan engine on the latency-bound
-workload by at least --event-speedup-floor, and holds the engaged-but-
-faultless path to within --faults-overhead-floor of the legacy path
-(both ratios are measured within one run, so they are host-
-independent).
+workload by at least --event-speedup-floor, holds the engaged-but-
+faultless path to within --faults-overhead-floor of the legacy path,
+and holds --check=integrity to within --integrity-overhead-floor of
+the unchecked path (the ratios are measured within one run, so they
+are host-independent). The checking-off row of the integrity pair is
+also gated against the baseline, which pins "off costs nothing": any
+tax the checker imposed on unchecked runs would show up there.
 
 Usage:
   scripts/bench_machine.py --bench build/bench/micro_components \
@@ -51,6 +56,7 @@ FILTER = "|".join(
         "BM_MachineMatchThroughput",
         "BM_MachineIdleCycles",
         "BM_MachineFaultsOff",
+        "BM_MachineIntegrityOverhead",
         "BM_MachineFaultRecovery",
         "BM_FrameAlloc",
         "BM_LowerExecProgram/",  # skip the _BigO/_RMS aggregate rows
@@ -67,6 +73,7 @@ SECTIONS = {
     "matches_per_s": ("BM_MachineMatchThroughput", "matches/s", True),
     "idle_ops_per_s": ("BM_MachineIdleCycles", "ops/s", True),
     "faults_off_ops_per_s": ("BM_MachineFaultsOff", "ops/s", True),
+    "integrity_ops_per_s": ("BM_MachineIntegrityOverhead", "ops/s", True),
     "fault_recovery_cycles": ("BM_MachineFaultRecovery", "cycles/run",
                               False, 0.05),
     "frame_ctxs_per_s": ("BM_FrameAlloc", "ctxs/s", True),
@@ -131,7 +138,22 @@ def faults_overhead(summary):
     return engaged / legacy
 
 
-def check(current, baseline, tolerance, speedup_floor, overhead_floor):
+def integrity_overhead(summary):
+    """--check=integrity over --check=off throughput ratio on
+    BM_MachineIntegrityOverhead, or None when either row is missing.
+    Measured within one run, so host-independent. The arg-0 (checking
+    off) row is separately gated against the baseline, which is what
+    pins the "off costs nothing" half of the contract."""
+    rows = summary.get("integrity_ops_per_s", {})
+    off = rows.get("BM_MachineIntegrityOverhead/0")
+    on = rows.get("BM_MachineIntegrityOverhead/1")
+    if not off or not on:
+        return None
+    return on / off
+
+
+def check(current, baseline, tolerance, speedup_floor, overhead_floor,
+          integrity_floor):
     failures = []
 
     def compare(section, spec):
@@ -175,6 +197,15 @@ def check(current, baseline, tolerance, speedup_floor, overhead_floor):
               f"(floor {overhead_floor:.0%}) {flag}")
         if overhead < overhead_floor:
             failures.append("faults-off-overhead")
+
+    integ = integrity_overhead(current)
+    if integ is not None:
+        flag = "ok" if integ >= integrity_floor else "REGRESSION"
+        print(f"integrity-checking overhead on BM_MachineIntegrityOverhead: "
+              f"{integ:.1%} of unchecked throughput "
+              f"(floor {integrity_floor:.0%}) {flag}")
+        if integ < integrity_floor:
+            failures.append("integrity-overhead")
     return failures
 
 
@@ -199,6 +230,11 @@ def main():
                     help="required engaged-but-faultless/legacy "
                          "throughput ratio on BM_MachineFaultsOff "
                          "(default 0.95, i.e. at most 5%% overhead)")
+    ap.add_argument("--integrity-overhead-floor", type=float, default=0.75,
+                    help="required --check=integrity/--check=off "
+                         "throughput ratio on BM_MachineIntegrityOverhead "
+                         "(default 0.75, i.e. at most a 1.33x slowdown "
+                         "with checking on; measured ~0.90)")
     args = ap.parse_args()
 
     summary = summarize(run_bench(args.bench))
@@ -216,6 +252,11 @@ def main():
         if overhead is not None:
             print(f"fault-path overhead on BM_MachineFaultsOff: "
                   f"{overhead:.1%} of legacy throughput")
+        integ = integrity_overhead(summary)
+        if integ is not None:
+            print(f"integrity-checking overhead on "
+                  f"BM_MachineIntegrityOverhead: {integ:.1%} of "
+                  f"unchecked throughput")
         print("baseline recorded; commit it with the change that "
               "motivated the new numbers")
         return 0
@@ -225,7 +266,8 @@ def main():
             baseline = json.load(f)
         failures = check(summary, baseline, args.tolerance,
                          args.event_speedup_floor,
-                         args.faults_overhead_floor)
+                         args.faults_overhead_floor,
+                         args.integrity_overhead_floor)
         if failures:
             print(f"FAIL: {len(failures)} benchmark(s) regressed beyond "
                   f"{args.tolerance:.0%}: {', '.join(failures)}")

@@ -29,12 +29,21 @@ std::vector<machine::IStructureRegion> istructure_regions(
   return regions;
 }
 
+std::vector<machine::SharedRegion> shared_regions(
+    const translate::Translation& tx) {
+  std::vector<machine::SharedRegion> regions;
+  regions.reserve(tx.shared_cells.size());
+  for (const auto& r : tx.shared_cells)
+    regions.push_back({r.base, r.extent});
+  return regions;
+}
+
 }  // namespace
 
 machine::RunResult execute(const translate::Translation& tx,
                            const machine::MachineOptions& options) {
   return machine::run(tx.graph, tx.memory_cells, options,
-                      istructure_regions(tx));
+                      istructure_regions(tx), shared_regions(tx));
 }
 
 machine::RunResult execute(const CompileResult& cr,
@@ -43,7 +52,7 @@ machine::RunResult execute(const CompileResult& cr,
   if (cr.exec.num_ops() == 0)  // `lower` stage disabled
     return execute(tx, options);
   return machine::run(cr.exec, tx.memory_cells, options,
-                      istructure_regions(tx));
+                      istructure_regions(tx), shared_regions(tx));
 }
 
 std::int64_t read_scalar(const lang::Program& prog, const lang::Store& store,

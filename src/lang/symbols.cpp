@@ -74,7 +74,14 @@ bool SymbolTable::bind(VarId x, VarId y) {
 
 bool SymbolTable::may_alias(VarId x, VarId y) const {
   if (x == y) return true;
-  return alias_bit(x.index(), y.index());
+  if (alias_bit(x.index(), y.index())) return true;
+  // Bound storage is the strongest form of aliasing, and binding is
+  // transitive (union-find) while the declared ~ bits are only
+  // pairwise: bind x,y; bind y,z leaves no x~z bit even though x and z
+  // share a cell. The translator keys access ordering on this
+  // predicate, so missing that pair would leave same-cell accesses
+  // unordered.
+  return same_storage(x, y);
 }
 
 std::vector<VarId> SymbolTable::alias_class(VarId x) const {

@@ -53,9 +53,10 @@ std::uint64_t event_horizon(const MachineOptions& opt) {
 
 RunResult run_event(const ExecProgram& program, std::size_t memory_cells,
                     const MachineOptions& options,
-                    const std::vector<IStructureRegion>& istructures) {
+                    const std::vector<IStructureRegion>& istructures,
+                    const std::vector<SharedRegion>& shared) {
   return SerialEngine<WheelPending>{program, memory_cells, options,
-                                    istructures}
+                                    istructures, shared}
       .run();
 }
 

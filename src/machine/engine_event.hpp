@@ -21,6 +21,7 @@ namespace ctdf::machine::detail {
 
 RunResult run_event(const ExecProgram& program, std::size_t memory_cells,
                     const MachineOptions& options,
-                    const std::vector<IStructureRegion>& istructures);
+                    const std::vector<IStructureRegion>& istructures,
+                    const std::vector<SharedRegion>& shared);
 
 }  // namespace ctdf::machine::detail

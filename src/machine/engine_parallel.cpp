@@ -82,6 +82,7 @@
 #include "machine/faults.hpp"
 #include "machine/fire.hpp"
 #include "machine/frames.hpp"
+#include "machine/integrity.hpp"
 #include "support/assert.hpp"
 #include "support/rng.hpp"
 
@@ -163,8 +164,15 @@ struct alignas(64) Shard {
   std::uint64_t tokens_sent = 0;
   std::uint64_t matches = 0;
   std::uint64_t deferred_reads = 0;
+  std::uint64_t integrity_checks = 0;
   bool collision = false;
-  bool istore_error = false;
+  /// Any memory-discipline violation from apply_mem (I-structure double
+  /// write, or with checking on a race / orphan response).
+  bool mem_error = false;
+  /// Checking mode: a delivery hit a written (unconsumed) slot tag.
+  bool tag_error = false;
+  /// Checking mode: a release sweep found an empty non-literal slot.
+  bool release_error = false;
 
   // Fault injection (owner-exclusive; merged / resolved by the
   // coordinator between phases).
@@ -177,9 +185,17 @@ struct alignas(64) Shard {
   NodeId fail_node;     ///< its destination
   Rank collision_rank;  ///< lowest-rank collision (fault mode reports
   Token collision_tok;  ///< directly instead of delegating)
-  std::uint32_t istore_seq = UINT32_MAX;  ///< lowest failing firing seq
-  std::uint64_t istore_cell = 0;
-  NodeId istore_node;
+  std::uint32_t mem_seq = UINT32_MAX;  ///< lowest failing memory firing seq
+  MemCheck mem_check;                  ///< its verdict (cell, kind, ...)
+  NodeId mem_node;
+  Rank tag_rank;  ///< lowest-rank tag violation (fault-mode direct report)
+  Token tag_tok;
+  /// Which tag verdict tag_tok carries: kTagOccupied (double write) or
+  /// kTagOverrun (arity undercount, reported as read-empty).
+  FrameStore::Deliver tag_kind = FrameStore::Deliver::kTagOccupied;
+  std::uint32_t release_ctx = 0;  ///< first failing release sweep
+  NodeId release_node;
+  int release_port = 0;
 };
 
 /// Spin/yield worker pool: worker 0 is the calling (coordinator)
@@ -239,7 +255,8 @@ class ParallelEngine {
  public:
   ParallelEngine(const ExecProgram& ep, std::size_t memory_cells,
                  const MachineOptions& opt,
-                 const std::vector<IStructureRegion>& istructures)
+                 const std::vector<IStructureRegion>& istructures,
+                 const std::vector<SharedRegion>& shared)
       : ep_(ep),
         opt_(opt),
         workers_(std::min(opt.host_threads, 256u)),
@@ -251,6 +268,16 @@ class ParallelEngine {
                     "latencies must be at least one cycle");
     if (fault_active(opt)) fault_.emplace(opt.faults);
     mem_.init(memory_cells, istructures);
+    if (opt.check == CheckMode::kIntegrity) {
+      // Checking shards cleanly: tag rows are context-partitioned like
+      // the frames, and the per-cell checker state is bank-partitioned
+      // like memory (pre-sized here, so workers never resize).
+      check_ = true;
+      frames_.enable_checking();
+      integ_.emplace();
+      integ_->init(mem_.store.cells.size(), opt.mem_latency,
+                   opt.test_dup_response, shared);
+    }
     stats_.fired_by_kind.assign(dfg::kNumOpKinds, 0);
     stats_.first_fire_cycle.assign(ep.num_ops(), UINT64_MAX);
   }
@@ -283,6 +310,11 @@ class ParallelEngine {
 
       pool_.run([this](unsigned w) { deliver_phase(w); });
       for (const Shard& s : shards_)
+        if (s.tag_error) {
+          if (fault_) return fail_result(tag_error_report());
+          return std::nullopt;
+        }
+      for (const Shard& s : shards_)
         if (s.collision) {
           if (fault_) return fail_result(collision_error());
           return std::nullopt;
@@ -299,8 +331,8 @@ class ParallelEngine {
         if (!mem_idx_.empty()) {
           pool_.run([this](unsigned w) { bank_phase(w); });
           for (const Shard& s : shards_)
-            if (s.istore_error) {
-              if (fault_) return fail_result(istore_error());
+            if (s.mem_error) {
+              if (fault_) return fail_result(mem_error_report());
               return std::nullopt;
             }
         }
@@ -349,6 +381,12 @@ class ParallelEngine {
       }
 
       exchange(/*batch=*/cycle + 1, cycle);
+      if (check_)
+        for (const Shard& s : shards_)
+          if (s.release_error) {
+            if (fault_) return fail_result(release_error_report());
+            return std::nullopt;
+          }
 
       if (completed_) {
         stats_.cycles = cycle + 1;
@@ -466,7 +504,22 @@ class ParallelEngine {
       s.ready.push_back(e);
       return;
     }
-    switch (frames_.deliver(t.tok.ctx, op, t.tok.port, t.tok.value)) {
+    if (check_) ++s.integrity_checks;
+    const FrameStore::Deliver verdict =
+        frames_.deliver(t.tok.ctx, op, t.tok.port, t.tok.value);
+    switch (verdict) {
+      case FrameStore::Deliver::kTagOccupied:
+      case FrameStore::Deliver::kTagOverrun:
+        // Checking mode's tag verdicts (double write / arity overrun).
+        // Fault-free: serial rerun reproduces the identical report.
+        // Faulted: lowest rank wins.
+        if (fault_ && (!s.tag_error || t.rank < s.tag_rank)) {
+          s.tag_rank = t.rank;
+          s.tag_tok = t.tok;
+          s.tag_kind = verdict;
+        }
+        s.tag_error = true;
+        return;
       case FrameStore::Deliver::kCollision:
         // Fault-free: serial rerun reports the exact diagnostic.
         // Faulted: record the lowest-rank collision for direct report.
@@ -715,8 +768,14 @@ class ParallelEngine {
       const ExecOp& op = ep_.op(e.node);
       const unsigned from_pe = pe_of(e.ctx, e.node);
       const MemAccess a{f.cell, f.store_value};
-      const bool ok = apply_mem(
+      if (check_) ++s.integrity_checks;
+      // Per-cell checker state is bank-partitioned like the cells
+      // themselves, so the race/response accounting below is
+      // owner-exclusive and runs in firing order — matching the serial
+      // engine's history exactly.
+      const MemCheck mc = apply_mem(
           op, e.ctx, e.node, a, mem_, s.deferred,
+          integ_ ? &*integ_ : nullptr, cycle_,
           [&](std::uint16_t port, std::int64_t value) {
             emit_exec(s, f, e.ctx, e.node, port, value, mem, from_pe);
           },
@@ -730,15 +789,15 @@ class ParallelEngine {
             f.emitted = before;  // not in e.ctx: tracked via extra_live
           },
           [&] { ++s.deferred_reads; });
-      if (!ok) {
+      if (mc.kind != MemCheck::Kind::kOk) {
         // Fault-free: serial rerun reports it. Faulted: record the
-        // details for a direct report (istore_error()).
-        if (fault_ && f.seq < s.istore_seq) {
-          s.istore_seq = f.seq;
-          s.istore_cell = a.cell;
-          s.istore_node = e.node;
+        // details for a direct report (mem_error_report()).
+        if (f.seq < s.mem_seq) {
+          s.mem_seq = f.seq;
+          s.mem_check = mc;
+          s.mem_node = e.node;
         }
-        s.istore_error = true;
+        s.mem_error = true;
         return;
       }
     }
@@ -945,8 +1004,20 @@ class ParallelEngine {
 
   void exchange_phase(unsigned w) {
     Shard& s = shards_[w];
-    for (const auto& [ctx, node] : s.released)
-      frames_.release(ctx, ep_.op(node));
+    for (const auto& [ctx, node] : s.released) {
+      // Releases are context-partitioned exactly like deliveries, so
+      // the checking-mode tag sweep touches owner-exclusive rows.
+      const int missing = frames_.release(ctx, ep_.op(node));
+      if (check_) {
+        ++s.integrity_checks;
+        if (missing >= 0 && !s.release_error) {
+          s.release_error = true;
+          s.release_ctx = ctx;
+          s.release_node = node;
+          s.release_port = missing;
+        }
+      }
+    }
     route_.clear();
     const auto take = [&](const std::vector<PToken>& outbox) {
       for (const PToken& t : outbox)
@@ -969,6 +1040,7 @@ class ParallelEngine {
       stats_.tokens_sent += s.tokens_sent;
       stats_.matches += s.matches;
       stats_.deferred_reads += s.deferred_reads;
+      stats_.integrity_checks += s.integrity_checks;
       stats_.duplicates_dropped += s.duplicates_dropped;
       stats_.faults_injected += s.faults_injected;
       stats_.retries += s.retries;
@@ -1057,18 +1129,52 @@ class ParallelEngine {
                     {}};
   }
 
-  RunError istore_error() const {
+  RunError mem_error_report() const {
     const Shard* worst = nullptr;
     for (const Shard& s : shards_)
-      if (s.istore_error && s.istore_seq != UINT32_MAX &&
-          (!worst || s.istore_seq < worst->istore_seq))
+      if (s.mem_error && s.mem_seq != UINT32_MAX &&
+          (!worst || s.mem_seq < worst->mem_seq))
         worst = &s;
     CTDF_ASSERT(worst != nullptr);
-    return RunError{ErrorCode::kIStoreDoubleWrite,
-                    "I-structure double write to cell " +
-                        std::to_string(worst->istore_cell) + " by node '" +
-                        ep_.label(worst->istore_node.index()) + "'",
-                    {}};
+    const MemCheck& mc = worst->mem_check;
+    switch (mc.kind) {
+      case MemCheck::Kind::kMemRace:
+        return integrity_mem_race_error(ep_, worst->mem_node, mc, cycle_,
+                                        opt_.mem_latency);
+      case MemCheck::Kind::kOrphanResponse:
+        return integrity_orphan_error(ep_, mc);
+      default:
+        return RunError{ErrorCode::kIStoreDoubleWrite,
+                        "I-structure double write to cell " +
+                            std::to_string(mc.cell) + " by node '" +
+                            ep_.label(worst->mem_node.index()) + "'",
+                        {}};
+    }
+  }
+
+  RunError tag_error_report() const {
+    const Shard* worst = nullptr;
+    for (const Shard& s : shards_)
+      if (s.tag_error && (!worst || s.tag_rank < worst->tag_rank)) worst = &s;
+    CTDF_ASSERT(worst != nullptr);
+    const Token& t = worst->tag_tok;
+    if (worst->tag_kind == FrameStore::Deliver::kTagOverrun)
+      return integrity_read_empty_error(ep_, t.node, t.port, t.ctx, cycle_);
+    return integrity_double_write_error(ep_, t.node, t.port, t.ctx, cycle_);
+  }
+
+  RunError release_error_report() const {
+    const Shard* worst = nullptr;
+    for (const Shard& s : shards_)
+      if (s.release_error &&
+          (!worst || s.release_ctx < worst->release_ctx ||
+           (s.release_ctx == worst->release_ctx &&
+            s.release_node.value() < worst->release_node.value())))
+        worst = &s;
+    CTDF_ASSERT(worst != nullptr);
+    return integrity_read_empty_error(ep_, worst->release_node,
+                                      worst->release_port, worst->release_ctx,
+                                      cycle_);
   }
 
   /// Per-loop live/throttled breakdown (see the serial engine).
@@ -1183,6 +1289,8 @@ class ParallelEngine {
   std::uint64_t batch_ = 0;
 
   std::optional<FaultState> fault_;  ///< engaged iff fault_active(opt_)
+  bool check_ = false;  ///< opt_.check == CheckMode::kIntegrity
+  std::optional<IntegrityState> integ_;  ///< engaged iff check_
   std::optional<RunError> fatal_;    ///< first coordinator-side failure
   /// Loop-entry work blocked by frame_capacity, engine-global (see the
   /// serial engine).
@@ -1203,8 +1311,10 @@ thread_local std::vector<PToken> ParallelEngine::route_;
 std::optional<RunResult> run_parallel(
     const ExecProgram& program, std::size_t memory_cells,
     const MachineOptions& options,
-    const std::vector<IStructureRegion>& istructures) {
-  return ParallelEngine{program, memory_cells, options, istructures}.run();
+    const std::vector<IStructureRegion>& istructures,
+    const std::vector<SharedRegion>& shared) {
+  return ParallelEngine{program, memory_cells, options, istructures, shared}
+      .run();
 }
 
 }  // namespace ctdf::machine::detail

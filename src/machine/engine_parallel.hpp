@@ -21,6 +21,7 @@ namespace ctdf::machine::detail {
 [[nodiscard]] std::optional<RunResult> run_parallel(
     const ExecProgram& program, std::size_t memory_cells,
     const MachineOptions& options,
-    const std::vector<IStructureRegion>& istructures);
+    const std::vector<IStructureRegion>& istructures,
+    const std::vector<SharedRegion>& shared);
 
 }  // namespace ctdf::machine::detail

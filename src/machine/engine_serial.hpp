@@ -32,6 +32,7 @@
 #include "machine/exec.hpp"
 #include "machine/faults.hpp"
 #include "machine/fire.hpp"
+#include "machine/integrity.hpp"
 #include "machine/frames.hpp"
 #include "machine/machine.hpp"
 #include "machine/options.hpp"
@@ -88,7 +89,8 @@ class SerialEngine {
  public:
   SerialEngine(const ExecProgram& ep, std::size_t memory_cells,
                const MachineOptions& opt,
-               const std::vector<IStructureRegion>& istructures)
+               const std::vector<IStructureRegion>& istructures,
+               const std::vector<SharedRegion>& shared = {})
       : ep_(ep),
         opt_(opt),
         rng_(opt.scheduler_seed),
@@ -101,6 +103,16 @@ class SerialEngine {
     // the engine is byte-identical to its fault-free self.
     if (fault_active(opt)) fault_.emplace(opt.faults);
     mem_.init(memory_cells, istructures);
+    // Same bargain for integrity checking: off means every checking
+    // branch is one dead `if (check_)` / null `integ` and the hot path
+    // is the legacy one.
+    if (opt.check == CheckMode::kIntegrity) {
+      check_ = true;
+      frames_.enable_checking();
+      integ_.emplace();
+      integ_->init(mem_.store.cells.size(), opt.mem_latency,
+                   opt.test_dup_response, shared);
+    }
     stats_.fired_by_kind.assign(dfg::kNumOpKinds, 0);
     stats_.first_fire_cycle.assign(ep.num_ops(), UINT64_MAX);
   }
@@ -249,7 +261,18 @@ class SerialEngine {
       ready_.push_back({t.ctx, t.node, true, t.requeued, t.port, t.value});
       return;
     }
+    if (check_) ++stats_.integrity_checks;
     switch (frames_.deliver(t.ctx, op, t.port, t.value)) {
+      case FrameStore::Deliver::kTagOccupied:
+        stats_.fail(
+            integrity_double_write_error(ep_, t.node, t.port, t.ctx, cycle));
+        return;
+      case FrameStore::Deliver::kTagOverrun:
+        // The activation completed without this token, so the pending
+        // firing consumes this port's slot empty.
+        stats_.fail(
+            integrity_read_empty_error(ep_, t.node, t.port, t.ctx, cycle));
+        return;
       case FrameStore::Deliver::kCollision:
         stats_.fail(ErrorCode::kSlotCollision,
                     "token collision at node " +
@@ -497,7 +520,15 @@ class SerialEngine {
     CTDF_ASSERT(frames_.has(e.ctx, op) && frames_.remaining(e.ctx, op) == 0);
     const std::int64_t* slots = frames_.inputs(e.ctx, op);
     in_buf_.assign(slots, slots + op.num_inputs);
-    frames_.release(e.ctx, op);
+    const int missing = frames_.release(e.ctx, op);
+    if (check_) {
+      ++stats_.integrity_checks;
+      if (missing >= 0) {
+        stats_.fail(
+            integrity_read_empty_error(ep_, e.node, missing, e.ctx, cycle));
+        return;
+      }
+    }
     const std::int64_t* in = in_buf_.data();
     // The consume() itself runs after the outputs are emitted so a
     // context never transiently retires while its own successor tokens
@@ -509,8 +540,10 @@ class SerialEngine {
       else
         ++stats_.mem_reads;
       const MemAccess a = resolve_mem(op, in, mem_.store.cells.size());
-      const bool ok = apply_mem(
+      if (check_) ++stats_.integrity_checks;
+      const MemCheck mc = apply_mem(
           op, e.ctx, e.node, a, mem_, deferred_,
+          integ_ ? &*integ_ : nullptr, cycle,
           [&](std::uint16_t port, std::int64_t value) {
             emit(e.ctx, e.node, port, value, cycle, mem);
           },
@@ -518,12 +551,22 @@ class SerialEngine {
             emit(dctx, dnode, 0, value, cycle, mem);
           },
           [&] { ++stats_.deferred_reads; });
-      if (!ok) {
-        stats_.fail(ErrorCode::kIStoreDoubleWrite,
-                    "I-structure double write to cell " +
-                        std::to_string(a.cell) + " by node '" +
-                        ep_.label(e.node.index()) + "'");
-        return;
+      switch (mc.kind) {
+        case MemCheck::Kind::kOk:
+          break;
+        case MemCheck::Kind::kIStoreDoubleWrite:
+          stats_.fail(ErrorCode::kIStoreDoubleWrite,
+                      "I-structure double write to cell " +
+                          std::to_string(a.cell) + " by node '" +
+                          ep_.label(e.node.index()) + "'");
+          return;
+        case MemCheck::Kind::kMemRace:
+          stats_.fail(integrity_mem_race_error(ep_, e.node, mc, cycle,
+                                               opt_.mem_latency));
+          return;
+        case MemCheck::Kind::kOrphanResponse:
+          stats_.fail(integrity_orphan_error(ep_, mc));
+          return;
       }
     } else {
       switch (op.kind) {
@@ -653,6 +696,8 @@ class SerialEngine {
   }
 
   std::optional<FaultState> fault_;  ///< engaged iff fault_active(opt_)
+  bool check_ = false;  ///< opt_.check == CheckMode::kIntegrity
+  std::optional<IntegrityState> integ_;  ///< engaged iff check_
   bool booting_ = false;
   /// Loop-entry work blocked by frame_capacity, engine-global: any
   /// retirement may free the frame a blocked forwarding needs, whatever

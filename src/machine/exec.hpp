@@ -125,6 +125,10 @@ class ExecProgram {
 
  private:
   friend ExecProgram lower(const dfg::Graph& g);
+  /// Test-only seeded-defect injection (machine/mutate.hpp): the
+  /// mutation harness edits a lowered program to break one translator
+  /// invariant, proving --check=integrity is not vacuous.
+  friend struct ProgramMutator;
 
   std::vector<ExecOp> ops_;
   std::vector<ExecDest> fanout_;          ///< all dests, port-contiguous

@@ -27,6 +27,11 @@ const char* code_slug(ErrorCode code) {
     case ErrorCode::kRetryExhausted: return "retry-exhausted";
     case ErrorCode::kIStoreDoubleWrite: return "istore-double-write";
     case ErrorCode::kStoreInFlight: return "store-in-flight";
+    case ErrorCode::kIntegrityDoubleWrite: return "integrity/double-write";
+    case ErrorCode::kIntegrityReadEmpty: return "integrity/read-empty";
+    case ErrorCode::kIntegrityMemRace: return "integrity/mem-race";
+    case ErrorCode::kIntegrityOrphanResponse:
+      return "integrity/orphan-response";
   }
   return "none";
 }

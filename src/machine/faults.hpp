@@ -37,6 +37,12 @@ enum class ErrorCode : std::uint8_t {
   kRetryExhausted,   ///< drop/NACK retry budget spent on one event
   kIStoreDoubleWrite,  ///< second write to a write-once cell
   kStoreInFlight,    ///< End fired while a store's ack was uncollected
+
+  // --check=integrity violations (machine/integrity.hpp).
+  kIntegrityDoubleWrite,  ///< token for a slot already written, unconsumed
+  kIntegrityReadEmpty,    ///< firing consumed a slot no token ever wrote
+  kIntegrityMemRace,      ///< unordered same-cell accesses, one a write
+  kIntegrityOrphanResponse,  ///< memory response with no outstanding request
 };
 
 /// Stable machine-readable slug ("deadlock", "cycle-cap", ...): the

@@ -13,6 +13,7 @@
 #include "dfg/graph.hpp"
 #include "machine/exec.hpp"
 #include "machine/frames.hpp"
+#include "machine/integrity.hpp"
 #include "machine/machine.hpp"
 #include "machine/options.hpp"
 #include "support/assert.hpp"
@@ -86,15 +87,48 @@ void fire_pure(const ExecOp& op, const std::int64_t* in, EmitFn&& emit) {
 /// satisfies (tokens in *other* contexts), count_deferred_read() when a
 /// fetch parks. mem_reads/mem_writes are counted by the engines (the
 /// parallel engine counts in replay order, after the bank already
-/// applied the effect). Returns false on an I-structure double write —
-/// memory and the deferral map are untouched, and no tokens were
-/// emitted; the caller reports the error.
+/// applied the effect).
+///
+/// `integ` (non-null iff --check=integrity) adds the memory
+/// disciplines of machine/integrity.hpp: the race check on updatable
+/// cells and split-phase response accounting on deferred reads; the
+/// write-once check is always on (it guards memory state, not just the
+/// certificate). Returns MemCheck::Kind::kOk on success; on any
+/// violation the cell's new state was not committed beyond what the
+/// report needs and the caller fails the run.
 template <class EmitFn, class EmitDeferredFn, class CountFn>
-[[nodiscard]] bool apply_mem(const ExecOp& op, std::uint32_t ctx,
-                             dfg::NodeId node, const MemAccess& a,
-                             MemoryState& m, DeferredMap& deferred,
-                             EmitFn&& emit, EmitDeferredFn&& emit_deferred,
-                             CountFn&& count_deferred_read) {
+[[nodiscard]] MemCheck apply_mem(const ExecOp& op, std::uint32_t ctx,
+                                 dfg::NodeId node, const MemAccess& a,
+                                 MemoryState& m, DeferredMap& deferred,
+                                 IntegrityState* integ, std::uint64_t cycle,
+                                 EmitFn&& emit, EmitDeferredFn&& emit_deferred,
+                                 CountFn&& count_deferred_read) {
+  if (integ && m.istate[a.cell] == MemoryState::kNormal) {
+    // Updatable cells have no hardware interlock: conflicting accesses
+    // must be ordered by the translation, and any *same-name* ordering
+    // edge runs through an acknowledgement (a full mem-latency round
+    // trip). Two accesses closer than that with at least one write are
+    // therefore provably unordered. Read/read pairs are exempt
+    // (parallel reads are legal), as are bind-shared cells (several
+    // program names): cross-name ordering flows through ordinary token
+    // edges the spacing argument says nothing about.
+    const bool is_write = (op.flags & kExecWrite) != 0;
+    IntegrityState::Cell& c = integ->cells[a.cell];
+    if (!c.shared && c.last_cycle != IntegrityState::kNever &&
+        cycle - c.last_cycle < integ->mem_latency &&
+        (is_write || c.last_write)) {
+      MemCheck mc;
+      mc.kind = MemCheck::Kind::kMemRace;
+      mc.cell = a.cell;
+      mc.prev_node = c.last_node;
+      mc.prev_cycle = c.last_cycle;
+      mc.prev_write = c.last_write;
+      return mc;
+    }
+    c.last_cycle = cycle;
+    c.last_node = node.value();
+    c.last_write = is_write;
+  }
   switch (op.kind) {
     case dfg::OpKind::kLoad:
     case dfg::OpKind::kLoadIdx:
@@ -107,13 +141,38 @@ template <class EmitFn, class EmitDeferredFn, class CountFn>
       emit(std::uint16_t{0}, std::int64_t{0});
       break;
     case dfg::OpKind::kIStore: {
-      if (m.istate[a.cell] == MemoryState::kFull) return false;
+      if (m.istate[a.cell] == MemoryState::kFull) {
+        MemCheck mc;
+        mc.kind = MemCheck::Kind::kIStoreDoubleWrite;
+        mc.cell = a.cell;
+        return mc;
+      }
       m.istate[a.cell] = MemoryState::kFull;
       m.store.cells[a.cell] = a.store_value;
       emit(std::uint16_t{0}, std::int64_t{0});
       if (const auto d = deferred.find(a.cell); d != deferred.end()) {
-        for (const auto& [dctx, dnode] : d->second)
-          emit_deferred(dctx, dnode, a.store_value);
+        for (const auto& [dctx, dnode] : d->second) {
+          // Split-phase accounting: each response consumes exactly one
+          // parked request. The dup_response mutation hook emits a
+          // surplus response, which this check must turn away.
+          const unsigned copies =
+              integ && integ->dup_response ? 2u : 1u;
+          for (unsigned i = 0; i < copies; ++i) {
+            if (integ) {
+              IntegrityState::Cell& c = integ->cells[a.cell];
+              if (c.parked == 0) {
+                MemCheck mc;
+                mc.kind = MemCheck::Kind::kOrphanResponse;
+                mc.cell = a.cell;
+                mc.reader_node = dnode.value();
+                mc.reader_ctx = dctx;
+                return mc;
+              }
+              --c.parked;
+            }
+            emit_deferred(dctx, dnode, a.store_value);
+          }
+        }
         deferred.erase(d);
       }
       break;
@@ -123,13 +182,14 @@ template <class EmitFn, class EmitDeferredFn, class CountFn>
         emit(std::uint16_t{0}, m.store.cells[a.cell]);
       } else {
         count_deferred_read();
+        if (integ) ++integ->cells[a.cell].parked;
         deferred[a.cell].emplace_back(ctx, node);
       }
       break;
     default:
       CTDF_UNREACHABLE("not a memory op");
   }
-  return true;
+  return MemCheck{};
 }
 
 }  // namespace ctdf::machine

@@ -116,17 +116,39 @@ class FrameStore {
     frames_per_chunk_ = std::max<std::size_t>(1, kChunkBytes / stride_);
   }
 
-  enum class Deliver : std::uint8_t { kStored, kCompleted, kCollision };
+  enum class Deliver : std::uint8_t {
+    kStored,
+    kCompleted,
+    kCollision,
+    /// Checking mode only: the slot's permission tag was already
+    /// written — two tokens on one arc (integrity/double-write).
+    kTagOccupied,
+    /// Checking mode only: a token arrived for an activation whose
+    /// matching count is already satisfied but which has not fired —
+    /// the op's recorded arity undercounts its arcs, so the pending
+    /// firing would consume an empty slot (integrity/read-empty seen
+    /// from the delivery side).
+    kTagOverrun,
+  };
+
+  /// Engages the shadow permission tags (--check=integrity): one tag
+  /// byte per value slot, cycling empty → written → (released back to)
+  /// empty, kept outside the slab so the off-mode frame layout is
+  /// untouched. Call before the first delivery.
+  void enable_checking() { checking_ = true; }
 
   /// Grows the frame pointer table *and* materializes a frame for every
   /// context below n. The parallel engine calls this from the
   /// coordinator each cycle so its workers touch the arena
   /// allocation-free (and the pointer table is never resized
-  /// concurrently).
+  /// concurrently); with checking on the tag rows are pre-grown here
+  /// for the same reason.
   void materialize_contexts(std::size_t n) {
     if (frames_.size() < n) frames_.resize(n, nullptr);
     for (std::size_t c = 0; c < n; ++c)
       if (!frames_[c]) frames_[c] = alloc_frame();
+    if (checking_)
+      for (std::size_t c = 0; c < n; ++c) tag_row(static_cast<std::uint32_t>(c));
   }
 
   /// Files one token into (ctx, op)'s slot range.
@@ -145,8 +167,23 @@ class FrameStore {
         }
       }
       state = op.consumed_inputs;
+      if (checking_) {
+        std::uint8_t* tags = tag_row(ctx);
+        for (std::uint16_t p = 0; p < op.num_inputs; ++p)
+          tags[op.frame_base + p] =
+              ep_->literal_at(op, p) ? kTagWritten : kTagEmpty;
+      }
     }
     const std::uint32_t slot = op.frame_base + port;
+    if (checking_) {
+      // Tag check first: with checking on, a second token on one arc is
+      // diagnosed as the integrity violation it is, not the engine-level
+      // slot collision it would degenerate into.
+      std::uint8_t& tag = tag_row(ctx)[slot];
+      if (tag == kTagWritten) return Deliver::kTagOccupied;
+      if (state == 0) return Deliver::kTagOverrun;
+      tag = kTagWritten;
+    }
     if (bit_test(f, slot)) return Deliver::kCollision;
     values(f)[slot] = value;
     bit_set(f, slot);
@@ -169,9 +206,24 @@ class FrameStore {
     return values(frames_[ctx]) + op.frame_base;
   }
 
-  /// The op fired: its slot range becomes re-creatable.
-  void release(std::uint32_t ctx, const ExecOp& op) {
+  /// The op fired: its slot range becomes re-creatable. With checking
+  /// on, first sweeps the range's permission tags — every port must be
+  /// written (a token arrived, or a literal was pre-filled) before the
+  /// firing may consume it. Returns the first port whose tag is still
+  /// empty (integrity/read-empty), or -1 when the sweep passes; always
+  /// -1 with checking off. The tags return to empty either way.
+  int release(std::uint32_t ctx, const ExecOp& op) {
     states(frames_[ctx])[op.strict_index] = kNotCreated;
+    if (!checking_) return -1;
+    std::uint8_t* tags = tag_row(ctx);
+    int missing = -1;
+    for (std::uint16_t p = 0; p < op.num_inputs; ++p) {
+      const std::uint32_t slot = op.frame_base + p;
+      if (missing < 0 && tags[slot] != kTagWritten)
+        missing = static_cast<int>(p);
+      tags[slot] = kTagEmpty;
+    }
+    return missing;
   }
 
   /// The context retired: hand its frame back to the freelist (serial
@@ -214,6 +266,7 @@ class FrameStore {
 
  private:
   static constexpr std::uint16_t kNotCreated = 0xFFFF;
+  static constexpr std::uint8_t kTagEmpty = 0, kTagWritten = 1;
   /// Arena chunk size; amortizes to ~one allocation per kChunkBytes of
   /// frame traffic (with recycling, usually a handful per run).
   static constexpr std::size_t kChunkBytes = 64 * 1024;
@@ -273,6 +326,17 @@ class FrameStore {
     return frames_[ctx];
   }
 
+  /// The context's shadow tag row (checking mode), created zeroed (all
+  /// empty) on first use. Rows stay with their context across frame
+  /// recycling: a retiring context has zero live tokens, hence all-empty
+  /// tags, so a revived context finds its row in the fresh state.
+  std::uint8_t* tag_row(std::uint32_t ctx) {
+    if (tags_.size() <= ctx) tags_.resize(ctx + 1);
+    auto& row = tags_[ctx];
+    if (!row) row = std::make_unique<std::uint8_t[]>(slots_);
+    return row.get();
+  }
+
   const ExecProgram* ep_;
   std::size_t slots_;
   std::size_t words_;
@@ -284,6 +348,8 @@ class FrameStore {
   std::vector<std::byte*> frames_;  ///< per-context frame, null = none
   std::vector<std::unique_ptr<std::byte[]>> chunks_;
   std::vector<std::byte*> free_;
+  bool checking_ = false;
+  std::vector<std::unique_ptr<std::uint8_t[]>> tags_;  ///< per-context tags
 };
 
 /// Context allocation, token-liveness accounting, and k-bound credits —

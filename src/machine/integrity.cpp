@@ -1,0 +1,79 @@
+#include "machine/integrity.hpp"
+
+#include <string>
+
+#include "machine/exec.hpp"
+
+namespace ctdf::machine {
+namespace {
+
+std::string node_ref(const ExecProgram& ep, dfg::NodeId node) {
+  return "node " + std::to_string(node.value()) + " (" +
+         to_string(ep.op(node).kind) + " '" + ep.label(node.index()) + "')";
+}
+
+}  // namespace
+
+RunError integrity_double_write_error(const ExecProgram& ep, dfg::NodeId node,
+                                      std::uint16_t port, std::uint32_t ctx,
+                                      std::uint64_t cycle) {
+  RunError err;
+  err.code = ErrorCode::kIntegrityDoubleWrite;
+  err.message = "integrity: double write to matching slot of " +
+                node_ref(ep, node) + " port " + std::to_string(port) +
+                " in context " + std::to_string(ctx) + " at cycle " +
+                std::to_string(cycle);
+  err.diagnosis =
+      "  slot tag: written and not yet consumed — two tokens on one arc "
+      "(single-assignment violated)";
+  return err;
+}
+
+RunError integrity_read_empty_error(const ExecProgram& ep, dfg::NodeId node,
+                                    int port, std::uint32_t ctx,
+                                    std::uint64_t cycle) {
+  RunError err;
+  err.code = ErrorCode::kIntegrityReadEmpty;
+  err.message = "integrity: " + node_ref(ep, node) +
+                " fired with empty operand slot port " + std::to_string(port) +
+                " in context " + std::to_string(ctx) + " at cycle " +
+                std::to_string(cycle);
+  err.diagnosis =
+      "  slot tag: empty — the operator consumed an input no token ever "
+      "wrote";
+  return err;
+}
+
+RunError integrity_mem_race_error(const ExecProgram& ep, dfg::NodeId node,
+                                  const MemCheck& mc, std::uint64_t cycle,
+                                  std::uint64_t mem_latency) {
+  RunError err;
+  err.code = ErrorCode::kIntegrityMemRace;
+  err.message = "integrity: unordered accesses to memory cell " +
+                std::to_string(mc.cell) + ": " + node_ref(ep, node) +
+                " at cycle " + std::to_string(cycle) + " races " +
+                node_ref(ep, dfg::NodeId{mc.prev_node}) + " at cycle " +
+                std::to_string(mc.prev_cycle);
+  err.diagnosis =
+      "  accesses " + std::to_string(cycle - mc.prev_cycle) +
+      " cycle(s) apart with at least one write; translator-ordered "
+      "accesses are at least mem-latency (" + std::to_string(mem_latency) +
+      ") apart because ordering flows through an acknowledgement edge";
+  return err;
+}
+
+RunError integrity_orphan_error(const ExecProgram& ep, const MemCheck& mc) {
+  RunError err;
+  err.code = ErrorCode::kIntegrityOrphanResponse;
+  err.message = "integrity: orphan memory response on cell " +
+                std::to_string(mc.cell) + ": deferred reader " +
+                node_ref(ep, dfg::NodeId{mc.reader_node}) + " in context " +
+                std::to_string(mc.reader_ctx) +
+                " has no outstanding request";
+  err.diagnosis =
+      "  split-phase accounting: every deferred read parks exactly one "
+      "request and every response must consume exactly one";
+  return err;
+}
+
+}  // namespace ctdf::machine

@@ -11,20 +11,22 @@ namespace ctdf::machine {
 
 RunResult run(const ExecProgram& program, std::size_t memory_cells,
               const MachineOptions& options,
-              const std::vector<IStructureRegion>& istructures) {
+              const std::vector<IStructureRegion>& istructures,
+              const std::vector<SharedRegion>& shared) {
   // The event engine is serial by design (host_threads is documented as
   // ignored); absurd latency configurations whose horizon would need a
   // degenerate wheel fall back to the scan engine transparently —
   // results are byte-identical either way.
   if (options.engine == EngineKind::kEvent &&
       detail::event_horizon(options) < CalendarQueue::kMaxHorizon) {
-    return detail::run_event(program, memory_cells, options, istructures);
+    return detail::run_event(program, memory_cells, options, istructures,
+                             shared);
   }
   // Tracing stays on the serial engine so an error run doesn't print a
   // partial parallel trace followed by the rerun's full one.
   if (options.host_threads > 1 && !options.trace) {
-    if (auto r =
-            detail::run_parallel(program, memory_cells, options, istructures))
+    if (auto r = detail::run_parallel(program, memory_cells, options,
+                                      istructures, shared))
       return std::move(*r);
     // Error path: the parallel engine saw a deadlock, collision,
     // I-structure double write, or in-flight store at End. Re-run
@@ -32,14 +34,15 @@ RunResult run(const ExecProgram& program, std::size_t memory_cells,
     // the serial engine's frame-scan order).
   }
   return detail::SerialEngine<detail::MapPending>{program, memory_cells,
-                                                  options, istructures}
+                                                  options, istructures, shared}
       .run();
 }
 
 RunResult run(const dfg::Graph& graph, std::size_t memory_cells,
               const MachineOptions& options,
-              const std::vector<IStructureRegion>& istructures) {
-  return run(lower(graph), memory_cells, options, istructures);
+              const std::vector<IStructureRegion>& istructures,
+              const std::vector<SharedRegion>& shared) {
+  return run(lower(graph), memory_cells, options, istructures, shared);
 }
 
 }  // namespace ctdf::machine

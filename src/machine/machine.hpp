@@ -86,6 +86,13 @@ struct RunStats {
   std::uint64_t watchdog_triggers = 0;   ///< livelock/retry-budget diagnoses
   std::uint64_t backpressure_stalls = 0;  ///< frame-capacity stalls
 
+  /// Integrity validations performed (MachineOptions::check): one per
+  /// checked strict delivery (tag transition), per firing (permission
+  /// sweep at release), and per memory access (race / response
+  /// accounting). Zero when checking is off — the run carried no
+  /// certificate.
+  std::uint64_t integrity_checks = 0;
+
   /// Fired-operator counts by dfg::OpKind (indexed by its value).
   std::vector<std::uint64_t> fired_by_kind;
 
@@ -116,18 +123,30 @@ struct IStructureRegion {
   std::uint32_t extent = 0;
 };
 
+/// An updatable region reachable under more than one program name
+/// (storage binding). The integrity checker's mem-race spacing rule
+/// exempts these cells: cross-name ordering flows through ordinary
+/// token edges, not mem-latency acknowledgement round trips, so the
+/// rule's soundness argument does not cover them.
+struct SharedRegion {
+  std::uint32_t base = 0;
+  std::uint32_t extent = 0;
+};
+
 /// Executes `graph` against a zeroed memory of `memory_cells` cells.
 /// Lowers the graph to an ExecProgram internally; callers that execute
 /// one program repeatedly should lower once and use the overload below.
 [[nodiscard]] RunResult run(const dfg::Graph& graph, std::size_t memory_cells,
                             const MachineOptions& options,
-                            const std::vector<IStructureRegion>& istructures = {});
+                            const std::vector<IStructureRegion>& istructures = {},
+                            const std::vector<SharedRegion>& shared = {});
 
 /// Executes an already-lowered program (see machine/exec.hpp; the
 /// pipeline's `lower` stage caches one in core::CompileResult).
 [[nodiscard]] RunResult run(const ExecProgram& program,
                             std::size_t memory_cells,
                             const MachineOptions& options,
-                            const std::vector<IStructureRegion>& istructures = {});
+                            const std::vector<IStructureRegion>& istructures = {},
+                            const std::vector<SharedRegion>& shared = {});
 
 }  // namespace ctdf::machine

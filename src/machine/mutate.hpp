@@ -1,0 +1,47 @@
+// Seeded translator defects for the integrity-checker mutation harness
+// (tests only; see tests/machine_mutation_test.cpp). Each mutation
+// edits a *lowered* ExecProgram in place to break exactly one invariant
+// the translator normally guarantees, so a checked run must fail with
+// the matching typed error code — proof that --check=integrity is not
+// vacuous. Mutations pick the first applicable site in op order, so a
+// given program mutates deterministically.
+#pragma once
+
+#include "machine/exec.hpp"
+
+namespace ctdf::machine {
+
+enum class Mutation : std::uint8_t {
+  /// Duplicate a fan-out arc into a strict input port: two tokens on
+  /// one arc → integrity/double-write.
+  kDupFanoutArc,
+  /// Retarget an arc feeding a two-input op's second port onto its
+  /// first: the first port is written twice → integrity/double-write.
+  kMiswireFanoutPort,
+  /// Drop the arc feeding a Gate's data port: the gate can never fire
+  /// and its consumers starve → deadlock.
+  kDropGateArc,
+  /// Decrement a strict op's consumed-input count: it fires after one
+  /// token too few, consuming an empty slot → integrity/read-empty.
+  kUndercountArity,
+  /// Remove a Synch's ordering input (the arc into its last port, with
+  /// the arity shrunk coherently): the synch fires early and the
+  /// memory access it guarded races its predecessor →
+  /// integrity/mem-race.
+  kSkipSynch,
+  /// Alias the second I-structure store's address range onto the
+  /// first's: both write one write-once cell → istore-double-write.
+  kAliasIStoreBase,
+  /// Not a program edit: MachineOptions::test_dup_response makes the
+  /// memory answer each deferred read twice → integrity/orphan-response.
+  kDupMemResponse,
+};
+
+[[nodiscard]] const char* to_string(Mutation m);
+
+/// Applies `m` to `ep` in place. Returns true when an applicable site
+/// was found and mutated; false when the program has none (or the
+/// mutation is an options hook, kDupMemResponse).
+bool apply_mutation(ExecProgram& ep, Mutation m);
+
+}  // namespace ctdf::machine

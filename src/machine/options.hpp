@@ -59,6 +59,23 @@ enum class EngineKind : std::uint8_t {
   return e == EngineKind::kScan ? "scan" : "event";
 }
 
+/// Opt-in run-time integrity checking: the machine carries cheap
+/// permission tags on frame slots (empty → written-once → consumed,
+/// the HDFI ldchk/sdset idiom) and request/response accounting on the
+/// split-phase memory, and validates the tagged-token rules on every
+/// delivery and firing. A clean run is a certificate that the
+/// translation obeyed single-assignment, presence-bit discipline, and
+/// memory ordering; a violation fails the run with a typed
+/// `integrity/*` error (see machine/integrity.hpp).
+enum class CheckMode : std::uint8_t {
+  kOff,
+  kIntegrity,
+};
+
+[[nodiscard]] inline const char* to_string(CheckMode c) {
+  return c == CheckMode::kOff ? "off" : "integrity";
+}
+
 /// Deterministic fault-injection plan (see machine/faults.hpp for the
 /// model and the recovery machinery). All rates are per-event
 /// probabilities in [0,1]; every decision is a pure function of `seed`
@@ -163,6 +180,17 @@ struct MachineOptions {
   /// choice of which ready operator fires next — used by the
   /// confluence property tests (the final store must not change).
   std::uint64_t scheduler_seed = 0;
+
+  /// Run-time integrity checking (CLI `--check=integrity`). Off by
+  /// default: the engines then run their legacy code paths and the tag
+  /// machinery costs nothing.
+  CheckMode check = CheckMode::kOff;
+
+  /// Mutation-harness hook (tests only, effective only with
+  /// check == kIntegrity): the split-phase memory delivers every
+  /// deferred I-structure response twice, seeding the orphan-response
+  /// defect the checker must catch.
+  bool test_dup_response = false;
 
   /// Record the ops-fired-per-cycle profile (memory proportional to
   /// cycles; off by default).

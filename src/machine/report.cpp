@@ -31,6 +31,9 @@ std::string render_report(const RunStats& stats) {
     os << " (" << stats.deferred_reads << " deferred I-structure reads)";
   os << "\n";
   os << "peak ready operators  " << stats.peak_ready << "\n";
+  if (stats.integrity_checks)
+    os << "integrity             " << stats.integrity_checks
+       << " checks passed\n";
   if (stats.leftover_tokens)
     os << "drain tokens at end   " << stats.leftover_tokens << "\n";
   if (stats.faults_injected || stats.nacks_seen || stats.duplicates_dropped ||
@@ -106,6 +109,7 @@ std::string render_stats_json(const RunStats& stats,
   os << "{\n";
   os << "  \"options\": {"
      << "\"engine\": \"" << to_string(opt.engine) << "\", "
+     << "\"check\": \"" << to_string(opt.check) << "\", "
      << "\"loop_mode\": \"" << to_string(opt.loop_mode) << "\", "
      << "\"width\": " << opt.width << ", "
      << "\"loop_bound\": " << opt.loop_bound << ", "
@@ -148,6 +152,7 @@ std::string render_stats_json(const RunStats& stats,
   os << "  \"duplicates_dropped\": " << stats.duplicates_dropped << ",\n";
   os << "  \"watchdog_triggers\": " << stats.watchdog_triggers << ",\n";
   os << "  \"backpressure_stalls\": " << stats.backpressure_stalls << ",\n";
+  os << "  \"integrity_checks\": " << stats.integrity_checks << ",\n";
   os << "  \"avg_parallelism\": " << stats.avg_parallelism() << ",\n";
   os << "  \"fired_by_kind\": {";
   bool first = true;

@@ -25,4 +25,14 @@ inline bool stage_stats_from_env() {
   return v && *v && *v != '0';
 }
 
+/// CTDF_FUZZ_SEEDS=N sizes the random-program fuzz sweep (tests with
+/// the `fuzz` ctest label). Defaults to `fallback` — the quick local
+/// sweep; CI's dedicated fuzz job raises it an order of magnitude.
+inline unsigned fuzz_seeds_from_env(unsigned fallback) {
+  const char* v = std::getenv("CTDF_FUZZ_SEEDS");
+  if (!v || !*v) return fallback;
+  const long n = std::strtol(v, nullptr, 10);
+  return n > 0 ? static_cast<unsigned>(n) : fallback;
+}
+
 }  // namespace ctdf::support

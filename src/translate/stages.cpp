@@ -531,6 +531,20 @@ Translation run_stages(const lang::Program& prog,
 
   result.memory_cells = layout.total_cells();
 
+  // Record the bind-shared regions: one entry per storage-binding class
+  // with several members, keyed by its representative so each range is
+  // reported once.
+  for (const lang::VarId v : prog.symbols.all_vars()) {
+    if (prog.symbols.bind_root(v) != v) continue;
+    std::size_t members = 0;
+    for (const lang::VarId w : prog.symbols.all_vars())
+      if (prog.symbols.same_storage(v, w)) ++members;
+    if (members > 1)
+      result.shared_cells.push_back(
+          {static_cast<std::uint32_t>(layout.base(v)),
+           static_cast<std::uint32_t>(layout.extent(v))});
+  }
+
   // --- validate -------------------------------------------------------
   if (set.validate) {
     t0 = Clock::now();

@@ -54,6 +54,13 @@ struct Translation {
   dfg::Graph graph;
   std::size_t memory_cells = 0;
   std::vector<IRegion> istructures;
+  /// Updatable regions reachable under more than one program name (a
+  /// storage-binding class with several members, from `bind`). The
+  /// translator orders same-name accesses through acknowledgement
+  /// edges; cross-name ordering flows through ordinary token edges, so
+  /// the integrity checker's mem-latency spacing rule exempts these
+  /// cells (machine/integrity.hpp).
+  std::vector<IRegion> shared_cells;
 
   // Construction statistics (for the Fig. 9/10 and T-SIZE experiments).
   std::size_t num_resources = 0;

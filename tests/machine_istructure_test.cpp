@@ -6,6 +6,8 @@
 // event engine, had its frame recycled) by the time the value arrives.
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "dfg/graph.hpp"
 #include "machine/machine.hpp"
 
@@ -135,17 +137,13 @@ TEST(IStructureDeferral, MultipleDeferredReadersOnOneCell) {
   EXPECT_EQ(r.store.cells[2], 7);
 }
 
-TEST(IStructureDeferral, DeferredReadSurvivesContextRetirement) {
-  // A counted loop of three iterations; the first iteration issues an
-  // ifetch of a cell that is only written after the loop has finished.
-  // The issuing iteration's context retires (last live token consumed —
-  // the event engine recycles its frame) long before the write lands;
-  // the resolution then revives the retired context, and the loop-exit
-  // retags the value into the invocation context.
-  //
-  //   start(0) → le → inc → {cmp<3 → sw back/exit, cmp==1 → sw2 →
-  //   ifetch(cell0) deferred} ; exit v=3 → istore(cell0) → resolves →
-  //   ifetch value → lx2 → store(cell1) ; End ← both acks.
+/// A counted loop of three iterations; the first iteration issues an
+/// ifetch of a cell that is only written after the loop has finished.
+///
+///   start(0) → le → inc → {cmp<3 → sw back/exit, cmp==1 → sw2 →
+///   ifetch(cell0) deferred} ; exit v=3 → istore(cell0) → resolves →
+///   ifetch value → lx2 → store(cell1) ; End ← both acks.
+Graph retirement_loop_graph() {
   Graph g;
   const NodeId s = add_start(g, {0});
   const NodeId le = g.add_loop_entry(cfg::LoopId{0u}, 1, "L");
@@ -193,7 +191,15 @@ TEST(IStructureDeferral, DeferredReadSurvivesContextRetirement) {
   const NodeId e = add_end(g, 2);
   g.connect({st, 0}, {e, 0}, true);
   g.connect({istore, 0}, {e, 1}, true);
+  return g;
+}
 
+TEST(IStructureDeferral, DeferredReadSurvivesContextRetirement) {
+  // The issuing iteration's context retires (last live token consumed —
+  // the event engine recycles its frame) long before the write lands;
+  // the resolution then revives the retired context, and the loop-exit
+  // retags the value into the invocation context.
+  const Graph g = retirement_loop_graph();
   for (const auto loop_mode : {LoopMode::kBarrier, LoopMode::kPipelined}) {
     MachineOptions o;
     o.loop_mode = loop_mode;
@@ -204,6 +210,66 @@ TEST(IStructureDeferral, DeferredReadSurvivesContextRetirement) {
     EXPECT_EQ(r.stats.contexts_allocated, 3u) << to_string(loop_mode);
     EXPECT_EQ(r.store.cells[0], 3) << to_string(loop_mode);
     EXPECT_EQ(r.store.cells[1], 3) << to_string(loop_mode);
+  }
+}
+
+TEST(IStructureDeferral, DeferredReadersSurviveFaultsUnderChecking) {
+  // The deferral machinery under adversity, with --check=integrity
+  // certifying every delivery: dropped cross-PE tokens force the retry
+  // ladder through the deferral path, and a finite frame store bounds
+  // the loop while a deferred read pins its issuing context. Recovery
+  // must neither lose the deferred response nor trigger a false
+  // integrity violation (retransmitted duplicates are dedup'd before
+  // the slot tags see them).
+  const Graph g = retirement_loop_graph();
+  const struct {
+    double drop;
+    std::uint64_t frame_capacity;
+  } adversities[] = {{0.3, 0}, {0.0, 2}, {0.25, 2}};
+  for (const auto& adv : adversities) {
+    for (const auto engine : {EngineKind::kScan, EngineKind::kEvent}) {
+      MachineOptions o;
+      o.check = CheckMode::kIntegrity;
+      o.engine = engine;
+      o.processors = 2;  // faults only strike cross-PE hops
+      o.faults.drop = adv.drop;
+      o.faults.seed = 11;
+      o.frame_capacity = adv.frame_capacity;
+      const RunResult r = run(g, 2, o, {{0, 1}});
+      const std::string ctx = std::string(to_string(engine)) + " drop=" +
+                              std::to_string(adv.drop) + " cap=" +
+                              std::to_string(adv.frame_capacity);
+      ASSERT_TRUE(r.stats.completed) << ctx << ": " << r.stats.error;
+      EXPECT_GT(r.stats.integrity_checks, 0u) << ctx;
+      EXPECT_EQ(r.stats.deferred_reads, 1u) << ctx;
+      EXPECT_EQ(r.store.cells[0], 3) << ctx;
+      EXPECT_EQ(r.store.cells[1], 3) << ctx;
+      if (adv.drop > 0) {
+        EXPECT_GT(r.stats.faults_injected, 0u) << ctx;
+      }
+    }
+  }
+}
+
+TEST(IStructureDeferral, PinnedDeferredReaderDiagnosedOnFrameExhaustion) {
+  // One frame is too few: the deferred read pins the first iteration's
+  // context, so the loop's next forwarding can never acquire a frame
+  // and no context can retire to release one. The failure must carry
+  // the typed frame-exhausted code and the diagnosis must point at the
+  // pinned deferred reader — the one fact that distinguishes this
+  // deadlock from a mis-sized k-bound.
+  const Graph g = retirement_loop_graph();
+  for (const auto engine : {EngineKind::kScan, EngineKind::kEvent}) {
+    MachineOptions o;
+    o.check = CheckMode::kIntegrity;
+    o.engine = engine;
+    o.frame_capacity = 1;
+    const RunResult r = run(g, 2, o, {{0, 1}});
+    ASSERT_FALSE(r.stats.completed) << to_string(engine);
+    EXPECT_EQ(r.stats.error_detail.code, ErrorCode::kFrameExhausted)
+        << to_string(engine) << ": " << r.stats.error;
+    EXPECT_NE(r.stats.error.find("deferred reader"), std::string::npos)
+        << to_string(engine) << ": " << r.stats.error;
   }
 }
 

@@ -1,8 +1,12 @@
 // Large-scale schema-equivalence fuzzing: random programs across every
-// language feature combination, every schema configuration.
+// language feature combination, every schema configuration (including
+// the --check=integrity configurations, so the whole corpus doubles as
+// the checker's violation-free gauntlet). The sweep size is
+// CTDF_FUZZ_SEEDS (default 40); the dedicated CI fuzz job runs ~10×.
 #include <gtest/gtest.h>
 
 #include "lang/generator.hpp"
+#include "support/env.hpp"
 #include "support/equivalence.hpp"
 
 namespace ctdf::testing {
@@ -64,8 +68,14 @@ TEST_P(RandomPrograms, AllSchemasMatchInterpreter) {
   }
 }
 
+std::vector<std::uint64_t> fuzz_seeds() {
+  std::vector<std::uint64_t> seeds(support::fuzz_seeds_from_env(40));
+  for (std::size_t i = 0; i < seeds.size(); ++i) seeds[i] = i;
+  return seeds;
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
-                         ::testing::Range<std::uint64_t>(0, 40));
+                         ::testing::ValuesIn(fuzz_seeds()));
 
 }  // namespace
 }  // namespace ctdf::testing

@@ -79,6 +79,29 @@ std::vector<SchemaConfig> standard_configs() {
     t.max_fanout = 2;
     add("kitchen-sink", t, machine::LoopMode::kPipelined, 4);
   }
+  {
+    // --check=integrity configurations: every translation that reaches
+    // here must also run violation-free under the tagged
+    // dataflow-integrity checker, on each engine. check_equivalence
+    // treats a checker report as a failed run, so the whole fuzz corpus
+    // doubles as the checker's false-positive gauntlet.
+    add("integrity/scan-barrier", TranslateOptions::schema2_optimized(),
+        machine::LoopMode::kBarrier, 0);
+    out.back().mopt.check = machine::CheckMode::kIntegrity;
+
+    auto t = TranslateOptions::schema2_optimized();
+    t.eliminate_memory = true;
+    add("integrity/event-pipelined", t, machine::LoopMode::kPipelined, 0);
+    out.back().mopt.check = machine::CheckMode::kIntegrity;
+    out.back().mopt.engine = machine::EngineKind::kEvent;
+
+    auto p = TranslateOptions::schema2();
+    p.parallel_reads = true;
+    add("integrity/par-reads-threads", p, machine::LoopMode::kPipelined, 0);
+    out.back().mopt.check = machine::CheckMode::kIntegrity;
+    out.back().mopt.host_threads = 3;
+    out.back().mopt.processors = 2;
+  }
   return out;
 }
 

@@ -43,6 +43,12 @@
 //   --engine=scan|event     pending-token engine (default scan): event
 //                           uses a calendar queue + frame recycling;
 //                           results are byte-identical either way
+//   --check=off|integrity   tagged dataflow-integrity checking (default
+//                           off): validates single-assignment slot tags,
+//                           I-structure write-once cells, split-phase
+//                           response accounting on every delivery;
+//                           violations fail the run with a typed
+//                           integrity/* error code
 //   --width=N               operators fired per cycle (0 = unlimited)
 //   --mem-latency=N         split-phase memory round trip (default 4)
 //   --barrier               barrier loop control (default: pipelined)
@@ -158,6 +164,16 @@ Cli parse_cli(int argc, char** argv) {
         cli.mopt.engine = machine::EngineKind::kScan;
       } else if (v == "event") {
         cli.mopt.engine = machine::EngineKind::kEvent;
+      } else {
+        std::fprintf(stderr, "bad value: %s\n", a.c_str());
+        cli.ok = false;
+      }
+    } else if (starts_with(a, "--check=")) {
+      const std::string v = value_of(a);
+      if (v == "off") {
+        cli.mopt.check = machine::CheckMode::kOff;
+      } else if (v == "integrity") {
+        cli.mopt.check = machine::CheckMode::kIntegrity;
       } else {
         std::fprintf(stderr, "bad value: %s\n", a.c_str());
         cli.ok = false;
