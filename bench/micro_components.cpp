@@ -10,6 +10,7 @@
 #include "cfg/dominance.hpp"
 #include "cfg/intervals.hpp"
 #include "core/compiler.hpp"
+#include "dfg/pass_manager.hpp"
 #include "lang/corpus.hpp"
 #include "lang/generator.hpp"
 #include "machine/exec.hpp"
@@ -299,6 +300,42 @@ void BM_MachineIntegrityOverhead(benchmark::State& state) {
 // Same median-of-five discipline as the faults-off gate: the off row
 // gates at ~0%, so single-run noise would swamp the signal.
 BENCHMARK(BM_MachineIntegrityOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true);
+
+void BM_MachineFusedChains(benchmark::State& state) {
+  // Macro-op fusion speedup gate on the fusion-friendly workload: a
+  // deep loop whose body is one long dependent chain of literal-operand
+  // arithmetic. Arg 0: cleanup passes only. Arg 1: --opt=all — the
+  // chain collapses into macro ops, so each iteration is one token
+  // match plus N ALU steps instead of N matches. Host time per
+  // simulated run is the metric; the bench gate holds the 1-vs-0 ratio
+  // above a floor (scripts/bench_machine.py, --fusion-speedup-floor).
+  const auto prog = core::parse(lang::corpus::chain_loop_source(400, 24));
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  topt.post_optimize = true;
+  if (state.range(0)) topt.opt_passes = dfg::PassSet::all();
+  const auto tx = core::compile(prog, topt);
+  std::uint64_t runs = 0, ops = 0;
+  for (auto _ : state) {
+    machine::MachineOptions mopt;
+    mopt.loop_mode = machine::LoopMode::kPipelined;
+    const auto res = core::execute(tx, mopt);
+    ++runs;
+    ops += res.stats.ops_fired;
+    benchmark::DoNotOptimize(res.stats.cycles);
+  }
+  state.counters["runs/s"] = benchmark::Counter(
+      static_cast<double>(runs), benchmark::Counter::kIsRate);
+  state.counters["ops/run"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kAvgIterations);
+}
+// The 1-vs-0 ratio gates a speedup floor: median-of-five interleaved
+// repetitions, like the other ratio gates.
+BENCHMARK(BM_MachineFusedChains)
     ->Arg(0)
     ->Arg(1)
     ->Repetitions(5)

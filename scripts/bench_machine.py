@@ -10,9 +10,10 @@ the context-churn comparison (BM_FrameAlloc), the fault-machinery
 overhead pair (BM_MachineFaultsOff, arg 0 = legacy path / 1 = fault
 path engaged with zero rates), the integrity-checker cost pair
 (BM_MachineIntegrityOverhead, arg 0 = --check=off / 1 =
---check=integrity), and the deterministic recovery cost
-(BM_MachineFaultRecovery, cycles per run), and writes them to a JSON
-summary (BENCH_machine.json).
+--check=integrity), the macro-op fusion pair (BM_MachineFusedChains,
+arg 0 = cleanup passes only / 1 = --opt=all), and the deterministic
+recovery cost (BM_MachineFaultRecovery, cycles per run), and writes
+them to a JSON summary (BENCH_machine.json).
 
 With --check BASELINE it additionally compares against a committed
 baseline and exits non-zero on a regression beyond --tolerance
@@ -23,7 +24,10 @@ workload by at least --event-speedup-floor, holds the engaged-but-
 faultless path to within --faults-overhead-floor of the legacy path,
 and holds --check=integrity to within --integrity-overhead-floor of
 the unchecked path (the ratios are measured within one run, so they
-are host-independent). The checking-off row of the integrity pair is
+are host-independent). Macro-op fusion must *speed up* the chain-heavy
+workload by at least --fusion-speedup-floor: the fused row simulates
+the same program in fewer token matches, so falling under the floor
+means the fusion pass or the macro firing path lost its advantage. The checking-off row of the integrity pair is
 also gated against the baseline, which pins "off costs nothing": any
 tax the checker imposed on unchecked runs would show up there.
 
@@ -57,6 +61,7 @@ FILTER = "|".join(
         "BM_MachineIdleCycles",
         "BM_MachineFaultsOff",
         "BM_MachineIntegrityOverhead",
+        "BM_MachineFusedChains",
         "BM_MachineFaultRecovery",
         "BM_FrameAlloc",
         "BM_LowerExecProgram/",  # skip the _BigO/_RMS aggregate rows
@@ -74,6 +79,7 @@ SECTIONS = {
     "idle_ops_per_s": ("BM_MachineIdleCycles", "ops/s", True),
     "faults_off_ops_per_s": ("BM_MachineFaultsOff", "ops/s", True),
     "integrity_ops_per_s": ("BM_MachineIntegrityOverhead", "ops/s", True),
+    "fused_runs_per_s": ("BM_MachineFusedChains", "runs/s", True),
     "fault_recovery_cycles": ("BM_MachineFaultRecovery", "cycles/run",
                               False, 0.05),
     "frame_ctxs_per_s": ("BM_FrameAlloc", "ctxs/s", True),
@@ -152,8 +158,21 @@ def integrity_overhead(summary):
     return on / off
 
 
+def fusion_speedup(summary):
+    """Fused over unfused simulated-run rate on BM_MachineFusedChains,
+    or None when either row is missing. Both rows simulate the same
+    program from the same compile options modulo the fuse pass, within
+    one benchmark run, so the ratio is host-independent."""
+    rows = summary.get("fused_runs_per_s", {})
+    unfused = rows.get("BM_MachineFusedChains/0")
+    fused = rows.get("BM_MachineFusedChains/1")
+    if not unfused or not fused:
+        return None
+    return fused / unfused
+
+
 def check(current, baseline, tolerance, speedup_floor, overhead_floor,
-          integrity_floor):
+          integrity_floor, fusion_floor):
     failures = []
 
     def compare(section, spec):
@@ -206,6 +225,14 @@ def check(current, baseline, tolerance, speedup_floor, overhead_floor,
               f"(floor {integrity_floor:.0%}) {flag}")
         if integ < integrity_floor:
             failures.append("integrity-overhead")
+
+    fusion = fusion_speedup(current)
+    if fusion is not None:
+        flag = "ok" if fusion >= fusion_floor else "REGRESSION"
+        print(f"macro-op fusion speedup on BM_MachineFusedChains: "
+              f"{fusion:.2f}x (floor {fusion_floor:.2f}x) {flag}")
+        if fusion < fusion_floor:
+            failures.append("fusion-speedup")
     return failures
 
 
@@ -235,6 +262,10 @@ def main():
                          "throughput ratio on BM_MachineIntegrityOverhead "
                          "(default 0.75, i.e. at most a 1.33x slowdown "
                          "with checking on; measured ~0.90)")
+    ap.add_argument("--fusion-speedup-floor", type=float, default=1.15,
+                    help="required fused/unfused run-rate ratio on the "
+                         "chain-heavy workload BM_MachineFusedChains "
+                         "(default 1.15)")
     args = ap.parse_args()
 
     summary = summarize(run_bench(args.bench))
@@ -257,6 +288,10 @@ def main():
             print(f"integrity-checking overhead on "
                   f"BM_MachineIntegrityOverhead: {integ:.1%} of "
                   f"unchecked throughput")
+        fusion = fusion_speedup(summary)
+        if fusion is not None:
+            print(f"macro-op fusion speedup on BM_MachineFusedChains: "
+                  f"{fusion:.2f}x")
         print("baseline recorded; commit it with the change that "
               "motivated the new numbers")
         return 0
@@ -267,7 +302,8 @@ def main():
         failures = check(summary, baseline, args.tolerance,
                          args.event_speedup_floor,
                          args.faults_overhead_floor,
-                         args.integrity_overhead_floor)
+                         args.integrity_overhead_floor,
+                         args.fusion_speedup_floor)
         if failures:
             print(f"FAIL: {len(failures)} benchmark(s) regressed beyond "
                   f"{args.tolerance:.0%}: {', '.join(failures)}")

@@ -69,13 +69,13 @@ bool PipelineOptions::configure_stage(std::string_view name, bool enabled) {
     translate.dead_store_elimination = enabled;
   } else if (name == "ssa") {
     compute_ssa = enabled;
-  } else if (name == "post-opt") {
+  } else if (name == "optimize" || name == "post-opt") {
     translate.post_optimize = enabled;
   } else if (name == "validate") {
     validate = enabled;
   } else if (name == "lower") {
     lower = enabled;
-  } else if (name == "fanout-lower" && !enabled) {
+  } else if ((name == "fanout" || name == "fanout-lower") && !enabled) {
     translate.max_fanout = 0;
   } else {
     return false;

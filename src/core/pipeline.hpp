@@ -59,9 +59,10 @@ struct PipelineOptions {
   /// configuration, so call sites can keep passing schema presets.
   PipelineOptions(translate::TranslateOptions t) : translate(std::move(t)) {}
 
-  /// Enables/disables a stage by name ("dse", "ssa", "post-opt", ...).
-  /// Returns false for unknown names and for stages that cannot be
-  /// toggled (cfg-build, translate, ...).
+  /// Enables/disables a stage by name ("dse", "ssa", "optimize", ...;
+  /// the old names "post-opt" and "fanout-lower" are accepted as
+  /// aliases). Returns false for unknown names and for stages that
+  /// cannot be toggled (cfg-build, translate, ...).
   bool configure_stage(std::string_view name, bool enabled);
 };
 

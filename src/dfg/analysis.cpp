@@ -1,0 +1,191 @@
+#include "dfg/analysis.hpp"
+
+#include <algorithm>
+
+#include "support/assert.hpp"
+
+namespace ctdf::dfg {
+
+bool Analysis::dominates(NodeId a, NodeId b) const {
+  if (!reachable(a) || !reachable(b)) return false;
+  // Walk b's dominator chain toward the root; a's preorder position
+  // bounds the walk (a dominator always precedes its dominee).
+  while (b.valid()) {
+    if (a == b) return true;
+    if (preorder_index[b.index()] <= preorder_index[a.index()]) return false;
+    b = idom[b.index()];
+  }
+  return false;
+}
+
+namespace {
+
+/// Per-node successor/predecessor adjacency (deduplicated parallel
+/// arcs are harmless for dominance, so arcs are kept as-is).
+struct Adjacency {
+  std::vector<std::vector<std::uint32_t>> succs;
+  std::vector<std::vector<std::uint32_t>> preds;
+
+  explicit Adjacency(const Graph& g)
+      : succs(g.num_nodes()), preds(g.num_nodes()) {
+    for (const Arc& a : g.arcs()) {
+      succs[a.src.index()].push_back(a.dst.index());
+      preds[a.dst.index()].push_back(a.src.index());
+    }
+  }
+};
+
+/// Iterative DFS from Start recording preorder and postorder.
+void depth_first_orders(const Graph& g, const Adjacency& adj, Analysis& an) {
+  const std::size_t n = g.num_nodes();
+  an.preorder_index.assign(n, Analysis::kUnreachable);
+  an.postorder_index.assign(n, Analysis::kUnreachable);
+  an.preorder.clear();
+  an.postorder.clear();
+  if (n == 0) return;
+
+  struct Frame {
+    std::uint32_t node;
+    std::size_t next_succ;
+  };
+  std::vector<Frame> stack;
+  const std::uint32_t root = static_cast<std::uint32_t>(g.start().index());
+  an.preorder_index[root] = static_cast<std::uint32_t>(an.preorder.size());
+  an.preorder.push_back(NodeId{root});
+  stack.push_back({root, 0});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_succ < adj.succs[f.node].size()) {
+      const std::uint32_t s = adj.succs[f.node][f.next_succ++];
+      if (an.preorder_index[s] != Analysis::kUnreachable) continue;
+      an.preorder_index[s] = static_cast<std::uint32_t>(an.preorder.size());
+      an.preorder.push_back(NodeId{s});
+      stack.push_back({s, 0});
+      continue;
+    }
+    an.postorder_index[f.node] =
+        static_cast<std::uint32_t>(an.postorder.size());
+    an.postorder.push_back(NodeId{f.node});
+    stack.pop_back();
+  }
+}
+
+/// Cooper–Harvey–Kennedy iterative dominators over reverse postorder.
+void compute_dominators(const Graph& g, const Adjacency& adj, Analysis& an) {
+  const std::size_t n = g.num_nodes();
+  an.idom.assign(n, NodeId{});
+  if (an.postorder.empty()) return;
+  const std::uint32_t root = static_cast<std::uint32_t>(g.start().index());
+
+  const auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+    while (a != b) {
+      while (an.postorder_index[a] < an.postorder_index[b])
+        a = static_cast<std::uint32_t>(an.idom[a].index());
+      while (an.postorder_index[b] < an.postorder_index[a])
+        b = static_cast<std::uint32_t>(an.idom[b].index());
+    }
+    return a;
+  };
+
+  an.idom[root] = NodeId{root};  // self-loop sentinel during iteration
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Reverse postorder, skipping the root.
+    for (auto it = an.postorder.rbegin(); it != an.postorder.rend(); ++it) {
+      const std::uint32_t node = static_cast<std::uint32_t>(it->index());
+      if (node == root) continue;
+      std::uint32_t new_idom = Analysis::kUnreachable;
+      for (const std::uint32_t p : adj.preds[node]) {
+        if (an.postorder_index[p] == Analysis::kUnreachable) continue;
+        if (!an.idom[p].valid()) continue;  // not yet processed
+        new_idom = new_idom == Analysis::kUnreachable
+                       ? p
+                       : intersect(new_idom, p);
+      }
+      if (new_idom == Analysis::kUnreachable) continue;
+      if (!an.idom[node].valid() ||
+          static_cast<std::uint32_t>(an.idom[node].index()) != new_idom) {
+        an.idom[node] = NodeId{new_idom};
+        changed = true;
+      }
+    }
+  }
+  an.idom[root] = NodeId{};  // the root has no immediate dominator
+}
+
+/// Back arcs → natural loops → per-node membership counts.
+void compute_loops(const Graph& g, const Adjacency& adj, Analysis& an) {
+  const std::size_t n = g.num_nodes();
+  an.loop_header.assign(n, NodeId{});
+  an.loop_depth.assign(n, 0);
+
+  // Collect back-arc latches per header (u → v with v dominating u).
+  std::vector<std::vector<std::uint32_t>> latches(n);
+  std::vector<std::uint32_t> headers;
+  for (const Arc& a : g.arcs()) {
+    if (!an.reachable(a.src) || !an.reachable(a.dst)) continue;
+    if (!an.dominates(a.dst, a.src)) continue;
+    const std::uint32_t h = static_cast<std::uint32_t>(a.dst.index());
+    if (latches[h].empty()) headers.push_back(h);
+    latches[h].push_back(static_cast<std::uint32_t>(a.src.index()));
+  }
+
+  // One natural loop per header (latches of the same header merge, the
+  // standard convention): backward reach from each latch, stopping at
+  // the header.
+  std::vector<std::vector<bool>> in_loop_of(headers.size());
+  for (std::size_t li = 0; li < headers.size(); ++li) {
+    const std::uint32_t h = headers[li];
+    std::vector<bool>& in_loop = in_loop_of[li];
+    in_loop.assign(n, false);
+    in_loop[h] = true;
+    std::vector<std::uint32_t> work;
+    for (const std::uint32_t latch : latches[h]) {
+      if (in_loop[latch]) continue;
+      in_loop[latch] = true;
+      work.push_back(latch);
+    }
+    while (!work.empty()) {
+      const std::uint32_t node = work.back();
+      work.pop_back();
+      for (const std::uint32_t p : adj.preds[node]) {
+        if (in_loop[p]) continue;
+        if (an.preorder_index[p] == Analysis::kUnreachable) continue;
+        in_loop[p] = true;
+        work.push_back(p);
+      }
+    }
+    for (std::uint32_t i = 0; i < n; ++i)
+      if (in_loop[i]) ++an.loop_depth[i];
+  }
+
+  // Innermost header per node: among the loops containing it, the one
+  // whose header carries the greatest depth (ties: later header in
+  // preorder, i.e. the more deeply nested entry).
+  for (std::size_t li = 0; li < headers.size(); ++li) {
+    const NodeId h{headers[li]};
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!in_loop_of[li][i]) continue;
+      const NodeId cur = an.loop_header[i];
+      if (!cur.valid() ||
+          an.loop_depth[cur.index()] < an.loop_depth[h.index()] ||
+          (an.loop_depth[cur.index()] == an.loop_depth[h.index()] &&
+           an.preorder_index[cur.index()] < an.preorder_index[h.index()]))
+        an.loop_header[i] = h;
+    }
+  }
+}
+
+}  // namespace
+
+Analysis analyze(const Graph& g) {
+  Analysis an;
+  const Adjacency adj(g);
+  depth_first_orders(g, adj, an);
+  compute_dominators(g, adj, an);
+  compute_loops(g, adj, an);
+  return an;
+}
+
+}  // namespace ctdf::dfg

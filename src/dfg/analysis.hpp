@@ -1,0 +1,69 @@
+// Loop-nest and dominance analysis over the dataflow graph, in service
+// of the depth-weighted optimization passes (dfg/pass_manager.hpp).
+//
+// The DFG is a directed graph rooted at the Start node; loop-control
+// back arcs (body → loop-head merges, loop-entry recirculation) make it
+// cyclic exactly where the source program loops. The analysis computes
+// the classic CFG toolkit over it:
+//
+//  * DFS pre/postorder from Start (arc direction = token flow);
+//  * immediate dominators (iterative Cooper–Harvey–Kennedy over reverse
+//    postorder);
+//  * back arcs (u → v where v dominates u), their natural loops, and
+//    per-node loop_depth = number of distinct natural loops containing
+//    the node. Inner-loop nodes carry the highest depth, which is what
+//    the fusion pass prioritizes: every arc removed there is a token
+//    match saved once per iteration, not once per run.
+//
+// Nodes unreachable from Start (possible mid-pass-pipeline) get depth 0
+// and no dominator; passes must treat them conservatively.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dfg/graph.hpp"
+
+namespace ctdf::dfg {
+
+struct Analysis {
+  /// DFS orders over reachable nodes.
+  std::vector<NodeId> preorder;
+  std::vector<NodeId> postorder;
+  /// Node index → position in the respective order; kUnreachable when
+  /// the node is not reachable from Start.
+  std::vector<std::uint32_t> preorder_index;
+  std::vector<std::uint32_t> postorder_index;
+
+  /// Node index → immediate dominator; invalid for Start and for
+  /// unreachable nodes.
+  std::vector<NodeId> idom;
+
+  /// Node index → innermost natural-loop header containing the node
+  /// (invalid when the node is in no loop). A header is its own
+  /// innermost header.
+  std::vector<NodeId> loop_header;
+  /// Node index → number of distinct natural loops containing the node.
+  std::vector<std::uint32_t> loop_depth;
+
+  static constexpr std::uint32_t kUnreachable = UINT32_MAX;
+
+  [[nodiscard]] bool reachable(NodeId n) const {
+    return preorder_index[n.index()] != kUnreachable;
+  }
+
+  /// True when a dominates b (reflexive); false if either is
+  /// unreachable.
+  [[nodiscard]] bool dominates(NodeId a, NodeId b) const;
+
+  [[nodiscard]] std::uint32_t max_loop_depth() const {
+    std::uint32_t best = 0;
+    for (const std::uint32_t d : loop_depth) best = best > d ? best : d;
+    return best;
+  }
+};
+
+/// Runs the full analysis; O((nodes + arcs) · loop-nest depth).
+[[nodiscard]] Analysis analyze(const Graph& g);
+
+}  // namespace ctdf::dfg

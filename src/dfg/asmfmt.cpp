@@ -78,6 +78,40 @@ std::string write_asm(const Module& module) {
       case OpKind::kLoopExit:
         os << " loop=" << node.loop.value() << " ports=" << node.num_inputs;
         break;
+      case OpKind::kMacro:
+        // head= is the original chain-head kind; op= (when the head is
+        // an ALU op) and steps=[...] follow. Step tokens: b:<op>:<vp>:<lit>
+        // (binop), u:<op> (unop), g:<vp>:<lit> (gate), s (synch).
+        os << " ins=" << node.num_inputs
+           << " head=" << to_string(node.head_kind);
+        if (node.head_kind == OpKind::kBinOp)
+          os << " op=" << binop_name(node.bop);
+        else if (node.head_kind == OpKind::kUnOp)
+          os << " op=" << unop_name(node.uop);
+        os << " steps=[";
+        for (std::size_t i = 0; i < node.steps.size(); ++i) {
+          const FusedStep& s = node.steps[i];
+          if (i) os << ',';
+          switch (s.kind) {
+            case OpKind::kBinOp:
+              os << "b:" << binop_name(s.bop) << ':' << s.value_port << ':'
+                 << s.literal;
+              break;
+            case OpKind::kUnOp:
+              os << "u:" << unop_name(s.uop);
+              break;
+            case OpKind::kGate:
+              os << "g:" << s.value_port << ':' << s.literal;
+              break;
+            case OpKind::kSynch:
+              os << 's';
+              break;
+            default:
+              CTDF_UNREACHABLE("bad FusedStep kind");
+          }
+        }
+        os << ']';
+        break;
       case OpKind::kSwitch:
       case OpKind::kMerge:
       case OpKind::kGate:
@@ -248,6 +282,7 @@ class Parser {
         {"synch", OpKind::kSynch},       {"loop-entry", OpKind::kLoopEntry},
         {"loop-exit", OpKind::kLoopExit},{"istore", OpKind::kIStore},
         {"ifetch", OpKind::kIFetch},     {"gate", OpKind::kGate},
+        {"macro", OpKind::kMacro},
     };
     const auto kind_it = kKinds.find(toks[2]);
     if (kind_it == kKinds.end()) {
@@ -275,6 +310,7 @@ class Parser {
       case OpKind::kIStore: node.num_inputs = 3; node.num_outputs = 1; break;
       case OpKind::kIFetch: node.num_inputs = 2; node.num_outputs = 1; break;
       case OpKind::kGate: node.num_inputs = 2; node.num_outputs = 1; break;
+      case OpKind::kMacro: node.num_inputs = 2; node.num_outputs = 1; break;
     }
 
     struct Lit {
@@ -328,6 +364,33 @@ class Parser {
           error(lineno, "unknown op '" + val + "'");
           return;
         }
+      } else if (key == "head") {
+        // Must precede op= on the line (write_asm emits them in order).
+        if (val == "binop") node.head_kind = OpKind::kBinOp;
+        else if (val == "unop") node.head_kind = OpKind::kUnOp;
+        else if (val == "gate") node.head_kind = OpKind::kGate;
+        else if (val == "synch") node.head_kind = OpKind::kSynch;
+        else {
+          error(lineno, "unknown macro head '" + val + "'");
+          return;
+        }
+      } else if (key == "steps") {
+        std::string body = val;
+        if (body.size() < 2 || body.front() != '[' || body.back() != ']') {
+          error(lineno, "bad steps list");
+          return;
+        }
+        body = body.substr(1, body.size() - 2);
+        std::stringstream ss(body);
+        std::string item;
+        while (std::getline(ss, item, ',')) {
+          FusedStep step;
+          if (!parse_step(item, step)) {
+            error(lineno, "bad step '" + item + "'");
+            return;
+          }
+          node.steps.push_back(step);
+        }
       } else if (key == "label") {
         node.label = unquote(val);
       } else if (key.starts_with("in") &&
@@ -351,13 +414,14 @@ class Parser {
     remap_[static_cast<std::uint32_t>(id)] = added;
   }
 
-  static bool parse_op(Node& node, const std::string& name) {
-    if (node.kind == OpKind::kUnOp) {
-      if (name == "neg") node.uop = lang::UnOp::kNeg;
-      else if (name == "not") node.uop = lang::UnOp::kNot;
-      else return false;
-      return true;
-    }
+  static bool unop_from_name(const std::string& name, lang::UnOp& out) {
+    if (name == "neg") out = lang::UnOp::kNeg;
+    else if (name == "not") out = lang::UnOp::kNot;
+    else return false;
+    return true;
+  }
+
+  static bool binop_from_name(const std::string& name, lang::BinOp& out) {
     static const std::map<std::string, lang::BinOp> kOps = {
         {"+", lang::BinOp::kAdd}, {"-", lang::BinOp::kSub},
         {"*", lang::BinOp::kMul}, {"/", lang::BinOp::kDiv},
@@ -369,8 +433,58 @@ class Parser {
     };
     const auto it = kOps.find(name);
     if (it == kOps.end()) return false;
-    node.bop = it->second;
+    out = it->second;
     return true;
+  }
+
+  static bool parse_op(Node& node, const std::string& name) {
+    if (node.kind == OpKind::kUnOp ||
+        (node.kind == OpKind::kMacro && node.head_kind == OpKind::kUnOp))
+      return unop_from_name(name, node.uop);
+    return binop_from_name(name, node.bop);
+  }
+
+  /// Parses one steps=[...] token: b:<op>:<vp>:<lit> / u:<op> /
+  /// g:<vp>:<lit> / s.
+  static bool parse_step(const std::string& tok, FusedStep& step) {
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    while (pos <= tok.size()) {
+      const std::size_t colon = tok.find(':', pos);
+      if (colon == std::string::npos) {
+        parts.push_back(tok.substr(pos));
+        break;
+      }
+      parts.push_back(tok.substr(pos, colon - pos));
+      pos = colon + 1;
+    }
+    if (parts.empty()) return false;
+    std::int64_t num = 0;
+    if (parts[0] == "b") {
+      step.kind = OpKind::kBinOp;
+      if (parts.size() != 4 || !binop_from_name(parts[1], step.bop))
+        return false;
+      if (!to_int(parts[2], num)) return false;
+      step.value_port = static_cast<std::uint16_t>(num);
+      if (!to_int(parts[3], step.literal)) return false;
+      return true;
+    }
+    if (parts[0] == "u") {
+      step.kind = OpKind::kUnOp;
+      step.value_port = 0;
+      return parts.size() == 2 && unop_from_name(parts[1], step.uop);
+    }
+    if (parts[0] == "g") {
+      step.kind = OpKind::kGate;
+      if (parts.size() != 3 || !to_int(parts[1], num)) return false;
+      step.value_port = static_cast<std::uint16_t>(num);
+      return to_int(parts[2], step.literal);
+    }
+    if (parts[0] == "s") {
+      step.kind = OpKind::kSynch;
+      return parts.size() == 1;
+    }
+    return false;
   }
 
   static std::string unquote(const std::string& s) {

@@ -24,8 +24,25 @@ const char* to_string(OpKind k) {
     case OpKind::kIStore: return "istore";
     case OpKind::kIFetch: return "ifetch";
     case OpKind::kGate: return "gate";
+    case OpKind::kMacro: return "macro";
   }
   CTDF_UNREACHABLE("bad OpKind");
+}
+
+std::int64_t apply_step(const FusedStep& s, std::int64_t v) {
+  switch (s.kind) {
+    case OpKind::kBinOp:
+      return s.value_port == 0 ? lang::eval_binop(s.bop, v, s.literal)
+                               : lang::eval_binop(s.bop, s.literal, v);
+    case OpKind::kUnOp:
+      return lang::eval_unop(s.uop, v);
+    case OpKind::kGate:
+      return s.value_port == 0 ? v : s.literal;
+    case OpKind::kSynch:
+      return 0;
+    default:
+      CTDF_UNREACHABLE("bad FusedStep kind");
+  }
 }
 
 NodeId Graph::add(Node node) {
@@ -236,6 +253,8 @@ std::string Graph::to_dot() const {
       label = lang::to_string(node.bop);
     else if (node.kind == OpKind::kUnOp)
       label = lang::to_string(node.uop);
+    else if (node.kind == OpKind::kMacro)
+      label = "macro x" + std::to_string(node.steps.size() + 1);
     if (!node.label.empty()) label += "\\n" + node.label;
     os << "  n" << n.value() << " [shape=" << shape << ", label=\"" << label
        << "\"];\n";
@@ -269,7 +288,8 @@ GraphStats compute_stats(const Graph& g) {
       case OpKind::kIStore: ++s.stores; break;
       case OpKind::kBinOp:
       case OpKind::kUnOp:
-      case OpKind::kGate: ++s.alu_ops; break;
+      case OpKind::kGate:
+      case OpKind::kMacro: ++s.alu_ops; break;
       case OpKind::kLoopEntry:
       case OpKind::kLoopExit: ++s.loop_nodes; break;
       default: break;

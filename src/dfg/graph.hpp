@@ -68,12 +68,17 @@ enum class OpKind : std::uint8_t {
   /// fresh value-carrying token (e.g. `x := 5` after memory elimination,
   /// where the new token must consume/replace the old one).
   kGate,
+  /// A fused chain of single-consumer pure ops (pass manager's
+  /// fuse_chains): the node matches and fires like its original head
+  /// operator (Node::head_kind), then applies Node::steps to the result
+  /// in order — one match, one emitted token, N ALU steps.
+  kMacro,
 };
 
 /// Number of OpKind enumerators — the size of any per-kind table (e.g.
 /// RunStats::fired_by_kind).
-inline constexpr std::size_t kNumOpKinds = 16;
-static_assert(static_cast<std::size_t>(OpKind::kGate) + 1 == kNumOpKinds,
+inline constexpr std::size_t kNumOpKinds = 17;
+static_assert(static_cast<std::size_t>(OpKind::kMacro) + 1 == kNumOpKinds,
               "kNumOpKinds must track the OpKind enumerator count");
 
 [[nodiscard]] const char* to_string(OpKind k);
@@ -126,6 +131,24 @@ struct Operand {
   std::int64_t literal = 0;
 };
 
+/// One absorbed tail of a kMacro node. The chained value enters on
+/// `value_port`; every other input port of the original tail was
+/// literal-bound, so the step is a pure function of one value:
+///   kBinOp: v' = value_port == 0 ? bop(v, literal) : bop(literal, v)
+///   kUnOp:  v' = uop(v)
+///   kGate:  v' = value_port == 0 ? v : literal   (trigger side chained)
+///   kSynch: v' = 0
+struct FusedStep {
+  OpKind kind = OpKind::kBinOp;  ///< kBinOp / kUnOp / kGate / kSynch
+  lang::BinOp bop = lang::BinOp::kAdd;
+  lang::UnOp uop = lang::UnOp::kNeg;
+  std::uint16_t value_port = 0;  ///< port the chained value arrives on
+  std::int64_t literal = 0;      ///< the other port's literal (kBinOp/kGate)
+};
+
+/// Applies one fused step to the chained value.
+[[nodiscard]] std::int64_t apply_step(const FusedStep& s, std::int64_t v);
+
 struct Node {
   OpKind kind = OpKind::kSynch;
   std::uint16_t num_inputs = 0;
@@ -141,6 +164,16 @@ struct Node {
 
   std::vector<Operand> operands;            ///< size num_inputs
   std::vector<std::int64_t> start_values;   ///< kStart: initial token values
+
+  /// kMacro: the original kind of the chain head (how the matched
+  /// inputs produce the initial value) and the absorbed tail steps.
+  OpKind head_kind = OpKind::kBinOp;
+  std::vector<FusedStep> steps;
+
+  /// Set on the pass-through merges lower_fanout inserts: replication
+  /// trees deliberately have a single source, so merge-collapsing must
+  /// never fold them back into the unbounded fan-out they lower.
+  bool replicate = false;
 
   std::string label;  ///< debug / DOT
 };

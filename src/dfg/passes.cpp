@@ -3,176 +3,10 @@
 #include <algorithm>
 #include <map>
 
+#include "dfg/pass_manager.hpp"
 #include "support/assert.hpp"
 
 namespace ctdf::dfg {
-
-namespace {
-
-/// Working representation: adjacency by node for cheap edits.
-struct Work {
-  explicit Work(Graph& g) : g(g), alive(g.num_nodes(), true) {
-    arcs = g.arcs();
-  }
-
-  Graph& g;
-  std::vector<Arc> arcs;
-  std::vector<bool> alive;
-
-  [[nodiscard]] bool has_out_arc(NodeId n) const {
-    return std::any_of(arcs.begin(), arcs.end(),
-                       [&](const Arc& a) { return a.src == n; });
-  }
-
-  [[nodiscard]] bool port_wired(NodeId n, std::uint16_t p) const {
-    return std::any_of(arcs.begin(), arcs.end(), [&](const Arc& a) {
-      return a.dst == n && a.dst_port == p;
-    });
-  }
-
-  void drop_node_arcs(NodeId n) {
-    std::erase_if(arcs, [&](const Arc& a) { return a.src == n || a.dst == n; });
-  }
-};
-
-/// Side-effect-free kinds whose unused results may be dropped.
-bool removable_when_unused(OpKind k) {
-  switch (k) {
-    case OpKind::kBinOp:
-    case OpKind::kUnOp:
-    case OpKind::kGate:
-    case OpKind::kMerge:
-    case OpKind::kSynch:
-    case OpKind::kSwitch:
-    case OpKind::kLoad:
-    case OpKind::kLoadIdx:
-    case OpKind::kIFetch:
-      return true;
-    default:
-      return false;
-  }
-}
-
-/// Kinds that may be removed when they can never fire (an input port is
-/// unwired). Loop entry/exit qualify too: the translator wires every
-/// port, so an unwired port only arises when constant-switch folding
-/// killed the control path feeding it — and that kills the sibling
-/// ports' sources as well (they ride the same control paths), so the
-/// whole node is dead and removal cascades consistently.
-bool removable_when_unfireable(OpKind k) {
-  switch (k) {
-    case OpKind::kStart:
-    case OpKind::kEnd:
-      return false;
-    default:
-      return true;
-  }
-}
-
-bool fold_constant_switches(Work& w, PassStats& stats) {
-  bool changed = false;
-  for (NodeId n : w.g.all_nodes()) {
-    if (!w.alive[n.index()]) continue;
-    const Node& node = w.g.node(n);
-    if (node.kind != OpKind::kSwitch) continue;
-    const Operand& pred = node.operands[port::kSwitchPred];
-    if (!pred.is_literal) continue;
-    const std::uint16_t taken =
-        pred.literal != 0 ? port::kSwitchTrue : port::kSwitchFalse;
-
-    // Route every data source directly to every taken-side consumer.
-    std::vector<Arc> new_arcs;
-    for (const Arc& in : w.arcs) {
-      if (in.dst != n || in.dst_port != port::kSwitchData) continue;
-      for (const Arc& out : w.arcs) {
-        if (out.src != n || out.src_port != taken) continue;
-        new_arcs.push_back(
-            Arc{in.src, in.src_port, out.dst, out.dst_port, in.dummy});
-      }
-    }
-    w.drop_node_arcs(n);
-    w.arcs.insert(w.arcs.end(), new_arcs.begin(), new_arcs.end());
-    w.alive[n.index()] = false;
-    ++stats.switches_folded;
-    changed = true;
-  }
-  return changed;
-}
-
-bool collapse_single_source_merges(Work& w, PassStats& stats) {
-  bool changed = false;
-  for (NodeId n : w.g.all_nodes()) {
-    if (!w.alive[n.index()]) continue;
-    if (w.g.node(n).kind != OpKind::kMerge) continue;
-    const Arc* only_in = nullptr;
-    bool single = true;
-    for (const Arc& a : w.arcs) {
-      if (a.dst != n) continue;
-      if (only_in) {
-        single = false;
-        break;
-      }
-      only_in = &a;
-    }
-    if (!single || only_in == nullptr) continue;
-    const Arc in = *only_in;
-    std::vector<Arc> new_arcs;
-    for (const Arc& out : w.arcs) {
-      if (out.src != n) continue;
-      new_arcs.push_back(
-          Arc{in.src, in.src_port, out.dst, out.dst_port, in.dummy});
-    }
-    w.drop_node_arcs(n);
-    w.arcs.insert(w.arcs.end(), new_arcs.begin(), new_arcs.end());
-    w.alive[n.index()] = false;
-    ++stats.merges_collapsed;
-    changed = true;
-  }
-  return changed;
-}
-
-bool eliminate_dead_and_unfireable(Work& w, PassStats& stats) {
-  bool changed = false;
-  for (NodeId n : w.g.all_nodes()) {
-    if (!w.alive[n.index()]) continue;
-    const Node& node = w.g.node(n);
-
-    if (removable_when_unused(node.kind) && !w.has_out_arc(n)) {
-      w.drop_node_arcs(n);
-      w.alive[n.index()] = false;
-      ++stats.dead_removed;
-      changed = true;
-      continue;
-    }
-
-    if (!removable_when_unfireable(node.kind)) continue;
-    bool unfireable = false;
-    for (std::uint16_t p = 0; p < node.num_inputs; ++p) {
-      if (node.operands[p].is_literal) continue;
-      if (!w.port_wired(n, p)) {
-        unfireable = true;
-        break;
-      }
-    }
-    // A node with no token inputs at all would never fire either, but
-    // the translator does not produce those; treat them as unfireable
-    // too for safety (all-literal inputs).
-    if (!unfireable && node.num_inputs > 0) {
-      unfireable = std::all_of(
-          node.operands.begin(), node.operands.end(),
-          [](const Operand& op) { return op.is_literal; });
-    }
-    if (unfireable) {
-      w.drop_node_arcs(n);
-      w.alive[n.index()] = false;
-      ++stats.unfireable_removed;
-      changed = true;
-    }
-  }
-  return changed;
-}
-
-}  // namespace
 
 Graph compact(const Graph& g, const std::vector<bool>& keep) {
   CTDF_ASSERT(keep.size() == g.num_nodes());
@@ -259,6 +93,10 @@ std::size_t lower_fanout(Graph& g, std::size_t max_destinations) {
           continue;
         }
         const NodeId rep = rebuilt.add_merge("rep");
+        // Replicate trees are single-source by design: mark the node so
+        // collapse-merge never undoes the fan-out bound (the pass skips
+        // Node::replicate).
+        rebuilt.node(rep).replicate = true;
         ++inserted;
         rebuilt.connect({remap[src.index()], src_port}, {rep, 0}, dummy);
         for (const Arc& a : mine)
@@ -273,34 +111,15 @@ std::size_t lower_fanout(Graph& g, std::size_t max_destinations) {
 }
 
 PassStats optimize_graph(Graph& g) {
+  // Kept as the legacy entry point: the original peephole quartet is
+  // now the fold-switch/collapse-merge/dce subset of the pass manager.
+  const OptStats full = run_passes(g, PassSet::legacy());
   PassStats stats;
-  Work w(g);
-  bool changed = true;
-  while (changed) {
-    ++stats.iterations;
-    changed = false;
-    changed |= fold_constant_switches(w, stats);
-    changed |= collapse_single_source_merges(w, stats);
-    changed |= eliminate_dead_and_unfireable(w, stats);
-  }
-  if (stats.total_removed() == 0) return stats;
-
-  // Rebuild: write surviving arcs back, then compact away dead nodes.
-  Graph rebuilt;
-  std::vector<NodeId> remap(g.num_nodes());
-  for (NodeId n : g.all_nodes()) {
-    if (!w.alive[n.index()]) continue;
-    Node copy = g.node(n);
-    remap[n.index()] = rebuilt.add(std::move(copy));
-  }
-  rebuilt.set_start(remap[g.start().index()]);
-  rebuilt.set_end(remap[g.end().index()]);
-  for (const Arc& a : w.arcs) {
-    CTDF_ASSERT(w.alive[a.src.index()] && w.alive[a.dst.index()]);
-    rebuilt.connect({remap[a.src.index()], a.src_port},
-                    {remap[a.dst.index()], a.dst_port}, a.dummy);
-  }
-  g = std::move(rebuilt);
+  stats.switches_folded = full.switches_folded;
+  stats.merges_collapsed = full.merges_collapsed;
+  stats.dead_removed = full.dead_removed;
+  stats.unfireable_removed = full.unfireable_removed;
+  stats.iterations = full.iterations;
   return stats;
 }
 

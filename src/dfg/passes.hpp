@@ -1,25 +1,18 @@
-// Post-translation optimization passes over dataflow graphs.
+// Structural graph transforms that are not optimizer passes, plus the
+// legacy optimize_graph entry point.
 //
-// The translator already avoids redundant switches (paper Section 4);
-// these passes clean up what only becomes visible at the graph level:
+// The optimization passes themselves (constant-switch folding, merge
+// collapsing, DCE, const-fold, switch-elim, synch-narrow, macro-op
+// fusion) live in dfg/pass_manager.hpp as an ordered, individually
+// toggleable pass list; optimize_graph here is a thin wrapper running
+// the original peephole subset (PassSet::legacy()) for callers that
+// predate the pass manager.
 //
-//  * constant-switch folding — a switch whose predicate port is bound
-//    to a literal always routes the same way; its data arcs are wired
-//    straight through and the untaken side becomes dead.
-//  * unfireable-node elimination — a node with an unwired (non-literal)
-//    input port can never fire (e.g. the untaken branch of a folded
-//    switch); it and its downstream-only dependents are removed.
-//  * dead-node elimination — a side-effect-free node whose outputs feed
-//    nothing only consumes tokens; removing it lets those tokens die
-//    earlier (fewer firings, less drain traffic after End).
-//  * single-source merge collapsing — a merge with exactly one in-arc
-//    is a wire (paper Sec. 4.2's "a join with a single source is
-//    equivalent to no operator", applied transitively after other
-//    passes expose new cases).
+// What remains native to this header:
 //
-// All passes iterate to a joint fixpoint, then the graph is compacted
-// (dead node ids removed, arcs remapped). Semantics preservation is
-// covered by the schema-equivalence suite with these passes enabled.
+//  * lower_fanout — Monsoon-fidelity fan-out bounding via replication
+//    trees (marked Node::replicate so merge-collapsing skips them).
+//  * max_fanout / compact — graph measurement and rebuild helpers.
 #pragma once
 
 #include <cstddef>

@@ -150,6 +150,24 @@ std::string nested_loops_source(int outer, int inner) {
   return os.str();
 }
 
+std::string chain_loop_source(int trip, int chain) {
+  std::ostringstream os;
+  os << "var i, x;\n";
+  os << "  i := 0;\n  x := 1;\n";
+  os << "  while i < " << trip << " {\n    x := ";
+  for (int c = 0; c < chain; ++c) os << '(';
+  os << 'x';
+  for (int c = 0; c < chain; ++c) {
+    switch (c % 3) {
+      case 0: os << " * 3)"; break;
+      case 1: os << " + 1)"; break;
+      default: os << " % 127)"; break;
+    }
+  }
+  os << ";\n    i := i + 1;\n  }\n";
+  return os.str();
+}
+
 std::vector<NamedProgram> all() {
   return {
       {"running_example", running_example_source()},
@@ -161,6 +179,7 @@ std::vector<NamedProgram> all() {
       {"read_heavy_8", read_heavy_source(8)},
       {"irreducible", irreducible_source()},
       {"nested_loops_3x4", nested_loops_source(3, 4)},
+      {"chain_loop_6x8", chain_loop_source(6, 8)},
   };
 }
 

@@ -55,6 +55,13 @@ struct NamedProgram {
 /// exercises nested interval decomposition.
 [[nodiscard]] std::string nested_loops_source(int outer, int inner);
 
+/// A `trip`-iteration loop whose body is one dependent chain of `chain`
+/// literal-operand arithmetic ops — macro-op fusion's best case (every
+/// link is a single-consumer pure op, so the chain collapses to one
+/// firing per iteration). The `% 127` links keep values bounded at any
+/// trip count.
+[[nodiscard]] std::string chain_loop_source(int trip, int chain);
+
 /// All of the above (with small default parameters) as a test corpus.
 [[nodiscard]] std::vector<NamedProgram> all();
 

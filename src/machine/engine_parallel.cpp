@@ -748,7 +748,7 @@ class ParallelEngine {
         f.cell = a.cell;
         f.store_value = a.store_value;
       } else {
-        fire_pure(op, in, [&](std::uint16_t port, std::int64_t value) {
+        fire_pure(ep_, op, in, [&](std::uint16_t port, std::int64_t value) {
           emit_exec(s, f, e.ctx, e.node, port, value, alu, from_pe);
         });
       }

@@ -583,7 +583,7 @@ class SerialEngine {
           completed_ = true;
           break;
         default:
-          fire_pure(op, in, [&](std::uint16_t port, std::int64_t value) {
+          fire_pure(ep_, op, in, [&](std::uint16_t port, std::int64_t value) {
             emit(e.ctx, e.node, port, value, cycle, alu);
           });
       }

@@ -59,6 +59,14 @@ ExecProgram lower(const dfg::Graph& g) {
       op.strict_index = strict_cursor++;
     }
 
+    if (node.kind == dfg::OpKind::kMacro) {
+      op.macro_head = node.head_kind;
+      op.first_step = static_cast<std::uint32_t>(p.macro_steps_.size());
+      op.num_steps = static_cast<std::uint16_t>(node.steps.size());
+      p.macro_steps_.insert(p.macro_steps_.end(), node.steps.begin(),
+                            node.steps.end());
+    }
+
     if (node.kind == dfg::OpKind::kStart)
       p.start_values_ = node.start_values;
     p.labels_[i] = node.label;
@@ -106,6 +114,8 @@ std::string render(const ExecProgram& p) {
     if (op.kind == dfg::OpKind::kLoopExit) os << " loop=" << op.loop.value();
     if (op.flags & kExecMem)
       os << " mem=" << op.mem_base << "+" << op.mem_extent;
+    if (op.kind == dfg::OpKind::kMacro)
+      os << " head=" << to_string(op.macro_head) << " steps=" << op.num_steps;
     for (std::uint16_t in = 0; in < op.num_inputs; ++in)
       if (p.literal_at(op, in))
         os << " lit[" << in << "]=" << p.literal_value(op, in);

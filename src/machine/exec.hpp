@@ -63,11 +63,17 @@ struct ExecOp {
   /// Dense index among framed ops (per-frame presence-state array).
   std::uint32_t strict_index = UINT32_MAX;
 
-  lang::BinOp bop = lang::BinOp::kAdd;  ///< kBinOp
-  lang::UnOp uop = lang::UnOp::kNeg;    ///< kUnOp
+  lang::BinOp bop = lang::BinOp::kAdd;  ///< kBinOp (and kMacro binop heads)
+  lang::UnOp uop = lang::UnOp::kNeg;    ///< kUnOp (and kMacro unop heads)
   std::uint32_t mem_base = 0;           ///< memory ops
   std::int64_t mem_extent = 1;          ///< memory ops (index wrapping)
   cfg::LoopId loop;                     ///< kLoopEntry / kLoopExit
+
+  /// kMacro: the original head kind plus this op's slice of the dense
+  /// fused-step table (ExecProgram::macro_steps).
+  dfg::OpKind macro_head = dfg::OpKind::kBinOp;
+  std::uint16_t num_steps = 0;
+  std::uint32_t first_step = 0;
 
   [[nodiscard]] bool framed() const { return frame_base != kNoFrameSlot; }
 };
@@ -110,6 +116,13 @@ class ExecProgram {
     return labels_[idx];
   }
 
+  /// The fused ALU steps a kMacro op applies after its head fires.
+  [[nodiscard]] std::span<const dfg::FusedStep> macro_steps(
+      const ExecOp& o) const {
+    return {macro_steps_.data() + o.first_step,
+            macro_steps_.data() + o.first_step + o.num_steps};
+  }
+
   /// Frame geometry: value/presence slots per context, and the number
   /// of ops carrying a slot range (the per-frame state array length).
   [[nodiscard]] std::size_t frame_slots() const { return frame_slots_; }
@@ -135,6 +148,7 @@ class ExecProgram {
   std::vector<std::uint32_t> fanout_begin_;  ///< per (op, port), +1 sentinel
   std::vector<std::uint8_t> operand_is_literal_;
   std::vector<std::int64_t> operand_literal_;
+  std::vector<dfg::FusedStep> macro_steps_;  ///< all macro steps, op-contiguous
   std::vector<std::string> labels_;
   std::vector<std::int64_t> start_values_;
   dfg::NodeId start_;

@@ -53,9 +53,14 @@ struct MemAccess {
                                     std::size_t num_cells);
 
 /// Fires a pure (ALU-class) operator: emit(port, value) per output
-/// token.
+/// token. `p` supplies a kMacro op's fused-step slice — the head
+/// computes the initial value from the matched inputs exactly as the
+/// original operator would, then the absorbed tail steps apply in
+/// chain order within the same firing (one match, one emitted token,
+/// N ALU steps).
 template <class EmitFn>
-void fire_pure(const ExecOp& op, const std::int64_t* in, EmitFn&& emit) {
+void fire_pure(const ExecProgram& p, const ExecOp& op, const std::int64_t* in,
+               EmitFn&& emit) {
   switch (op.kind) {
     case dfg::OpKind::kBinOp:
       emit(std::uint16_t{0}, lang::eval_binop(op.bop, in[0], in[1]));
@@ -73,6 +78,29 @@ void fire_pure(const ExecOp& op, const std::int64_t* in, EmitFn&& emit) {
       const bool dir = in[dfg::port::kSwitchPred] != 0;
       emit(dir ? dfg::port::kSwitchTrue : dfg::port::kSwitchFalse,
            in[dfg::port::kSwitchData]);
+      break;
+    }
+    case dfg::OpKind::kMacro: {
+      std::int64_t v = 0;
+      switch (op.macro_head) {
+        case dfg::OpKind::kBinOp:
+          v = lang::eval_binop(op.bop, in[0], in[1]);
+          break;
+        case dfg::OpKind::kUnOp:
+          v = lang::eval_unop(op.uop, in[0]);
+          break;
+        case dfg::OpKind::kGate:
+          v = in[0];
+          break;
+        case dfg::OpKind::kSynch:
+          v = 0;
+          break;
+        default:
+          CTDF_UNREACHABLE("bad macro head");
+      }
+      for (const dfg::FusedStep& s : p.macro_steps(op))
+        v = dfg::apply_step(s, v);
+      emit(std::uint16_t{0}, v);
       break;
     }
     default:

@@ -35,6 +35,7 @@ std::string TranslateOptions::describe() const {
   if (!istructure_arrays.empty()) os << "+istructures";
   if (dead_store_elimination) os << "+dse";
   if (post_optimize) os << "+post-opt";
+  if (post_optimize && opt_passes.enabled(dfg::PassId::kFuse)) os << "+fuse";
   return os.str();
 }
 
@@ -83,12 +84,42 @@ SchemaFlagParse apply_schema_flag(TranslateOptions& o, std::string_view arg) {
     o.dead_store_elimination = true;
   } else if (arg == "--post-opt") {
     o.post_optimize = true;
+  } else if (starts_with(arg, "--opt=")) {
+    const auto v = value_of(arg);
+    if (v == "none") {
+      o.post_optimize = false;
+      o.opt_passes = dfg::PassSet::none();
+    } else if (v == "all") {
+      o.post_optimize = true;
+      o.opt_passes = dfg::PassSet::all();
+    } else {
+      dfg::PassSet set;
+      for (const std::string& name : split_csv(std::string(v))) {
+        const auto pass = dfg::pass_from_name(name);
+        if (!pass) return SchemaFlagParse::kBadValue;
+        set.enable(*pass);
+      }
+      if (!set.any()) return SchemaFlagParse::kBadValue;
+      o.post_optimize = true;
+      o.opt_passes = set;
+    }
+  } else if (starts_with(arg, "--fuse-limit=")) {
+    try {
+      o.fuse_limit = std::stoul(std::string(value_of(arg)));
+    } catch (const std::exception&) {
+      return SchemaFlagParse::kBadValue;
+    }
+    // A macro needs at least a head and one absorbed tail.
+    if (o.fuse_limit < 2) return SchemaFlagParse::kBadValue;
   } else if (starts_with(arg, "--max-fanout=")) {
     try {
       o.max_fanout = std::stoul(std::string(value_of(arg)));
     } catch (const std::exception&) {
       return SchemaFlagParse::kBadValue;
     }
+    // lower_fanout requires ≥ 2 destinations (0 = unlimited, stage off);
+    // 1 would demand infinite replication.
+    if (o.max_fanout == 1) return SchemaFlagParse::kBadValue;
   } else if (arg == "--par-reads") {
     o.parallel_reads = true;
   } else if (starts_with(arg, "--fig14=")) {

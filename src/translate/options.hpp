@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "dfg/pass_manager.hpp"
 #include "translate/cover.hpp"
 
 namespace ctdf::translate {
@@ -50,10 +51,20 @@ struct TranslateOptions {
   /// dropped. Classic liveness-based cleanup; see cfg/dataflow.hpp.
   bool dead_store_elimination = false;
 
-  /// Run the dfg::optimize_graph post-passes (constant-switch folding,
-  /// dead/unfireable node elimination, single-source merge collapsing)
-  /// after construction.
+  /// Run the dfg pass manager's `optimize` stage after construction.
+  /// `--post-opt` enables the cleanup passes; `--opt=<list|all|none>`
+  /// selects passes individually (and implies enabling the stage unless
+  /// the set is empty).
   bool post_optimize = false;
+
+  /// Which optimizer passes the `optimize` stage runs when
+  /// post_optimize is set (dfg::PassSet; default = every cleanup pass,
+  /// no fusion — the historical `--post-opt` meaning).
+  dfg::PassSet opt_passes = dfg::PassSet::cleanup();
+
+  /// Macro-op fusion: maximum ops per fused chain (`--fuse-limit=N`,
+  /// N ≥ 2; chains longer than this split into several macros).
+  std::size_t fuse_limit = dfg::kDefaultFuseLimit;
 
   /// Monsoon fidelity: bound each operator output to this many
   /// destination arcs by inserting replicate trees (0 = unlimited, the
@@ -102,8 +113,9 @@ enum class SchemaFlagParse : std::uint8_t {
 
 /// The one parser for schema-selection flags, shared by the `ctdf` CLI
 /// and the bench harnesses: "--schema1", "--no-opt", "--cover=...",
-/// "--mem-elim", "--dse", "--post-opt", "--max-fanout=N",
-/// "--par-reads", "--fig14=a,b", "--istructure=a,b".
+/// "--mem-elim", "--dse", "--post-opt", "--opt=<pass,list|all|none>",
+/// "--fuse-limit=N", "--max-fanout=N" (0 or ≥ 2), "--par-reads",
+/// "--fig14=a,b", "--istructure=a,b".
 SchemaFlagParse apply_schema_flag(TranslateOptions& o, std::string_view arg);
 
 /// Splits "a,b,c" into {"a","b","c"} (empty items dropped); used for

@@ -10,6 +10,7 @@
 #include "cfg/dominance.hpp"
 #include "cfg/intervals.hpp"
 #include "cfg/ssa.hpp"
+#include "dfg/pass_manager.hpp"
 #include "dfg/passes.hpp"
 #include "support/assert.hpp"
 #include "translate/build_graph.hpp"
@@ -30,8 +31,8 @@ const char* to_string(Stage s) {
     case Stage::kControlDep: return "control-dep";
     case Stage::kSwitchPlace: return "switch-place";
     case Stage::kTranslate: return "translate";
-    case Stage::kPostOpt: return "post-opt";
-    case Stage::kFanoutLower: return "fanout-lower";
+    case Stage::kOptimize: return "optimize";
+    case Stage::kFanout: return "fanout";
     case Stage::kValidate: return "validate";
     case Stage::kLower: return "lower";
   }
@@ -51,6 +52,9 @@ const std::vector<Stage>& all_stages() {
 std::optional<Stage> stage_from_name(std::string_view name) {
   for (Stage s : all_stages())
     if (name == to_string(s)) return s;
+  // Pre-pass-manager stage names, kept as aliases.
+  if (name == "post-opt") return Stage::kOptimize;
+  if (name == "fanout-lower") return Stage::kFanout;
   return std::nullopt;
 }
 
@@ -481,41 +485,58 @@ Translation run_stages(const lang::Program& prog,
   if (rep.wants_dump(Stage::kTranslate))
     rep.dump(Stage::kTranslate, result.graph.to_dot());
 
-  // --- post-opt -------------------------------------------------------
-  if (opt.post_optimize) {
+  // --- optimize (the dfg pass manager) --------------------------------
+  if (opt.post_optimize && opt.opt_passes.any()) {
     const std::size_t before = result.graph.num_nodes();
     t0 = Clock::now();
-    const dfg::PassStats ps = dfg::optimize_graph(result.graph);
-    result.post_opt_removed = ps.total_removed();
+    const dfg::OptStats ps =
+        dfg::run_passes(result.graph, opt.opt_passes, opt.fuse_limit);
+    result.post_opt_removed = ps.nodes_removed;
     StageRecord r;
-    r.stage = Stage::kPostOpt;
+    r.stage = Stage::kOptimize;
     r.ran = true;
     r.nanos = nanos_since(t0);
     r.size_in = before;
     r.size_out = result.graph.num_nodes();
     r.counters = {
-        {"removed", static_cast<std::int64_t>(ps.total_removed())},
+        {"removed", static_cast<std::int64_t>(ps.nodes_removed)},
         {"switches-folded", static_cast<std::int64_t>(ps.switches_folded)},
         {"merges-collapsed",
          static_cast<std::int64_t>(ps.merges_collapsed)},
         {"dead", static_cast<std::int64_t>(ps.dead_removed)},
         {"unfireable", static_cast<std::int64_t>(ps.unfireable_removed)},
-        {"iterations", static_cast<std::int64_t>(ps.iterations)}};
+        {"const-folded", static_cast<std::int64_t>(ps.consts_folded)},
+        {"switch-elim", static_cast<std::int64_t>(ps.switches_elim)},
+        {"synch-narrowed", static_cast<std::int64_t>(ps.synchs_narrowed)},
+        {"iterations", static_cast<std::int64_t>(ps.iterations)},
+        {"max-loop-depth", static_cast<std::int64_t>(ps.max_loop_depth)}};
+    if (opt.opt_passes.enabled(dfg::PassId::kFuse)) {
+      r.counters.emplace_back("chains-fused",
+                              static_cast<std::int64_t>(ps.chains_fused));
+      r.counters.emplace_back("fused-ops",
+                              static_cast<std::int64_t>(ps.ops_fused));
+      for (std::size_t i = 0; i < 6; ++i)
+        r.counters.emplace_back(
+            "fused-len-" + std::to_string(i + 2),
+            static_cast<std::int64_t>(ps.fused_len_hist[i]));
+      r.counters.emplace_back(
+          "fused-len-8plus", static_cast<std::int64_t>(ps.fused_len_hist[6]));
+    }
     rep.emit(std::move(r));
-    if (rep.wants_dump(Stage::kPostOpt))
-      rep.dump(Stage::kPostOpt, result.graph.to_dot());
+    if (rep.wants_dump(Stage::kOptimize))
+      rep.dump(Stage::kOptimize, result.graph.to_dot());
   } else {
-    rep.skip(Stage::kPostOpt);
+    rep.skip(Stage::kOptimize);
   }
 
-  // --- fanout-lower ---------------------------------------------------
+  // --- fanout (replication-tree lowering) -----------------------------
   if (opt.max_fanout >= 2) {
     const std::size_t before = result.graph.num_nodes();
     t0 = Clock::now();
     result.replicates_inserted =
         dfg::lower_fanout(result.graph, opt.max_fanout);
     StageRecord r;
-    r.stage = Stage::kFanoutLower;
+    r.stage = Stage::kFanout;
     r.ran = true;
     r.nanos = nanos_since(t0);
     r.size_in = before;
@@ -523,10 +544,10 @@ Translation run_stages(const lang::Program& prog,
     r.counters = {{"replicates",
                    static_cast<std::int64_t>(result.replicates_inserted)}};
     rep.emit(std::move(r));
-    if (rep.wants_dump(Stage::kFanoutLower))
-      rep.dump(Stage::kFanoutLower, result.graph.to_dot());
+    if (rep.wants_dump(Stage::kFanout))
+      rep.dump(Stage::kFanout, result.graph.to_dot());
   } else {
-    rep.skip(Stage::kFanoutLower);
+    rep.skip(Stage::kFanout);
   }
 
   result.memory_cells = layout.total_cells();

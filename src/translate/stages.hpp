@@ -2,8 +2,8 @@
 // named stages from program to executable dataflow graph.
 //
 //   parse → cfg-build → dse → loop-transform → cover → ssa →
-//   dominance → control-dep → switch-place → translate → post-opt →
-//   fanout-lower → validate
+//   dominance → control-dep → switch-place → translate → optimize →
+//   fanout → validate
 //
 // Each stage declares an input/output artifact (CFG, loop forest,
 // cover/classification, dataflow graph), records wall-time and a
@@ -11,9 +11,12 @@
 // artifact as text/dot for dump points (`ctdf ... --dump-after=STAGE`).
 // `parse` is driven by core::Pipeline — this layer starts from a
 // lang::Program. Optional stages are controlled by TranslateOptions
-// (dse, post-opt, fanout-lower, the switch-place optimization) and by
+// (dse, optimize, fanout, the switch-place optimization) and by
 // StageSet (ssa, validate); a disabled stage is reported as skipped, so
-// every trace lists the full stage sequence.
+// every trace lists the full stage sequence. The `optimize` stage runs
+// the dfg pass manager (TranslateOptions::opt_passes / fuse_limit) and
+// reports per-pass counters; the old stage names "post-opt" and
+// "fanout-lower" are kept as aliases in stage_from_name.
 //
 // run_stages is the single implementation behind translate() and
 // core::Pipeline::run: identical options produce byte-identical graphs
@@ -46,8 +49,8 @@ enum class Stage : std::uint8_t {
   kControlDep,
   kSwitchPlace,
   kTranslate,
-  kPostOpt,
-  kFanoutLower,
+  kOptimize,
+  kFanout,
   kValidate,
   /// Graph → machine::ExecProgram lowering. Lives above the translate
   /// layer (it needs the machine library), so run_stages never emits

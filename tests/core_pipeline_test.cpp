@@ -44,7 +44,7 @@ TEST(Pipeline, TraceListsEveryStageInOrder) {
   EXPECT_GT(tr->nanos, 0);
   EXPECT_GE(r.trace.total_nanos(), tr->nanos);
   // Disabled stages are reported as skipped, not dropped.
-  const auto* fl = r.trace.find(Stage::kFanoutLower);
+  const auto* fl = r.trace.find(Stage::kFanout);
   ASSERT_NE(fl, nullptr);
   EXPECT_FALSE(fl->ran);
   // Counter lookup by name; absent names return -1.
@@ -68,9 +68,10 @@ TEST(Pipeline, GoldenTraceRunningExample) {
             "control-dep: 9 -> 9 deps=12\n"
             "switch-place: 9 -> 9 switches=2 rounds=1\n"
             "translate: 9 -> 11 nodes=11 arcs=19\n"
-            "post-opt: 11 -> 11 removed=0 switches-folded=0 "
-            "merges-collapsed=0 dead=0 unfireable=0 iterations=1\n"
-            "fanout-lower: skipped\n"
+            "optimize: 11 -> 11 removed=0 switches-folded=0 "
+            "merges-collapsed=0 dead=0 unfireable=0 const-folded=0 "
+            "switch-elim=0 synch-narrowed=0 iterations=1 max-loop-depth=1\n"
+            "fanout: skipped\n"
             "validate: 11 -> 11 problems=0\n"
             "lower: 11 -> 11 ops=11 dests=19 frame-slots=18 literals=3\n");
 }
@@ -90,9 +91,10 @@ TEST(Pipeline, GoldenTraceFig9) {
             "control-dep: 11 -> 11 deps=9\n"
             "switch-place: 11 -> 11 switches=1 rounds=1\n"
             "translate: 11 -> 11 nodes=11 arcs=17\n"
-            "post-opt: 11 -> 11 removed=0 switches-folded=0 "
-            "merges-collapsed=0 dead=0 unfireable=0 iterations=1\n"
-            "fanout-lower: skipped\n"
+            "optimize: 11 -> 11 removed=0 switches-folded=0 "
+            "merges-collapsed=0 dead=0 unfireable=0 const-folded=0 "
+            "switch-elim=0 synch-narrowed=0 iterations=1 max-loop-depth=0\n"
+            "fanout: skipped\n"
             "validate: 11 -> 11 problems=0\n"
             "lower: 11 -> 11 ops=11 dests=17 frame-slots=19 literals=4\n");
 }
@@ -112,9 +114,10 @@ TEST(Pipeline, GoldenTraceArrayLoop) {
             "control-dep: 9 -> 9 deps=12\n"
             "switch-place: 9 -> 9 switches=2 rounds=1\n"
             "translate: 9 -> 10 nodes=10 arcs=18\n"
-            "post-opt: 10 -> 10 removed=0 switches-folded=0 "
-            "merges-collapsed=0 dead=0 unfireable=0 iterations=1\n"
-            "fanout-lower: skipped\n"
+            "optimize: 10 -> 10 removed=0 switches-folded=0 "
+            "merges-collapsed=0 dead=0 unfireable=0 const-folded=0 "
+            "switch-elim=0 synch-narrowed=0 iterations=1 max-loop-depth=1\n"
+            "fanout: skipped\n"
             "validate: 10 -> 10 problems=0\n"
             "lower: 10 -> 10 ops=10 dests=18 frame-slots=17 literals=3\n");
 }
@@ -179,7 +182,8 @@ TEST(Pipeline, ConfigureStageByName) {
   EXPECT_TRUE(po.translate.dead_store_elimination);
   EXPECT_TRUE(po.configure_stage("ssa", true));
   EXPECT_TRUE(po.compute_ssa);
-  EXPECT_TRUE(po.configure_stage("post-opt", true));
+  EXPECT_TRUE(po.configure_stage("optimize", true));
+  EXPECT_TRUE(po.configure_stage("post-opt", true));  // legacy alias
   EXPECT_TRUE(po.translate.post_optimize);
   EXPECT_TRUE(po.configure_stage("validate", false));
   EXPECT_FALSE(po.validate);
@@ -243,7 +247,7 @@ TEST(Pipeline, TableRendersSkippedRowsAndTotal) {
                      .run(lang::corpus::running_example_source());
   const std::string table = r.trace.table();
   EXPECT_NE(table.find("cfg-build"), std::string::npos);
-  EXPECT_NE(table.find("fanout-lower"), std::string::npos);
+  EXPECT_NE(table.find("fanout"), std::string::npos);
   EXPECT_NE(table.find("total"), std::string::npos);
 }
 

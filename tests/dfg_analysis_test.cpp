@@ -1,0 +1,175 @@
+// Unit tests for the loop-nest and dominance analysis
+// (dfg/analysis.hpp) on hand-built dataflow graphs, where every
+// dominator and loop depth can be stated by inspection.
+#include <gtest/gtest.h>
+
+#include "dfg/analysis.hpp"
+#include "dfg/graph.hpp"
+
+namespace ctdf::dfg {
+namespace {
+
+NodeId add_start(Graph& g, std::uint16_t outs = 1) {
+  Node s;
+  s.kind = OpKind::kStart;
+  s.num_outputs = outs;
+  s.start_values.assign(outs, 0);
+  const NodeId n = g.add(std::move(s));
+  g.set_start(n);
+  return n;
+}
+
+NodeId add_end(Graph& g, std::uint16_t ins = 1) {
+  Node e;
+  e.kind = OpKind::kEnd;
+  e.num_inputs = ins;
+  const NodeId n = g.add(std::move(e));
+  g.set_end(n);
+  return n;
+}
+
+/// 1-in/1-out pass-through — the generic "basic block" of these shape
+/// tests (merge ports tolerate any fan-in).
+NodeId block(Graph& g, const char* label) { return g.add_merge(label); }
+
+void wire(Graph& g, NodeId src, NodeId dst, std::uint16_t dst_port = 0) {
+  g.connect({src, 0}, {dst, dst_port}, false);
+}
+
+TEST(Analysis, StraightLineHasChainDominatorsAndDepthZero) {
+  Graph g;
+  const NodeId s = add_start(g);
+  const NodeId a = block(g, "a");
+  const NodeId b = block(g, "b");
+  const NodeId e = add_end(g);
+  wire(g, s, a);
+  wire(g, a, b);
+  wire(g, b, e);
+
+  const Analysis an = analyze(g);
+  EXPECT_EQ(an.preorder.size(), 4u);
+  EXPECT_EQ(an.postorder.size(), 4u);
+  EXPECT_EQ(an.idom[a.index()], s);
+  EXPECT_EQ(an.idom[b.index()], a);
+  EXPECT_EQ(an.idom[e.index()], b);
+  for (const NodeId n : {s, a, b, e}) {
+    EXPECT_TRUE(an.reachable(n));
+    EXPECT_EQ(an.loop_depth[n.index()], 0u);
+    EXPECT_FALSE(an.loop_header[n.index()].valid());
+  }
+}
+
+TEST(Analysis, DiamondJoinIsDominatedByTheForkOnly) {
+  Graph g;
+  const NodeId s = add_start(g);
+  const NodeId fork = block(g, "fork");
+  const NodeId left = block(g, "left");
+  const NodeId right = block(g, "right");
+  const NodeId join = block(g, "join");
+  const NodeId e = add_end(g);
+  wire(g, s, fork);
+  wire(g, fork, left);
+  wire(g, fork, right);
+  wire(g, left, join);
+  wire(g, right, join);
+  wire(g, join, e);
+
+  const Analysis an = analyze(g);
+  EXPECT_EQ(an.idom[join.index()], fork);
+  EXPECT_TRUE(an.dominates(fork, join));
+  EXPECT_TRUE(an.dominates(s, join));
+  EXPECT_FALSE(an.dominates(left, join));
+  EXPECT_FALSE(an.dominates(right, join));
+  EXPECT_TRUE(an.dominates(join, join));  // reflexive
+  EXPECT_EQ(an.max_loop_depth(), 0u);
+}
+
+TEST(Analysis, SelfLoopIsItsOwnHeaderAtDepthOne) {
+  Graph g;
+  const NodeId s = add_start(g);
+  const NodeId a = block(g, "a");
+  const NodeId e = add_end(g);
+  wire(g, s, a);
+  wire(g, a, a);  // back arc: a dominates a
+  wire(g, a, e);
+
+  const Analysis an = analyze(g);
+  EXPECT_EQ(an.loop_depth[a.index()], 1u);
+  EXPECT_EQ(an.loop_header[a.index()], a);
+  EXPECT_EQ(an.loop_depth[s.index()], 0u);
+  EXPECT_EQ(an.loop_depth[e.index()], 0u);
+  EXPECT_EQ(an.max_loop_depth(), 1u);
+}
+
+TEST(Analysis, SimpleLoopBodySharesTheHeader) {
+  Graph g;
+  const NodeId s = add_start(g);
+  const NodeId h = block(g, "head");
+  const NodeId b = block(g, "body");
+  const NodeId e = add_end(g);
+  wire(g, s, h);
+  wire(g, h, b);
+  wire(g, b, h);  // back arc: h dominates b
+  wire(g, b, e);
+
+  const Analysis an = analyze(g);
+  EXPECT_EQ(an.idom[b.index()], h);
+  EXPECT_EQ(an.loop_depth[h.index()], 1u);
+  EXPECT_EQ(an.loop_depth[b.index()], 1u);
+  EXPECT_EQ(an.loop_header[h.index()], h);
+  EXPECT_EQ(an.loop_header[b.index()], h);
+  EXPECT_EQ(an.loop_depth[e.index()], 0u);
+}
+
+TEST(Analysis, NestedLoopsStackDepths) {
+  // start → h1 → h2 → b → (h2 back) ; b → x → (h1 back) ; x → end
+  Graph g;
+  const NodeId s = add_start(g);
+  const NodeId h1 = block(g, "h1");
+  const NodeId h2 = block(g, "h2");
+  const NodeId b = block(g, "b");
+  const NodeId x = block(g, "x");
+  const NodeId e = add_end(g);
+  wire(g, s, h1);
+  wire(g, h1, h2);
+  wire(g, h2, b);
+  wire(g, b, h2);  // inner back arc
+  wire(g, b, x);
+  wire(g, x, h1);  // outer back arc
+  wire(g, x, e);
+
+  const Analysis an = analyze(g);
+  EXPECT_EQ(an.loop_depth[h1.index()], 1u);
+  EXPECT_EQ(an.loop_depth[x.index()], 1u);
+  EXPECT_EQ(an.loop_depth[h2.index()], 2u);
+  EXPECT_EQ(an.loop_depth[b.index()], 2u);
+  EXPECT_EQ(an.loop_header[b.index()], h2);
+  EXPECT_EQ(an.loop_header[x.index()], h1);
+  EXPECT_EQ(an.max_loop_depth(), 2u);
+  // The inner header's innermost loop is its own.
+  EXPECT_EQ(an.loop_header[h2.index()], h2);
+}
+
+TEST(Analysis, UnreachableNodesHaveNoOrderDominatorOrDepth) {
+  Graph g;
+  const NodeId s = add_start(g);
+  const NodeId a = block(g, "a");
+  const NodeId orphan = block(g, "orphan");  // never wired from start
+  const NodeId e = add_end(g);
+  wire(g, s, a);
+  wire(g, a, e);
+  wire(g, orphan, e);
+
+  const Analysis an = analyze(g);
+  EXPECT_FALSE(an.reachable(orphan));
+  EXPECT_EQ(an.preorder_index[orphan.index()], Analysis::kUnreachable);
+  EXPECT_FALSE(an.idom[orphan.index()].valid());
+  EXPECT_EQ(an.loop_depth[orphan.index()], 0u);
+  EXPECT_FALSE(an.dominates(s, orphan));
+  EXPECT_FALSE(an.dominates(orphan, e));
+  // Reachable nodes are unaffected by the orphan.
+  EXPECT_TRUE(an.dominates(a, e));
+}
+
+}  // namespace
+}  // namespace ctdf::dfg

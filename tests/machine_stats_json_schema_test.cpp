@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/compiler.hpp"
+#include "core/pipeline.hpp"
 #include "lang/corpus.hpp"
 #include "machine/report.hpp"
 
@@ -112,6 +113,43 @@ TEST(StatsJsonSchema, FailedRunEmitsTheSameKeySetWithATypedError) {
   EXPECT_NE(json.find("\"completed\": false"), std::string::npos) << json;
   EXPECT_NE(json.find("\"code\": \"cycle-cap\""), std::string::npos) << json;
   EXPECT_NE(json.find("\"check\": \"off\""), std::string::npos) << json;
+}
+
+/// The optimize stage's counters flow verbatim into `--stats-json`'s
+/// pipeline object and into `--stage-stats`, so their names and order
+/// are golden too. The fusion counters appear only when the fuse pass
+/// is enabled, keeping cleanup-only traces stable.
+TEST(StatsJsonSchema, OptimizeStageCountersAreTheGoldenSet) {
+  const std::vector<std::string> kCleanupKeys = {
+      "removed", "switches-folded", "merges-collapsed", "dead",
+      "unfireable", "const-folded", "switch-elim", "synch-narrowed",
+      "iterations", "max-loop-depth"};
+  const std::vector<std::string> kFusionKeys = {
+      "chains-fused", "fused-ops", "fused-len-2", "fused-len-3",
+      "fused-len-4", "fused-len-5", "fused-len-6", "fused-len-7",
+      "fused-len-8plus"};
+
+  const auto counters_with = [](translate::TranslateOptions t) {
+    t.post_optimize = true;
+    const auto cr =
+        core::Pipeline(core::PipelineOptions(t))
+            .run(lang::corpus::running_example_source());
+    std::vector<std::string> names;
+    for (const auto& r : cr.trace.stages) {
+      if (r.stage != translate::Stage::kOptimize) continue;
+      for (const auto& [name, value] : r.counters) names.push_back(name);
+    }
+    return names;
+  };
+
+  EXPECT_EQ(counters_with(translate::TranslateOptions::schema2_optimized()),
+            kCleanupKeys);
+
+  auto fused = translate::TranslateOptions::schema2_optimized();
+  fused.opt_passes = dfg::PassSet::all();
+  std::vector<std::string> expected = kCleanupKeys;
+  expected.insert(expected.end(), kFusionKeys.begin(), kFusionKeys.end());
+  EXPECT_EQ(counters_with(fused), expected);
 }
 
 TEST(StatsJsonSchema, EveryIntegrityCodeHasAStableSlug) {

@@ -70,12 +70,25 @@ std::vector<SchemaConfig> standard_configs() {
     add("fanout2/pipelined", t, machine::LoopMode::kPipelined, 0);
   }
   {
-    // Everything at once: the full optimizing pipeline.
+    // Macro-op fusion (--opt=all): chains collapse into kMacro nodes;
+    // stores must stay byte-identical to every other rung.
+    auto t = TranslateOptions::schema2_optimized();
+    t.post_optimize = true;
+    t.opt_passes = dfg::PassSet::all();
+    add("fuse/pipelined", t, machine::LoopMode::kPipelined, 0);
+    t.eliminate_memory = true;
+    add("fuse+memelim", t, machine::LoopMode::kBarrier, 2);
+    t.fuse_limit = 2;  // maximal segmentation: every macro is one pair
+    add("fuse/limit2", t, machine::LoopMode::kPipelined, 0);
+  }
+  {
+    // Everything at once: the full optimizing pipeline, fusion included.
     auto t = TranslateOptions::schema2_optimized();
     t.dead_store_elimination = true;
     t.eliminate_memory = true;
     t.parallel_reads = true;
     t.post_optimize = true;
+    t.opt_passes = dfg::PassSet::all();
     t.max_fanout = 2;
     add("kitchen-sink", t, machine::LoopMode::kPipelined, 4);
   }
@@ -101,6 +114,18 @@ std::vector<SchemaConfig> standard_configs() {
     out.back().mopt.check = machine::CheckMode::kIntegrity;
     out.back().mopt.host_threads = 3;
     out.back().mopt.processors = 2;
+
+    // Fused macro firings must pass the tagged integrity checker too:
+    // a macro is one match and one emitted token, so the slot-tag and
+    // response accounting must be indistinguishable from the unfused
+    // chain's head firing.
+    auto f = TranslateOptions::schema2_optimized();
+    f.eliminate_memory = true;
+    f.post_optimize = true;
+    f.opt_passes = dfg::PassSet::all();
+    add("integrity/fused-event", f, machine::LoopMode::kPipelined, 0);
+    out.back().mopt.check = machine::CheckMode::kIntegrity;
+    out.back().mopt.engine = machine::EngineKind::kEvent;
   }
   return out;
 }

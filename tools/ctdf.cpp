@@ -16,7 +16,14 @@
 //   --mem-elim              Sec. 6.1 memory elimination
 //   --dse                   liveness-based dead-store elimination
 //   --post-opt              dataflow-graph cleanup passes
-//   --max-fanout=N          bound destination lists (Monsoon: 2)
+//   --opt=LIST              select optimizer passes: `none`, `all`
+//                           (cleanup + fusion), or a comma list from
+//                           fold-switch, collapse-merge, dce,
+//                           const-fold, switch-elim, synch-narrow, fuse
+//   --fuse-limit=N          max ops per fused macro chain (default 8,
+//                           minimum 2; only meaningful with `fuse`)
+//   --max-fanout=N          bound destination lists (Monsoon: 2;
+//                           0 = unlimited, 1 is rejected)
 //   --par-reads             Sec. 6.2 read parallelization
 //   --fig14=a,b             Sec. 6.3 store parallelization for arrays
 //   --istructure=a,b        Sec. 6.3 write-once arrays on I-structures
@@ -31,8 +38,9 @@
 //                           before the cleanup passes. Stages: parse,
 //                           cfg-build, dse, loop-transform, cover, ssa,
 //                           dominance, control-dep, switch-place,
-//                           translate, post-opt, fanout-lower, validate,
-//                           lower
+//                           translate, optimize, fanout, validate,
+//                           lower (old names post-opt / fanout-lower
+//                           are accepted as aliases)
 //   --ssa                   run the stats-only SSA stage (φ placement,
 //                           visible via --stage-stats / --dump-after)
 //   --dump-exec             print the lowered ExecProgram op table
