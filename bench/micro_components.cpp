@@ -235,6 +235,49 @@ BENCHMARK(BM_MachineHostThreads)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+void BM_MachineAsyncThreads(benchmark::State& state) {
+  // Wall-clock scaling of the asynchronous work-stealing engine (arg 0
+  // = serial baseline). Free-running discipline: this is the engine's
+  // throughput configuration — no epoch fences, stealing on — and its
+  // schedule-derived metrics are allowed to vary, so only the store
+  // and semantic counters anchor correctness (checked by the AsyncEquiv
+  // suite, not here). The same nested-loop shape as
+  // BM_MachineHostThreads makes sync-vs-async speedup directly
+  // comparable row by row; scripts/bench_machine.py gates the ≥4-thread
+  // rows against --async-speedup-floor.
+  const auto prog =
+      core::parse(lang::corpus::nested_loops_source(16, 16));
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  const auto tx = core::compile(prog, topt);
+  const unsigned cores = std::thread::hardware_concurrency();
+  state.counters["host-cores"] = static_cast<double>(cores);
+  if (cores <= 1 && state.range(0) > 1) {
+    state.SkipWithError("single host core: no parallel speedup measurable");
+    return;
+  }
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    machine::MachineOptions mopt;
+    mopt.loop_mode = machine::LoopMode::kPipelined;
+    mopt.host_threads = static_cast<unsigned>(state.range(0));
+    mopt.parallel = machine::ParallelMode::kAsync;
+    mopt.deterministic = false;
+    const auto res = core::execute(tx, mopt);
+    ops += res.stats.ops_fired;
+    benchmark::DoNotOptimize(res.stats.cycles);
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MachineAsyncThreads)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 void BM_MachineFaultsOff(benchmark::State& state) {
   // Fault-machinery overhead gate on a token-heavy two-PE workload.
   // Arg 0: inert FaultPlan — the engines must take their legacy

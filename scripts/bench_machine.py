@@ -11,9 +11,11 @@ overhead pair (BM_MachineFaultsOff, arg 0 = legacy path / 1 = fault
 path engaged with zero rates), the integrity-checker cost pair
 (BM_MachineIntegrityOverhead, arg 0 = --check=off / 1 =
 --check=integrity), the macro-op fusion pair (BM_MachineFusedChains,
-arg 0 = cleanup passes only / 1 = --opt=all), and the deterministic
-recovery cost (BM_MachineFaultRecovery, cycles per run), and writes
-them to a JSON summary (BENCH_machine.json).
+arg 0 = cleanup passes only / 1 = --opt=all), the deterministic
+recovery cost (BM_MachineFaultRecovery, cycles per run), and the
+async work-stealing engine's thread scaling (BM_MachineAsyncThreads,
+arg 0 = serial baseline / N = free-running async at N host threads),
+and writes them to a JSON summary (BENCH_machine.json).
 
 With --check BASELINE it additionally compares against a committed
 baseline and exits non-zero on a regression beyond --tolerance
@@ -27,7 +29,11 @@ the unchecked path (the ratios are measured within one run, so they
 are host-independent). Macro-op fusion must *speed up* the chain-heavy
 workload by at least --fusion-speedup-floor: the fused row simulates
 the same program in fewer token matches, so falling under the floor
-means the fusion pass or the macro firing path lost its advantage. The checking-off row of the integrity pair is
+means the fusion pass or the macro firing path lost its advantage.
+On multi-core hosts the async engine must beat its own serial
+baseline by at least --async-speedup-floor at >= 4 threads; on
+single-core hosts the multi-thread rows skip themselves and the gate
+is vacuous (speedup is not measurable there). The checking-off row of the integrity pair is
 also gated against the baseline, which pins "off costs nothing": any
 tax the checker imposed on unchecked runs would show up there.
 
@@ -63,6 +69,7 @@ FILTER = "|".join(
         "BM_MachineIntegrityOverhead",
         "BM_MachineFusedChains",
         "BM_MachineFaultRecovery",
+        "BM_MachineAsyncThreads",
         "BM_FrameAlloc",
         "BM_LowerExecProgram/",  # skip the _BigO/_RMS aggregate rows
     ]
@@ -82,6 +89,7 @@ SECTIONS = {
     "fused_runs_per_s": ("BM_MachineFusedChains", "runs/s", True),
     "fault_recovery_cycles": ("BM_MachineFaultRecovery", "cycles/run",
                               False, 0.05),
+    "async_ops_per_s": ("BM_MachineAsyncThreads", "ops/s", True),
     "frame_ctxs_per_s": ("BM_FrameAlloc", "ctxs/s", True),
     "lowering_ns": ("BM_LowerExecProgram", "real_time", False),
 }
@@ -171,8 +179,24 @@ def fusion_speedup(summary):
     return fused / unfused
 
 
+def async_speedup(summary):
+    """Best async-over-serial throughput ratio on BM_MachineAsyncThreads
+    among the >= 4-thread rows, or None when the rows are missing (the
+    multi-thread rows skip themselves on single-core hosts, where no
+    speedup is measurable). Both sides come from the same run, so the
+    ratio is host-independent."""
+    rows = summary.get("async_ops_per_s", {})
+    serial = rows.get("BM_MachineAsyncThreads/0")
+    threaded = [v for k, v in rows.items()
+                if k != "BM_MachineAsyncThreads/0"
+                and int(k.rsplit("/", 1)[1]) >= 4]
+    if not serial or not threaded:
+        return None
+    return max(threaded) / serial
+
+
 def check(current, baseline, tolerance, speedup_floor, overhead_floor,
-          integrity_floor, fusion_floor):
+          integrity_floor, fusion_floor, async_floor):
     failures = []
 
     def compare(section, spec):
@@ -233,6 +257,17 @@ def check(current, baseline, tolerance, speedup_floor, overhead_floor,
               f"{fusion:.2f}x (floor {fusion_floor:.2f}x) {flag}")
         if fusion < fusion_floor:
             failures.append("fusion-speedup")
+
+    asyn = async_speedup(current)
+    if asyn is not None:
+        flag = "ok" if asyn >= async_floor else "REGRESSION"
+        print(f"async-engine speedup on BM_MachineAsyncThreads: "
+              f"{asyn:.2f}x (floor {async_floor:.2f}x) {flag}")
+        if asyn < async_floor:
+            failures.append("async-speedup")
+    else:
+        print("async-engine speedup on BM_MachineAsyncThreads: "
+              "not measurable on this host (multi-thread rows skipped)")
     return failures
 
 
@@ -266,6 +301,11 @@ def main():
                     help="required fused/unfused run-rate ratio on the "
                          "chain-heavy workload BM_MachineFusedChains "
                          "(default 1.15)")
+    ap.add_argument("--async-speedup-floor", type=float, default=1.15,
+                    help="required async/serial throughput ratio on "
+                         "BM_MachineAsyncThreads at >= 4 threads "
+                         "(default 1.15); vacuous on single-core hosts "
+                         "where the threaded rows skip themselves")
     args = ap.parse_args()
 
     summary = summarize(run_bench(args.bench))
@@ -292,6 +332,10 @@ def main():
         if fusion is not None:
             print(f"macro-op fusion speedup on BM_MachineFusedChains: "
                   f"{fusion:.2f}x")
+        asyn = async_speedup(summary)
+        if asyn is not None:
+            print(f"async-engine speedup on BM_MachineAsyncThreads: "
+                  f"{asyn:.2f}x")
         print("baseline recorded; commit it with the change that "
               "motivated the new numbers")
         return 0
@@ -303,7 +347,8 @@ def main():
                          args.event_speedup_floor,
                          args.faults_overhead_floor,
                          args.integrity_overhead_floor,
-                         args.fusion_speedup_floor)
+                         args.fusion_speedup_floor,
+                         args.async_speedup_floor)
         if failures:
             print(f"FAIL: {len(failures)} benchmark(s) regressed beyond "
                   f"{args.tolerance:.0%}: {', '.join(failures)}")

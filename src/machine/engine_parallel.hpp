@@ -24,4 +24,19 @@ namespace ctdf::machine::detail {
     const std::vector<IStructureRegion>& istructures,
     const std::vector<SharedRegion>& shared);
 
+/// Runs a lowered program on the asynchronous work-stealing engine
+/// (parallel/engine_async.cpp): per-PE local clocks with epoch-fenced
+/// token exchange under --deterministic, free-running work stealing
+/// otherwise. Stores and semantic counters match the serial engine;
+/// schedule-derived metrics (cycles, peak_ready, first_fire_cycle,
+/// avg_parallelism) do not. Without fault injection every error path —
+/// including the cycle cap, since async epochs are not serial cycles —
+/// returns nullopt and the caller re-runs serially for the reference
+/// diagnostics; with faults enabled the engine reports directly.
+[[nodiscard]] std::optional<RunResult> run_parallel_async(
+    const ExecProgram& program, std::size_t memory_cells,
+    const MachineOptions& options,
+    const std::vector<IStructureRegion>& istructures,
+    const std::vector<SharedRegion>& shared);
+
 }  // namespace ctdf::machine::detail

@@ -37,6 +37,7 @@
 #include "machine/machine.hpp"
 #include "machine/options.hpp"
 #include "support/assert.hpp"
+#include "support/hash.hpp"
 #include "support/rng.hpp"
 
 namespace ctdf::machine::detail {
@@ -297,8 +298,7 @@ class SerialEngine {
     if (opt_.processors == 0) return 0;
     const std::uint64_t key =
         opt_.placement == Placement::kByNode ? node.value() : ctx;
-    return static_cast<unsigned>(
-        ((key * 0x9e3779b97f4a7c15ULL) >> 33) % opt_.processors);
+    return support::golden_bucket(key, opt_.processors);
   }
 
   /// One cycle of multi-PE issue: each PE fires at most one ready

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "support/hash.hpp"
+
 namespace ctdf::machine {
 namespace {
 
@@ -105,12 +107,9 @@ std::string parse_fault_spec(const std::string& spec, FaultPlan& plan) {
 std::uint64_t FaultState::mix(std::uint64_t id, std::uint32_t salt) const {
   // SplitMix64 finalizer over (seed, id, salt): a full-period avalanche
   // keeps the decision streams independent across salts and ids.
-  std::uint64_t z = plan_.seed ^ (id * 0x9E3779B97F4A7C15ull) ^
-                    (std::uint64_t{salt} << 32);
-  z += 0x9E3779B97F4A7C15ull;
-  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-  return z ^ (z >> 31);
+  const std::uint64_t z = plan_.seed ^ (id * support::kGoldenGamma) ^
+                          (std::uint64_t{salt} << 32);
+  return support::splitmix64_mix(z + support::kGoldenGamma);
 }
 
 bool FaultState::roll(std::uint64_t id, std::uint32_t salt,

@@ -17,6 +17,7 @@
 #include "machine/exec.hpp"
 #include "machine/machine.hpp"
 #include "support/assert.hpp"
+#include "support/hash.hpp"
 
 namespace ctdf::machine {
 
@@ -56,8 +57,8 @@ struct CtxKey {
 struct CtxKeyHash {
   std::size_t operator()(const CtxKey& k) const {
     std::uint64_t h = k.loop;
-    h = h * 0x9e3779b97f4a7c15ULL + k.invocation;
-    h = h * 0x9e3779b97f4a7c15ULL + k.iter;
+    h = h * support::kGoldenGamma + k.invocation;
+    h = h * support::kGoldenGamma + k.iter;
     return static_cast<std::size_t>(h ^ (h >> 32));
   }
 };
@@ -370,6 +371,23 @@ class ContextState {
     return contexts_[ctx];
   }
 
+  /// Switches context-id assignment from dense arrival order to a
+  /// key-derived arena: iteration (loop ← from) is owned by shard
+  /// hash(key) % shards and receives id = owner + shards * slot, so
+  /// `ctx % shards` recovers the owning shard without a lookup and the
+  /// id does not depend on allocation order. Used by the async parallel
+  /// engine (lock-free token routing; deterministic ids regardless of
+  /// which worker allocates first). The id space becomes sparse; the
+  /// bookkeeping vectors grow with default-initialized holes. Must be
+  /// called before any allocation; the pre-created root context 0 maps
+  /// to shard 0 (0 % shards == 0).
+  void enable_arena(std::uint32_t shards) {
+    CTDF_ASSERT(contexts_.size() == 1);
+    arena_shards_ = shards;
+    arena_next_.assign(shards, 0);
+    arena_next_[0] = 1;  // root context occupies shard 0, slot 0
+  }
+
   void add_live(std::uint32_t ctx, std::uint32_t n = 1) {
     live_tokens_[ctx] += n;
   }
@@ -413,12 +431,26 @@ class ContextState {
   std::uint32_t context_for_iteration(cfg::LoopId loop, std::uint32_t from,
                                       RunStats& stats) {
     const CtxKey key = iteration_key(loop, from);
-    const auto [it, inserted] = ctx_table_.try_emplace(
-        key, static_cast<std::uint32_t>(contexts_.size()));
+    const auto [it, inserted] = ctx_table_.try_emplace(key, 0u);
     if (inserted) {
-      contexts_.push_back(CtxInfo{loop, key.invocation, key.iter});
-      live_tokens_.push_back(0);
-      retired_.push_back(false);
+      std::uint32_t id;
+      if (arena_shards_ == 0) {
+        id = static_cast<std::uint32_t>(contexts_.size());
+        contexts_.push_back(CtxInfo{loop, key.invocation, key.iter});
+        live_tokens_.push_back(0);
+        retired_.push_back(false);
+      } else {
+        const std::uint32_t owner = static_cast<std::uint32_t>(
+            CtxKeyHash{}(key) % arena_shards_);
+        id = owner + arena_shards_ * arena_next_[owner]++;
+        if (contexts_.size() <= id) {
+          contexts_.resize(id + 1);
+          live_tokens_.resize(id + 1, 0);
+          retired_.resize(id + 1, false);
+        }
+        contexts_[id] = CtxInfo{loop, key.invocation, key.iter};
+      }
+      it->second = id;
       ++stats.contexts_allocated;
       ++instances_[instance_key(loop, key.invocation)].in_flight;
       ++live_contexts_;
@@ -496,6 +528,8 @@ class ContextState {
   std::vector<CtxInfo> contexts_;
   std::vector<std::uint32_t> live_tokens_;
   std::vector<bool> retired_;
+  std::uint32_t arena_shards_ = 0;           ///< 0 = dense arrival-order ids
+  std::vector<std::uint32_t> arena_next_;    ///< next free slot per shard
   std::uint64_t live_contexts_ = 0;
   std::unordered_map<std::uint64_t, LoopInstance<TokenT>> instances_;
   std::unordered_map<CtxKey, std::uint32_t, CtxKeyHash> ctx_table_;

@@ -25,13 +25,17 @@ RunResult run(const ExecProgram& program, std::size_t memory_cells,
   // Tracing stays on the serial engine so an error run doesn't print a
   // partial parallel trace followed by the rerun's full one.
   if (options.host_threads > 1 && !options.trace) {
-    if (auto r = detail::run_parallel(program, memory_cells, options,
-                                      istructures, shared))
-      return std::move(*r);
+    auto r = options.parallel == ParallelMode::kAsync
+                 ? detail::run_parallel_async(program, memory_cells, options,
+                                              istructures, shared)
+                 : detail::run_parallel(program, memory_cells, options,
+                                        istructures, shared);
+    if (r) return std::move(*r);
     // Error path: the parallel engine saw a deadlock, collision,
-    // I-structure double write, or in-flight store at End. Re-run
-    // serially for the reference diagnostics (whose text depends on
-    // the serial engine's frame-scan order).
+    // I-structure double write, or in-flight store at End (for async,
+    // any fault-free error including the cycle cap). Re-run serially
+    // for the reference diagnostics (whose text depends on the serial
+    // engine's frame-scan order).
   }
   return detail::SerialEngine<detail::MapPending>{program, memory_cells,
                                                   options, istructures, shared}

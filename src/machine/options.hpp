@@ -76,6 +76,25 @@ enum class CheckMode : std::uint8_t {
   return c == CheckMode::kOff ? "off" : "integrity";
 }
 
+/// Host-parallel execution discipline (effective when host_threads > 1).
+enum class ParallelMode : std::uint8_t {
+  /// Cycle-synchronous barrier engine: every worker advances one
+  /// simulated cycle in lock step (deliver/fire/exchange phases joined
+  /// by barriers). Bit-identical to the serial engine by construction.
+  kSync,
+  /// Asynchronous work-stealing engine: each PE runs its shard set on a
+  /// local clock, exchanging tokens through per-shard mailboxes, with
+  /// epoch fences only at loop boundaries (deterministic mode) or no
+  /// global synchronization at all (free-running mode). Final stores
+  /// and semantic counters match the serial engine; the schedule (and
+  /// schedule-derived metrics such as cycles) may differ.
+  kAsync,
+};
+
+[[nodiscard]] inline const char* to_string(ParallelMode p) {
+  return p == ParallelMode::kSync ? "sync" : "async";
+}
+
 /// Deterministic fault-injection plan (see machine/faults.hpp for the
 /// model and the recovery machinery). All rates are per-event
 /// probabilities in [0,1]; every decision is a pure function of `seed`
@@ -162,6 +181,24 @@ struct MachineOptions {
   /// host_threads (see doc/IMPLEMENTATION-NOTES.md, "Parallel engine &
   /// determinism model").
   unsigned host_threads = 0;
+
+  /// Which host-parallel engine host_threads > 1 selects (CLI
+  /// `--parallel=sync|async`). Sync is the barrier engine; async is the
+  /// work-stealing engine with epoch-based token exchange.
+  ParallelMode parallel = ParallelMode::kSync;
+
+  /// Async engine only (CLI `--slack=N`): bounded-slack window — how
+  /// many self-delivery sub-rounds a PE may run between epoch fences
+  /// before forwarding leftovers to the next epoch. 0 = auto (derived
+  /// from the latency ladder: alu_latency + mem_latency).
+  unsigned slack = 0;
+
+  /// Async engine only (CLI `--deterministic[=0]`): serialize shard→
+  /// worker placement, disable stealing, and fence loop-entry firings
+  /// so two runs with the same options are byte-identical (stats JSON
+  /// and final store). Default on — tests rely on it; turn off to
+  /// free-run for throughput.
+  bool deterministic = true;
 
   /// Abort knob for runaway graphs.
   std::uint64_t max_cycles = 50'000'000;

@@ -1,0 +1,975 @@
+// The asynchronous work-stealing parallel engine (`--parallel=async`).
+//
+// Where the sync engine advances every worker through one simulated
+// cycle in lock step (deliver / fire / exchange phases joined by
+// barriers), this engine abandons the global clock. Iteration contexts
+// are partitioned over S = 4·W shards by key-derived arena ids
+// (ContextState::enable_arena, so `ctx % S` names the owning shard),
+// each shard owns its slice of the frame store, and each worker (PE)
+// runs a local clock over the shards it possesses, exchanging tokens
+// through per-shard mailboxes.
+//
+// Two disciplines share one firing path:
+//
+//  * Deterministic mode (--deterministic, the default): shard s is
+//    pinned to worker s % W, no stealing. Execution proceeds in
+//    epochs: each worker drains its shards' inboxes and fires what
+//    becomes ready, feeding shard-local emissions back for up to
+//    `slack` sub-rounds (the bounded-slack window; --slack=0 derives
+//    it from the latency ladder) and buffering cross-shard emissions.
+//    At the epoch fence the coordinator routes the epoch's k-bound /
+//    capacity wakes in sorted order, fires the fence-deferred ops —
+//    loop entries, whose context-allocation, k-bound, and
+//    back-pressure decisions need a global order, and I-structure
+//    ops, whose fetch-vs-store arrival race would otherwise leak the
+//    schedule into deferred_reads — and merges the out-buffers in
+//    fixed shard order. Every cross-worker decision is thereby
+//    fence-serialized, so two runs with the same options are
+//    byte-identical.
+//
+//  * Free-running mode (--deterministic=0): no fences. Workers pop
+//    shards from their own deque and steal from a victim's when their
+//    resident set drains (parallel/scheduler.hpp); quiescence is
+//    detected by a global outstanding-token counter incremented
+//    before every mailbox push and decremented only after a token is
+//    fully absorbed, so zero is stable and means no token is in
+//    flight anywhere. The schedule — and the schedule-derived metrics
+//    cycles, peak_ready, first_fire_cycle, per-PE counters — diverge;
+//    the final store and the semantic counters do not.
+//
+// Error handling follows the sync engine's contract (see
+// engine_parallel.hpp): fault-free error paths return nullopt and the
+// caller re-runs serially for the reference diagnostics (here that
+// includes the cycle cap — async epochs are not serial cycles); with
+// fault injection enabled the engine reports directly. Shared mutable
+// state is confined to three lock families — per-shard inbox mutexes,
+// the context-state mutex (liveness, allocation, k-bound), and 64
+// memory bank stripes (MemoryState / IntegrityState / DeferredMap are
+// all cell-indexed, so a bank partition is race-free) — and no two of
+// them are ever held together.
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "machine/engine_parallel.hpp"
+#include "machine/faults.hpp"
+#include "machine/fire.hpp"
+#include "machine/frames.hpp"
+#include "machine/integrity.hpp"
+#include "machine/machine.hpp"
+#include "machine/options.hpp"
+#include "machine/parallel/mailbox.hpp"
+#include "machine/parallel/pool.hpp"
+#include "machine/parallel/scheduler.hpp"
+#include "support/assert.hpp"
+#include "support/hash.hpp"
+
+namespace ctdf::machine::detail {
+namespace {
+
+class AsyncEngine {
+ public:
+  AsyncEngine(const ExecProgram& ep, std::size_t memory_cells,
+              const MachineOptions& opt,
+              const std::vector<IStructureRegion>& istructures,
+              const std::vector<SharedRegion>& shared)
+      : ep_(ep),
+        opt_(opt),
+        nworkers_(std::min(opt.host_threads, 256u)),
+        nshards_(4 * std::min(opt.host_threads, 256u)),
+        slack_(opt.slack ? opt.slack : opt.alu_latency + opt.mem_latency),
+        det_(opt.deterministic),
+        sched_(nworkers_, nshards_),
+        workers_(nworkers_) {
+    if (fault_active(opt_)) fault_.emplace(opt_.faults);
+    mem_.init(memory_cells, istructures);
+    deferred_.resize(kBanks);
+    if (opt_.check == CheckMode::kIntegrity) {
+      check_ = true;
+      integ_.emplace();
+      integ_->init(mem_.store.cells.size(), opt_.mem_latency,
+                   opt_.test_dup_response, shared);
+    }
+    cs_.enable_arena(nshards_);
+    for (unsigned s = 0; s < nshards_; ++s) {
+      shards_.emplace_back(ep_);
+      if (check_) shards_.back().frames.enable_checking();
+    }
+    for (unsigned w = 0; w < nworkers_; ++w) workers_[w].id = w;
+    stats_.fired_by_kind.assign(dfg::kNumOpKinds, 0);
+    stats_.first_fire_cycle.assign(ep_.num_ops(), UINT64_MAX);
+  }
+
+  std::optional<RunResult> run() {
+    boot();
+    if (det_)
+      run_det();
+    else
+      run_free();
+    return finalize();
+  }
+
+ private:
+  static constexpr unsigned kBanks = 64;
+
+  struct Worker {
+    unsigned id = 0;
+    RunStats::PeCounters pe;
+    std::vector<Emission> emit_buf;  ///< staged emissions of one firing
+    std::vector<AToken> wake_buf;    ///< k-bound / capacity wake tokens
+    /// (ctx, tokens) of deferred-reader emissions pending add_live.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> live_buf;
+    std::vector<std::int64_t> in_buf;
+    std::uint64_t fired_epoch = 0;  ///< profile accumulator (det mode)
+    std::uint64_t peak_batch = 0;   ///< free-mode peak_ready estimate
+  };
+
+  [[nodiscard]] std::uint32_t shard_of(std::uint32_t ctx) const {
+    return ctx % nshards_;
+  }
+  [[nodiscard]] static unsigned bank_of(std::uint64_t cell) {
+    return static_cast<unsigned>((cell >> 3) % kBanks);
+  }
+  [[nodiscard]] unsigned pe_of(std::uint32_t ctx, dfg::NodeId node) const {
+    if (opt_.processors == 0) return 0;
+    const std::uint64_t key =
+        opt_.placement == Placement::kByNode ? node.value() : ctx;
+    return support::golden_bucket(key, opt_.processors);
+  }
+  /// Per-shard fault-decision id stream: deterministic in epoch mode
+  /// because each shard's deliver/fire sequence is fence-serialized.
+  [[nodiscard]] static std::uint64_t fault_id(AsyncShard& sh,
+                                              std::uint32_t sid) {
+    return (static_cast<std::uint64_t>(sid + 1) << 48) | sh.nonce++;
+  }
+  /// Deterministic error precedence, det mode: (epoch, shard) — within
+  /// one shard's serial processing the first error calls first, and the
+  /// min key across shards and epochs wins globally. Free mode: first
+  /// writer wins.
+  [[nodiscard]] std::uint64_t err_key(std::uint32_t sid) const {
+    return det_ ? (epoch_ << 32) | sid : 0;
+  }
+
+  void record_error(RunError e, std::uint64_t key) {
+    {
+      std::lock_guard lk(err_mu_);
+      if (!has_err_ || key < err_key_) {
+        err_ = std::move(e);
+        err_key_ = key;
+        has_err_ = true;
+      }
+    }
+    // Free mode aborts in place; det mode finishes the epoch — its work
+    // set is already fixed, so completing it keeps the counters and the
+    // winning error deterministic — and stops at the fence.
+    if (!det_) abort_.store(true, std::memory_order_release);
+    error_seen_.store(true, std::memory_order_release);
+  }
+
+  void boot() {
+    const dfg::NodeId s = ep_.start();
+    const ExecOp& start = ep_.op(s);
+    ++stats_.ops_fired;
+    ++stats_.fired_by_kind[static_cast<std::size_t>(start.kind)];
+    if (stats_.first_fire_cycle[s.index()] == UINT64_MAX)
+      stats_.first_fire_cycle[s.index()] = 0;
+    // Boot emissions model program loading, not network traffic: exempt
+    // from fault injection (same rule as the serial engine).
+    booting_ = true;
+    Worker& w = workers_[0];
+    std::uint32_t n = 0;
+    for (std::uint16_t p = 0; p < start.num_outputs; ++p)
+      n += emit(w, shards_[0], 0, /*fire_ctx=*/0, /*dst_ctx=*/0, s, p,
+                ep_.start_values()[p], /*vt=*/0, /*latency=*/0);
+    booting_ = false;
+    cs_.add_live(0, n);
+    for (Emission& em : w.emit_buf) {
+      outstanding_.fetch_add(1, std::memory_order_relaxed);
+      shards_[em.dst].inbox.push_back(std::move(em.at));
+      shards_[em.dst].pending_hint.fetch_add(1, std::memory_order_release);
+    }
+    w.emit_buf.clear();
+  }
+
+  // ---------------------------------------------------------------------
+  // Delivery: file one mailbox token into its shard. Returns false when
+  // the token was absorbed without producing ready work (free mode
+  // decrements the outstanding counter for it).
+  bool deliver(AsyncShard& sh, std::uint32_t sid, const AToken& at) {
+    const Token& t = at.tok;
+    if (fault_) {
+      if (t.refire) {
+        // A NACK-less re-ready is impossible here (async absorbs NACK
+        // backoff inline); a refire token is a capacity-stalled barrier
+        // entry whose operands are still matched in the frame.
+        sh.ready.push_back(
+            AEntry{t.ctx, t.node, false, false, true, 0, 0, at.vt});
+        return true;
+      }
+      if (t.seq != 0) {
+        const auto [it, inserted] = sh.dedup_seen.insert(t.seq);
+        if (!inserted) {
+          sh.dedup_seen.erase(it);
+          ++sh.duplicates_dropped;
+          return false;
+        }
+      }
+    }
+    ++sh.tokens_sent;
+    const ExecOp& op = ep_.op(t.node);
+    if (non_strict(op, opt_.loop_mode)) {
+      sh.ready.push_back(AEntry{t.ctx, t.node, true, t.requeued, false,
+                                t.port, t.value, at.vt});
+      return true;
+    }
+    if (check_) ++sh.integrity_checks;
+    const std::uint32_t local = t.ctx / nshards_;
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(local) << 32) | op.strict_index;
+    switch (sh.frames.deliver(local, op, t.port, t.value)) {
+      case FrameStore::Deliver::kTagOccupied:
+        record_error(
+            integrity_double_write_error(ep_, t.node, t.port, t.ctx, at.vt),
+            err_key(sid));
+        return false;
+      case FrameStore::Deliver::kTagOverrun:
+        record_error(
+            integrity_read_empty_error(ep_, t.node, t.port, t.ctx, at.vt),
+            err_key(sid));
+        return false;
+      case FrameStore::Deliver::kCollision:
+        record_error(
+            RunError{ErrorCode::kSlotCollision,
+                     "token collision at node " +
+                         std::to_string(t.node.value()) + " (" +
+                         to_string(op.kind) + " '" +
+                         ep_.label(t.node.index()) + "') port " +
+                         std::to_string(t.port) + " in context " +
+                         std::to_string(t.ctx) + " at cycle " +
+                         std::to_string(at.vt),
+                     {}},
+            err_key(sid));
+        return false;
+      case FrameStore::Deliver::kCompleted: {
+        ++sh.matches;
+        std::uint64_t vt = at.vt;
+        if (check_) {
+          // The firing's virtual time is the max over its inputs'
+          // arrival times (what the serial clock would say).
+          if (const auto it = sh.slot_vt.find(key); it != sh.slot_vt.end()) {
+            vt = std::max(vt, it->second);
+            sh.slot_vt.erase(it);
+          }
+        }
+        sh.ready.push_back(
+            AEntry{t.ctx, t.node, false, false, false, 0, 0, vt});
+        return true;
+      }
+      case FrameStore::Deliver::kStored:
+        ++sh.matches;
+        if (check_) {
+          auto& slot = sh.slot_vt[key];
+          slot = std::max(slot, at.vt);
+        }
+        return false;
+    }
+    return false;
+  }
+
+  // ---------------------------------------------------------------------
+  // Emission: fan `value` out of (node, port) toward dst_ctx, staged in
+  // w.emit_buf for the mode-specific flush. Returns the number of
+  // *logical* tokens produced (one per destination arc; a
+  // fault-injected duplicate shares its original's liveness and dedup
+  // sequence). The caller adds them live before consuming the firing's
+  // inputs, mirroring the serial emit-then-consume order.
+  std::uint32_t emit(Worker& w, AsyncShard& sh, std::uint32_t sid,
+                     std::uint32_t fire_ctx, std::uint32_t dst_ctx,
+                     dfg::NodeId node, std::uint16_t port, std::int64_t value,
+                     std::uint64_t vt, std::uint64_t latency) {
+    const unsigned from_pe = pe_of(fire_ctx, node);
+    std::uint32_t n = 0;
+    for (const ExecDest& d : ep_.dests(node, port)) {
+      std::uint64_t hop = 0;
+      if (opt_.processors > 0 && pe_of(dst_ctx, d.node) != from_pe)
+        hop = opt_.network_latency;
+      AToken at{Token{dst_ctx, d.node, d.port, value}, vt + latency + hop};
+      if (fault_ && hop > 0 && !booting_) {
+        const FaultState::Transit f = fault_->transit(fault_id(sh, sid));
+        if (f.exhausted) {
+          watchdog_.fetch_add(1, std::memory_order_relaxed);
+          record_error(
+              RunError{ErrorCode::kRetryExhausted,
+                       "retry budget exhausted: token for node '" +
+                           ep_.label(d.node.index()) + "' dropped " +
+                           std::to_string(opt_.faults.max_attempts) +
+                           " time(s) in the network",
+                       {}},
+              err_key(sid));
+        }
+        sh.faults_injected += f.drops + f.jitters + (f.duplicated ? 1 : 0);
+        sh.retries += f.drops;
+        at.vt += f.delay;
+        if (f.duplicated) {
+          at.tok.seq = fault_->seq_for(fault_id(sh, sid));
+          AToken dup = at;
+          dup.vt = vt + latency + hop + f.dup_delay;
+          w.emit_buf.push_back(Emission{shard_of(dst_ctx), std::move(dup)});
+        }
+      }
+      w.emit_buf.push_back(Emission{shard_of(dst_ctx), std::move(at)});
+      ++n;
+    }
+    return n;
+  }
+
+  /// Firing-side counter block; requires ctx_mu_.
+  void count_fire_locked(const ExecOp& op, dfg::NodeId node,
+                         std::uint64_t checks) {
+    ++stats_.ops_fired;
+    ++stats_.fired_by_kind[static_cast<std::size_t>(op.kind)];
+    stats_.integrity_checks += checks;
+    std::uint64_t& ff = stats_.first_fire_cycle[node.index()];
+    if (ff == UINT64_MAX) ff = det_ ? epoch_ : 0;
+  }
+
+  /// Token-liveness consume; requires ctx_mu_. Wakes (k-bound stalled
+  /// forwardings, capacity-blocked entries) land in w.wake_buf — the
+  /// free-running flush pushes them immediately, the deterministic
+  /// fence routes them in sorted order.
+  void consume_locked(Worker& w, std::uint32_t ctx, std::uint32_t n) {
+    const bool retired =
+        cs_.consume(ctx, n, [&](std::vector<AToken>&& stalled) {
+          for (AToken& t : stalled) w.wake_buf.push_back(std::move(t));
+        });
+    if (retired && !cap_stalled_.empty()) {
+      // A frame was freed: wake everything blocked on capacity. The
+      // first to re-fire claims it; the rest re-stall.
+      for (AToken& t : cap_stalled_) w.wake_buf.push_back(std::move(t));
+      cap_stalled_.clear();
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Firing. Mirrors SerialEngine::fire step for step (NACK roll, then
+  // capacity back-pressure, then counters / emissions /
+  // consume-after-emit). The one structural difference: a NACKed memory
+  // firing absorbs its backoff inline — the serial engine parks a
+  // refire token instead, but a rejected attempt advances no counters
+  // there either, so firing immediately is counter-identical and the
+  // backoff surfaces only in the virtual timestamp.
+  void fire_entry(Worker& w, AsyncShard& sh, std::uint32_t sid,
+                  const AEntry& e) {
+    const ExecOp& op = ep_.op(e.node);
+    const std::uint64_t alu = opt_.alu_latency;
+    const std::uint64_t memlat = opt_.mem_latency;
+    std::uint64_t vt = e.vt;
+    if (fault_) {
+      if ((op.flags & kExecMem) && !e.refire) {
+        const FaultState::Nack n = fault_->nack(fault_id(sh, sid));
+        if (n.exhausted) {
+          watchdog_.fetch_add(1, std::memory_order_relaxed);
+          record_error(
+              RunError{ErrorCode::kRetryExhausted,
+                       "retry budget exhausted: memory NACKed node '" +
+                           ep_.label(e.node.index()) + "' " +
+                           std::to_string(opt_.faults.max_attempts) +
+                           " time(s)",
+                       {}},
+              err_key(sid));
+          return;
+        }
+        if (n.nacks > 0) {
+          sh.nacks_seen += n.nacks;
+          sh.retries += n.nacks;
+          sh.faults_injected += n.nacks;
+          vt += n.delay;
+        }
+      }
+      if (opt_.frame_capacity > 0 && op.kind == dfg::OpKind::kLoopEntry) {
+        std::lock_guard lk(ctx_mu_);
+        if (cs_.would_allocate(op.loop, e.ctx) &&
+            cs_.live_contexts() >= opt_.frame_capacity) {
+          // Back-pressure, not a firing — no counters advance beyond
+          // the stall count.
+          ++stats_.backpressure_stalls;
+          if (e.immediate) {
+            cap_stalled_.push_back(
+                AToken{Token{e.ctx, e.node, e.port, e.value, true}, vt});
+            if (!e.requeued) consume_locked(w, e.ctx, 1);
+          } else {
+            Token t{e.ctx, e.node, 0, 0};
+            t.refire = true;
+            cap_stalled_.push_back(AToken{t, vt});
+          }
+          return;
+        }
+      }
+    }
+
+    // Non-strict firings: one token in, forwarded.
+    if (e.immediate) {
+      switch (op.kind) {
+        case dfg::OpKind::kMerge: {
+          const std::uint32_t n =
+              emit(w, sh, sid, e.ctx, e.ctx, e.node, 0, e.value, vt, alu);
+          std::lock_guard lk(ctx_mu_);
+          count_fire_locked(op, e.node, 0);
+          cs_.add_live(e.ctx, n);
+          consume_locked(w, e.ctx, 1);
+          return;
+        }
+        case dfg::OpKind::kLoopExit: {
+          std::uint32_t inv;
+          {
+            // info() returns into a vector the allocator resizes.
+            std::lock_guard lk(ctx_mu_);
+            const CtxInfo& cur = cs_.info(e.ctx);
+            CTDF_ASSERT_MSG(cur.loop.valid(),
+                            "loop exit fired outside an iteration context");
+            inv = cur.invocation;
+          }
+          const std::uint32_t n =
+              emit(w, sh, sid, e.ctx, inv, e.node, e.port, e.value, vt, alu);
+          std::lock_guard lk(ctx_mu_);
+          count_fire_locked(op, e.node, 0);
+          cs_.add_live(inv, n);
+          consume_locked(w, e.ctx, 1);
+          return;
+        }
+        case dfg::OpKind::kLoopEntry: {
+          std::uint32_t next;
+          {
+            std::lock_guard lk(ctx_mu_);
+            // The serial engine counts the firing before the k-bound
+            // check (a throttled forwarding is a firing; a
+            // capacity-stalled one is not).
+            count_fire_locked(op, e.node, 0);
+            if (auto* inst = cs_.bound_block(op.loop, e.ctx, opt_.loop_bound)) {
+              inst->stalled.push_back(
+                  AToken{Token{e.ctx, e.node, e.port, e.value, true}, vt});
+              ++stats_.throttle_stalls;
+              if (!e.requeued) consume_locked(w, e.ctx, 1);
+              return;
+            }
+            next = cs_.context_for_iteration(op.loop, e.ctx, stats_);
+          }
+          const std::uint32_t n =
+              emit(w, sh, sid, e.ctx, next, e.node, e.port, e.value, vt, alu);
+          std::lock_guard lk(ctx_mu_);
+          cs_.add_live(next, n);
+          if (!e.requeued) consume_locked(w, e.ctx, 1);
+          return;
+        }
+        default:
+          CTDF_UNREACHABLE("bad non-strict op");
+      }
+    }
+
+    // Strict firings: consume the local frame-slot range. A refire
+    // entry re-enters with its operands still matched.
+    const std::uint32_t local = e.ctx / nshards_;
+    CTDF_ASSERT(sh.frames.has(local, op) &&
+                sh.frames.remaining(local, op) == 0);
+    const std::int64_t* slots = sh.frames.inputs(local, op);
+    w.in_buf.assign(slots, slots + op.num_inputs);
+    const int missing = sh.frames.release(local, op);
+    std::uint64_t checks = 0;
+    if (check_) {
+      ++checks;
+      if (missing >= 0) {
+        std::lock_guard lk(ctx_mu_);
+        count_fire_locked(op, e.node, checks);
+        record_error(
+            integrity_read_empty_error(ep_, e.node, missing, e.ctx, vt),
+            err_key(sid));
+        return;
+      }
+    }
+    const std::int64_t* in = w.in_buf.data();
+
+    if (op.flags & kExecMem) {
+      const MemAccess a = resolve_mem(op, in, mem_.store.cells.size());
+      if (check_) ++checks;
+      std::uint32_t n_own = 0;
+      w.live_buf.clear();
+      MemCheck mc;
+      {
+        std::lock_guard bank(bank_mu_[bank_of(a.cell)]);
+        mc = apply_mem(
+            op, e.ctx, e.node, a, mem_, deferred_[bank_of(a.cell)],
+            integ_ ? &*integ_ : nullptr, vt,
+            [&](std::uint16_t port, std::int64_t value) {
+              n_own += emit(w, sh, sid, e.ctx, e.ctx, e.node, port, value, vt,
+                            memlat);
+            },
+            [&](std::uint32_t dctx, dfg::NodeId dnode, std::int64_t value) {
+              const std::uint32_t k =
+                  emit(w, sh, sid, e.ctx, dctx, dnode, 0, value, vt, memlat);
+              w.live_buf.emplace_back(dctx, k);
+            },
+            [&] { ++sh.deferred_reads; });
+      }
+      {
+        std::lock_guard lk(ctx_mu_);
+        count_fire_locked(op, e.node, checks);
+        if (op.flags & kExecWrite)
+          ++stats_.mem_writes;
+        else
+          ++stats_.mem_reads;
+        cs_.add_live(e.ctx, n_own);
+        for (const auto& [dctx, k] : w.live_buf) cs_.add_live(dctx, k);
+        consume_locked(w, e.ctx, op.consumed_inputs);
+      }
+      switch (mc.kind) {
+        case MemCheck::Kind::kOk:
+          break;
+        case MemCheck::Kind::kIStoreDoubleWrite:
+          record_error(RunError{ErrorCode::kIStoreDoubleWrite,
+                                "I-structure double write to cell " +
+                                    std::to_string(a.cell) + " by node '" +
+                                    ep_.label(e.node.index()) + "'",
+                                {}},
+                       err_key(sid));
+          break;
+        case MemCheck::Kind::kMemRace:
+          record_error(
+              integrity_mem_race_error(ep_, e.node, mc, vt, opt_.mem_latency),
+              err_key(sid));
+          break;
+        case MemCheck::Kind::kOrphanResponse:
+          record_error(integrity_orphan_error(ep_, mc), err_key(sid));
+          break;
+      }
+      return;
+    }
+
+    if (op.kind == dfg::OpKind::kLoopEntry) {
+      // Barrier mode: the full circulating set starts the next
+      // iteration in a freshly allocated context.
+      std::uint32_t next;
+      {
+        std::lock_guard lk(ctx_mu_);
+        count_fire_locked(op, e.node, checks);
+        next = cs_.context_for_iteration(op.loop, e.ctx, stats_);
+      }
+      std::uint32_t n = 0;
+      for (std::uint16_t p = 0; p < op.num_inputs; ++p)
+        n += emit(w, sh, sid, e.ctx, next, e.node, p, in[p], vt, alu);
+      std::lock_guard lk(ctx_mu_);
+      cs_.add_live(next, n);
+      consume_locked(w, e.ctx, op.consumed_inputs);
+      return;
+    }
+    if (op.kind == dfg::OpKind::kEnd) {
+      {
+        std::lock_guard lk(ctx_mu_);
+        count_fire_locked(op, e.node, checks);
+        consume_locked(w, e.ctx, op.consumed_inputs);
+      }
+      completed_.store(true, std::memory_order_release);
+      return;
+    }
+    std::uint32_t n = 0;
+    fire_pure(ep_, op, in, [&](std::uint16_t port, std::int64_t value) {
+      n += emit(w, sh, sid, e.ctx, e.ctx, e.node, port, value, vt, alu);
+    });
+    std::lock_guard lk(ctx_mu_);
+    count_fire_locked(op, e.node, checks);
+    cs_.add_live(e.ctx, n);
+    consume_locked(w, e.ctx, op.consumed_inputs);
+  }
+
+  // ---------------------------------------------------------------------
+  // Deterministic (epoch) mode.
+
+  /// Routes one firing's staged emissions: shard-local ones feed the
+  /// next slack sub-round, cross-shard ones wait for the fence.
+  void flush_det(Worker& w, AsyncShard& sh, std::uint32_t sid) {
+    for (Emission& em : w.emit_buf) {
+      if (em.dst == sid) {
+        sh.self_next.push_back(std::move(em.at));
+      } else {
+        ++w.pe.tokens_exchanged;
+        sh.out.push_back(std::move(em));
+      }
+    }
+    w.emit_buf.clear();
+  }
+
+  bool process_shard_det(Worker& w, std::uint32_t sid) {
+    AsyncShard& sh = shards_[sid];
+    std::vector<AToken> cur;
+    {
+      std::lock_guard lk(sh.inbox_mu);
+      cur.swap(sh.inbox);
+    }
+    if (cur.empty() && sh.ready.empty()) return false;
+    unsigned round = 0;
+    for (;;) {
+      for (const AToken& at : cur) deliver(sh, sid, at);
+      for (std::size_t i = 0; i < sh.ready.size(); ++i) {
+        const AEntry e = sh.ready[i];
+        const dfg::OpKind k = ep_.op(e.node).kind;
+        if (k == dfg::OpKind::kLoopEntry || k == dfg::OpKind::kIStore ||
+            k == dfg::OpKind::kIFetch) {
+          sh.fence_defer.push_back(e);
+          continue;
+        }
+        fire_entry(w, sh, sid, e);
+        ++w.fired_epoch;
+        flush_det(w, sh, sid);
+      }
+      sh.ready.clear();
+      if (++round > slack_ || sh.self_next.empty()) break;
+      cur = std::move(sh.self_next);
+      sh.self_next.clear();
+    }
+    // Slack window exhausted: leftovers rejoin through the fence.
+    for (AToken& at : sh.self_next)
+      sh.out.push_back(Emission{sid, std::move(at)});
+    sh.self_next.clear();
+    return true;
+  }
+
+  void epoch_worker(unsigned wid) {
+    Worker& w = workers_[wid];
+    bool any = false;
+    for (std::uint32_t s = wid; s < nshards_; s += nworkers_)
+      any = process_shard_det(w, s) || any;
+    ++w.pe.epochs;
+    if (!any) ++w.pe.idle_waits;
+  }
+
+  /// The epoch fence, run by the coordinator with all workers parked.
+  /// Returns true while tokens remain for the next epoch.
+  bool fence() {
+    Worker& c = workers_[0];
+    // 1. Route the epoch's wake tokens in sorted order: *which* worker
+    // buffered a wake is a race (a context's retiring consume can run
+    // on any worker), but the multiset of wakes per epoch is not.
+    std::vector<AToken> wakes;
+    for (Worker& w : workers_) {
+      wakes.insert(wakes.end(), w.wake_buf.begin(), w.wake_buf.end());
+      w.wake_buf.clear();
+    }
+    std::sort(wakes.begin(), wakes.end(), [](const AToken& a, const AToken& b) {
+      const Token& x = a.tok;
+      const Token& y = b.tok;
+      return std::make_tuple(x.ctx, x.node.value(), x.port, x.value,
+                             x.requeued, x.refire, x.seq, a.vt) <
+             std::make_tuple(y.ctx, y.node.value(), y.port, y.value,
+                             y.requeued, y.refire, y.seq, b.vt);
+    });
+    for (AToken& t : wakes)
+      shards_[shard_of(t.tok.ctx)].inbox.push_back(std::move(t));
+    // 2. Fire the fence-deferred ops serially — shard order, FIFO
+    // within a shard. Their emissions (and any wakes their consumes
+    // trigger) route straight into the next epoch's inboxes.
+    for (std::uint32_t s = 0; s < nshards_; ++s) {
+      AsyncShard& sh = shards_[s];
+      if (sh.fence_defer.empty()) continue;
+      std::vector<AEntry> defer = std::move(sh.fence_defer);
+      sh.fence_defer.clear();
+      for (const AEntry& e : defer) {
+        fire_entry(c, sh, s, e);
+        ++c.fired_epoch;
+        for (Emission& em : c.emit_buf) {
+          if (em.dst != s) ++c.pe.tokens_exchanged;
+          shards_[em.dst].inbox.push_back(std::move(em.at));
+        }
+        c.emit_buf.clear();
+        for (AToken& t : c.wake_buf)
+          shards_[shard_of(t.tok.ctx)].inbox.push_back(std::move(t));
+        c.wake_buf.clear();
+      }
+    }
+    // 3. Merge the cross-shard out-buffers in fixed source order.
+    for (std::uint32_t s = 0; s < nshards_; ++s) {
+      for (Emission& em : shards_[s].out)
+        shards_[em.dst].inbox.push_back(std::move(em.at));
+      shards_[s].out.clear();
+    }
+    std::uint64_t total = 0;
+    for (std::uint32_t s = 0; s < nshards_; ++s)
+      total += shards_[s].inbox.size();
+    stats_.peak_ready = std::max(stats_.peak_ready, total);
+    std::uint32_t fired = 0;
+    for (Worker& w : workers_) {
+      fired += static_cast<std::uint32_t>(w.fired_epoch);
+      w.fired_epoch = 0;
+    }
+    if (opt_.record_profile && epoch_ < (1u << 22)) {
+      if (stats_.profile.size() <= epoch_)
+        stats_.profile.resize(epoch_ + 1, 0);
+      stats_.profile[epoch_] = fired;
+    }
+    return total > 0;
+  }
+
+  void run_det() {
+    Pool pool(nworkers_);
+    for (;;) {
+      if (epoch_ >= opt_.max_cycles) {
+        record_error(RunError{ErrorCode::kCycleCap,
+                              "epoch cap exceeded (possible livelock or "
+                              "non-terminating program)",
+                              {}},
+                     (epoch_ << 32) | nshards_);
+        break;
+      }
+      pool.run([this](unsigned wid) { epoch_worker(wid); });
+      const bool more = fence();
+      ++epoch_;
+      stats_.cycles = epoch_;
+      if (error_seen_.load(std::memory_order_acquire)) break;
+      // Quiescent with End fired = success; without = deadlock
+      // (finalize sorts it out). The engine keeps draining after End so
+      // leftover dead chains deliver — the differential comparator's
+      // store-only fallback covers the firing-count divergence.
+      if (!more) break;
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Free-running mode.
+
+  [[nodiscard]] bool shard_has_work(std::uint32_t s) const {
+    return shards_[s].pending_hint.load(std::memory_order_acquire) > 0 ||
+           shards_[s].has_ready.load(std::memory_order_acquire);
+  }
+
+  /// Pushes one firing's staged emissions and wakes into their shard
+  /// inboxes, incrementing the outstanding counter *before* each push
+  /// so it can never transiently read zero while a token is in flight.
+  void flush_free(Worker& w, std::uint32_t cur_sid) {
+    const auto push = [&](std::uint32_t dst, AToken&& at) {
+      outstanding_.fetch_add(1, std::memory_order_seq_cst);
+      {
+        std::lock_guard lk(shards_[dst].inbox_mu);
+        shards_[dst].inbox.push_back(std::move(at));
+      }
+      shards_[dst].pending_hint.fetch_add(1, std::memory_order_release);
+      if (dst != cur_sid) ++w.pe.tokens_exchanged;
+    };
+    for (Emission& em : w.emit_buf) push(em.dst, std::move(em.at));
+    w.emit_buf.clear();
+    for (AToken& t : w.wake_buf) push(shard_of(t.tok.ctx), std::move(t));
+    w.wake_buf.clear();
+  }
+
+  void process_shard_free(Worker& w, std::uint32_t sid) {
+    AsyncShard& sh = shards_[sid];
+    std::vector<AToken> cur;
+    {
+      std::lock_guard lk(sh.inbox_mu);
+      cur.swap(sh.inbox);
+    }
+    if (!cur.empty())
+      sh.pending_hint.fetch_sub(cur.size(), std::memory_order_release);
+    w.peak_batch = std::max<std::uint64_t>(w.peak_batch, cur.size());
+    std::uint64_t absorbed = 0;
+    for (const AToken& at : cur)
+      if (!deliver(sh, sid, at)) ++absorbed;
+    for (std::size_t i = 0;
+         i < sh.ready.size() && !abort_.load(std::memory_order_relaxed); ++i) {
+      const AEntry e = sh.ready[i];
+      fire_entry(w, sh, sid, e);
+      flush_free(w, sid);
+      // The fired entry's own outstanding credit dies only after its
+      // outputs are pushed: a parked forwarding (k-bound / capacity) is
+      // uncounted while parked and re-counted when a retirement's wake
+      // pushes it back.
+      outstanding_.fetch_sub(1, std::memory_order_seq_cst);
+    }
+    sh.ready.clear();
+    if (absorbed) outstanding_.fetch_sub(absorbed, std::memory_order_seq_cst);
+    sh.has_ready.store(false, std::memory_order_release);
+  }
+
+  void free_worker(unsigned wid) {
+    Worker& w = workers_[wid];
+    for (;;) {
+      if (abort_.load(std::memory_order_acquire)) return;
+      bool stole = false;
+      const std::uint32_t sid = sched_.acquire(
+          wid, [this](std::uint32_t s) { return shard_has_work(s); }, stole);
+      if (sid == ShardScheduler::kNoShard) {
+        ++w.pe.idle_waits;
+        // outstanding_ counts every in-flight (non-parked) token and
+        // increments strictly precede mailbox pushes, so zero is
+        // stable: no worker holds anything that could create work.
+        // Parked tokens need a retirement to wake, which needs an
+        // in-flight token — zero with parked work is a genuine deadlock
+        // (or, after End, the parked leftovers the serial engine also
+        // ignores at completion).
+        if (outstanding_.load(std::memory_order_seq_cst) == 0) return;
+        std::this_thread::yield();
+        continue;
+      }
+      if (stole) ++w.pe.steals;
+      process_shard_free(w, sid);
+      sched_.release(wid, sid);
+      ++w.pe.epochs;
+      if (batches_total_.fetch_add(1, std::memory_order_relaxed) + 1 >
+          opt_.max_cycles) {
+        record_error(RunError{ErrorCode::kCycleCap,
+                              "batch cap exceeded (possible livelock or "
+                              "non-terminating program)",
+                              {}},
+                     0);
+        return;
+      }
+    }
+  }
+
+  void run_free() {
+    Pool pool(nworkers_);
+    pool.run([this](unsigned wid) { free_worker(wid); });
+    stats_.cycles = batches_total_.load(std::memory_order_relaxed);
+    for (Worker& w : workers_)
+      stats_.peak_ready = std::max(stats_.peak_ready, w.peak_batch);
+  }
+
+  // ---------------------------------------------------------------------
+
+  std::optional<RunResult> finalize() {
+    for (AsyncShard& sh : shards_) {
+      stats_.tokens_sent += sh.tokens_sent;
+      stats_.matches += sh.matches;
+      stats_.integrity_checks += sh.integrity_checks;
+      stats_.deferred_reads += sh.deferred_reads;
+      stats_.duplicates_dropped += sh.duplicates_dropped;
+      stats_.faults_injected += sh.faults_injected;
+      stats_.retries += sh.retries;
+      stats_.nacks_seen += sh.nacks_seen;
+    }
+    stats_.per_pe.reserve(nworkers_);
+    for (Worker& w : workers_) {
+      stats_.steals += w.pe.steals;
+      stats_.epochs += w.pe.epochs;
+      stats_.idle_waits += w.pe.idle_waits;
+      stats_.tokens_exchanged += w.pe.tokens_exchanged;
+      stats_.per_pe.push_back(w.pe);
+    }
+    stats_.watchdog_triggers +=
+        watchdog_.load(std::memory_order_relaxed);
+    const bool done = completed_.load(std::memory_order_acquire);
+    if (has_err_ || !done) {
+      // Fault-free error paths — including the cycle cap, whose async
+      // epoch count is not the serial cycle count — delegate to the
+      // serial rerun for the reference diagnostics.
+      if (!opt_.faults.enabled()) return std::nullopt;
+      if (has_err_)
+        stats_.fail(std::move(err_));
+      else
+        stats_.fail(deadlock_error());
+      stats_.completed = false;
+      return RunResult{std::move(stats_), std::move(mem_.store)};
+    }
+    // The engine drained to quiescence after End, so every token the
+    // serial engine would count as leftover has been delivered (and,
+    // where it completed a match, fired): leftover_tokens is
+    // structurally zero, and the end-of-run pending-store scan is
+    // vacuous for the same reason. The differential comparator falls
+    // back to store-only comparison whenever the serial run reports
+    // leftovers.
+    stats_.completed = true;
+    return RunResult{std::move(stats_), std::move(mem_.store)};
+  }
+
+  [[nodiscard]] RunError deadlock_error() {
+    std::size_t slots = 0;
+    for (AsyncShard& sh : shards_) slots += sh.frames.live_slots();
+    std::size_t deferred_cells = 0;
+    for (const DeferredMap& d : deferred_) deferred_cells += d.size();
+    const std::size_t stalled = cs_.stalled_total();
+    RunError err;
+    std::string detail;
+    if (deferred_cells > 0)
+      detail += "  plus " + std::to_string(deferred_cells) +
+                " I-structure cell(s) with deferred readers\n";
+    if (stalled > 0)
+      detail += "  plus " + std::to_string(stalled) +
+                " forwarding(s) stalled by the loop bound\n";
+    detail += "  loop state: " + std::to_string(cs_.live_contexts()) +
+              " live iteration context(s), " +
+              std::to_string(stats_.throttle_stalls) +
+              " k-bound throttle stall(s), " +
+              std::to_string(cap_stalled_.size()) +
+              " forwarding(s) blocked on frame capacity";
+    if (!cap_stalled_.empty()) {
+      err.code = ErrorCode::kFrameExhausted;
+      err.message = "frame store exhausted: " +
+                    std::to_string(cap_stalled_.size()) +
+                    " loop forwarding(s) blocked on frame capacity " +
+                    std::to_string(opt_.frame_capacity) +
+                    " with no context able to retire";
+    } else {
+      err.code = ErrorCode::kDeadlock;
+      err.message = "deadlock: no events pending, end never fired; " +
+                    std::to_string(slots) + " matching slot(s) still waiting";
+    }
+    err.diagnosis = std::move(detail);
+    return err;
+  }
+
+  const ExecProgram& ep_;
+  MachineOptions opt_;
+  unsigned nworkers_;
+  unsigned nshards_;
+  unsigned slack_;
+  bool det_;
+
+  MemoryState mem_;
+  std::vector<std::mutex> bank_mu_{kBanks};
+  std::vector<DeferredMap> deferred_;  ///< per bank, under its stripe
+
+  std::mutex ctx_mu_;
+  ContextState<AToken> cs_;          ///< guarded by ctx_mu_
+  std::vector<AToken> cap_stalled_;  ///< guarded by ctx_mu_
+  RunStats stats_;  ///< firing-side counters: guarded by ctx_mu_ mid-run
+
+  std::deque<AsyncShard> shards_;  ///< deque: AsyncShard is immovable
+  ShardScheduler sched_;
+  std::vector<Worker> workers_;
+
+  std::optional<FaultState> fault_;  ///< engaged iff fault_active(opt_)
+  std::optional<IntegrityState> integ_;
+  bool check_ = false;
+  bool booting_ = false;
+
+  std::atomic<bool> completed_{false};
+  std::atomic<bool> abort_{false};
+  std::atomic<bool> error_seen_{false};
+  std::atomic<std::uint64_t> watchdog_{0};
+  std::mutex err_mu_;
+  RunError err_;
+  bool has_err_ = false;
+  std::uint64_t err_key_ = 0;
+
+  std::atomic<std::uint64_t> outstanding_{0};    ///< free mode
+  std::atomic<std::uint64_t> batches_total_{0};  ///< free mode
+  std::uint64_t epoch_ = 0;  ///< det mode; written only between fences
+};
+
+}  // namespace
+
+std::optional<RunResult> run_parallel_async(
+    const ExecProgram& program, std::size_t memory_cells,
+    const MachineOptions& options,
+    const std::vector<IStructureRegion>& istructures,
+    const std::vector<SharedRegion>& shared) {
+  AsyncEngine engine(program, memory_cells, options, istructures, shared);
+  return engine.run();
+}
+
+}  // namespace ctdf::machine::detail

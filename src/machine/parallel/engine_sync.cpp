@@ -1,14 +1,18 @@
-// Parallel cycle-synchronous execution engine.
+// Parallel cycle-synchronous execution engine (`--parallel=sync`).
 //
 // The simulated machine is inherently cycle-synchronous, so host
-// parallelism comes from sharding one cycle's work, not from relaxing
-// the schedule: RunStats, the final store, and execution reports are
-// bit-identical to the serial engine for every MachineOptions
-// configuration, including seeded (randomized) scheduling. The
-// differential suite in tests/machine_parallel_equiv_test.cpp enforces
-// this. Operator semantics and the ETS frame store are shared with the
-// serial engine (machine/fire.hpp, machine/frames.hpp); this file owns
-// only the sharding, phase barriers, and deterministic token exchange.
+// parallelism here comes from sharding one cycle's work, not from
+// relaxing the schedule: RunStats, the final store, and execution
+// reports are bit-identical to the serial engine for every
+// MachineOptions configuration, including seeded (randomized)
+// scheduling. The differential suite in
+// tests/machine_parallel_equiv_test.cpp enforces this. Operator
+// semantics and the ETS frame store are shared with the serial engine
+// (machine/fire.hpp, machine/frames.hpp); the ordering types, shard
+// state, and worker pool live in parallel/{rank,shard,pool}.hpp
+// (shared with the async engine, parallel/engine_async.cpp); this file
+// owns only the sharding, phase barriers, and deterministic token
+// exchange.
 //
 // Ownership (W = host_threads workers):
 //  * Matching frames: context c's frame belongs to shard shard_of(c).
@@ -70,11 +74,9 @@
 #include "machine/engine_parallel.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstdio>
 #include <functional>
 #include <map>
-#include <thread>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -83,7 +85,11 @@
 #include "machine/fire.hpp"
 #include "machine/frames.hpp"
 #include "machine/integrity.hpp"
+#include "machine/parallel/pool.hpp"
+#include "machine/parallel/rank.hpp"
+#include "machine/parallel/shard.hpp"
 #include "support/assert.hpp"
+#include "support/hash.hpp"
 #include "support/rng.hpp"
 
 namespace ctdf::machine::detail {
@@ -92,164 +98,6 @@ namespace {
 
 using dfg::NodeId;
 using dfg::OpKind;
-
-constexpr std::uint32_t kNoInvocation = UINT32_MAX;
-
-/// (batch, seq, intra) — the total order on tokens; see file comment.
-struct Rank {
-  std::uint64_t batch = 0;
-  std::uint32_t seq = 0;
-  std::uint32_t intra = 0;
-
-  friend bool operator<(const Rank& a, const Rank& b) {
-    if (a.batch != b.batch) return a.batch < b.batch;
-    if (a.seq != b.seq) return a.seq < b.seq;
-    return a.intra < b.intra;
-  }
-};
-
-/// An in-flight token plus its delivery schedule.
-struct PToken {
-  Rank rank;
-  std::uint64_t due = 0;  ///< absolute delivery cycle
-  Token tok;
-};
-
-/// A ready operator, tagged with the rank of the token that completed
-/// it so the coordinator can merge shard lists into serial FIFO order.
-struct QEntry {
-  Rank rank;
-  std::uint32_t ctx = 0;
-  NodeId node;
-  bool immediate = false;
-  bool requeued = false;
-  std::uint16_t port = 0;
-  std::int64_t value = 0;
-  /// For immediate LoopExit entries: the invocation context, captured
-  /// at delivery (CtxInfo is immutable after creation).
-  std::uint32_t invocation = kNoInvocation;
-  bool refire = false;  ///< see Token::refire
-};
-
-enum class FiringClass : std::uint8_t { kPure, kMem, kLoop, kEnd, kNack };
-
-struct Firing {
-  QEntry e;
-  std::uint32_t seq = 0;
-  FiringClass klass = FiringClass::kPure;
-  // kNack only: NACKs absorbed and the summed backoff before refire.
-  std::uint32_t nacks = 0;
-  std::uint64_t nack_delay = 0;
-  // Filled during parallel execution:
-  std::uint32_t emitted = 0;       ///< tokens emitted into `primary`
-  std::uint32_t primary = 0;       ///< context the emissions landed in
-  std::uint32_t intra_used = 0;    ///< next free intra index
-  std::uint64_t cell = 0;          ///< resolved memory cell (kMem)
-  std::int64_t store_value = 0;    ///< value operand (stores)
-  /// Deferred I-structure reads satisfied by this firing: extra live
-  /// tokens per *other* context. Rare; usually empty.
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> extra_live;
-};
-
-/// Everything one worker owns exclusively: its inbox, its outbox, its
-/// ready list, and its memory bank's I-structure deferral lists (its
-/// frame partition lives in the shared FrameStore, keyed by context).
-/// Padded so neighbouring shards don't share lines.
-struct alignas(64) Shard {
-  std::map<std::uint64_t, std::vector<PToken>> inbox;
-  std::vector<PToken> outbox;
-  std::vector<QEntry> ready;
-  std::vector<std::pair<std::uint32_t, NodeId>> released;  ///< fired slots
-  DeferredMap deferred;
-  std::uint64_t tokens_sent = 0;
-  std::uint64_t matches = 0;
-  std::uint64_t deferred_reads = 0;
-  std::uint64_t integrity_checks = 0;
-  bool collision = false;
-  /// Any memory-discipline violation from apply_mem (I-structure double
-  /// write, or with checking on a race / orphan response).
-  bool mem_error = false;
-  /// Checking mode: a delivery hit a written (unconsumed) slot tag.
-  bool tag_error = false;
-  /// Checking mode: a release sweep found an empty non-literal slot.
-  bool release_error = false;
-
-  // Fault injection (owner-exclusive; merged / resolved by the
-  // coordinator between phases).
-  std::unordered_set<std::uint64_t> dedup_seen;
-  std::uint64_t duplicates_dropped = 0;
-  std::uint64_t faults_injected = 0;
-  std::uint64_t retries = 0;
-  bool retry_exhausted = false;
-  Rank fail_rank;       ///< lowest-rank exhausted transmission
-  NodeId fail_node;     ///< its destination
-  Rank collision_rank;  ///< lowest-rank collision (fault mode reports
-  Token collision_tok;  ///< directly instead of delegating)
-  std::uint32_t mem_seq = UINT32_MAX;  ///< lowest failing memory firing seq
-  MemCheck mem_check;                  ///< its verdict (cell, kind, ...)
-  NodeId mem_node;
-  Rank tag_rank;  ///< lowest-rank tag violation (fault-mode direct report)
-  Token tag_tok;
-  /// Which tag verdict tag_tok carries: kTagOccupied (double write) or
-  /// kTagOverrun (arity undercount, reported as read-empty).
-  FrameStore::Deliver tag_kind = FrameStore::Deliver::kTagOccupied;
-  std::uint32_t release_ctx = 0;  ///< first failing release sweep
-  NodeId release_node;
-  int release_port = 0;
-};
-
-/// Spin/yield worker pool: worker 0 is the calling (coordinator)
-/// thread. Phases are released by an epoch increment (release) and
-/// collected by an arrival counter (acquire), which is all the
-/// synchronization the engine needs — every structure is either
-/// owner-exclusive within a phase or only read across phases.
-class Pool {
- public:
-  explicit Pool(unsigned workers) : workers_(workers) {
-    threads_.reserve(workers_ - 1);
-    for (unsigned w = 1; w < workers_; ++w)
-      threads_.emplace_back([this, w] { worker_loop(w); });
-  }
-
-  Pool(const Pool&) = delete;
-  Pool& operator=(const Pool&) = delete;
-
-  ~Pool() {
-    shutdown_.store(true, std::memory_order_release);
-    for (auto& t : threads_) t.join();
-  }
-
-  /// Runs fn(w) on every worker (coordinator included) and waits.
-  void run(const std::function<void(unsigned)>& fn) {
-    job_ = &fn;
-    remaining_.store(workers_ - 1, std::memory_order_relaxed);
-    epoch_.fetch_add(1, std::memory_order_acq_rel);
-    fn(0);
-    while (remaining_.load(std::memory_order_acquire) != 0)
-      std::this_thread::yield();
-  }
-
- private:
-  void worker_loop(unsigned w) {
-    std::uint64_t seen = 0;
-    for (;;) {
-      while (epoch_.load(std::memory_order_acquire) == seen) {
-        if (shutdown_.load(std::memory_order_acquire)) return;
-        std::this_thread::yield();
-      }
-      seen = epoch_.load(std::memory_order_acquire);
-      (*job_)(w);
-      remaining_.fetch_sub(1, std::memory_order_acq_rel);
-    }
-  }
-
-  unsigned workers_;
-  std::atomic<std::uint64_t> epoch_{0};
-  std::atomic<unsigned> remaining_{0};
-  std::atomic<bool> shutdown_{false};
-  const std::function<void(unsigned)>* job_ = nullptr;
-  std::vector<std::thread> threads_;
-};
 
 class ParallelEngine {
  public:
@@ -411,9 +259,7 @@ class ParallelEngine {
 
  private:
   [[nodiscard]] unsigned shard_of(std::uint32_t ctx) const {
-    const std::uint64_t h =
-        static_cast<std::uint64_t>(ctx) * 0x9e3779b97f4a7c15ULL;
-    return static_cast<unsigned>((h >> 33) % workers_);
+    return support::golden_bucket(ctx, workers_);
   }
 
   /// Cacheline-block interleave: consecutive 8-cell blocks round-robin
@@ -427,8 +273,7 @@ class ParallelEngine {
     if (opt_.processors == 0) return 0;
     const std::uint64_t key =
         opt_.placement == Placement::kByNode ? node.value() : ctx;
-    return static_cast<unsigned>(
-        ((key * 0x9e3779b97f4a7c15ULL) >> 33) % opt_.processors);
+    return support::golden_bucket(key, opt_.processors);
   }
 
   bool profile_ok(std::uint64_t cycle) {
@@ -1095,7 +940,7 @@ class ParallelEngine {
   /// nonce stream, computable race-free by any worker.
   [[nodiscard]] std::uint64_t tid(std::uint32_t seq,
                                   std::uint32_t intra) const {
-    return (cycle_ + 1) * 0x9e3779b97f4a7c15ULL ^
+    return (cycle_ + 1) * support::kGoldenGamma ^
            (static_cast<std::uint64_t>(seq) << 21) ^ intra;
   }
 

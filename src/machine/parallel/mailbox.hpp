@@ -1,0 +1,106 @@
+// Async-engine shard state and mailbox types (parallel/engine_async.cpp).
+//
+// The async engine partitions iteration contexts over S shards (S a
+// multiple of the worker count) with key-derived arena ids
+// (ContextState::enable_arena), so `ctx % S` names the owning shard
+// without a table lookup. A shard is possessed by exactly one worker
+// at a time (it lives in one scheduler deque or is in-hand), so all of
+// its state except the inbox is possessor-exclusive and needs no
+// locking; the inbox is the only cross-worker channel and carries its
+// own mutex. `pending_hint`/`has_ready` are advisory atomics so other
+// workers can probe for work without taking the lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "machine/frames.hpp"
+
+namespace ctdf::machine::detail {
+
+/// A mailbox token: the shared Token plus a virtual timestamp (the
+/// token's dataflow arrival time — latency-ladder critical path, the
+/// serial engine's width=0 clock). vt is maintained only under
+/// --check=integrity, where it feeds apply_mem's race-spacing rule so
+/// the check behaves as it does serially even though the async engine
+/// has no global cycle counter.
+struct AToken {
+  Token tok;
+  std::uint64_t vt = 0;
+};
+
+/// A fireable entry on a shard's ready list (the async analogue of the
+/// sync engine's QEntry, without the rank — free-running order is
+/// possession order, deterministic-mode order is fixed by the epoch
+/// discipline).
+struct AEntry {
+  std::uint32_t ctx = 0;
+  dfg::NodeId node;
+  bool immediate = false;
+  bool requeued = false;
+  bool refire = false;
+  std::uint16_t port = 0;
+  std::int64_t value = 0;
+  std::uint64_t vt = 0;
+};
+
+/// One cross-shard emission, buffered by the firing path and routed by
+/// the mode-specific flush (free: locked inbox push; deterministic:
+/// per-shard out buffer merged at the epoch fence).
+struct Emission {
+  std::uint32_t dst = 0;  ///< destination shard
+  AToken at;
+};
+
+/// One frame shard: a slice of the context space (ctx % S == id), its
+/// own FrameStore indexed by local slot (ctx / S), and everything the
+/// possessing worker needs to deliver and fire locally.
+struct alignas(64) AsyncShard {
+  explicit AsyncShard(const ExecProgram& ep) : frames(ep) {}
+
+  // -- cross-worker mailbox ----------------------------------------------
+  std::mutex inbox_mu;
+  std::vector<AToken> inbox;                     ///< guarded by inbox_mu
+  std::atomic<std::uint64_t> pending_hint{0};    ///< approx. inbox size
+  std::atomic<bool> has_ready{false};            ///< leftover ready work
+
+  // -- possessor-exclusive state -----------------------------------------
+  FrameStore frames;        ///< local frames, indexed by ctx / S
+  std::vector<AEntry> ready;
+  /// Max input arrival vt per (local ctx, strict index) — the firing's
+  /// vt is the max over its inputs (check mode only).
+  std::unordered_map<std::uint64_t, std::uint64_t> slot_vt;
+  /// Receiver-side duplicate filter (fault injection): both copies of a
+  /// duplicated token hash to this shard (same ctx).
+  std::unordered_set<std::uint64_t> dedup_seen;
+  /// Per-shard fault-decision nonce stream: id = (shard+1)<<48 | n++.
+  /// Deterministic in epoch mode (shard processing order is fixed).
+  std::uint64_t nonce = 0;
+
+  // Deterministic mode epoch-local buffers:
+  std::vector<AToken> self_next;   ///< self-deliveries, next slack round
+  /// Firings deferred to the epoch fence (fired serially by the
+  /// coordinator in shard order): loop entries — their k-bound,
+  /// frame-capacity, and context-allocation decisions depend on global
+  /// order — and I-structure ops, whose fetch-vs-store arrival race
+  /// would otherwise make deferred_reads a schedule artifact.
+  std::vector<AEntry> fence_defer;
+  std::vector<Emission> out;       ///< cross-shard sends, merged at fence
+
+  // Possessor-exclusive counters, merged into RunStats at the end.
+  std::uint64_t tokens_sent = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t integrity_checks = 0;  ///< deliver-side (strict deliveries)
+  std::uint64_t deferred_reads = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t nacks_seen = 0;
+};
+
+}  // namespace ctdf::machine::detail

@@ -1,0 +1,66 @@
+// Spin/yield worker pool shared by the host-parallel engines: worker 0
+// is the calling (coordinator) thread. Phases are released by an epoch
+// increment (release) and collected by an arrival counter (acquire),
+// which is all the synchronization the sync engine needs — every
+// structure there is either owner-exclusive within a phase or only
+// read across phases. The async engine reuses it as a fork/join
+// primitive: one run() per epoch in deterministic mode, one long run()
+// spanning the whole execution in free-running mode.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace ctdf::machine::detail {
+
+class Pool {
+ public:
+  explicit Pool(unsigned workers) : workers_(workers) {
+    threads_.reserve(workers_ - 1);
+    for (unsigned w = 1; w < workers_; ++w)
+      threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  ~Pool() {
+    shutdown_.store(true, std::memory_order_release);
+    for (auto& t : threads_) t.join();
+  }
+
+  /// Runs fn(w) on every worker (coordinator included) and waits.
+  void run(const std::function<void(unsigned)>& fn) {
+    job_ = &fn;
+    remaining_.store(workers_ - 1, std::memory_order_relaxed);
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    fn(0);
+    while (remaining_.load(std::memory_order_acquire) != 0)
+      std::this_thread::yield();
+  }
+
+ private:
+  void worker_loop(unsigned w) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      while (epoch_.load(std::memory_order_acquire) == seen) {
+        if (shutdown_.load(std::memory_order_acquire)) return;
+        std::this_thread::yield();
+      }
+      seen = epoch_.load(std::memory_order_acquire);
+      (*job_)(w);
+      remaining_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+
+  unsigned workers_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<unsigned> remaining_{0};
+  std::atomic<bool> shutdown_{false};
+  const std::function<void(unsigned)>* job_ = nullptr;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ctdf::machine::detail

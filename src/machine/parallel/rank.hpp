@@ -1,0 +1,77 @@
+// Token-ordering and firing-record types shared by the host-parallel
+// engines (parallel/engine_sync.cpp, parallel/engine_async.cpp).
+//
+// The rank (batch, seq, intra) — batch = exchange round, seq = firing
+// position in the cycle, intra = emission index within the firing —
+// totally orders every token exactly as the serial engine's FIFO
+// vectors do, which is what makes the sync engine's merge (and the
+// async engine's deterministic mode) reproduce serial decisions.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "machine/frames.hpp"
+
+namespace ctdf::machine::detail {
+
+constexpr std::uint32_t kNoInvocation = UINT32_MAX;
+
+/// (batch, seq, intra) — the total order on tokens; see file comment.
+struct Rank {
+  std::uint64_t batch = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t intra = 0;
+
+  friend bool operator<(const Rank& a, const Rank& b) {
+    if (a.batch != b.batch) return a.batch < b.batch;
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.intra < b.intra;
+  }
+};
+
+/// An in-flight token plus its delivery schedule.
+struct PToken {
+  Rank rank;
+  std::uint64_t due = 0;  ///< absolute delivery cycle
+  Token tok;
+};
+
+/// A ready operator, tagged with the rank of the token that completed
+/// it so the coordinator can merge shard lists into serial FIFO order.
+struct QEntry {
+  Rank rank;
+  std::uint32_t ctx = 0;
+  dfg::NodeId node;
+  bool immediate = false;
+  bool requeued = false;
+  std::uint16_t port = 0;
+  std::int64_t value = 0;
+  /// For immediate LoopExit entries: the invocation context, captured
+  /// at delivery (CtxInfo is immutable after creation).
+  std::uint32_t invocation = kNoInvocation;
+  bool refire = false;  ///< see Token::refire
+};
+
+enum class FiringClass : std::uint8_t { kPure, kMem, kLoop, kEnd, kNack };
+
+struct Firing {
+  QEntry e;
+  std::uint32_t seq = 0;
+  FiringClass klass = FiringClass::kPure;
+  // kNack only: NACKs absorbed and the summed backoff before refire.
+  std::uint32_t nacks = 0;
+  std::uint64_t nack_delay = 0;
+  // Filled during parallel execution:
+  std::uint32_t emitted = 0;       ///< tokens emitted into `primary`
+  std::uint32_t primary = 0;       ///< context the emissions landed in
+  std::uint32_t intra_used = 0;    ///< next free intra index
+  std::uint64_t cell = 0;          ///< resolved memory cell (kMem)
+  std::int64_t store_value = 0;    ///< value operand (stores)
+  /// Deferred I-structure reads satisfied by this firing: extra live
+  /// tokens per *other* context. Rare; usually empty.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> extra_live;
+};
+
+}  // namespace ctdf::machine::detail

@@ -1,0 +1,75 @@
+// Work-stealing shard scheduler of the free-running async engine.
+//
+// Every shard lives in exactly one place at any moment: some worker's
+// deque, or in the hands of the worker currently processing it. A
+// worker pops from the front of its own deque (round-robin over its
+// resident shards) and, when none of them has actionable work, steals
+// from the *back* of a victim's deque — the classic split so owner and
+// thief contend on opposite ends. A stolen shard migrates: the thief
+// pushes it back onto its own deque, so a load imbalance resolves into
+// a new stable placement instead of being re-stolen every round.
+//
+// Deterministic mode never touches this class (shard s is pinned to
+// worker s % W and there is no stealing to schedule).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+namespace ctdf::machine::detail {
+
+class ShardScheduler {
+ public:
+  static constexpr std::uint32_t kNoShard = UINT32_MAX;
+
+  ShardScheduler(unsigned workers, unsigned shards) : qs_(workers) {
+    for (std::uint32_t s = 0; s < shards; ++s) qs_[s % workers].q.push_back(s);
+  }
+
+  /// Pops a shard for worker `w` to process: the first of its own
+  /// shards for which has_work(shard) holds, else one stolen from a
+  /// victim (sets `stole`). Returns kNoShard when no deque holds an
+  /// actionable shard — the caller idles and retries.
+  template <class HasWork>
+  std::uint32_t acquire(unsigned w, HasWork&& has_work, bool& stole) {
+    stole = false;
+    {
+      std::lock_guard lk(qs_[w].mu);
+      auto& q = qs_[w].q;
+      for (std::size_t k = 0, n = q.size(); k < n; ++k) {
+        const std::uint32_t s = q.front();
+        q.pop_front();
+        if (has_work(s)) return s;
+        q.push_back(s);
+      }
+    }
+    for (std::size_t v = 1; v < qs_.size(); ++v) {
+      auto& vic = qs_[(w + v) % qs_.size()];
+      std::lock_guard lk(vic.mu);
+      for (auto it = vic.q.rbegin(); it != vic.q.rend(); ++it) {
+        if (!has_work(*it)) continue;
+        const std::uint32_t s = *it;
+        vic.q.erase(std::next(it).base());
+        stole = true;
+        return s;
+      }
+    }
+    return kNoShard;
+  }
+
+  /// Hands a processed shard back to worker `w`'s deque.
+  void release(unsigned w, std::uint32_t s) {
+    std::lock_guard lk(qs_[w].mu);
+    qs_[w].q.push_back(s);
+  }
+
+ private:
+  struct alignas(64) Queue {
+    std::mutex mu;
+    std::deque<std::uint32_t> q;
+  };
+  std::deque<Queue> qs_;  ///< deque: Queue is not movable (mutex)
+};
+
+}  // namespace ctdf::machine::detail

@@ -1,0 +1,66 @@
+// The sync (cycle-synchronous) engine's per-worker shard state: one
+// worker's exclusive inbox, outbox, ready list, memory-bank deferral
+// lists, counters, and first-error capture slots. Owner-exclusive
+// within a phase; only read across phase barriers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "machine/frames.hpp"
+#include "machine/integrity.hpp"
+#include "machine/parallel/rank.hpp"
+
+namespace ctdf::machine::detail {
+
+/// Everything one worker owns exclusively: its inbox, its outbox, its
+/// ready list, and its memory bank's I-structure deferral lists (its
+/// frame partition lives in the shared FrameStore, keyed by context).
+/// Padded so neighbouring shards don't share lines.
+struct alignas(64) Shard {
+  std::map<std::uint64_t, std::vector<PToken>> inbox;
+  std::vector<PToken> outbox;
+  std::vector<QEntry> ready;
+  std::vector<std::pair<std::uint32_t, dfg::NodeId>> released;  ///< fired slots
+  DeferredMap deferred;
+  std::uint64_t tokens_sent = 0;
+  std::uint64_t matches = 0;
+  std::uint64_t deferred_reads = 0;
+  std::uint64_t integrity_checks = 0;
+  bool collision = false;
+  /// Any memory-discipline violation from apply_mem (I-structure double
+  /// write, or with checking on a race / orphan response).
+  bool mem_error = false;
+  /// Checking mode: a delivery hit a written (unconsumed) slot tag.
+  bool tag_error = false;
+  /// Checking mode: a release sweep found an empty non-literal slot.
+  bool release_error = false;
+
+  // Fault injection (owner-exclusive; merged / resolved by the
+  // coordinator between phases).
+  std::unordered_set<std::uint64_t> dedup_seen;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t faults_injected = 0;
+  std::uint64_t retries = 0;
+  bool retry_exhausted = false;
+  Rank fail_rank;           ///< lowest-rank exhausted transmission
+  dfg::NodeId fail_node;    ///< its destination
+  Rank collision_rank;  ///< lowest-rank collision (fault mode reports
+  Token collision_tok;  ///< directly instead of delegating)
+  std::uint32_t mem_seq = UINT32_MAX;  ///< lowest failing memory firing seq
+  MemCheck mem_check;                  ///< its verdict (cell, kind, ...)
+  dfg::NodeId mem_node;
+  Rank tag_rank;  ///< lowest-rank tag violation (fault-mode direct report)
+  Token tag_tok;
+  /// Which tag verdict tag_tok carries: kTagOccupied (double write) or
+  /// kTagOverrun (arity undercount, reported as read-empty).
+  FrameStore::Deliver tag_kind = FrameStore::Deliver::kTagOccupied;
+  std::uint32_t release_ctx = 0;  ///< first failing release sweep
+  dfg::NodeId release_node;
+  int release_port = 0;
+};
+
+}  // namespace ctdf::machine::detail

@@ -1,0 +1,31 @@
+// Shared SplitMix64 mixing primitives.
+//
+// The same finalizer (Steele/Lea/Flood constants) was copied between the
+// RNG, the fault-decision streams, and the parallel engine's shard/PE
+// placement hash; one header keeps the constants and the avalanche in a
+// single place so the streams stay bit-identical across call sites.
+#pragma once
+
+#include <cstdint>
+
+namespace ctdf::support {
+
+/// 2^64 / golden ratio — the SplitMix64 stream increment, also used as a
+/// multiplicative spreader for placement hashing.
+inline constexpr std::uint64_t kGoldenGamma = 0x9e3779b97f4a7c15ULL;
+
+/// SplitMix64 output finalizer: full-avalanche bijection on 64 bits.
+inline constexpr std::uint64_t splitmix64_mix(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Golden-ratio multiplicative hash into [0, n): spreads consecutive ids
+/// across buckets. `n` must be > 0.
+inline constexpr std::uint32_t golden_bucket(std::uint64_t id,
+                                             std::uint32_t n) {
+  return static_cast<std::uint32_t>(((id * kGoldenGamma) >> 33) % n);
+}
+
+}  // namespace ctdf::support

@@ -8,18 +8,15 @@
 
 #include <cstdint>
 
+#include "support/hash.hpp"
+
 namespace ctdf::support {
 
 class SplitMix64 {
  public:
   explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
 
-  std::uint64_t next() {
-    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-    return z ^ (z >> 31);
-  }
+  std::uint64_t next() { return splitmix64_mix(state_ += kGoldenGamma); }
 
   /// Uniform in [0, bound). bound must be > 0.
   std::uint64_t next_below(std::uint64_t bound) {

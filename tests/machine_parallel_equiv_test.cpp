@@ -14,6 +14,7 @@
 #include "lang/generator.hpp"
 #include "lang/parser.hpp"
 #include "machine/machine.hpp"
+#include "machine/report.hpp"
 
 namespace ctdf::machine {
 namespace {
@@ -313,6 +314,273 @@ TEST(ParallelEquiv, BenignLeftoverTokensAreIdentical) {
   const NodeId e = add_end(g, 1);
   g.connect({s, 0}, {e, 0}, true);
   check_graph_equivalent(g, 0, {}, {}, "benign-leftover");
+}
+
+// ---- async work-stealing engine -------------------------------------
+//
+// The async engine's contract is weaker than the sync engine's
+// bit-identity: final stores and the semantic counters (matches,
+// contexts, memory traffic, integrity checks) match the serial engine,
+// but schedule-derived metrics (cycles, peak_ready, first_fire_cycle,
+// profile, stall counts) are its own. Two further carve-outs:
+//
+//  * When the serial run ends with leftover in-flight tokens, the async
+//    engine — which drains to quiescence after End instead of stopping
+//    at an instant — delivers (and may fire) dead chains the serial
+//    engine never saw, so only the store is comparable.
+//  * Under k-bounded pipelining or finite frame capacity the *number of
+//    re-attempts* of a throttled forwarding is schedule-dependent, so
+//    ops_fired / tokens_sent / fired_by_kind are excluded there too.
+
+bool async_schedule_decoupled(const MachineOptions& m) {
+  return (m.loop_bound > 0 && m.loop_mode == LoopMode::kPipelined) ||
+         m.frame_capacity > 0;
+}
+
+void expect_async_equivalent(const RunResult& serial, const RunResult& as,
+                             const MachineOptions& mopt,
+                             const std::string& context) {
+  if (!serial.stats.completed) {
+    // A fault-free async error path delegates to a serial rerun, so the
+    // whole result — diagnostics included — is identical.
+    expect_identical(serial, as, context);
+    return;
+  }
+  ASSERT_TRUE(as.stats.completed) << context << ": " << as.stats.error;
+  EXPECT_EQ(serial.store.cells, as.store.cells) << context;
+  if (serial.stats.leftover_tokens != 0) return;  // store-only
+  EXPECT_EQ(serial.stats.matches, as.stats.matches) << context;
+  EXPECT_EQ(serial.stats.contexts_allocated, as.stats.contexts_allocated)
+      << context;
+  EXPECT_EQ(serial.stats.mem_reads, as.stats.mem_reads) << context;
+  EXPECT_EQ(serial.stats.mem_writes, as.stats.mem_writes) << context;
+  EXPECT_EQ(serial.stats.integrity_checks, as.stats.integrity_checks)
+      << context;
+  if (!async_schedule_decoupled(mopt)) {
+    EXPECT_EQ(serial.stats.ops_fired, as.stats.ops_fired) << context;
+    EXPECT_EQ(serial.stats.tokens_sent, as.stats.tokens_sent) << context;
+    EXPECT_EQ(serial.stats.fired_by_kind, as.stats.fired_by_kind) << context;
+  }
+}
+
+/// Runs `tx` serially, then async at each swept thread count in both
+/// disciplines, demanding the async contract above.
+RunResult check_async_equivalent(const translate::Translation& tx,
+                                 MachineOptions mopt,
+                                 const std::string& context) {
+  mopt.parallel = ParallelMode::kSync;
+  mopt.host_threads = 0;
+  const RunResult serial = core::execute(tx, mopt);
+  mopt.parallel = ParallelMode::kAsync;
+  for (const unsigned threads : kThreadSweep) {
+    for (const bool det : {true, false}) {
+      mopt.host_threads = threads;
+      mopt.deterministic = det;
+      const RunResult as = core::execute(tx, mopt);
+      expect_async_equivalent(serial, as, mopt,
+                              context + " async threads=" +
+                                  std::to_string(threads) +
+                                  (det ? " det" : " free"));
+    }
+  }
+  return serial;
+}
+
+void async_sweep_program(const lang::Program& prog,
+                         const translate::TranslateOptions& topt,
+                         const std::string& context) {
+  const auto tx = core::compile(prog, topt);
+  for (const auto loop_mode : {LoopMode::kBarrier, LoopMode::kPipelined}) {
+    for (const unsigned slack : {0u, 1u, 8u}) {
+      MachineOptions mopt;
+      mopt.loop_mode = loop_mode;
+      mopt.slack = slack;
+      mopt.mem_latency = slack == 1 ? 9 : 5;
+      const auto res = check_async_equivalent(
+          tx, mopt,
+          context + " loop=" + to_string(loop_mode) +
+              " slack=" + std::to_string(slack));
+      EXPECT_TRUE(res.stats.completed) << context << ": " << res.stats.error;
+    }
+  }
+}
+
+TEST(AsyncEquiv, CorpusUnderOptimizedSchema) {
+  for (const auto& np : lang::corpus::all())
+    async_sweep_program(lang::parse_or_throw(np.source),
+                        translate::TranslateOptions::schema2_optimized(),
+                        np.name);
+}
+
+TEST(AsyncEquiv, CorpusUnderMemoryElimination) {
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  topt.parallel_reads = true;
+  for (const auto& np : lang::corpus::all())
+    async_sweep_program(lang::parse_or_throw(np.source), topt,
+                        np.name + "/elim");
+}
+
+TEST(AsyncEquiv, IStructuresAndDeferredReads) {
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.istructure_arrays = {"x"};
+  async_sweep_program(lang::corpus::array_loop(10), topt,
+                      "array_loop_istruct");
+}
+
+TEST(AsyncEquiv, MultiPePlacementsAndNetworkLatency) {
+  const auto tx =
+      core::compile(lang::corpus::nested_loops_source(4, 5),
+                    translate::TranslateOptions::schema2_optimized());
+  for (const auto placement : {Placement::kByNode, Placement::kByContext}) {
+    for (const unsigned processors : {1u, 3u, 16u}) {
+      MachineOptions mopt;
+      mopt.loop_mode = LoopMode::kPipelined;
+      mopt.processors = processors;
+      mopt.placement = placement;
+      const auto res = check_async_equivalent(
+          tx, mopt,
+          std::string("async nested_loops pe=") + std::to_string(processors) +
+              " placement=" + to_string(placement));
+      EXPECT_TRUE(res.stats.completed) << res.stats.error;
+    }
+  }
+}
+
+TEST(AsyncEquiv, KBoundedLoopsAndFrameCapacity) {
+  const auto tx =
+      core::compile(lang::corpus::array_loop(16),
+                    translate::TranslateOptions::schema2_optimized());
+  for (const unsigned k : {1u, 2u, 4u}) {
+    MachineOptions mopt;
+    mopt.loop_mode = LoopMode::kPipelined;
+    mopt.loop_bound = k;
+    const auto res = check_async_equivalent(
+        tx, mopt, "async array_loop k=" + std::to_string(k));
+    EXPECT_TRUE(res.stats.completed) << res.stats.error;
+  }
+  for (const std::uint64_t cap : {2ull, 5ull}) {
+    MachineOptions mopt;
+    mopt.loop_mode = LoopMode::kPipelined;
+    mopt.frame_capacity = cap;
+    const auto res = check_async_equivalent(
+        tx, mopt, "async array_loop cap=" + std::to_string(cap));
+    EXPECT_TRUE(res.stats.completed) << res.stats.error;
+  }
+}
+
+TEST(AsyncEquiv, IntegrityCheckedRuns) {
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  topt.parallel_reads = true;
+  for (const auto& np : lang::corpus::all()) {
+    const auto tx = core::compile(lang::parse_or_throw(np.source), topt);
+    MachineOptions mopt;
+    mopt.loop_mode = LoopMode::kPipelined;
+    mopt.check = CheckMode::kIntegrity;
+    const auto res =
+        check_async_equivalent(tx, mopt, np.name + "/async-integrity");
+    EXPECT_TRUE(res.stats.completed) << np.name << ": " << res.stats.error;
+  }
+}
+
+TEST(AsyncEquiv, FaultedRunsConvergeToSerialStore) {
+  // With fault injection the async engine reports directly (no serial
+  // rerun) and recovery must still converge: when both engines
+  // complete, the stores agree. Fault *decisions* key off different id
+  // streams, so counters are not comparable.
+  const auto tx =
+      core::compile(lang::corpus::nested_loops_source(3, 4),
+                    translate::TranslateOptions::schema2_optimized());
+  for (const std::uint64_t fseed : {1ull, 2ull, 3ull}) {
+    MachineOptions mopt;
+    mopt.loop_mode = LoopMode::kPipelined;
+    mopt.processors = 4;
+    mopt.network_latency = 2;
+    mopt.faults.seed = fseed;
+    mopt.faults.drop = 0.05;
+    mopt.faults.dup = 0.05;
+    mopt.faults.jitter = 0.1;
+    mopt.faults.nack = 0.05;
+    mopt.host_threads = 0;
+    const RunResult serial = core::execute(tx, mopt);
+    mopt.parallel = ParallelMode::kAsync;
+    for (const unsigned threads : kThreadSweep) {
+      for (const bool det : {true, false}) {
+        mopt.host_threads = threads;
+        mopt.deterministic = det;
+        const RunResult as = core::execute(tx, mopt);
+        const std::string context = "faulted fseed=" + std::to_string(fseed) +
+                                    " threads=" + std::to_string(threads) +
+                                    (det ? " det" : " free");
+        if (serial.stats.completed && as.stats.completed) {
+          EXPECT_EQ(serial.store.cells, as.store.cells) << context;
+        }
+        if (as.stats.completed) {
+          EXPECT_GT(as.stats.faults_injected, 0u) << context;
+        }
+      }
+    }
+  }
+}
+
+TEST(AsyncEquiv, DeterministicModeIsByteIdentical) {
+  // Two runs with identical options must agree byte-for-byte on the
+  // stats JSON (every counter, including the schedule-derived ones) and
+  // the final store. Swept over thread counts and slack windows, with
+  // faults and integrity checking engaged to cover the racy paths.
+  const auto tx =
+      core::compile(lang::corpus::nested_loops_source(4, 5),
+                    translate::TranslateOptions::schema2_optimized());
+  for (const unsigned threads : kThreadSweep) {
+    for (const unsigned slack : {0u, 2u}) {
+      MachineOptions mopt;
+      mopt.loop_mode = LoopMode::kPipelined;
+      mopt.parallel = ParallelMode::kAsync;
+      mopt.host_threads = threads;
+      mopt.slack = slack;
+      mopt.processors = 4;
+      mopt.check = CheckMode::kIntegrity;
+      mopt.faults.seed = 7;
+      mopt.faults.drop = 0.05;
+      mopt.faults.jitter = 0.1;
+      const RunResult a = core::execute(tx, mopt);
+      const RunResult b = core::execute(tx, mopt);
+      const std::string context = "det threads=" + std::to_string(threads) +
+                                  " slack=" + std::to_string(slack);
+      EXPECT_EQ(render_stats_json(a.stats, mopt),
+                render_stats_json(b.stats, mopt))
+          << context;
+      EXPECT_EQ(a.store.cells, b.store.cells) << context;
+    }
+  }
+}
+
+TEST(AsyncEquiv, PerPeCountersAreCoherent) {
+  const auto tx =
+      core::compile(lang::corpus::nested_loops_source(4, 5),
+                    translate::TranslateOptions::schema2_optimized());
+  MachineOptions mopt;
+  mopt.loop_mode = LoopMode::kPipelined;
+  mopt.parallel = ParallelMode::kAsync;
+  mopt.host_threads = 4;
+  const RunResult r = core::execute(tx, mopt);
+  ASSERT_TRUE(r.stats.completed) << r.stats.error;
+  ASSERT_EQ(r.stats.per_pe.size(), 4u);
+  std::uint64_t steals = 0, epochs = 0, idle = 0, exchanged = 0;
+  for (const auto& pe : r.stats.per_pe) {
+    steals += pe.steals;
+    epochs += pe.epochs;
+    idle += pe.idle_waits;
+    exchanged += pe.tokens_exchanged;
+  }
+  EXPECT_EQ(steals, r.stats.steals);
+  EXPECT_EQ(epochs, r.stats.epochs);
+  EXPECT_EQ(idle, r.stats.idle_waits);
+  EXPECT_EQ(exchanged, r.stats.tokens_exchanged);
+  EXPECT_GT(r.stats.epochs, 0u);
+  // Deterministic mode never steals (shards are pinned).
+  EXPECT_EQ(r.stats.steals, 0u);
 }
 
 TEST(ParallelEquiv, HostThreadsOneUsesSerialPath) {

@@ -31,20 +31,34 @@ void check_confluent(const lang::Program& prog,
         // exhaustive identity check).
         const unsigned host_threads = (seed + width) % 2 ? 2 : 8;
         for (const unsigned threads : {0u, host_threads}) {
-          machine::MachineOptions mopt;
-          mopt.loop_mode = loop_mode;
-          mopt.scheduler_seed = seed;
-          mopt.width = width;
-          mopt.mem_latency = seed % 2 ? 1 : 9;
-          mopt.host_threads = threads;
-          const auto res = core::execute(tx, mopt);
-          ASSERT_TRUE(res.stats.completed)
-              << context << " seed=" << seed << " width=" << width
-              << " host_threads=" << threads << ": " << res.stats.error;
-          EXPECT_EQ(res.store.cells, ref.store.cells)
-              << context << " seed=" << seed << " width=" << width
-              << " host_threads=" << threads
-              << " loop=" << to_string(loop_mode);
+          // At the parallel thread count, each (seed, width) point also
+          // runs the async engine in one discipline (alternating so the
+          // sweep covers both), checking that confluence holds under
+          // genuinely asynchronous schedules too.
+          const int variants = threads == 0 ? 1 : 2;
+          for (int v = 0; v < variants; ++v) {
+            machine::MachineOptions mopt;
+            mopt.loop_mode = loop_mode;
+            mopt.scheduler_seed = seed;
+            mopt.width = width;
+            mopt.mem_latency = seed % 2 ? 1 : 9;
+            mopt.host_threads = threads;
+            if (v == 1) {
+              mopt.parallel = machine::ParallelMode::kAsync;
+              mopt.deterministic = (seed + width) % 2 == 0;
+            }
+            const auto res = core::execute(tx, mopt);
+            ASSERT_TRUE(res.stats.completed)
+                << context << " seed=" << seed << " width=" << width
+                << " host_threads=" << threads
+                << " parallel=" << to_string(mopt.parallel) << ": "
+                << res.stats.error;
+            EXPECT_EQ(res.store.cells, ref.store.cells)
+                << context << " seed=" << seed << " width=" << width
+                << " host_threads=" << threads
+                << " parallel=" << to_string(mopt.parallel)
+                << " loop=" << to_string(loop_mode);
+          }
         }
       }
     }

@@ -127,6 +127,32 @@ std::vector<SchemaConfig> standard_configs() {
     out.back().mopt.check = machine::CheckMode::kIntegrity;
     out.back().mopt.engine = machine::EngineKind::kEvent;
   }
+  {
+    // Async work-stealing engine, both disciplines: every fuzz program
+    // must reach the interpreter's store under epoch-fenced and
+    // free-running schedules alike. These configs are also what the CI
+    // ThreadSanitizer job drives through the corpus.
+    add("async/det", TranslateOptions::schema2_optimized(),
+        machine::LoopMode::kPipelined, 0);
+    out.back().mopt.parallel = machine::ParallelMode::kAsync;
+    out.back().mopt.host_threads = 4;
+
+    auto t = TranslateOptions::schema2_optimized();
+    t.eliminate_memory = true;
+    t.parallel_reads = true;
+    add("async/free", t, machine::LoopMode::kBarrier, 0);
+    out.back().mopt.parallel = machine::ParallelMode::kAsync;
+    out.back().mopt.host_threads = 4;
+    out.back().mopt.deterministic = false;
+
+    auto p = TranslateOptions::schema2();
+    p.parallel_reads = true;
+    add("async/integrity-multi-pe", p, machine::LoopMode::kPipelined, 0);
+    out.back().mopt.check = machine::CheckMode::kIntegrity;
+    out.back().mopt.parallel = machine::ParallelMode::kAsync;
+    out.back().mopt.host_threads = 3;
+    out.back().mopt.processors = 2;
+  }
   return out;
 }
 

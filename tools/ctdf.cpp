@@ -76,9 +76,22 @@
 //   --frame-capacity=N      finite frame store: at most N live iteration
 //                           contexts, loop entries stall (back-pressure)
 //                           at the bound (0 = unbounded)
-//   --host-threads=N        simulator worker threads (0 = serial; results
-//                           are bit-identical either way; env fallback
-//                           CTDF_HOST_THREADS)
+//   --host-threads=N        simulator worker threads (N ≥ 1; 1 = serial;
+//                           env fallback CTDF_HOST_THREADS; sync results
+//                           are bit-identical at any count)
+//   --parallel=sync|async   host-parallel discipline at N > 1 threads
+//                           (default sync): sync is the cycle-
+//                           synchronous barrier engine, async the
+//                           work-stealing engine with epoch-based token
+//                           exchange (stores and semantic counters match
+//                           serial; cycle metrics are its own)
+//   --slack=N               async: self-delivery sub-rounds per epoch
+//                           before a fence (0 = auto from the latency
+//                           ladder)
+//   --deterministic[=0|1]   async: pin shards, fence loop boundaries,
+//                           and disable stealing so equal options give
+//                           byte-identical runs (default on; =0
+//                           free-runs for throughput)
 //   --trace                 print every operator firing
 //   --print=x,y             print named variables from the final store
 //   --stats-json            (run) emit RunStats + machine options +
@@ -129,6 +142,19 @@ bool starts_with(const std::string& s, const char* prefix) {
 std::string value_of(const std::string& arg) {
   const auto eq = arg.find('=');
   return eq == std::string::npos ? "" : arg.substr(eq + 1);
+}
+
+/// Strict unsigned parse for flag values: rejects empty strings, signs
+/// (std::stoul silently wraps "-1"), embedded junk ("8x"), and
+/// overflow, so a typo is a CLI error instead of a silent
+/// misconfiguration.
+bool parse_unsigned(const std::string& v, unsigned long long& out) {
+  if (v.empty() || v.find_first_not_of("0123456789") != std::string::npos)
+    return false;
+  errno = 0;
+  char* end = nullptr;
+  out = std::strtoull(v.c_str(), &end, 10);
+  return errno == 0 && end == v.c_str() + v.size();
 }
 
 Cli parse_cli(int argc, char** argv) {
@@ -220,8 +246,38 @@ Cli parse_cli(int argc, char** argv) {
         cli.ok = false;
       }
     } else if (starts_with(a, "--host-threads=")) {
-      cli.mopt.host_threads =
-          static_cast<unsigned>(std::stoul(value_of(a)));
+      // 0 is only meaningful as the *absence* of the flag (env default);
+      // asking for zero worker threads explicitly is a mistake, as is
+      // any negative or non-numeric value std::stoul would mangle.
+      unsigned long long v = 0;
+      if (!parse_unsigned(value_of(a), v) || v == 0 || v > 1u << 16) {
+        std::fprintf(stderr, "bad value: %s\n", a.c_str());
+        cli.ok = false;
+      } else {
+        cli.mopt.host_threads = static_cast<unsigned>(v);
+      }
+    } else if (starts_with(a, "--parallel=")) {
+      const std::string v = value_of(a);
+      if (v == "sync") {
+        cli.mopt.parallel = machine::ParallelMode::kSync;
+      } else if (v == "async") {
+        cli.mopt.parallel = machine::ParallelMode::kAsync;
+      } else {
+        std::fprintf(stderr, "bad value: %s\n", a.c_str());
+        cli.ok = false;
+      }
+    } else if (starts_with(a, "--slack=")) {
+      unsigned long long v = 0;
+      if (!parse_unsigned(value_of(a), v) || v > 1u << 16) {
+        std::fprintf(stderr, "bad value: %s\n", a.c_str());
+        cli.ok = false;
+      } else {
+        cli.mopt.slack = static_cast<unsigned>(v);
+      }
+    } else if (a == "--deterministic" || a == "--deterministic=1") {
+      cli.mopt.deterministic = true;
+    } else if (a == "--deterministic=0") {
+      cli.mopt.deterministic = false;
     } else if (a == "--trace") {
       cli.mopt.trace = true;
     } else if (a == "--report") {
