@@ -14,6 +14,8 @@
 #include "lang/corpus.hpp"
 #include "lang/generator.hpp"
 #include "machine/exec.hpp"
+#include "machine/report.hpp"
+#include "serve/serve.hpp"
 
 using namespace ctdf;
 
@@ -423,6 +425,41 @@ BENCHMARK(BM_MachineFaultRecovery)
     ->Args({1, 0})
     ->Args({1, 10})
     ->Args({1, 50});
+
+void BM_ServeWarmVsCold(benchmark::State& state) {
+  // The compile-once economics of `ctdf serve`, measured end to end
+  // through the request path: arg 0 serves every request from a cold
+  // server (each one pays parse → 13 stages → lower), arg 1 serves the
+  // same request from a primed server (each one pays a cache hit plus
+  // execution). scripts/bench_machine.py gates warm/cold at
+  // --serve-warm-speedup-floor; both rows come from one run, so the
+  // ratio is host-independent.
+  const std::string source = lang::corpus::independent_chains_source(6, 8);
+  const std::string request =
+      "{\"op\": \"run\", \"source\": \"" + machine::json_escape(source) +
+      "\"}";
+  const bool warm = state.range(0) == 1;
+  serve::Server shared;
+  if (warm) {
+    const std::string primed = shared.handle_line(request);
+    benchmark::DoNotOptimize(primed);
+  }
+  std::uint64_t requests = 0;
+  for (auto _ : state) {
+    if (warm) {
+      const std::string response = shared.handle_line(request);
+      benchmark::DoNotOptimize(response);
+    } else {
+      serve::Server cold;
+      const std::string response = cold.handle_line(request);
+      benchmark::DoNotOptimize(response);
+    }
+    ++requests;
+  }
+  state.counters["req/s"] = benchmark::Counter(
+      static_cast<double>(requests), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ServeWarmVsCold)->Arg(0)->Arg(1);
 
 void BM_EndToEnd(benchmark::State& state) {
   // Full pipeline: parse → CFG → loop transform → analyses → DFG →

@@ -15,7 +15,11 @@ arg 0 = cleanup passes only / 1 = --opt=all), the deterministic
 recovery cost (BM_MachineFaultRecovery, cycles per run), and the
 async work-stealing engine's thread scaling (BM_MachineAsyncThreads,
 arg 0 = serial baseline / N = free-running async at N host threads),
-and writes them to a JSON summary (BENCH_machine.json).
+and the serve front-end's compile-once economics (BM_ServeWarmVsCold,
+arg 0 = a cold server per request / 1 = a primed program cache; the
+warm path must beat the cold path by --serve-warm-speedup-floor, a
+within-run ratio, so it is host-independent), and writes them to a
+JSON summary (BENCH_machine.json).
 
 With --check BASELINE it additionally compares against a committed
 baseline and exits non-zero on a regression beyond --tolerance
@@ -71,6 +75,7 @@ FILTER = "|".join(
         "BM_MachineFaultRecovery",
         "BM_MachineAsyncThreads",
         "BM_FrameAlloc",
+        "BM_ServeWarmVsCold",
         "BM_LowerExecProgram/",  # skip the _BigO/_RMS aggregate rows
     ]
 )
@@ -90,6 +95,7 @@ SECTIONS = {
     "fault_recovery_cycles": ("BM_MachineFaultRecovery", "cycles/run",
                               False, 0.05),
     "async_ops_per_s": ("BM_MachineAsyncThreads", "ops/s", True),
+    "serve_req_per_s": ("BM_ServeWarmVsCold", "req/s", True),
     "frame_ctxs_per_s": ("BM_FrameAlloc", "ctxs/s", True),
     "lowering_ns": ("BM_LowerExecProgram", "real_time", False),
 }
@@ -195,8 +201,21 @@ def async_speedup(summary):
     return max(threaded) / serial
 
 
+def serve_warm_speedup(summary):
+    """Warm-over-cold request rate on BM_ServeWarmVsCold, or None when
+    either row is missing. Cold pays a full compile per request, warm a
+    program-cache hit plus execution; both rows come from the same run,
+    so the ratio is host-independent."""
+    rows = summary.get("serve_req_per_s", {})
+    cold = rows.get("BM_ServeWarmVsCold/0")
+    warm = rows.get("BM_ServeWarmVsCold/1")
+    if not cold or not warm:
+        return None
+    return warm / cold
+
+
 def check(current, baseline, tolerance, speedup_floor, overhead_floor,
-          integrity_floor, fusion_floor, async_floor):
+          integrity_floor, fusion_floor, async_floor, serve_floor):
     failures = []
 
     def compare(section, spec):
@@ -268,6 +287,14 @@ def check(current, baseline, tolerance, speedup_floor, overhead_floor,
     else:
         print("async-engine speedup on BM_MachineAsyncThreads: "
               "not measurable on this host (multi-thread rows skipped)")
+
+    serve = serve_warm_speedup(current)
+    if serve is not None:
+        flag = "ok" if serve >= serve_floor else "REGRESSION"
+        print(f"serve warm-over-cold speedup on BM_ServeWarmVsCold: "
+              f"{serve:.2f}x (floor {serve_floor:.2f}x) {flag}")
+        if serve < serve_floor:
+            failures.append("serve-warm-speedup")
     return failures
 
 
@@ -306,6 +333,11 @@ def main():
                          "BM_MachineAsyncThreads at >= 4 threads "
                          "(default 1.15); vacuous on single-core hosts "
                          "where the threaded rows skip themselves")
+    ap.add_argument("--serve-warm-speedup-floor", type=float, default=5.0,
+                    help="required warm/cold request-rate ratio on "
+                         "BM_ServeWarmVsCold (default 5.0): a cached "
+                         "serve request skips the whole compile, so the "
+                         "warm path must be at least this much faster")
     args = ap.parse_args()
 
     summary = summarize(run_bench(args.bench))
@@ -336,6 +368,10 @@ def main():
         if asyn is not None:
             print(f"async-engine speedup on BM_MachineAsyncThreads: "
                   f"{asyn:.2f}x")
+        serve = serve_warm_speedup(summary)
+        if serve is not None:
+            print(f"serve warm-over-cold speedup on BM_ServeWarmVsCold: "
+                  f"{serve:.2f}x")
         print("baseline recorded; commit it with the change that "
               "motivated the new numbers")
         return 0
@@ -348,7 +384,8 @@ def main():
                          args.faults_overhead_floor,
                          args.integrity_overhead_floor,
                          args.fusion_speedup_floor,
-                         args.async_speedup_floor)
+                         args.async_speedup_floor,
+                         args.serve_warm_speedup_floor)
         if failures:
             print(f"FAIL: {len(failures)} benchmark(s) regressed beyond "
                   f"{args.tolerance:.0%}: {', '.join(failures)}")

@@ -55,6 +55,23 @@ machine::RunResult execute(const CompileResult& cr,
                       istructure_regions(tx), shared_regions(tx));
 }
 
+machine::ProgramImage make_program_image(CompileResult cr) {
+  machine::ProgramImage image;
+  image.exec = std::move(cr.exec);
+  image.memory_cells = cr.translation.memory_cells;
+  image.istructures = istructure_regions(cr.translation);
+  image.shared = shared_regions(cr.translation);
+  image.names = std::move(cr.names);
+  return image;
+}
+
+machine::RunResult execute(const machine::ProgramImage& image,
+                           const machine::MachineOptions& options) {
+  return machine::run(image.exec,
+                      static_cast<std::size_t>(image.memory_cells), options,
+                      image.istructures, image.shared);
+}
+
 std::int64_t read_scalar(const lang::Program& prog, const lang::Store& store,
                          std::string_view name) {
   const auto v = prog.symbols.lookup(name);

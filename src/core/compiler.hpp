@@ -45,6 +45,18 @@ namespace ctdf::core {
 [[nodiscard]] machine::RunResult execute(const CompileResult& cr,
                                          const machine::MachineOptions& options);
 
+/// Packs a compilation into the self-contained unit blobs serialize
+/// and the program cache stores: the lowered ExecProgram, the memory
+/// geometry, and the name→cell table. Consumes the CompileResult (the
+/// graph is dropped — an image is execution-only).
+[[nodiscard]] machine::ProgramImage make_program_image(CompileResult cr);
+
+/// Runs a self-contained program image — one deserialized from a blob
+/// (machine/blob.hpp) or served by the program cache
+/// (core/progcache.hpp). No source program or graph involved.
+[[nodiscard]] machine::RunResult execute(const machine::ProgramImage& image,
+                                         const machine::MachineOptions& options);
+
 /// Reads a scalar variable (by name) out of a final store using the
 /// program's storage layout. Throws on unknown names.
 [[nodiscard]] std::int64_t read_scalar(const lang::Program& prog,

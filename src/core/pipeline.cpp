@@ -4,7 +4,9 @@
 #include <unordered_map>
 #include <utility>
 
+#include "core/progcache.hpp"
 #include "lang/parser.hpp"
+#include "lang/symbols.hpp"
 #include "machine/exec.hpp"
 #include "support/diagnostics.hpp"
 
@@ -62,6 +64,24 @@ void run_lower_stage(const PipelineOptions& options, CompileResult& result,
     hooks.dump(Stage::kLower, machine::render(result.exec));
 }
 
+/// The name→cell table travelling with the compile (and into blobs):
+/// one row per variable, with the same base/extent the interpreter's
+/// StorageLayout assigns, so store rendering by name needs no symbols.
+std::vector<machine::NamedCell> named_cells(const lang::Program& prog) {
+  const lang::StorageLayout layout{prog.symbols};
+  std::vector<machine::NamedCell> names;
+  for (const lang::VarId v : prog.symbols.all_vars()) {
+    machine::NamedCell cell;
+    cell.name = prog.symbols.name(v);
+    cell.base = static_cast<std::uint32_t>(layout.base(v));
+    cell.extent = prog.symbols.is_array(v)
+                      ? static_cast<std::int64_t>(layout.extent(v))
+                      : 0;
+    names.push_back(std::move(cell));
+  }
+  return names;
+}
+
 }  // namespace
 
 bool PipelineOptions::configure_stage(std::string_view name, bool enabled) {
@@ -114,6 +134,7 @@ CompileResult Pipeline::run(std::string_view source) const {
   result.translation =
       translate::run_stages(prog, options_.translate, diags, &hooks, set);
   diags.throw_if_errors();
+  result.names = named_cells(prog);
   run_lower_stage(options_, result, hooks);
   return result;
 }
@@ -134,6 +155,7 @@ CompileResult Pipeline::run(const lang::Program& prog) const {
   result.translation =
       translate::run_stages(prog, options_.translate, diags, &hooks, set);
   diags.throw_if_errors();
+  result.names = named_cells(prog);
   run_lower_stage(options_, result, hooks);
   return result;
 }
@@ -153,6 +175,35 @@ BatchResult Pipeline::run_many(const std::vector<std::string>& sources) const {
     }
     batch.combined.merge(batch.programs.back().trace);
   }
+  return batch;
+}
+
+BatchResult Pipeline::run_many(const std::vector<std::string>& sources,
+                               ProgramCache& cache) const {
+  BatchResult batch;
+  batch.programs.reserve(sources.size());
+  for (const std::string& src : sources) {
+    ProgramCache::Outcome out = cache.get(src, options_);
+    const machine::ProgramImage& image = out.entry->image;
+    CompileResult cr;
+    cr.exec = image.exec;
+    cr.names = image.names;
+    // Rehydrate the memory geometry execute() reads off the
+    // translation; the graph itself is not reconstructed for hits.
+    cr.translation.memory_cells = image.memory_cells;
+    for (const auto& r : image.istructures)
+      cr.translation.istructures.push_back({r.base, r.extent});
+    for (const auto& r : image.shared)
+      cr.translation.shared_cells.push_back({r.base, r.extent});
+    cr.trace = std::move(out.trace);
+    if (out.disposition != CacheDisposition::kMiss) {
+      ++batch.cache_hits;
+      ++batch.lowerings_reused;
+    }
+    batch.combined.merge(cr.trace);
+    batch.programs.push_back(std::move(cr));
+  }
+  batch.cache_blob_bytes = cache.stats().blob_bytes;
   return batch;
 }
 

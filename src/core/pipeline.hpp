@@ -21,11 +21,14 @@
 #include <vector>
 
 #include "lang/ast.hpp"
+#include "machine/blob.hpp"
 #include "machine/exec.hpp"
 #include "translate/stages.hpp"
 #include "translate/translator.hpp"
 
 namespace ctdf::core {
+
+class ProgramCache;
 
 // The stage vocabulary is defined once, in the translate layer; core
 // re-exports it so downstream users need only this header.
@@ -71,6 +74,10 @@ struct CompileResult {
   /// The lowered program (empty when PipelineOptions::lower is off).
   /// machine::run's ExecProgram overload executes it directly.
   machine::ExecProgram exec;
+  /// Name→cell table of the memory image, carried into blobs
+  /// (machine/blob.hpp) so a deserialized program renders stores by
+  /// variable name without the source's symbol table.
+  std::vector<machine::NamedCell> names;
   PipelineTrace trace;
   /// The artifact requested via PipelineOptions::dump_after (empty when
   /// none was requested or the stage did not run).
@@ -82,8 +89,16 @@ struct BatchResult {
   std::vector<CompileResult> programs;
   /// Per-stage aggregate over the batch (times/sizes/counters summed).
   PipelineTrace combined;
-  /// Sources that reused a previous identical source's front-end work.
+  /// Sources that reused a previous identical source's front-end work
+  /// (within-batch text sharing or a ProgramCache hit).
   std::size_t cache_hits = 0;
+  /// Of cache_hits, sources whose lowered ExecProgram came out of a
+  /// ProgramCache (run_many's cache overload): no pipeline stage — not
+  /// even lower — ran for these.
+  std::size_t lowerings_reused = 0;
+  /// Serialized size of the cache's resident entries after the batch
+  /// (0 for the cache-less overload).
+  std::uint64_t cache_blob_bytes = 0;
 };
 
 class Pipeline {
@@ -105,6 +120,15 @@ class Pipeline {
   /// BatchResult::cache_hits).
   [[nodiscard]] BatchResult run_many(
       const std::vector<std::string>& sources) const;
+
+  /// Batch compilation through a content-addressed program cache
+  /// (core/progcache.hpp): identical (source, options) pairs share the
+  /// whole pipeline *including lowering*, across batches and — with a
+  /// disk tier — across processes. Cache-served programs carry an
+  /// executable image (exec, memory geometry, names) but no graph and
+  /// an empty trace; BatchResult::lowerings_reused counts them.
+  [[nodiscard]] BatchResult run_many(const std::vector<std::string>& sources,
+                                     ProgramCache& cache) const;
 
  private:
   PipelineOptions options_;

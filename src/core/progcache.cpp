@@ -1,0 +1,171 @@
+#include "core/progcache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "lang/subroutines.hpp"
+#include "support/hash.hpp"
+
+namespace ctdf::core {
+
+namespace fs = std::filesystem;
+
+std::uint64_t program_cache_key(std::string_view source,
+                                const PipelineOptions& options) {
+  const translate::TranslateOptions& t = options.translate;
+  support::Fnv1a64 h;
+  // A format bump renames every address: a new binary never maps onto
+  // old-format disk blobs (they would be rejected anyway; this avoids
+  // even reading them).
+  h.update_u64(machine::kBlobVersion);
+  h.update_string(source);
+  h.update_u64(t.sequential ? 1 : 0);
+  h.update_u64(static_cast<std::uint64_t>(t.cover));
+  h.update_u64(t.optimize_switches ? 1 : 0);
+  h.update_u64(t.eliminate_memory ? 1 : 0);
+  h.update_u64(t.parallel_reads ? 1 : 0);
+  h.update_u64(t.dead_store_elimination ? 1 : 0);
+  h.update_u64(t.post_optimize ? 1 : 0);
+  h.update_u64(t.opt_passes.bits);
+  h.update_u64(t.fuse_limit);
+  h.update_u64(t.max_fanout);
+  h.update_u64(t.parallel_store_arrays.size());
+  for (const auto& a : t.parallel_store_arrays) h.update_string(a);
+  h.update_u64(t.istructure_arrays.size());
+  for (const auto& a : t.istructure_arrays) h.update_string(a);
+  return h.digest();
+}
+
+const char* to_string(CacheDisposition d) {
+  switch (d) {
+    case CacheDisposition::kMiss:
+      return "miss";
+    case CacheDisposition::kHitMemory:
+      return "hit-memory";
+    case CacheDisposition::kHitDisk:
+      return "hit-disk";
+  }
+  return "?";
+}
+
+ProgramCache::ProgramCache() : ProgramCache(Config()) {}
+
+ProgramCache::ProgramCache(Config config) : config_(std::move(config)) {
+  if (config_.capacity == 0) config_.capacity = 1;
+}
+
+std::string ProgramCache::blob_path(std::uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx",
+                static_cast<unsigned long long>(key));
+  return config_.dir + "/" + name + ".ctdfblob";
+}
+
+void ProgramCache::insert_locked(std::shared_ptr<const Entry> entry) {
+  const std::uint64_t key = entry->key;
+  lru_.push_front(key);
+  stats_.blob_bytes += entry->blob_bytes;
+  map_[key] = Slot{std::move(entry), lru_.begin()};
+  while (map_.size() > config_.capacity) {
+    const std::uint64_t victim = lru_.back();
+    lru_.pop_back();
+    const auto it = map_.find(victim);
+    stats_.blob_bytes -= it->second.entry->blob_bytes;
+    map_.erase(it);
+    ++stats_.evictions;
+  }
+  stats_.entries = map_.size();
+}
+
+void ProgramCache::write_disk_blob(std::uint64_t key,
+                                   const std::vector<std::uint8_t>& blob) {
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  // A failed write only means the next process recompiles.
+  (void)machine::write_blob_file(blob_path(key), blob);
+  // Enforce the file cap with oldest-mtime eviction.
+  std::vector<std::pair<fs::file_time_type, fs::path>> files;
+  for (const auto& e : fs::directory_iterator(config_.dir, ec)) {
+    if (e.path().extension() == ".ctdfblob")
+      files.emplace_back(fs::last_write_time(e.path(), ec), e.path());
+  }
+  if (files.size() <= config_.disk_capacity) return;
+  std::sort(files.begin(), files.end());
+  for (std::size_t i = 0; i + config_.disk_capacity < files.size(); ++i)
+    fs::remove(files[i].second, ec);
+}
+
+ProgramCache::Outcome ProgramCache::get(std::string_view source,
+                                        const PipelineOptions& options) {
+  const std::uint64_t key = program_cache_key(source, options);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (const auto it = map_.find(key); it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+    it->second.lru_pos = lru_.begin();
+    ++stats_.hits;
+    return {it->second.entry, CacheDisposition::kHitMemory, {}};
+  }
+  if (!config_.dir.empty()) {
+    machine::BlobReadResult read = machine::read_blob_file(blob_path(key));
+    if (read.ok()) {
+      auto entry = std::make_shared<Entry>();
+      entry->key = key;
+      entry->image = std::move(read.image);
+      entry->blob_bytes = read.blob_bytes;
+      entry->content_hash = read.content_hash;
+      insert_locked(entry);
+      ++stats_.disk_hits;
+      return {std::move(entry), CacheDisposition::kHitDisk, {}};
+    }
+    // kUnreadable = not there yet (a plain miss); anything else is a
+    // stale/corrupt/truncated blob — count it, recompile, rewrite.
+    if (read.error != machine::BlobError::kUnreadable) ++stats_.disk_rejects;
+  }
+  PipelineOptions po = options;
+  po.lower = true;  // an image without an ExecProgram is useless
+  const auto expanded =
+      lang::expand_subroutines_or_throw(std::string(source));
+  CompileResult cr = Pipeline(po).run(expanded.source);
+  PipelineTrace trace = std::move(cr.trace);
+  auto entry = std::make_shared<Entry>();
+  entry->key = key;
+  entry->image = make_program_image(std::move(cr));
+  const std::vector<std::uint8_t> blob = machine::serialize(entry->image);
+  entry->blob_bytes = blob.size();
+  entry->content_hash = machine::blob_content_hash(blob);
+  ++stats_.misses;
+  if (!config_.dir.empty()) write_disk_blob(key, blob);
+  insert_locked(entry);
+  return {std::move(entry), CacheDisposition::kMiss, std::move(trace)};
+}
+
+CacheStats ProgramCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string render_cache_json(const CacheStats& stats,
+                              CacheDisposition disposition,
+                              std::uint64_t key) {
+  char key_hex[32];
+  std::snprintf(key_hex, sizeof key_hex, "%016llx",
+                static_cast<unsigned long long>(key));
+  std::ostringstream os;
+  os << "{\n    \"disposition\": \"" << to_string(disposition) << "\""
+     << ",\n    \"key\": \"" << key_hex << "\""
+     << ",\n    \"hits\": " << stats.hits
+     << ",\n    \"disk_hits\": " << stats.disk_hits
+     << ",\n    \"misses\": " << stats.misses
+     << ",\n    \"evictions\": " << stats.evictions
+     << ",\n    \"disk_rejects\": " << stats.disk_rejects
+     << ",\n    \"entries\": " << stats.entries
+     << ",\n    \"blob_bytes\": " << stats.blob_bytes << "\n  }";
+  return os.str();
+}
+
+}  // namespace ctdf::core

@@ -142,6 +142,10 @@ class ExecProgram {
   /// mutation harness edits a lowered program to break one translator
   /// invariant, proving --check=integrity is not vacuous.
   friend struct ProgramMutator;
+  /// Versioned binary serialization (machine/blob.hpp): the codec
+  /// walks every field below, so adding a member here means extending
+  /// the blob format and bumping kBlobVersion.
+  friend struct BlobCodec;
 
   std::vector<ExecOp> ops_;
   std::vector<ExecDest> fanout_;          ///< all dests, port-contiguous

@@ -1,0 +1,484 @@
+#include "serve/serve.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "machine/flags.hpp"
+#include "machine/report.hpp"
+#include "serve/json.hpp"
+#include "support/diagnostics.hpp"
+#include "translate/options.hpp"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+namespace ctdf::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::int64_t nanos_since(Clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                              t0)
+      .count();
+}
+
+/// Multi-line JSON (render_stats_json, render_cache_json) folded onto
+/// one NDJSON line. Newlines in JSON exist only as inter-token
+/// whitespace, so dropping them preserves the document.
+std::string compact(std::string s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\n') {
+      out.push_back(s[i]);
+      continue;
+    }
+    // Swallow the following indentation too; keep one space so tokens
+    // stay separated ("key": value pairs already carry their spaces).
+    while (i + 1 < s.size() && s[i + 1] == ' ') ++i;
+  }
+  return out;
+}
+
+std::string quoted(const std::string& s) {
+  return "\"" + machine::json_escape(s) + "\"";
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// One request, decoded as far as flag parsing can take it.
+struct Request {
+  std::string id_json = "null";  ///< echoed verbatim
+  std::string op;
+  std::string source;
+  translate::TranslateOptions topt;
+  machine::MachineOptions mopt;
+  std::vector<std::string> print;
+  bool has_print = false;
+  const JsonValue* batch = nullptr;  ///< run-batch's "requests" array
+
+  // Decode failure, if any.
+  std::string error_kind;
+  std::string error_message;
+  [[nodiscard]] bool ok() const { return error_kind.empty(); }
+  void fail(std::string kind, std::string message) {
+    if (error_kind.empty()) {
+      error_kind = std::move(kind);
+      error_message = std::move(message);
+    }
+  }
+};
+
+/// The request-independent option baseline: the CLI's translate default
+/// (schema2+opt) and the CLI's machine defaults.
+struct Defaults {
+  translate::TranslateOptions topt =
+      translate::TranslateOptions::schema2_optimized();
+  machine::MachineOptions mopt = machine::default_cli_machine_options();
+};
+
+Request decode_request(const JsonValue& obj, const Defaults& defaults) {
+  Request req;
+  req.topt = defaults.topt;
+  req.mopt = defaults.mopt;
+  if (!obj.is_object()) {
+    req.fail("protocol", "request must be a JSON object");
+    return req;
+  }
+  if (const JsonValue* id = obj.find("id")) {
+    if (id->is_array() || id->is_object()) {
+      req.fail("protocol", "\"id\" must be a scalar");
+      return req;
+    }
+    req.id_json = json_render(*id);
+  }
+  const JsonValue* op = obj.find("op");
+  if (!op || !op->is_string()) {
+    req.fail("protocol", "missing \"op\" string");
+    return req;
+  }
+  req.op = op->string;
+  if (const JsonValue* src = obj.find("source")) {
+    if (!src->is_string()) {
+      req.fail("protocol", "\"source\" must be a string");
+      return req;
+    }
+    req.source = src->string;
+  }
+  if (const JsonValue* opts = obj.find("options")) {
+    if (!opts->is_array()) {
+      req.fail("protocol", "\"options\" must be an array of strings");
+      return req;
+    }
+    for (const JsonValue& o : opts->array) {
+      if (!o.is_string()) {
+        req.fail("protocol", "\"options\" must be an array of strings");
+        return req;
+      }
+      const std::string& flag = o.string;
+      switch (translate::apply_schema_flag(req.topt, flag)) {
+        case translate::SchemaFlagParse::kApplied:
+          continue;
+        case translate::SchemaFlagParse::kBadValue:
+          req.fail("options", "bad value: " + flag);
+          return req;
+        case translate::SchemaFlagParse::kNotSchemaFlag:
+          break;
+      }
+      std::string detail;
+      switch (machine::apply_machine_flag(req.mopt, flag, &detail)) {
+        case machine::MachineFlagParse::kApplied:
+          continue;
+        case machine::MachineFlagParse::kBadValue:
+          req.fail("options", "bad value: " + flag +
+                                  (detail.empty() ? "" : " (" + detail + ")"));
+          return req;
+        case machine::MachineFlagParse::kNotMachineFlag:
+          req.fail("options", "unknown option: " + flag);
+          return req;
+      }
+    }
+  }
+  if (const JsonValue* print = obj.find("print")) {
+    if (!print->is_array()) {
+      req.fail("protocol", "\"print\" must be an array of strings");
+      return req;
+    }
+    req.has_print = true;
+    for (const JsonValue& p : print->array) {
+      if (!p.is_string()) {
+        req.fail("protocol", "\"print\" must be an array of strings");
+        return req;
+      }
+      req.print.push_back(p.string);
+    }
+  }
+  req.batch = obj.find("requests");
+  return req;
+}
+
+/// {"kind": "...", "message": "..."} error responses keep the short
+/// key set {id, op, ok, error}; tests/serve_test.cpp freezes it.
+std::string error_response(const Request& req) {
+  std::ostringstream os;
+  os << "{\"id\": " << req.id_json << ", \"op\": " << quoted(req.op)
+     << ", \"ok\": false, \"error\": {\"kind\": " << quoted(req.error_kind)
+     << ", \"message\": " << quoted(req.error_message) << "}}";
+  return os.str();
+}
+
+std::string stage_nanos_json(const translate::PipelineTrace& trace) {
+  std::ostringstream os;
+  os << '{';
+  for (const auto& r : trace.stages) {
+    if (!r.ran) continue;
+    os << '"' << translate::to_string(r.stage) << "\": " << r.nanos << ", ";
+  }
+  os << "\"total\": " << trace.total_nanos() << '}';
+  return os.str();
+}
+
+/// The final store as {"name": value, "name": [v, ...]}. Default: every
+/// scalar (the CLI's print_store convention); an explicit print list
+/// selects names, unknown names render as null.
+std::string store_json(const machine::ProgramImage& image,
+                       const lang::Store& store, const Request& req) {
+  const auto cell_value = [&](std::uint64_t idx) -> std::int64_t {
+    return idx < store.cells.size() ? store.cells[idx] : 0;
+  };
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  const auto emit = [&](const machine::NamedCell& c) {
+    if (!first) os << ", ";
+    first = false;
+    os << quoted(c.name) << ": ";
+    if (c.extent == 0) {
+      os << cell_value(c.base);
+      return;
+    }
+    os << '[';
+    for (std::int64_t i = 0; i < c.extent; ++i)
+      os << (i ? ", " : "") << cell_value(c.base + static_cast<std::uint64_t>(i));
+    os << ']';
+  };
+  if (req.has_print) {
+    for (const std::string& name : req.print) {
+      const machine::NamedCell* found = nullptr;
+      for (const auto& c : image.names)
+        if (c.name == name) {
+          found = &c;
+          break;
+        }
+      if (found) {
+        emit(*found);
+      } else {
+        if (!first) os << ", ";
+        first = false;
+        os << quoted(name) << ": null";
+      }
+    }
+  } else {
+    for (const auto& c : image.names)
+      if (c.extent == 0) emit(c);
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
+Server::Server() : Server(ServeOptions{}) {}
+
+Server::Server(ServeOptions options)
+    : options_(options), cache_(options.cache) {}
+
+namespace {
+
+/// compile / run, shared by top-level requests and batch items.
+std::string handle_program_request(core::ProgramCache& cache,
+                                   const Request& req) {
+  const auto t0 = Clock::now();
+  if (req.source.empty())
+    return error_response([&] {
+      Request r = req;
+      r.fail("protocol", "missing \"source\" for op " + req.op);
+      return r;
+    }());
+
+  core::ProgramCache::Outcome out;
+  try {
+    out = cache.get(req.source, core::PipelineOptions(req.topt));
+  } catch (const std::exception& e) {
+    Request r = req;
+    r.fail("compile", e.what());
+    return error_response(r);
+  }
+
+  std::string stats_json = "null";
+  std::string store = "null";
+  std::string machine_error;
+  std::int64_t exec_nanos = 0;
+  if (req.op == "run") {
+    const auto e0 = Clock::now();
+    const machine::RunResult res = core::execute(out.entry->image, req.mopt);
+    exec_nanos = nanos_since(e0);
+    stats_json = compact(machine::render_stats_json(res.stats, req.mopt));
+    if (res.stats.completed)
+      store = store_json(out.entry->image, res.store, req);
+    else
+      machine_error = res.stats.error;
+  }
+
+  const core::CacheStats cstats = cache.stats();
+  std::ostringstream os;
+  os << "{\"id\": " << req.id_json << ", \"op\": " << quoted(req.op)
+     << ", \"ok\": " << (machine_error.empty() ? "true" : "false")
+     << ", \"cache\": "
+     << compact(core::render_cache_json(cstats, out.disposition,
+                                        out.entry->key))
+     << ", \"content_hash\": " << quoted(hex16(out.entry->content_hash))
+     << ", \"stage_nanos\": " << stage_nanos_json(out.trace)
+     << ", \"exec_nanos\": " << exec_nanos
+     << ", \"total_nanos\": " << nanos_since(t0)
+     << ", \"stats\": " << stats_json << ", \"store\": " << store
+     << ", \"error\": ";
+  if (machine_error.empty())
+    os << "null";
+  else
+    os << "{\"kind\": \"machine\", \"message\": " << quoted(machine_error)
+       << "}";
+  os << '}';
+  return os.str();
+}
+
+}  // namespace
+
+std::string Server::handle_line(const std::string& line, bool* shutdown) {
+  if (shutdown) *shutdown = false;
+  std::string parse_error;
+  const auto doc = json_parse(line, &parse_error);
+  if (!doc) {
+    Request r;
+    r.fail("protocol", "bad JSON: " + parse_error);
+    return error_response(r);
+  }
+  const Defaults defaults;
+  Request req = decode_request(*doc, defaults);
+  if (!req.ok()) return error_response(req);
+
+  if (req.op == "shutdown") {
+    if (shutdown) *shutdown = true;
+    return "{\"id\": " + req.id_json +
+           ", \"op\": \"shutdown\", \"ok\": true, \"error\": null}";
+  }
+  if (req.op == "compile" || req.op == "run")
+    return handle_program_request(cache_, req);
+  if (req.op != "run-batch") {
+    req.fail("protocol", "unknown op: " + req.op);
+    return error_response(req);
+  }
+
+  if (!req.batch || !req.batch->is_array()) {
+    req.fail("protocol", "run-batch needs a \"requests\" array");
+    return error_response(req);
+  }
+  // The batch's own topt/mopt become each item's baseline, so shared
+  // options can be stated once at the batch level.
+  Defaults batch_defaults;
+  batch_defaults.topt = req.topt;
+  batch_defaults.mopt = req.mopt;
+  const std::vector<JsonValue>& items = req.batch->array;
+  std::vector<Request> decoded;
+  decoded.reserve(items.size());
+  for (const JsonValue& item : items) {
+    Request r = decode_request(item, batch_defaults);
+    if (r.ok()) {
+      if (r.op.empty()) r.op = "run";
+      if (r.op == "run-batch") r.fail("protocol", "run-batch cannot nest");
+    } else if (r.error_message == "missing \"op\" string") {
+      // Re-decode with the default op: "op" is optional inside a batch.
+      JsonValue patched = item;
+      JsonValue opval;
+      opval.kind = JsonValue::Kind::kString;
+      opval.string = "run";
+      patched.object.emplace_back("op", opval);
+      r = decode_request(patched, batch_defaults);
+    }
+    decoded.push_back(std::move(r));
+  }
+
+  std::vector<std::string> results(decoded.size());
+  std::atomic<std::size_t> errors{0};
+  std::atomic<std::size_t> batch_cache_hits{0};
+  const core::CacheStats before = cache_.stats();
+  std::atomic<std::size_t> next{0};
+  const auto work = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= decoded.size()) return;
+      const Request& r = decoded[i];
+      if (!r.ok()) {
+        results[i] = error_response(r);
+        ++errors;
+        continue;
+      }
+      results[i] = handle_program_request(cache_, r);
+      if (results[i].find("\"ok\": false") != std::string::npos) ++errors;
+    }
+  };
+  const std::size_t workers =
+      std::min(options_.workers == 0 ? std::size_t{1} : options_.workers,
+               decoded.size());
+  if (workers <= 1) {
+    work();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work);
+    for (std::thread& t : pool) t.join();
+  }
+  const core::CacheStats after = cache_.stats();
+  batch_cache_hits = (after.hits - before.hits) +
+                     (after.disk_hits - before.disk_hits);
+
+  std::ostringstream os;
+  os << "{\"id\": " << req.id_json << ", \"op\": \"run-batch\", \"ok\": true"
+     << ", \"batch\": {\"requests\": " << decoded.size()
+     << ", \"errors\": " << errors.load()
+     << ", \"cache_hits\": " << batch_cache_hits.load() << "}"
+     << ", \"results\": [";
+  for (std::size_t i = 0; i < results.size(); ++i)
+    os << (i ? ", " : "") << results[i];
+  os << "], \"error\": null}";
+  return os.str();
+}
+
+int Server::serve_stream(std::istream& in, std::ostream& out) {
+  std::string line;
+  bool shutdown = false;
+  while (!shutdown && std::getline(in, line)) {
+    if (line.empty()) continue;
+    out << handle_line(line, &shutdown) << '\n';
+    out.flush();
+  }
+  return 0;
+}
+
+int Server::serve_socket(const std::string& path) {
+#ifdef _WIN32
+  std::fprintf(stderr, "serve: --socket is not supported on this platform\n");
+  return 2;
+#else
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path) {
+    std::fprintf(stderr, "serve: socket path too long: %s\n", path.c_str());
+    return 2;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("serve: socket");
+    return 2;
+  }
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", path.c_str());
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(fd, 8) < 0) {
+    std::perror("serve: bind/listen");
+    ::close(fd);
+    return 2;
+  }
+  bool shutdown = false;
+  while (!shutdown) {
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) break;
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(client, chunk, sizeof chunk);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t eol;
+      while ((eol = buffer.find('\n')) != std::string::npos) {
+        const std::string line = buffer.substr(0, eol);
+        buffer.erase(0, eol + 1);
+        if (line.empty()) continue;
+        const std::string response = handle_line(line, &shutdown) + "\n";
+        std::size_t off = 0;
+        while (off < response.size()) {
+          const ssize_t w =
+              ::write(client, response.data() + off, response.size() - off);
+          if (w <= 0) break;
+          off += static_cast<std::size_t>(w);
+        }
+        if (shutdown) break;
+      }
+      if (shutdown) break;
+    }
+    ::close(client);
+  }
+  ::close(fd);
+  ::unlink(path.c_str());
+  return 0;
+#endif
+}
+
+}  // namespace ctdf::serve

@@ -1,0 +1,91 @@
+// `ctdf serve` — the compile-once, serve-many front-end (ROADMAP item
+// 1: "what a 'millions of users' ctdf service would look like").
+//
+// The server accepts newline-delimited JSON request objects on stdin
+// (or a Unix stream socket) and emits exactly one single-line JSON
+// response per request, in request order. All requests multiplex off
+// one shared core::ProgramCache, so a hot program is lowered exactly
+// once — every later request pays only execution.
+//
+// Request object:
+//   {"id": <any scalar, echoed back>,          // optional
+//    "op": "compile" | "run" | "run-batch" | "shutdown",
+//    "source": "<ctdf program text>",          // compile / run
+//    "options": ["--mem-elim", "--engine=event", ...],   // optional:
+//        the CLI's schema flags (translate::apply_schema_flag) and
+//        machine flags (machine::apply_machine_flag), per request
+//    "print": ["x", "a"],                      // optional: store
+//        variables to return (default: every scalar)
+//    "requests": [<request>, ...]}             // run-batch only; inner
+//        op defaults to "run", inner options default to the batch's
+//
+// Response object (one line; key sets frozen by tests/serve_test.cpp):
+//   {"id":..., "op":"run", "ok":true,
+//    "cache": {"disposition":"hit-memory"|"hit-disk"|"miss",
+//              "key":"<16 hex>", "hits":..., "disk_hits":...,
+//              "misses":..., "evictions":..., "disk_rejects":...,
+//              "entries":..., "blob_bytes":...},
+//    "content_hash": "<16 hex>",               // the program's blob hash
+//    "stage_nanos": {"parse":..., ..., "total":...},  // compile stages
+//        this request actually ran; {"total": 0} on cache hits
+//    "exec_nanos":..., "total_nanos":...,      // this request's wall time
+//    "stats": {<machine::render_stats_json>} | null,   // run only
+//    "store": {"x": 3, "a": [1, 2]} | null,    // run only
+//    "error": null | {"kind": "protocol"|"options"|"compile"|"machine",
+//                     "message": "..."}}
+//
+// A "run-batch" response instead carries {"batch": {"requests":N,
+// "errors":N, "cache_hits":N}, "results": [<per-request responses>]};
+// results keep request order even when executed by several workers.
+// "shutdown" acknowledges and stops the serve loop (stdin mode also
+// stops at EOF).
+//
+// Errors never kill the server: every failure — unparseable line,
+// unknown op, bad flag, compile error, machine error — produces an
+// "ok": false response with a typed error object on its own line.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "core/progcache.hpp"
+
+namespace ctdf::serve {
+
+struct ServeOptions {
+  /// Executor threads for run-batch requests (1 = in-line). Responses
+  /// are ordered regardless.
+  std::size_t workers = 1;
+  /// The shared program cache (capacity / disk dir / disk capacity).
+  core::ProgramCache::Config cache;
+};
+
+class Server {
+ public:
+  Server();
+  explicit Server(ServeOptions options);
+
+  /// Handles one request line, returning the response line (no trailing
+  /// newline). Sets *shutdown when the request asked the serve loop to
+  /// stop. Never throws.
+  [[nodiscard]] std::string handle_line(const std::string& line,
+                                        bool* shutdown = nullptr);
+
+  /// NDJSON loop over a stream pair until EOF or a shutdown request.
+  /// Returns a process exit code (0).
+  int serve_stream(std::istream& in, std::ostream& out);
+
+  /// Same protocol over a Unix stream socket (one client at a time;
+  /// the listener accepts the next connection when a client hangs up).
+  /// Returns non-zero if the socket cannot be created/bound.
+  int serve_socket(const std::string& path);
+
+  [[nodiscard]] core::ProgramCache& cache() { return cache_; }
+
+ private:
+  ServeOptions options_;
+  core::ProgramCache cache_;
+};
+
+}  // namespace ctdf::serve

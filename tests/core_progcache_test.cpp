@@ -1,0 +1,301 @@
+// Program-cache behavior (core/progcache.hpp): key sensitivity, LRU
+// accounting, the disk tier's typed-rejection fallback, and the
+// run_many batch overload. Correctness bar throughout: a cache-served
+// program must execute exactly like a freshly compiled one, and a
+// damaged cache may cost a recompile but never an answer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "core/pipeline.hpp"
+#include "core/progcache.hpp"
+#include "lang/corpus.hpp"
+#include "machine/blob.hpp"
+#include "support/diagnostics.hpp"
+
+namespace ctdf::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string scalar_source(int value) {
+  return "var x;\n  x := " + std::to_string(value) + " + 1;\n";
+}
+
+PipelineOptions default_po() {
+  return PipelineOptions(translate::TranslateOptions::schema2_optimized());
+}
+
+/// XORs one byte of a file in place (simulated bit rot).
+void flip_byte(const std::string& path, std::size_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  const int b = f.get();
+  ASSERT_NE(b, EOF);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.put(static_cast<char>(b ^ 0x40));
+}
+
+/// A fresh, empty directory under the test temp root.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/progcache_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(ProgramCacheKey, StableAndSensitiveToWhatShapesTheImage) {
+  const std::string src = lang::corpus::running_example_source();
+  const PipelineOptions po = default_po();
+  EXPECT_EQ(program_cache_key(src, po), program_cache_key(src, po));
+  EXPECT_NE(program_cache_key(src, po),
+            program_cache_key(src + " ", po));
+
+  PipelineOptions mem = po;
+  mem.translate.eliminate_memory = true;
+  EXPECT_NE(program_cache_key(src, po), program_cache_key(src, mem));
+
+  PipelineOptions fuse = po;
+  fuse.translate.fuse_limit = 5;
+  EXPECT_NE(program_cache_key(src, po), program_cache_key(src, fuse));
+
+  PipelineOptions istr = po;
+  istr.translate.istructure_arrays = {"x"};
+  EXPECT_NE(program_cache_key(src, po), program_cache_key(src, istr));
+
+  // Trace-only toggles do not change the image, so they must not
+  // change the address: a --stage-stats run and a plain run share one
+  // cache entry.
+  PipelineOptions traced = po;
+  traced.compute_ssa = true;
+  traced.validate = false;
+  traced.dump_after = Stage::kTranslate;
+  EXPECT_EQ(program_cache_key(src, po), program_cache_key(src, traced));
+}
+
+TEST(ProgramCache, MissThenMemoryHitSharesTheEntry) {
+  ProgramCache cache;
+  const std::string src = lang::corpus::running_example_source();
+  const auto first = cache.get(src, default_po());
+  EXPECT_EQ(first.disposition, CacheDisposition::kMiss);
+  ASSERT_NE(first.entry, nullptr);
+  EXPECT_GT(first.entry->blob_bytes, 0u);
+  EXPECT_NE(first.entry->content_hash, 0u);
+  EXPECT_FALSE(first.trace.stages.empty());  // the compile ran
+
+  const auto second = cache.get(src, default_po());
+  EXPECT_EQ(second.disposition, CacheDisposition::kHitMemory);
+  EXPECT_EQ(second.entry.get(), first.entry.get());
+  EXPECT_TRUE(second.trace.stages.empty());  // nothing ran
+
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.blob_bytes, first.entry->blob_bytes);
+}
+
+TEST(ProgramCache, CacheServedProgramsExecuteIdentically) {
+  ProgramCache cache;
+  const std::string src = lang::corpus::fig9_source();
+  (void)cache.get(src, default_po());
+  const auto hit = cache.get(src, default_po());
+  ASSERT_EQ(hit.disposition, CacheDisposition::kHitMemory);
+
+  const auto fresh = core::make_program_image(
+      Pipeline(default_po()).run(src));
+  const machine::MachineOptions mopt;
+  const auto a = execute(hit.entry->image, mopt);
+  const auto b = execute(fresh, mopt);
+  ASSERT_TRUE(a.stats.completed) << a.stats.error;
+  EXPECT_EQ(a.store, b.store);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+  EXPECT_EQ(a.stats.ops_fired, b.stats.ops_fired);
+}
+
+TEST(ProgramCache, LruEvictsTheLeastRecentlyTouchedEntry) {
+  ProgramCache::Config cfg;
+  cfg.capacity = 2;
+  ProgramCache cache(cfg);
+  const PipelineOptions po = default_po();
+
+  (void)cache.get(scalar_source(1), po);
+  (void)cache.get(scalar_source(2), po);
+  // Touch 1 so 2 becomes the LRU victim.
+  EXPECT_EQ(cache.get(scalar_source(1), po).disposition,
+            CacheDisposition::kHitMemory);
+  (void)cache.get(scalar_source(3), po);
+
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+
+  // 1 survived (recently used), 2 was evicted and recompiles.
+  EXPECT_EQ(cache.get(scalar_source(1), po).disposition,
+            CacheDisposition::kHitMemory);
+  EXPECT_EQ(cache.get(scalar_source(2), po).disposition,
+            CacheDisposition::kMiss);
+
+  // blob_bytes tracks exactly the resident entries.
+  s = cache.stats();
+  const auto e1 = cache.get(scalar_source(1), po);
+  const auto e2 = cache.get(scalar_source(2), po);
+  EXPECT_EQ(cache.stats().blob_bytes,
+            e1.entry->blob_bytes + e2.entry->blob_bytes);
+}
+
+TEST(ProgramCache, ZeroCapacityIsClampedToOne) {
+  ProgramCache::Config cfg;
+  cfg.capacity = 0;
+  ProgramCache cache(cfg);
+  (void)cache.get(scalar_source(1), default_po());
+  EXPECT_EQ(cache.stats().entries, 1u);
+  (void)cache.get(scalar_source(2), default_po());
+  EXPECT_EQ(cache.stats().entries, 1u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ProgramCache, DiskTierServesANewProcess) {
+  const std::string dir = fresh_dir("disk_tier");
+  ProgramCache::Config cfg;
+  cfg.dir = dir;
+  const std::string src = lang::corpus::running_example_source();
+
+  std::uint64_t content_hash = 0;
+  {
+    ProgramCache cold(cfg);
+    const auto out = cold.get(src, default_po());
+    EXPECT_EQ(out.disposition, CacheDisposition::kMiss);
+    content_hash = out.entry->content_hash;
+  }
+  // The blob landed under the key-derived name.
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx",
+                static_cast<unsigned long long>(
+                    program_cache_key(src, default_po())));
+  const std::string path = dir + "/" + std::string(name) + ".ctdfblob";
+  ASSERT_TRUE(fs::exists(path)) << path;
+
+  // A second cache (a "new process") decodes instead of compiling.
+  ProgramCache warm(cfg);
+  const auto out = warm.get(src, default_po());
+  EXPECT_EQ(out.disposition, CacheDisposition::kHitDisk);
+  EXPECT_EQ(out.entry->content_hash, content_hash);
+  EXPECT_TRUE(out.trace.stages.empty());
+  const CacheStats s = warm.stats();
+  EXPECT_EQ(s.disk_hits, 1u);
+  EXPECT_EQ(s.misses, 0u);
+
+  const auto ran = execute(out.entry->image, machine::MachineOptions{});
+  EXPECT_TRUE(ran.stats.completed) << ran.stats.error;
+}
+
+TEST(ProgramCache, CorruptDiskBlobIsRejectedRecompiledAndRewritten) {
+  const std::string dir = fresh_dir("corrupt");
+  ProgramCache::Config cfg;
+  cfg.dir = dir;
+  const std::string src = lang::corpus::running_example_source();
+  { ProgramCache seed(cfg); (void)seed.get(src, default_po()); }
+
+  // Flip one payload byte in the only blob on disk.
+  std::string path;
+  for (const auto& e : fs::directory_iterator(dir)) path = e.path();
+  ASSERT_FALSE(path.empty());
+  flip_byte(path, machine::kBlobHeaderSize + 3);
+
+  ProgramCache burned(cfg);
+  const auto out = burned.get(src, default_po());
+  EXPECT_EQ(out.disposition, CacheDisposition::kMiss);  // recompiled
+  EXPECT_EQ(burned.stats().disk_rejects, 1u);
+  const auto ran = execute(out.entry->image, machine::MachineOptions{});
+  EXPECT_TRUE(ran.stats.completed) << ran.stats.error;
+
+  // The rewrite healed the file: the next process gets a disk hit.
+  ProgramCache healed(cfg);
+  EXPECT_EQ(healed.get(src, default_po()).disposition,
+            CacheDisposition::kHitDisk);
+}
+
+TEST(ProgramCache, StaleFormatGenerationOnDiskIsADiskReject) {
+  const std::string dir = fresh_dir("stale");
+  ProgramCache::Config cfg;
+  cfg.dir = dir;
+  const std::string src = scalar_source(7);
+  { ProgramCache seed(cfg); (void)seed.get(src, default_po()); }
+
+  std::string path;
+  for (const auto& e : fs::directory_iterator(dir)) path = e.path();
+  {
+    // Pretend the blob came from a newer format generation.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(machine::kBlobMagicSize));
+    f.put(static_cast<char>(machine::kBlobVersion + 1));
+  }
+  ProgramCache c(cfg);
+  EXPECT_EQ(c.get(src, default_po()).disposition, CacheDisposition::kMiss);
+  EXPECT_EQ(c.stats().disk_rejects, 1u);
+}
+
+TEST(ProgramCache, DiskCapacityCapsTheFileCount) {
+  const std::string dir = fresh_dir("disk_cap");
+  ProgramCache::Config cfg;
+  cfg.dir = dir;
+  cfg.disk_capacity = 2;
+  ProgramCache cache(cfg);
+  for (int i = 1; i <= 4; ++i)
+    (void)cache.get(scalar_source(i), default_po());
+
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir))
+    if (e.path().extension() == ".ctdfblob") ++files;
+  EXPECT_LE(files, 2u);
+}
+
+TEST(ProgramCache, CompileErrorsAreNotCached) {
+  ProgramCache cache;
+  const std::string bad = "var x;\n  x := ;\n";
+  EXPECT_THROW((void)cache.get(bad, default_po()), support::CompileError);
+  EXPECT_THROW((void)cache.get(bad, default_po()), support::CompileError);
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.hits, 0u);
+}
+
+TEST(PipelineRunMany, CacheOverloadDeduplicatesAcrossAndWithinBatches) {
+  ProgramCache cache;
+  const Pipeline pipeline(default_po());
+  const std::string a = lang::corpus::running_example_source();
+  const std::string b = scalar_source(9);
+
+  const BatchResult first = pipeline.run_many({a, a, b}, cache);
+  ASSERT_EQ(first.programs.size(), 3u);
+  EXPECT_EQ(first.cache_hits, 1u);        // the repeated `a`
+  EXPECT_EQ(first.lowerings_reused, 1u);  // served with its ExecProgram
+  EXPECT_GT(first.cache_blob_bytes, 0u);
+
+  // Every program in the batch carries a runnable lowered image.
+  for (const CompileResult& cr : first.programs) {
+    EXPECT_GT(cr.exec.num_ops(), 0u);
+    EXPECT_FALSE(cr.names.empty());
+    const auto ran = execute(cr, machine::MachineOptions{});
+    EXPECT_TRUE(ran.stats.completed) << ran.stats.error;
+  }
+
+  // A later batch reuses everything — no pipeline stage runs at all.
+  const BatchResult second = pipeline.run_many({a, b}, cache);
+  EXPECT_EQ(second.cache_hits, 2u);
+  EXPECT_EQ(second.lowerings_reused, 2u);
+
+  // Cache-served results execute exactly like freshly compiled ones.
+  const auto fresh = core::make_program_image(pipeline.run(a));
+  EXPECT_EQ(execute(second.programs[0], machine::MachineOptions{}).store,
+            execute(fresh, machine::MachineOptions{}).store);
+}
+
+}  // namespace
+}  // namespace ctdf::core

@@ -1,0 +1,316 @@
+// Blob round-trip and adversarial-input coverage (machine/blob.hpp).
+//
+// The round-trip property: for any program, any option ladder, and any
+// engine, lowering → serialize → deserialize → run produces the same
+// final store and the same rendered --stats-json as running the
+// in-memory image directly. The deterministic async engine is included
+// on purpose — a deserialized program must be byte-equal in behavior
+// on every engine, not just the reference one.
+//
+// The adversarial half feeds the reader every way a blob goes bad in
+// the wild — truncation at each header boundary, bit rot in each
+// header field and in the payload, format-generation skew, hash-valid
+// but structurally inconsistent payloads — and asserts the *typed*
+// rejection, because core/progcache.hpp's disk tier switches on it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "core/pipeline.hpp"
+#include "lang/corpus.hpp"
+#include "lang/generator.hpp"
+#include "machine/blob.hpp"
+#include "machine/report.hpp"
+#include "support/hash.hpp"
+
+namespace ctdf::machine {
+namespace {
+
+struct EngineConfig {
+  const char* name;
+  MachineOptions mopt;
+};
+
+std::vector<EngineConfig> all_engines() {
+  EngineConfig scan{"scan", {}};
+  EngineConfig event{"event", {}};
+  event.mopt.engine = EngineKind::kEvent;
+  EngineConfig async{"parallel-async", {}};
+  async.mopt.host_threads = 2;
+  async.mopt.parallel = ParallelMode::kAsync;  // deterministic by default
+  return {scan, event, async};
+}
+
+struct Ladder {
+  const char* name;
+  core::PipelineOptions po;
+};
+
+std::vector<Ladder> option_ladder() {
+  std::vector<Ladder> rungs;
+  rungs.push_back({"schema1", translate::TranslateOptions::schema1()});
+  rungs.push_back({"schema2", translate::TranslateOptions::schema2()});
+  rungs.push_back(
+      {"schema2-opt", translate::TranslateOptions::schema2_optimized()});
+  auto mem = translate::TranslateOptions::schema2_optimized();
+  mem.eliminate_memory = true;
+  rungs.push_back({"mem-elim", mem});
+  auto fused = translate::TranslateOptions::schema2_optimized();
+  fused.eliminate_memory = true;
+  fused.post_optimize = true;
+  fused.opt_passes = dfg::PassSet::all();
+  rungs.push_back({"opt-all", fused});
+  return rungs;
+}
+
+/// Lowers `prog` once, pushes the image through serialize →
+/// deserialize, and runs original vs. decoded on every engine,
+/// requiring identical stores and identical rendered stats JSON.
+void expect_roundtrip(const lang::Program& prog, core::PipelineOptions po,
+                      const std::string& label) {
+  po.lower = true;
+  const ProgramImage original =
+      core::make_program_image(core::Pipeline(po).run(prog));
+
+  const std::vector<std::uint8_t> blob = serialize(original);
+  const BlobReadResult read = deserialize(blob);
+  ASSERT_TRUE(read.ok()) << label << ": " << read.message;
+  EXPECT_EQ(read.blob_bytes, blob.size()) << label;
+  EXPECT_EQ(read.content_hash, blob_content_hash(blob)) << label;
+
+  // The memory image must survive verbatim — regions and names drive
+  // execution and store rendering respectively.
+  EXPECT_EQ(read.image.memory_cells, original.memory_cells) << label;
+  ASSERT_EQ(read.image.names.size(), original.names.size()) << label;
+  for (std::size_t i = 0; i < original.names.size(); ++i) {
+    EXPECT_EQ(read.image.names[i].name, original.names[i].name) << label;
+    EXPECT_EQ(read.image.names[i].base, original.names[i].base) << label;
+    EXPECT_EQ(read.image.names[i].extent, original.names[i].extent) << label;
+  }
+
+  // Serialization is deterministic: same image, same bytes. This is
+  // what makes the content hash a usable identity.
+  EXPECT_EQ(serialize(read.image), blob) << label;
+
+  for (const EngineConfig& eng : all_engines()) {
+    const RunResult fresh = core::execute(original, eng.mopt);
+    const RunResult decoded = core::execute(read.image, eng.mopt);
+    const std::string where = label + " on " + eng.name;
+    ASSERT_TRUE(fresh.stats.completed) << where << ": " << fresh.stats.error;
+    EXPECT_EQ(render_stats_json(decoded.stats, eng.mopt),
+              render_stats_json(fresh.stats, eng.mopt))
+        << where;
+    EXPECT_EQ(decoded.store, fresh.store) << where;
+  }
+}
+
+TEST(BlobRoundTrip, CorpusProgramsAcrossTheOptionLadderAndEveryEngine) {
+  const std::vector<std::pair<const char*, std::string>> corpus = {
+      {"running-example", lang::corpus::running_example_source()},
+      {"fig9", lang::corpus::fig9_source()},
+      {"fortran-alias", lang::corpus::fortran_alias_source()},
+      {"array-loop", lang::corpus::array_loop_source(6)},
+      {"nested-loops", lang::corpus::nested_loops_source(2, 3)},
+  };
+  for (const auto& [name, source] : corpus) {
+    const lang::Program prog = lang::parse_or_throw(source);
+    for (const Ladder& rung : option_ladder())
+      expect_roundtrip(prog, rung.po,
+                       std::string(name) + " / " + rung.name);
+  }
+}
+
+TEST(BlobRoundTrip, IStructureArraysSurviveSerialization) {
+  const lang::Program prog =
+      lang::parse_or_throw(lang::corpus::array_loop_source(6));
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.istructure_arrays = {"x"};
+  core::PipelineOptions po(topt);
+  const ProgramImage image =
+      core::make_program_image(core::Pipeline(po).run(prog));
+  ASSERT_FALSE(image.istructures.empty());
+  expect_roundtrip(prog, po, "array-loop / istructure");
+}
+
+TEST(BlobRoundTrip, RandomProgramsHoldTheProperty) {
+  lang::GeneratorOptions gen;
+  gen.num_arrays = 1;
+  gen.allow_unstructured = true;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const lang::Program prog = lang::generate_program(gen, seed);
+    auto mem = translate::TranslateOptions::schema2_optimized();
+    mem.eliminate_memory = true;
+    expect_roundtrip(prog, translate::TranslateOptions::schema2_optimized(),
+                     "random seed " + std::to_string(seed));
+    expect_roundtrip(prog, mem,
+                     "random seed " + std::to_string(seed) + " mem-elim");
+  }
+}
+
+class BlobAdversarial : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto cr =
+        core::Pipeline(core::PipelineOptions(
+                           translate::TranslateOptions::schema2_optimized()))
+            .run(lang::corpus::running_example_source());
+    blob_ = serialize(core::make_program_image(cr));
+    ASSERT_GT(blob_.size(), kBlobHeaderSize);
+  }
+
+  std::vector<std::uint8_t> blob_;
+};
+
+TEST_F(BlobAdversarial, TruncationAtEveryHeaderBoundaryIsTyped) {
+  // Any prefix shorter than the fixed header — including the empty
+  // input and cuts inside magic/version/size/hash — is kTruncated; no
+  // field is interpreted before the header is complete.
+  for (std::size_t len = 0; len <= kBlobHeaderSize; ++len) {
+    const BlobReadResult r = deserialize(
+        std::span<const std::uint8_t>(blob_.data(), len));
+    if (len < kBlobHeaderSize) {
+      EXPECT_EQ(r.error, BlobError::kTruncated) << "prefix " << len;
+    } else {
+      // A bare header: complete, but the declared payload is missing.
+      EXPECT_EQ(r.error, BlobError::kTruncated) << "bare header";
+      EXPECT_NE(r.message.find("payload truncated"), std::string::npos);
+    }
+  }
+}
+
+TEST_F(BlobAdversarial, TruncationInsideThePayloadIsTyped) {
+  const std::size_t cuts[] = {kBlobHeaderSize + 1,
+                              kBlobHeaderSize + (blob_.size() - kBlobHeaderSize) / 2,
+                              blob_.size() - 1};
+  for (const std::size_t len : cuts) {
+    const BlobReadResult r = deserialize(
+        std::span<const std::uint8_t>(blob_.data(), len));
+    EXPECT_EQ(r.error, BlobError::kTruncated) << "prefix " << len;
+  }
+}
+
+TEST_F(BlobAdversarial, EverySingleBytePayloadCorruptionIsCaughtByTheHash) {
+  for (std::size_t at = kBlobHeaderSize; at < blob_.size(); ++at) {
+    std::vector<std::uint8_t> bad = blob_;
+    bad[at] ^= 0x5a;
+    const BlobReadResult r = deserialize(bad);
+    ASSERT_EQ(r.error, BlobError::kHashMismatch) << "byte " << at;
+  }
+}
+
+TEST_F(BlobAdversarial, MagicCorruptionAtEachByteIsBadMagic) {
+  for (std::size_t at = 0; at < kBlobMagicSize; ++at) {
+    std::vector<std::uint8_t> bad = blob_;
+    bad[at] ^= 0xff;
+    EXPECT_EQ(deserialize(bad).error, BlobError::kBadMagic) << "byte " << at;
+  }
+}
+
+TEST_F(BlobAdversarial, WrongFormatGenerationIsRejectedBeforeTheHash) {
+  std::vector<std::uint8_t> bad = blob_;
+  bad[kBlobMagicSize] = static_cast<std::uint8_t>(kBlobVersion + 1);
+  const BlobReadResult r = deserialize(bad);
+  EXPECT_EQ(r.error, BlobError::kBadVersion);
+  EXPECT_NE(r.message.find("version " +
+                           std::to_string(kBlobVersion + 1)),
+            std::string::npos)
+      << r.message;
+  // The future-version blob was rejected on the version field alone —
+  // its (hypothetically reorganized) payload was never hashed.
+  EXPECT_EQ(r.content_hash, 0u);
+}
+
+TEST_F(BlobAdversarial, ReservedHeaderBytesAreIgnored) {
+  // The reserved word exists so version 1 readers tolerate a future
+  // flags field; scribbling on it must not invalidate the blob.
+  std::vector<std::uint8_t> bent = blob_;
+  for (std::size_t at = 12; at < 16; ++at) bent[at] = 0xee;
+  EXPECT_TRUE(deserialize(bent).ok());
+}
+
+TEST_F(BlobAdversarial, PayloadSizeSkewIsTyped) {
+  // Declared size one past the available bytes: truncation.
+  std::vector<std::uint8_t> grown = blob_;
+  grown[16] += 1;  // low byte of the little-endian size field
+  EXPECT_EQ(deserialize(grown).error, BlobError::kTruncated);
+  // Declared size one short: the hash, computed over the declared
+  // extent, no longer matches.
+  std::vector<std::uint8_t> shrunk = blob_;
+  shrunk[16] -= 1;
+  EXPECT_EQ(deserialize(shrunk).error, BlobError::kHashMismatch);
+}
+
+TEST_F(BlobAdversarial, HashFieldCorruptionIsHashMismatch) {
+  std::vector<std::uint8_t> bad = blob_;
+  bad[24] ^= 0x01;
+  EXPECT_EQ(deserialize(bad).error, BlobError::kHashMismatch);
+}
+
+TEST_F(BlobAdversarial, HashValidTrailingGarbageIsMalformed) {
+  // An adversarial writer can append bytes to the payload and re-hash,
+  // so the integrity header passes; the structural decoder must still
+  // notice the image does not consume the whole payload.
+  std::vector<std::uint8_t> payload(blob_.begin() + kBlobHeaderSize,
+                                    blob_.end());
+  payload.push_back(0);
+  std::vector<std::uint8_t> forged(blob_.begin(),
+                                   blob_.begin() + kBlobHeaderSize);
+  const std::uint64_t size = payload.size();
+  const std::uint64_t hash =
+      support::content_hash64(payload.data(), payload.size());
+  for (int i = 0; i < 8; ++i) {
+    forged[16 + i] = static_cast<std::uint8_t>(size >> (8 * i));
+    forged[24 + i] = static_cast<std::uint8_t>(hash >> (8 * i));
+  }
+  forged.insert(forged.end(), payload.begin(), payload.end());
+  const BlobReadResult r = deserialize(forged);
+  EXPECT_EQ(r.error, BlobError::kMalformed);
+  EXPECT_NE(r.message.find("trailing bytes"), std::string::npos) << r.message;
+}
+
+TEST_F(BlobAdversarial, NotABlobAtAllIsBadMagic) {
+  const std::string junk(64, 'x');
+  const BlobReadResult r = deserialize(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(junk.data()), junk.size()));
+  EXPECT_EQ(r.error, BlobError::kBadMagic);
+}
+
+TEST(BlobFiles, MissingFileIsUnreadableNotTruncated) {
+  const BlobReadResult r =
+      read_blob_file("/nonexistent/ctdf-blob-test/none.ctdfblob");
+  EXPECT_EQ(r.error, BlobError::kUnreadable);
+}
+
+TEST(BlobFiles, WriteThenReadRoundTrips) {
+  const auto cr =
+      core::Pipeline(core::PipelineOptions(
+                         translate::TranslateOptions::schema2_optimized()))
+          .run(lang::corpus::running_example_source());
+  const std::vector<std::uint8_t> blob =
+      serialize(core::make_program_image(cr));
+  const std::string path =
+      ::testing::TempDir() + "/ctdf_blob_roundtrip.ctdfblob";
+  ASSERT_TRUE(write_blob_file(path, blob));
+  const BlobReadResult r = read_blob_file(path);
+  ASSERT_TRUE(r.ok()) << r.message;
+  EXPECT_EQ(serialize(r.image), blob);
+}
+
+TEST(BlobErrors, SlugsAreGolden) {
+  // scripts and CLI tests grep these exact strings ("blob error [...]").
+  EXPECT_STREQ(to_string(BlobError::kNone), "none");
+  EXPECT_STREQ(to_string(BlobError::kUnreadable), "unreadable");
+  EXPECT_STREQ(to_string(BlobError::kBadMagic), "bad-magic");
+  EXPECT_STREQ(to_string(BlobError::kBadVersion), "version-mismatch");
+  EXPECT_STREQ(to_string(BlobError::kTruncated), "truncated");
+  EXPECT_STREQ(to_string(BlobError::kHashMismatch), "hash-mismatch");
+  EXPECT_STREQ(to_string(BlobError::kMalformed), "malformed");
+}
+
+}  // namespace
+}  // namespace ctdf::machine

@@ -11,6 +11,7 @@
 
 #include "core/compiler.hpp"
 #include "core/pipeline.hpp"
+#include "core/progcache.hpp"
 #include "lang/corpus.hpp"
 #include "machine/report.hpp"
 
@@ -170,6 +171,34 @@ TEST(StatsJsonSchema, OptimizeStageCountersAreTheGoldenSet) {
   std::vector<std::string> expected = kCleanupKeys;
   expected.insert(expected.end(), kFusionKeys.begin(), kFusionKeys.end());
   EXPECT_EQ(counters_with(fused), expected);
+}
+
+/// The cache object (`--stats-json`'s "cache" member and the serve
+/// responses' "cache" member) is parsed by the same downstream
+/// consumers, so its key set is golden too.
+TEST(StatsJsonSchema, CacheObjectEmitsTheGoldenKeySet) {
+  const std::vector<std::string> kCacheKeys = {
+      "disposition", "key", "hits", "disk_hits", "misses",
+      "evictions", "disk_rejects", "entries", "blob_bytes"};
+  core::CacheStats stats;
+  stats.hits = 2;
+  stats.misses = 1;
+  stats.entries = 1;
+  stats.blob_bytes = 4096;
+  const std::string json = core::render_cache_json(
+      stats, core::CacheDisposition::kHitMemory, 0xabcdef0123456789ull);
+  EXPECT_EQ(keys_of(json, 0, true), kCacheKeys) << json;
+  EXPECT_NE(json.find("\"disposition\": \"hit-memory\""), std::string::npos);
+  // Keys render as fixed-width hex: they double as disk blob filenames.
+  EXPECT_NE(json.find("\"key\": \"abcdef0123456789\""), std::string::npos);
+}
+
+TEST(StatsJsonSchema, CacheDispositionSlugsAreGolden) {
+  EXPECT_STREQ(core::to_string(core::CacheDisposition::kMiss), "miss");
+  EXPECT_STREQ(core::to_string(core::CacheDisposition::kHitMemory),
+               "hit-memory");
+  EXPECT_STREQ(core::to_string(core::CacheDisposition::kHitDisk),
+               "hit-disk");
 }
 
 TEST(StatsJsonSchema, EveryIntegrityCodeHasAStableSlug) {

@@ -1,0 +1,247 @@
+// `ctdf serve` protocol coverage (serve/serve.hpp): request decoding,
+// typed error taxonomy, cache dispositions across repeated requests,
+// batch semantics (ordering, worker pools, per-item errors), and the
+// golden response key sets downstream clients parse by name.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/json.hpp"
+#include "serve/serve.hpp"
+
+namespace ctdf::serve {
+namespace {
+
+JsonValue parse_response(const std::string& line) {
+  std::string error;
+  const auto doc = json_parse(line, &error);
+  EXPECT_TRUE(doc.has_value()) << error << "\nin: " << line;
+  return doc.value_or(JsonValue{});
+}
+
+std::vector<std::string> keys(const JsonValue& obj) {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : obj.object) out.push_back(k);
+  return out;
+}
+
+const char* kRunX = R"({"id": 1, "op": "run", "source": "var x;\n  x := 1 + 2;\n"})";
+
+// The frozen response vocabulary. Serve clients (the CI smoke job,
+// scripts, external callers) key on these exact names and orders;
+// changing them is a protocol break that must update this test.
+const std::vector<std::string> kProgramResponseKeys = {
+    "id", "op", "ok", "cache", "content_hash", "stage_nanos",
+    "exec_nanos", "total_nanos", "stats", "store", "error"};
+const std::vector<std::string> kCacheKeys = {
+    "disposition", "key", "hits", "disk_hits", "misses",
+    "evictions", "disk_rejects", "entries", "blob_bytes"};
+const std::vector<std::string> kShortErrorKeys = {"id", "op", "ok", "error"};
+const std::vector<std::string> kErrorObjectKeys = {"kind", "message"};
+const std::vector<std::string> kBatchResponseKeys = {
+    "id", "op", "ok", "batch", "results", "error"};
+const std::vector<std::string> kBatchObjectKeys = {"requests", "errors",
+                                                   "cache_hits"};
+
+TEST(Serve, RunRespondsWithTheGoldenKeySetAndTheStore) {
+  Server server;
+  const JsonValue r = parse_response(server.handle_line(kRunX));
+  EXPECT_EQ(keys(r), kProgramResponseKeys);
+  EXPECT_EQ(keys(*r.find("cache")), kCacheKeys);
+  EXPECT_TRUE(r.find("ok")->boolean);
+  EXPECT_EQ(r.find("id")->number, 1.0);
+  EXPECT_EQ(r.find("cache")->find("disposition")->string, "miss");
+  EXPECT_EQ(r.find("store")->find("x")->number, 3.0);
+  EXPECT_TRUE(r.find("error")->is_null());
+  // A miss ran the pipeline: stage timings are present and non-trivial.
+  EXPECT_GT(r.find("stage_nanos")->find("total")->number, 0.0);
+  EXPECT_EQ(r.find("content_hash")->string.size(), 16u);
+}
+
+TEST(Serve, SecondIdenticalRequestIsAMemoryHit) {
+  Server server;
+  (void)server.handle_line(kRunX);
+  const JsonValue r = parse_response(server.handle_line(kRunX));
+  const JsonValue* cache = r.find("cache");
+  EXPECT_EQ(cache->find("disposition")->string, "hit-memory");
+  EXPECT_EQ(cache->find("hits")->number, 1.0);
+  EXPECT_EQ(cache->find("misses")->number, 1.0);
+  // Nothing compiled: the stage object carries only the zero total.
+  EXPECT_EQ(r.find("stage_nanos")->find("total")->number, 0.0);
+  // Same bytes, same answer.
+  EXPECT_EQ(r.find("store")->find("x")->number, 3.0);
+}
+
+TEST(Serve, DifferentOptionsAreADifferentCacheEntry) {
+  Server server;
+  (void)server.handle_line(kRunX);
+  const std::string with_opts =
+      R"({"op": "run", "source": "var x;\n  x := 1 + 2;\n", "options": ["--mem-elim", "--engine=event"]})";
+  const JsonValue r = parse_response(server.handle_line(with_opts));
+  EXPECT_TRUE(r.find("ok")->boolean);
+  EXPECT_EQ(r.find("cache")->find("disposition")->string, "miss");
+  EXPECT_EQ(r.find("cache")->find("entries")->number, 2.0);
+  EXPECT_EQ(r.find("stats")->find("options")->find("engine")->string,
+            "event");
+}
+
+TEST(Serve, CompileOpSkipsExecution) {
+  Server server;
+  const JsonValue r = parse_response(server.handle_line(
+      R"({"op": "compile", "source": "var x;\n  x := 1 + 2;\n"})"));
+  EXPECT_EQ(keys(r), kProgramResponseKeys);
+  EXPECT_TRUE(r.find("ok")->boolean);
+  EXPECT_TRUE(r.find("stats")->is_null());
+  EXPECT_TRUE(r.find("store")->is_null());
+  EXPECT_EQ(r.find("exec_nanos")->number, 0.0);
+}
+
+TEST(Serve, PrintSelectsNamesAndUnknownNamesRenderNull) {
+  Server server;
+  const JsonValue r = parse_response(server.handle_line(
+      R"({"op": "run", "source": "var x;\n  x := 1 + 2;\n", "print": ["x", "nope"]})"));
+  const JsonValue* store = r.find("store");
+  EXPECT_EQ(store->find("x")->number, 3.0);
+  EXPECT_TRUE(store->find("nope")->is_null());
+}
+
+TEST(Serve, ErrorTaxonomyIsTyped) {
+  Server server;
+  const auto error_kind = [&](const std::string& line) {
+    const JsonValue r = parse_response(server.handle_line(line));
+    EXPECT_EQ(keys(r), kShortErrorKeys) << line;
+    EXPECT_FALSE(r.find("ok")->boolean) << line;
+    EXPECT_EQ(keys(*r.find("error")), kErrorObjectKeys) << line;
+    return r.find("error")->find("kind")->string;
+  };
+  EXPECT_EQ(error_kind("{oops"), "protocol");
+  EXPECT_EQ(error_kind(R"({"source": "var x;\n  x := 1;\n"})"), "protocol");
+  EXPECT_EQ(error_kind(R"({"op": "vaporize"})"), "protocol");
+  EXPECT_EQ(error_kind(R"({"op": "run"})"), "protocol");  // missing source
+  EXPECT_EQ(error_kind(
+                R"({"op": "run", "source": "var x;\n  x := 1;\n", "options": ["--no-such-flag"]})"),
+            "options");
+  EXPECT_EQ(error_kind(
+                R"({"op": "run", "source": "var x;\n  x := 1;\n", "options": ["--engine=quantum"]})"),
+            "options");
+  EXPECT_EQ(error_kind(R"({"op": "run", "source": "var x;\n  x := ;\n"})"),
+            "compile");
+}
+
+TEST(Serve, MachineFailuresKeepTheFullResponseShape) {
+  Server server;
+  const JsonValue r = parse_response(server.handle_line(
+      R"({"op": "run", "source": "var x;\n  x := 1 + 2;\n", "options": ["--max-cycles=1"]})"));
+  EXPECT_EQ(keys(r), kProgramResponseKeys);  // not the short error form
+  EXPECT_FALSE(r.find("ok")->boolean);
+  EXPECT_EQ(r.find("error")->find("kind")->string, "machine");
+  EXPECT_FALSE(r.find("stats")->is_null());  // diagnostics still attached
+  EXPECT_TRUE(r.find("store")->is_null());
+}
+
+TEST(Serve, RunBatchKeepsOrderSharesTheCacheAndCountsErrors) {
+  Server server;
+  const std::string batch = R"({"id": "b1", "op": "run-batch", "requests": [)"
+                            R"({"id": 10, "source": "var x;\n  x := 1 + 2;\n"},)"
+                            R"({"id": 11, "source": "var x;\n  x := 1 + 2;\n"},)"
+                            R"({"id": 12, "source": "var y;\n  y := ;\n"},)"
+                            R"({"id": 13, "op": "run-batch"}]})";
+  const JsonValue r = parse_response(server.handle_line(batch));
+  EXPECT_EQ(keys(r), kBatchResponseKeys);
+  EXPECT_TRUE(r.find("ok")->boolean);
+  const JsonValue* b = r.find("batch");
+  EXPECT_EQ(keys(*b), kBatchObjectKeys);
+  EXPECT_EQ(b->find("requests")->number, 4.0);
+  EXPECT_EQ(b->find("errors")->number, 2.0);      // compile + nested batch
+  EXPECT_EQ(b->find("cache_hits")->number, 1.0);  // the repeated source
+
+  const std::vector<JsonValue>& results = r.find("results")->array;
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].find("id")->number, 10.0);
+  EXPECT_EQ(results[1].find("id")->number, 11.0);
+  EXPECT_EQ(results[2].find("id")->number, 12.0);
+  EXPECT_EQ(results[3].find("id")->number, 13.0);
+  // Item op defaults to "run" inside a batch.
+  EXPECT_EQ(results[0].find("op")->string, "run");
+  EXPECT_EQ(results[1].find("cache")->find("disposition")->string,
+            "hit-memory");
+  EXPECT_EQ(results[2].find("error")->find("kind")->string, "compile");
+  EXPECT_EQ(results[3].find("error")->find("kind")->string, "protocol");
+}
+
+TEST(Serve, BatchLevelOptionsAreEachItemsBaseline) {
+  Server server;
+  const std::string batch =
+      R"({"op": "run-batch", "options": ["--engine=event"], "requests": [)"
+      R"({"source": "var x;\n  x := 1 + 2;\n"},)"
+      R"({"source": "var x;\n  x := 1 + 2;\n", "options": ["--engine=scan"]}]})";
+  const JsonValue r = parse_response(server.handle_line(batch));
+  const std::vector<JsonValue>& results = r.find("results")->array;
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].find("stats")->find("options")->find("engine")->string,
+            "event");
+  EXPECT_EQ(results[1].find("stats")->find("options")->find("engine")->string,
+            "scan");
+}
+
+TEST(Serve, WorkerPoolProducesTheSameOrderedResults) {
+  ServeOptions opt;
+  opt.workers = 4;
+  Server server(opt);
+  std::string batch = R"({"op": "run-batch", "requests": [)";
+  for (int i = 0; i < 8; ++i) {
+    if (i) batch += ", ";
+    batch += R"({"id": )" + std::to_string(i) +
+             R"(, "source": "var x;\n  x := )" + std::to_string(i) +
+             R"( + 1;\n"})";
+  }
+  batch += "]}";
+  const JsonValue r = parse_response(server.handle_line(batch));
+  EXPECT_TRUE(r.find("ok")->boolean);
+  EXPECT_EQ(r.find("batch")->find("errors")->number, 0.0);
+  const std::vector<JsonValue>& results = r.find("results")->array;
+  ASSERT_EQ(results.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(results[i].find("id")->number, i) << i;
+    EXPECT_EQ(results[i].find("store")->find("x")->number, i + 1.0) << i;
+  }
+}
+
+TEST(Serve, ShutdownAcknowledgesAndStopsTheLoop) {
+  Server server;
+  bool shutdown = false;
+  const JsonValue r = parse_response(
+      server.handle_line(R"({"id": 99, "op": "shutdown"})", &shutdown));
+  EXPECT_TRUE(shutdown);
+  EXPECT_TRUE(r.find("ok")->boolean);
+  EXPECT_EQ(r.find("op")->string, "shutdown");
+
+  // Errors must NOT set the flag.
+  (void)server.handle_line("{oops", &shutdown);
+  EXPECT_FALSE(shutdown);
+}
+
+TEST(Serve, StreamLoopEmitsOneLinePerRequestAndStopsOnShutdown) {
+  Server server;
+  std::istringstream in(std::string(kRunX) + "\n\n" +  // blank lines skipped
+                        kRunX + "\n" +
+                        R"({"op": "shutdown"})" + "\n" +
+                        kRunX + "\n");  // never reached
+  std::ostringstream out;
+  EXPECT_EQ(server.serve_stream(in, out), 0);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    const JsonValue r = parse_response(line);  // every line parses clean
+    EXPECT_TRUE(r.find("ok")->boolean);
+  }
+  EXPECT_EQ(count, 3u);  // run, run, shutdown ack
+}
+
+}  // namespace
+}  // namespace ctdf::serve

@@ -8,6 +8,9 @@
 //   ctdf compare <file> [options]   schema ladder comparison table
 //   ctdf asm <file> [options]       emit dataflow assembly (.dfa)
 //   ctdf exec <file.dfa> [machine options]   execute dataflow assembly
+//   ctdf serve [options]            NDJSON request loop (stdin or
+//                                   --socket=PATH); see src/serve/serve.hpp
+//                                   for the request/response protocol
 //
 // Schema options:
 //   --schema1               Schema 1 (single access token, sequential)
@@ -97,10 +100,34 @@
 //   --stats-json            (run) emit RunStats + machine options +
 //                           pipeline-stage counters as a JSON object on
 //                           stdout instead of the usual summary/store
+//
+// Blob / cache options (run):
+//   --dump-blob=PATH        write the compiled program as a versioned
+//                           binary blob (machine/blob.hpp) after
+//                           compilation, then run normally
+//   --load-blob=PATH        execute a blob instead of compiling; the
+//                           positional <file> is ignored (use `-`).
+//                           Typed errors: unreadable / bad-magic /
+//                           version-mismatch / truncated / hash-mismatch
+//                           / malformed, exit code 2
+//   --cache-dir=DIR         route compilation through the content-
+//                           addressed program cache with a disk tier in
+//                           DIR (core/progcache.hpp); adds a "cache"
+//                           object to --stats-json and a cache line to
+//                           --stage-stats
+//   --cache-capacity=N      in-memory LRU entries (default 64)
+//   --disk-capacity=N       disk-tier blob files (default 256)
+//
+// Serve options (serve; also accepts --cache-dir/--cache-capacity/
+// --disk-capacity):
+//   --socket=PATH           listen on a Unix stream socket instead of
+//                           stdin/stdout
+//   --workers=N             run-batch executor threads (default 1)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -108,10 +135,14 @@
 #include "cfg/build.hpp"
 #include "core/compiler.hpp"
 #include "core/pipeline.hpp"
+#include "core/progcache.hpp"
 #include "dfg/asmfmt.hpp"
 #include "lang/subroutines.hpp"
+#include "machine/blob.hpp"
 #include "machine/exec.hpp"
+#include "machine/flags.hpp"
 #include "machine/report.hpp"
+#include "serve/serve.hpp"
 #include "support/env.hpp"
 
 using namespace ctdf;
@@ -132,6 +163,13 @@ struct Cli {
   bool compute_ssa = false;
   bool dump_exec = false;
   std::optional<core::Stage> dump_after;
+  std::string dump_blob;
+  std::string load_blob;
+  std::string cache_dir;
+  std::size_t cache_capacity = 64;
+  std::size_t disk_capacity = 256;
+  std::string socket_path;       // serve
+  std::size_t serve_workers = 1;  // serve
   bool ok = true;
 };
 
@@ -159,17 +197,26 @@ bool parse_unsigned(const std::string& v, unsigned long long& out) {
 
 Cli parse_cli(int argc, char** argv) {
   Cli cli;
-  cli.mopt.loop_mode = machine::LoopMode::kPipelined;
-  cli.mopt.host_threads = support::host_threads_from_env();
-  if (argc < 3) {
+  cli.mopt = machine::default_cli_machine_options();
+  if (argc < 2) {
     cli.ok = false;
     return cli;
   }
   cli.command = argv[1];
-  cli.file = argv[2];
-  for (int i = 3; i < argc; ++i) {
+  // `serve` reads programs off the protocol, not a positional file.
+  int first_option = 3;
+  if (cli.command == "serve") {
+    first_option = 2;
+  } else if (argc < 3) {
+    cli.ok = false;
+    return cli;
+  } else {
+    cli.file = argv[2];
+  }
+  for (int i = first_option; i < argc; ++i) {
     const std::string a = argv[i];
-    // Schema-selection flags share one parser with the bench harnesses.
+    // Schema-selection flags share one parser with the bench harnesses,
+    // machine flags one with the serve front-end.
     switch (translate::apply_schema_flag(cli.topt, a)) {
       case translate::SchemaFlagParse::kApplied:
         continue;
@@ -179,6 +226,20 @@ Cli parse_cli(int argc, char** argv) {
         continue;
       case translate::SchemaFlagParse::kNotSchemaFlag:
         break;
+    }
+    {
+      std::string detail;
+      const auto parsed = machine::apply_machine_flag(cli.mopt, a, &detail);
+      if (parsed == machine::MachineFlagParse::kApplied) continue;
+      if (parsed == machine::MachineFlagParse::kBadValue) {
+        if (detail.empty())
+          std::fprintf(stderr, "bad value: %s\n", a.c_str());
+        else
+          std::fprintf(stderr, "bad value: %s (%s)\n", a.c_str(),
+                       detail.c_str());
+        cli.ok = false;
+        continue;
+      }
     }
     if (a == "--stage-stats") {
       cli.stage_stats = true;
@@ -192,94 +253,54 @@ Cli parse_cli(int argc, char** argv) {
         std::fprintf(stderr, "unknown stage: %s\n", value_of(a).c_str());
         cli.ok = false;
       }
-    } else if (starts_with(a, "--engine=")) {
-      const std::string v = value_of(a);
-      if (v == "scan") {
-        cli.mopt.engine = machine::EngineKind::kScan;
-      } else if (v == "event") {
-        cli.mopt.engine = machine::EngineKind::kEvent;
-      } else {
+    } else if (starts_with(a, "--dump-blob=")) {
+      cli.dump_blob = value_of(a);
+      if (cli.dump_blob.empty()) {
         std::fprintf(stderr, "bad value: %s\n", a.c_str());
         cli.ok = false;
       }
-    } else if (starts_with(a, "--check=")) {
-      const std::string v = value_of(a);
-      if (v == "off") {
-        cli.mopt.check = machine::CheckMode::kOff;
-      } else if (v == "integrity") {
-        cli.mopt.check = machine::CheckMode::kIntegrity;
-      } else {
+    } else if (starts_with(a, "--load-blob=")) {
+      cli.load_blob = value_of(a);
+      if (cli.load_blob.empty()) {
         std::fprintf(stderr, "bad value: %s\n", a.c_str());
         cli.ok = false;
       }
-    } else if (starts_with(a, "--width=")) {
-      cli.mopt.width = static_cast<unsigned>(std::stoul(value_of(a)));
-    } else if (starts_with(a, "--mem-latency=")) {
-      cli.mopt.mem_latency = static_cast<unsigned>(std::stoul(value_of(a)));
-    } else if (starts_with(a, "--processors=")) {
-      cli.mopt.processors =
-          static_cast<unsigned>(std::stoul(value_of(a)));
-    } else if (starts_with(a, "--network-latency=")) {
-      cli.mopt.network_latency =
-          static_cast<unsigned>(std::stoul(value_of(a)));
-    } else if (a == "--place-by-node") {
-      cli.mopt.placement = machine::Placement::kByNode;
-    } else if (starts_with(a, "--loop-bound=")) {
-      cli.mopt.loop_bound =
-          static_cast<unsigned>(std::stoul(value_of(a)));
-    } else if (a == "--barrier") {
-      cli.mopt.loop_mode = machine::LoopMode::kBarrier;
-    } else if (starts_with(a, "--sched-seed=")) {
-      cli.mopt.scheduler_seed = std::stoull(value_of(a));
-    } else if (starts_with(a, "--max-cycles=")) {
-      cli.mopt.max_cycles = std::stoull(value_of(a));
-    } else if (starts_with(a, "--frame-capacity=")) {
-      cli.mopt.frame_capacity = std::stoull(value_of(a));
-    } else if (starts_with(a, "--fault-seed=")) {
-      cli.mopt.faults.seed = std::stoull(value_of(a));
-    } else if (starts_with(a, "--faults=")) {
-      const std::string complaint =
-          machine::parse_fault_spec(value_of(a), cli.mopt.faults);
-      if (!complaint.empty()) {
-        std::fprintf(stderr, "bad value: %s (%s)\n", a.c_str(),
-                     complaint.c_str());
+    } else if (starts_with(a, "--cache-dir=")) {
+      cli.cache_dir = value_of(a);
+      if (cli.cache_dir.empty()) {
+        std::fprintf(stderr, "bad value: %s\n", a.c_str());
         cli.ok = false;
       }
-    } else if (starts_with(a, "--host-threads=")) {
-      // 0 is only meaningful as the *absence* of the flag (env default);
-      // asking for zero worker threads explicitly is a mistake, as is
-      // any negative or non-numeric value std::stoul would mangle.
+    } else if (starts_with(a, "--cache-capacity=")) {
       unsigned long long v = 0;
-      if (!parse_unsigned(value_of(a), v) || v == 0 || v > 1u << 16) {
+      if (!parse_unsigned(value_of(a), v) || v == 0) {
         std::fprintf(stderr, "bad value: %s\n", a.c_str());
         cli.ok = false;
       } else {
-        cli.mopt.host_threads = static_cast<unsigned>(v);
+        cli.cache_capacity = static_cast<std::size_t>(v);
       }
-    } else if (starts_with(a, "--parallel=")) {
-      const std::string v = value_of(a);
-      if (v == "sync") {
-        cli.mopt.parallel = machine::ParallelMode::kSync;
-      } else if (v == "async") {
-        cli.mopt.parallel = machine::ParallelMode::kAsync;
-      } else {
-        std::fprintf(stderr, "bad value: %s\n", a.c_str());
-        cli.ok = false;
-      }
-    } else if (starts_with(a, "--slack=")) {
+    } else if (starts_with(a, "--disk-capacity=")) {
       unsigned long long v = 0;
-      if (!parse_unsigned(value_of(a), v) || v > 1u << 16) {
+      if (!parse_unsigned(value_of(a), v) || v == 0) {
         std::fprintf(stderr, "bad value: %s\n", a.c_str());
         cli.ok = false;
       } else {
-        cli.mopt.slack = static_cast<unsigned>(v);
+        cli.disk_capacity = static_cast<std::size_t>(v);
       }
-    } else if (a == "--deterministic" || a == "--deterministic=1") {
-      cli.mopt.deterministic = true;
-    } else if (a == "--deterministic=0") {
-      cli.mopt.deterministic = false;
-    } else if (a == "--trace") {
-      cli.mopt.trace = true;
+    } else if (starts_with(a, "--socket=")) {
+      cli.socket_path = value_of(a);
+      if (cli.socket_path.empty()) {
+        std::fprintf(stderr, "bad value: %s\n", a.c_str());
+        cli.ok = false;
+      }
+    } else if (starts_with(a, "--workers=")) {
+      unsigned long long v = 0;
+      if (!parse_unsigned(value_of(a), v) || v == 0 || v > 1u << 10) {
+        std::fprintf(stderr, "bad value: %s\n", a.c_str());
+        cli.ok = false;
+      } else {
+        cli.serve_workers = static_cast<std::size_t>(v);
+      }
     } else if (a == "--report") {
       cli.report = true;
       cli.mopt.record_profile = true;
@@ -334,6 +355,103 @@ void print_store(const Cli& cli, const lang::Program& prog,
   }
 }
 
+/// Store rendering for blob-loaded programs: same output conventions
+/// as print_store, but driven by the blob's name→cell table instead of
+/// the (absent) source symbol table.
+void print_store_image(const Cli& cli, const machine::ProgramImage& image,
+                       const lang::Store& store) {
+  const auto cell = [&](std::uint64_t idx) -> long long {
+    return idx < store.cells.size()
+               ? static_cast<long long>(store.cells[idx])
+               : 0;
+  };
+  const auto print_cell = [&](const machine::NamedCell& c) {
+    if (c.extent == 0) {
+      std::printf("%s = %lld\n", c.name.c_str(), cell(c.base));
+      return;
+    }
+    std::printf("%s = [", c.name.c_str());
+    for (std::int64_t i = 0; i < c.extent; ++i)
+      std::printf("%s%lld", i ? ", " : "",
+                  cell(c.base + static_cast<std::uint64_t>(i)));
+    std::printf("]\n");
+  };
+  if (!cli.print_vars.empty()) {
+    for (const auto& name : cli.print_vars) {
+      const machine::NamedCell* found = nullptr;
+      for (const auto& c : image.names)
+        if (c.name == name) {
+          found = &c;
+          break;
+        }
+      if (found)
+        print_cell(*found);
+      else
+        std::printf("%s = <undeclared>\n", name.c_str());
+    }
+    return;
+  }
+  for (const auto& c : image.names)
+    if (c.extent == 0) print_cell(c);
+}
+
+/// `ctdf run - --load-blob=p.blob`: execute a serialized program image;
+/// no source text, no compilation. Typed blob errors exit with code 2.
+int cmd_run_blob(const Cli& cli) {
+  const machine::BlobReadResult read =
+      machine::read_blob_file(cli.load_blob);
+  if (!read.ok()) {
+    std::fprintf(stderr, "blob error [%s]: %s\n",
+                 machine::to_string(read.error), read.message.c_str());
+    return 2;
+  }
+  if (cli.dump_exec) {
+    std::fputs(machine::render(read.image.exec).c_str(), stdout);
+    return 0;
+  }
+  const auto res = core::execute(read.image, cli.mopt);
+  if (cli.stats_json) {
+    std::printf("{\n  \"machine\": %s,\n  \"blob\": {\"path\": \"%s\", "
+                "\"blob_bytes\": %llu, \"content_hash\": \"%016llx\"}\n}\n",
+                machine::render_stats_json(res.stats, cli.mopt).c_str(),
+                machine::json_escape(cli.load_blob).c_str(),
+                static_cast<unsigned long long>(read.blob_bytes),
+                static_cast<unsigned long long>(read.content_hash));
+    if (!res.stats.completed) {
+      std::fprintf(stderr, "machine error: %s\n", res.stats.error.c_str());
+      return 1;
+    }
+    return 0;
+  }
+  if (!res.stats.completed) {
+    std::fprintf(stderr, "machine error: %s\n", res.stats.error.c_str());
+    return 1;
+  }
+  std::printf("# blob %s | %llu bytes, hash %016llx | %s loop control\n",
+              cli.load_blob.c_str(),
+              static_cast<unsigned long long>(read.blob_bytes),
+              static_cast<unsigned long long>(read.content_hash),
+              to_string(cli.mopt.loop_mode));
+  std::printf("# cycles=%llu ops=%llu ops/cycle=%.2f\n",
+              static_cast<unsigned long long>(res.stats.cycles),
+              static_cast<unsigned long long>(res.stats.ops_fired),
+              res.stats.avg_parallelism());
+  if (cli.report) std::fputs(machine::render_report(res.stats).c_str(), stdout);
+  print_store_image(cli, read.image, res.store);
+  return 0;
+}
+
+int cmd_serve(const Cli& cli) {
+  serve::ServeOptions so;
+  so.workers = cli.serve_workers;
+  so.cache.capacity = cli.cache_capacity;
+  so.cache.dir = cli.cache_dir;
+  so.cache.disk_capacity = cli.disk_capacity;
+  serve::Server server(so);
+  if (!cli.socket_path.empty()) return server.serve_socket(cli.socket_path);
+  return server.serve_stream(std::cin, std::cout);
+}
+
 int cmd_interp(const Cli& cli, const lang::Program& prog) {
   const auto r = lang::interpret(prog, 100'000'000);
   if (!r.completed) {
@@ -353,10 +471,16 @@ core::Pipeline make_pipeline(const Cli& cli) {
   return core::Pipeline(po);
 }
 
-void maybe_print_stage_stats(const Cli& cli, const core::CompileResult& cr) {
+void print_stage_stats(const Cli& cli, const translate::PipelineTrace& trace,
+                       const std::string& cache_line = "") {
   if (!cli.stage_stats) return;
   std::printf("pipeline stages (%s):\n%s", cli.topt.describe().c_str(),
-              cr.trace.table().c_str());
+              trace.table().c_str());
+  if (!cache_line.empty()) std::printf("%s\n", cache_line.c_str());
+}
+
+void maybe_print_stage_stats(const Cli& cli, const core::CompileResult& cr) {
+  print_stage_stats(cli, cr.trace);
 }
 
 void maybe_dump_exec(const Cli& cli, const core::CompileResult& cr) {
@@ -390,17 +514,63 @@ std::string pipeline_json(const translate::PipelineTrace& trace) {
   return os.str();
 }
 
-int cmd_run(const Cli& cli, const lang::Program& prog) {
-  const auto cr = make_pipeline(cli).run(prog);
-  maybe_print_stage_stats(cli, cr);
-  maybe_dump_exec(cli, cr);
-  const auto res = core::execute(cr, cli.mopt);
+int cmd_run(const Cli& cli, const lang::Program& prog,
+            const std::string& source) {
+  machine::ProgramImage image;
+  translate::PipelineTrace trace;
+  std::string cache_json;  // rendered "cache" object; empty = cache off
+  std::string cache_line;  // --stage-stats one-liner
+  if (!cli.cache_dir.empty()) {
+    core::ProgramCache::Config cfg;
+    cfg.capacity = cli.cache_capacity;
+    cfg.dir = cli.cache_dir;
+    cfg.disk_capacity = cli.disk_capacity;
+    core::ProgramCache cache(cfg);
+    core::PipelineOptions po(cli.topt);
+    po.compute_ssa = cli.compute_ssa;
+    po.dump_after = cli.dump_after;
+    const auto out = cache.get(source, po);
+    image = out.entry->image;
+    trace = out.trace;
+    cache_json =
+        core::render_cache_json(cache.stats(), out.disposition,
+                                out.entry->key);
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "cache: %s (key %016llx, blob %llu bytes)",
+                  core::to_string(out.disposition),
+                  static_cast<unsigned long long>(out.entry->key),
+                  static_cast<unsigned long long>(out.entry->blob_bytes));
+    cache_line = line;
+  } else {
+    auto cr = make_pipeline(cli).run(prog);
+    trace = std::move(cr.trace);
+    image = core::make_program_image(std::move(cr));
+  }
+  print_stage_stats(cli, trace, cache_line);
+  if (cli.dump_exec) std::fputs(machine::render(image.exec).c_str(), stdout);
+  if (!cli.dump_blob.empty()) {
+    const auto blob = machine::serialize(image);
+    if (!machine::write_blob_file(cli.dump_blob, blob)) {
+      std::fprintf(stderr, "blob error [unwritable]: cannot write %s\n",
+                   cli.dump_blob.c_str());
+      return 2;
+    }
+  }
+  const auto res = core::execute(image, cli.mopt);
   if (cli.stats_json) {
     // Error runs still get a full, valid JSON document (with the typed
     // error object populated) — only the exit code differs.
-    std::printf("{\n  \"machine\": %s,\n  \"pipeline\": %s\n}\n",
-                machine::render_stats_json(res.stats, cli.mopt).c_str(),
-                pipeline_json(cr.trace).c_str());
+    if (cache_json.empty()) {
+      std::printf("{\n  \"machine\": %s,\n  \"pipeline\": %s\n}\n",
+                  machine::render_stats_json(res.stats, cli.mopt).c_str(),
+                  pipeline_json(trace).c_str());
+    } else {
+      std::printf("{\n  \"machine\": %s,\n  \"pipeline\": %s,\n"
+                  "  \"cache\": %s\n}\n",
+                  machine::render_stats_json(res.stats, cli.mopt).c_str(),
+                  pipeline_json(trace).c_str(), cache_json.c_str());
+    }
     if (!res.stats.completed) {
       std::fprintf(stderr, "machine error: %s\n", res.stats.error.c_str());
       return 1;
@@ -601,8 +771,9 @@ int cmd_explain(const Cli& cli, const lang::Program& prog) {
 void usage() {
   std::fprintf(stderr,
                "usage: ctdf <run|interp|dot|dot-cfg|explain|compare|asm|exec>"
-               " <file> "
-               "[options]\n(see the header of tools/ctdf.cpp for the full "
+               " <file> [options]\n"
+               "       ctdf serve [options]\n"
+               "(see the header of tools/ctdf.cpp for the full "
                "option list)\n");
 }
 
@@ -615,13 +786,18 @@ int main(int argc, char** argv) {
     return 2;
   }
   try {
+    if (cli.command == "serve") return cmd_serve(cli);
     if (cli.command == "exec") return cmd_exec(cli);  // dataflow assembly
+    // A blob is a compiled artifact: no source is read or parsed (the
+    // positional <file> is conventionally `-`).
+    if (cli.command == "run" && !cli.load_blob.empty())
+      return cmd_run_blob(cli);
     // Expand FORTRAN-style `sub`/`call` constructs first (identity for
     // programs without them).
     const auto expanded =
         lang::expand_subroutines_or_throw(read_file(cli.file));
     const lang::Program prog = core::parse(expanded.source);
-    if (cli.command == "run") return cmd_run(cli, prog);
+    if (cli.command == "run") return cmd_run(cli, prog, expanded.source);
     if (cli.command == "interp") return cmd_interp(cli, prog);
     if (cli.command == "dot") return cmd_dot(cli, prog);
     if (cli.command == "dot-cfg") return cmd_dot_cfg(cli, prog);
