@@ -314,6 +314,41 @@ BENCHMARK(BM_MachineFaultsOff)
     ->Repetitions(5)
     ->ReportAggregatesOnly(true);
 
+void BM_MachineBudgetOverhead(benchmark::State& state) {
+  // Run-budget overhead gate on the token-throughput workload. Arg 0:
+  // no budget — the firing loop takes its pre-budget path. Arg 1: an
+  // armed-but-unreachable budget (a ten-minute deadline plus a token
+  // ceiling far above the program's footprint), so the strided clock
+  // poll and the token compare both run on every firing but never
+  // trip. The delta against arg 0 is the price every deadline-carrying
+  // serve request pays; the bench gate holds it to a few percent
+  // (scripts/bench_machine.py, --budget-overhead-floor).
+  const auto prog = core::parse(lang::corpus::nested_loops_source(8, 8));
+  auto topt = translate::TranslateOptions::schema2_optimized();
+  topt.eliminate_memory = true;
+  const auto tx = core::compile(prog, topt);
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    machine::MachineOptions mopt;
+    mopt.loop_mode = machine::LoopMode::kPipelined;
+    if (state.range(0)) {
+      mopt.budget.deadline_ms = 600'000;
+      mopt.budget.max_tokens = 1ull << 60;
+    }
+    const auto res = core::execute(tx, mopt);
+    ops += res.stats.ops_fired;
+    benchmark::DoNotOptimize(res.stats.cycles);
+  }
+  state.counters["ops/s"] = benchmark::Counter(
+      static_cast<double>(ops), benchmark::Counter::kIsRate);
+}
+// Median-of-five like the other few-percent overhead gates.
+BENCHMARK(BM_MachineBudgetOverhead)
+    ->Arg(0)
+    ->Arg(1)
+    ->Repetitions(5)
+    ->ReportAggregatesOnly(true);
+
 void BM_MachineIntegrityOverhead(benchmark::State& state) {
   // Tagged dataflow-integrity checking overhead gate, on a workload
   // that keeps real memory traffic (no mem-elim, so the race check and

@@ -8,7 +8,9 @@ ExecProgram lowering time (BM_LowerExecProgram), the latency-bound
 engine comparison (BM_MachineIdleCycles, arg 0 = scan / 1 = event),
 the context-churn comparison (BM_FrameAlloc), the fault-machinery
 overhead pair (BM_MachineFaultsOff, arg 0 = legacy path / 1 = fault
-path engaged with zero rates), the integrity-checker cost pair
+path engaged with zero rates), the run-budget cost pair
+(BM_MachineBudgetOverhead, arg 0 = no budget / 1 = armed but
+unreachable deadline + token ceiling), the integrity-checker cost pair
 (BM_MachineIntegrityOverhead, arg 0 = --check=off / 1 =
 --check=integrity), the macro-op fusion pair (BM_MachineFusedChains,
 arg 0 = cleanup passes only / 1 = --opt=all), the deterministic
@@ -28,6 +30,8 @@ rates lower, or lowering time / recovery cycles higher. It also
 requires the event engine to beat the scan engine on the latency-bound
 workload by at least --event-speedup-floor, holds the engaged-but-
 faultless path to within --faults-overhead-floor of the legacy path,
+holds the armed-but-unreachable run budget to within
+--budget-overhead-floor of the unbudgeted path,
 and holds --check=integrity to within --integrity-overhead-floor of
 the unchecked path (the ratios are measured within one run, so they
 are host-independent). Macro-op fusion must *speed up* the chain-heavy
@@ -70,6 +74,7 @@ FILTER = "|".join(
         "BM_MachineMatchThroughput",
         "BM_MachineIdleCycles",
         "BM_MachineFaultsOff",
+        "BM_MachineBudgetOverhead",
         "BM_MachineIntegrityOverhead",
         "BM_MachineFusedChains",
         "BM_MachineFaultRecovery",
@@ -90,6 +95,7 @@ SECTIONS = {
     "matches_per_s": ("BM_MachineMatchThroughput", "matches/s", True),
     "idle_ops_per_s": ("BM_MachineIdleCycles", "ops/s", True),
     "faults_off_ops_per_s": ("BM_MachineFaultsOff", "ops/s", True),
+    "budget_ops_per_s": ("BM_MachineBudgetOverhead", "ops/s", True),
     "integrity_ops_per_s": ("BM_MachineIntegrityOverhead", "ops/s", True),
     "fused_runs_per_s": ("BM_MachineFusedChains", "runs/s", True),
     "fault_recovery_cycles": ("BM_MachineFaultRecovery", "cycles/run",
@@ -158,6 +164,21 @@ def faults_overhead(summary):
     return engaged / legacy
 
 
+def budget_overhead(summary):
+    """Armed-but-unreachable budget over no-budget throughput ratio on
+    BM_MachineBudgetOverhead, or None when either row is missing. Both
+    rows come from the same run, so the ratio is host-independent. The
+    arg-1 row pays the strided deadline poll plus the per-firing token
+    compare without ever tripping — the cost every deadline-carrying
+    serve request bears."""
+    rows = summary.get("budget_ops_per_s", {})
+    plain = rows.get("BM_MachineBudgetOverhead/0")
+    armed = rows.get("BM_MachineBudgetOverhead/1")
+    if not plain or not armed:
+        return None
+    return armed / plain
+
+
 def integrity_overhead(summary):
     """--check=integrity over --check=off throughput ratio on
     BM_MachineIntegrityOverhead, or None when either row is missing.
@@ -215,7 +236,8 @@ def serve_warm_speedup(summary):
 
 
 def check(current, baseline, tolerance, speedup_floor, overhead_floor,
-          integrity_floor, fusion_floor, async_floor, serve_floor):
+          budget_floor, integrity_floor, fusion_floor, async_floor,
+          serve_floor):
     failures = []
 
     def compare(section, spec):
@@ -259,6 +281,15 @@ def check(current, baseline, tolerance, speedup_floor, overhead_floor,
               f"(floor {overhead_floor:.0%}) {flag}")
         if overhead < overhead_floor:
             failures.append("faults-off-overhead")
+
+    budget = budget_overhead(current)
+    if budget is not None:
+        flag = "ok" if budget >= budget_floor else "REGRESSION"
+        print(f"armed-budget overhead on BM_MachineBudgetOverhead: "
+              f"{budget:.1%} of unbudgeted throughput "
+              f"(floor {budget_floor:.0%}) {flag}")
+        if budget < budget_floor:
+            failures.append("budget-overhead")
 
     integ = integrity_overhead(current)
     if integ is not None:
@@ -319,6 +350,11 @@ def main():
                     help="required engaged-but-faultless/legacy "
                          "throughput ratio on BM_MachineFaultsOff "
                          "(default 0.95, i.e. at most 5%% overhead)")
+    ap.add_argument("--budget-overhead-floor", type=float, default=0.95,
+                    help="required armed-but-unreachable-budget/no-budget "
+                         "throughput ratio on BM_MachineBudgetOverhead "
+                         "(default 0.95, i.e. at most 5%% overhead for "
+                         "the strided deadline poll + token compare)")
     ap.add_argument("--integrity-overhead-floor", type=float, default=0.75,
                     help="required --check=integrity/--check=off "
                          "throughput ratio on BM_MachineIntegrityOverhead "
@@ -355,6 +391,10 @@ def main():
         if overhead is not None:
             print(f"fault-path overhead on BM_MachineFaultsOff: "
                   f"{overhead:.1%} of legacy throughput")
+        budget = budget_overhead(summary)
+        if budget is not None:
+            print(f"armed-budget overhead on BM_MachineBudgetOverhead: "
+                  f"{budget:.1%} of unbudgeted throughput")
         integ = integrity_overhead(summary)
         if integ is not None:
             print(f"integrity-checking overhead on "
@@ -382,6 +422,7 @@ def main():
         failures = check(summary, baseline, args.tolerance,
                          args.event_speedup_floor,
                          args.faults_overhead_floor,
+                         args.budget_overhead_floor,
                          args.integrity_overhead_floor,
                          args.fusion_speedup_floor,
                          args.async_speedup_floor,

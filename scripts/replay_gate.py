@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Chaos-replay gate for the ctdf serve front-end.
+
+Drives the tools/replay.cpp harness through a small matrix of
+transports and overload regimes — the stdin/stdout pipe with a
+comfortable queue, the Unix socket with the same, and a deliberately
+starved single-worker/tiny-queue pipe — at --requests seeded mixed
+requests per cell (default 1000, so the default matrix is 3000+
+requests), and enforces the overload-safety invariants the harness
+already checks per run:
+
+  * the server never dies while clients are connected;
+  * every request line gets exactly one typed JSON response;
+  * the process exits 0 after graceful drain (EOF + shutdown on the
+    pipe, SIGTERM on the socket);
+  * the response census adds up — no response is unaccounted for.
+
+On success it prints one row per cell (mode, requests, p50/p95/p99
+latency in microseconds, census) in the format EXPERIMENTS.md records,
+and exits 0. Any violated invariant, non-zero harness exit, or
+unparseable summary exits 1.
+
+Usage:
+  scripts/replay_gate.py --replay build/tools/ctdf_replay \
+      --server build/tools/ctdf [--requests 1000]
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+# (label, mode, seed, workers, max_queue): two healthy cells, one
+# starved cell that forces admission control to do real work.
+MATRIX = [
+    ("pipe", "pipe", 7, 2, 64),
+    ("socket", "socket", 11, 2, 64),
+    ("pipe-starved", "pipe", 13, 1, 8),
+]
+
+
+def run_cell(args, label, mode, seed, workers, max_queue):
+    cmd = [
+        args.replay,
+        f"--server={args.server}",
+        f"--mode={mode}",
+        f"--requests={args.requests}",
+        f"--seed={seed}",
+        f"--workers={workers}",
+        f"--max-queue={max_queue}",
+        f"--timeout-s={args.timeout_s}",
+    ]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.stderr:
+        sys.stderr.write(proc.stderr)
+    failures = []
+    if proc.returncode != 0:
+        failures.append(f"{label}: harness exit {proc.returncode}")
+    try:
+        summary = json.loads(proc.stdout.strip().splitlines()[-1])
+    except (ValueError, IndexError):
+        failures.append(f"{label}: unparseable summary: {proc.stdout!r}")
+        return None, failures
+    if summary.get("violations", 1) != 0:
+        failures.append(f"{label}: {summary['violations']} invariant "
+                        "violation(s)")
+    if summary.get("responses") != summary.get("requests"):
+        failures.append(f"{label}: {summary.get('requests')} requests but "
+                        f"{summary.get('responses')} responses")
+    if summary.get("server_exit") != 0:
+        failures.append(f"{label}: server exit {summary.get('server_exit')}")
+    census = summary.get("census", {})
+    if sum(census.values()) != summary.get("responses"):
+        failures.append(f"{label}: census sums to {sum(census.values())}, "
+                        f"not {summary.get('responses')}")
+    if census.get("unparseable", 0) != 0:
+        failures.append(f"{label}: {census['unparseable']} unparseable "
+                        "response(s)")
+    return summary, failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--replay", required=True,
+                    help="path to the ctdf_replay binary")
+    ap.add_argument("--server", required=True,
+                    help="path to the ctdf binary")
+    ap.add_argument("--requests", type=int, default=1000,
+                    help="seeded requests per matrix cell (default 1000)")
+    ap.add_argument("--timeout-s", type=int, default=300,
+                    help="per-cell harness timeout in seconds")
+    args = ap.parse_args()
+
+    failures = []
+    total = 0
+    print(f"{'cell':<14} {'requests':>8} {'p50_us':>8} {'p95_us':>8} "
+          f"{'p99_us':>8}  census")
+    for label, mode, seed, workers, max_queue in MATRIX:
+        summary, cell_failures = run_cell(args, label, mode, seed, workers,
+                                          max_queue)
+        failures.extend(cell_failures)
+        if summary is None:
+            continue
+        total += summary.get("requests", 0)
+        census = ", ".join(f"{k}={v}" for k, v in
+                           sorted(summary.get("census", {}).items()))
+        print(f"{label:<14} {summary.get('requests', 0):>8} "
+              f"{summary.get('p50_us', 0):>8} {summary.get('p95_us', 0):>8} "
+              f"{summary.get('p99_us', 0):>8}  {census}")
+
+    print(f"total requests: {total}")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}", file=sys.stderr)
+        return 1
+    print("all replay invariants held: no server deaths, no dropped "
+          "responses, clean drains")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,14 +1,29 @@
 #include "machine/blob.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <sstream>
 
 #include "support/hash.hpp"
 
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
 namespace ctdf::machine {
 
 namespace {
+
+long current_pid() {
+#ifdef _WIN32
+  return static_cast<long>(_getpid());
+#else
+  return static_cast<long>(::getpid());
+#endif
+}
 
 /// Little-endian append-only byte sink.
 class Writer {
@@ -371,12 +386,31 @@ BlobReadResult deserialize(std::span<const std::uint8_t> bytes) {
 
 bool write_blob_file(const std::string& path,
                      std::span<const std::uint8_t> bytes) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
+  // Write-then-rename so a reader never observes a torn blob: writing
+  // in place would let a concurrent read_blob_file (the disk cache
+  // tier, another server process) see a truncated prefix that fails
+  // the hash check — or worse, a stale header over new payload. The
+  // tmp name carries pid + a process-wide counter so concurrent
+  // writers of the same path never collide; rename() is atomic within
+  // a filesystem, so readers see the old bytes or the new, never a
+  // mix.
+  static std::atomic<std::uint64_t> tmp_counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(current_pid()) + "." +
+      std::to_string(tmp_counter.fetch_add(1, std::memory_order_relaxed));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) return false;
   const std::size_t written =
       bytes.empty() ? 0 : std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool ok = std::fclose(f) == 0 && written == bytes.size();
-  return ok;
+  if (std::fclose(f) != 0 || written != bytes.size()) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 BlobReadResult read_blob_file(const std::string& path) {

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "machine/budget.hpp"
 #include "machine/exec.hpp"
 #include "machine/faults.hpp"
 #include "machine/fire.hpp"
@@ -103,6 +104,9 @@ class SerialEngine {
     // otherwise every fault branch below is one dead `if (fault_)` and
     // the engine is byte-identical to its fault-free self.
     if (fault_active(opt)) fault_.emplace(opt.faults);
+    // And again for the run budget: a deadline or token ceiling engages
+    // the per-firing poll; without one, firings pay one dead branch.
+    if (opt.budget.armed()) budget_.emplace(opt.budget);
     mem_.init(memory_cells, istructures);
     // Same bargain for integrity checking: off means every checking
     // branch is one dead `if (check_)` / null `integ` and the hot path
@@ -122,7 +126,7 @@ class SerialEngine {
     boot();
     std::uint64_t cycle = 0;
     while (!completed_ && stats_.error.empty()) {
-      if (cycle >= opt_.max_cycles) {
+      if (cycle >= opt_.budget.max_cycles) {
         stats_.cycles = cycle;
         stats_.fail(ErrorCode::kCycleCap,
                     "cycle cap exceeded (possible livelock or "
@@ -430,6 +434,20 @@ class SerialEngine {
   }
 
   void fire(const ReadyEntry& e, std::uint64_t cycle) {
+    // The budget poll lives on the shared firing path — the one line
+    // every engine variant executes — so scan and event honor the
+    // ceilings at identical points. Both firing loops (abstract pool
+    // and multi-PE) already stop on stats_.error.
+    if (budget_) {
+      if (budget_->tokens_exceeded(stats_.tokens_sent)) {
+        stats_.fail(budget_->token_error());
+        return;
+      }
+      if (budget_->deadline_exceeded_strided()) {
+        stats_.fail(budget_->deadline_error());
+        return;
+      }
+    }
     const ExecOp& op = ep_.op(e.node);
     if (fault_) {
       if ((op.flags & kExecMem) && !e.refire) {
@@ -696,6 +714,7 @@ class SerialEngine {
   }
 
   std::optional<FaultState> fault_;  ///< engaged iff fault_active(opt_)
+  std::optional<BudgetState> budget_;  ///< engaged iff opt_.budget.armed()
   bool check_ = false;  ///< opt_.check == CheckMode::kIntegrity
   std::optional<IntegrityState> integ_;  ///< engaged iff check_
   bool booting_ = false;

@@ -27,6 +27,8 @@ const char* code_slug(ErrorCode code) {
     case ErrorCode::kCycleCap: return "cycle-cap";
     case ErrorCode::kFrameExhausted: return "frame-exhausted";
     case ErrorCode::kRetryExhausted: return "retry-exhausted";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kTokenBudget: return "token-budget";
     case ErrorCode::kIStoreDoubleWrite: return "istore-double-write";
     case ErrorCode::kStoreInFlight: return "store-in-flight";
     case ErrorCode::kIntegrityDoubleWrite: return "integrity/double-write";

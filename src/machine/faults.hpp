@@ -32,9 +32,11 @@ enum class ErrorCode : std::uint8_t {
   kNone = 0,
   kDeadlock,         ///< no events pending, End never fired (incl. livelock watchdog)
   kSlotCollision,    ///< two tokens waiting on one matching-slot port
-  kCycleCap,         ///< MachineOptions::max_cycles exceeded
+  kCycleCap,         ///< RunBudget::max_cycles exceeded
   kFrameExhausted,   ///< back-pressured loop entries can never proceed
   kRetryExhausted,   ///< drop/NACK retry budget spent on one event
+  kDeadlineExceeded,  ///< RunBudget::deadline_ms spent before completion
+  kTokenBudget,       ///< RunBudget::max_tokens exceeded
   kIStoreDoubleWrite,  ///< second write to a write-once cell
   kStoreInFlight,    ///< End fired while a store's ack was uncollected
 

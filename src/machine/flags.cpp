@@ -84,7 +84,19 @@ MachineFlagParse apply_machine_flag(MachineOptions& o, const std::string& arg,
   }
   if (starts_with(arg, "--sched-seed="))
     return set_unsigned(arg, o.scheduler_seed);
-  if (starts_with(arg, "--max-cycles=")) return set_unsigned(arg, o.max_cycles);
+  if (starts_with(arg, "--max-cycles="))
+    return set_unsigned(arg, o.budget.max_cycles);
+  if (starts_with(arg, "--max-tokens="))
+    return set_unsigned(arg, o.budget.max_tokens);
+  if (starts_with(arg, "--deadline-ms=")) {
+    // 0 is legal and means "already expired" (up-front rejection);
+    // removing a deadline is the flag's absence, not a sentinel value.
+    unsigned long long v = 0;
+    if (!parse_unsigned(value_of(arg), v) || v > (1ull << 40))
+      return MachineFlagParse::kBadValue;
+    o.budget.deadline_ms = static_cast<std::int64_t>(v);
+    return MachineFlagParse::kApplied;
+  }
   if (starts_with(arg, "--frame-capacity="))
     return set_unsigned(arg, o.frame_capacity);
   if (starts_with(arg, "--fault-seed=")) return set_unsigned(arg, o.faults.seed);

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "machine/budget.hpp"
 #include "machine/calendar.hpp"
 #include "machine/engine_event.hpp"
 #include "machine/engine_parallel.hpp"
@@ -13,6 +14,18 @@ RunResult run(const ExecProgram& program, std::size_t memory_cells,
               const MachineOptions& options,
               const std::vector<IStructureRegion>& istructures,
               const std::vector<SharedRegion>& shared) {
+  // A zero-millisecond deadline is already expired: reject up front —
+  // 0 cycles, 0 firings, the store untouched — with the same typed
+  // error a mid-run expiry produces. Checked once here so every engine
+  // shares the semantics (and a serving layer can clamp a request's
+  // remaining deadline to zero after compilation ate it).
+  if (options.budget.deadline_ms == 0) {
+    RunResult out;
+    out.stats.fired_by_kind.assign(dfg::kNumOpKinds, 0);
+    out.stats.first_fire_cycle.assign(program.num_ops(), UINT64_MAX);
+    out.stats.fail(BudgetState::deadline_error_for(0));
+    return out;
+  }
   // The event engine is serial by design (host_threads is documented as
   // ignored); absurd latency configurations whose horizon would need a
   // degenerate wheel fall back to the scan engine transparently —

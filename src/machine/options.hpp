@@ -134,6 +134,37 @@ struct FaultPlan {
   }
 };
 
+/// Cooperative run budget: every way a single run may consume resources
+/// has a ceiling here, checked on the shared firing path so all engines
+/// honor it identically (machine/budget.hpp). The Monsoon discipline of
+/// bounding frames/tokens/loop unfolding, extended to wall-clock time:
+/// a serving layer can hand the machine a deadline and know the run
+/// comes back — completed or with a typed `deadline-exceeded` /
+/// `token-budget` error and partial RunStats — instead of occupying a
+/// worker forever.
+struct RunBudget {
+  /// Wall-clock allowance in milliseconds. Negative = no deadline.
+  /// 0 = already expired: the run is rejected up front (0 cycles,
+  /// 0 firings) with the same typed error a mid-run expiry produces.
+  std::int64_t deadline_ms = -1;
+
+  /// Abort knob for runaway graphs (simulated cycles / async epochs).
+  std::uint64_t max_cycles = 50'000'000;
+
+  /// Ceiling on tokens sent; 0 = unlimited. Unlike the deadline this is
+  /// deterministic on the serial engines: two runs trip at the same
+  /// firing.
+  std::uint64_t max_tokens = 0;
+
+  /// True when the per-firing budget poll must be engaged (the
+  /// max_cycles ceiling rides the existing per-cycle check and needs no
+  /// polling). When false the engines run their legacy hot path behind
+  /// one dead branch — the fault/integrity bargain.
+  [[nodiscard]] bool armed() const {
+    return deadline_ms >= 0 || max_tokens > 0;
+  }
+};
+
 struct MachineOptions {
   /// Execution engine (see EngineKind; results never depend on this).
   EngineKind engine = EngineKind::kScan;
@@ -200,8 +231,9 @@ struct MachineOptions {
   /// free-run for throughput.
   bool deterministic = true;
 
-  /// Abort knob for runaway graphs.
-  std::uint64_t max_cycles = 50'000'000;
+  /// Cooperative deadline / cycle / token ceilings (CLI
+  /// `--max-cycles=`, `--deadline-ms=`, `--max-tokens=`).
+  RunBudget budget;
 
   /// Finite frame store: at most this many iteration contexts may be
   /// live at once. A loop entry that would allocate beyond the capacity

@@ -59,6 +59,7 @@
 #include <utility>
 #include <vector>
 
+#include "machine/budget.hpp"
 #include "machine/engine_parallel.hpp"
 #include "machine/faults.hpp"
 #include "machine/fire.hpp"
@@ -90,6 +91,7 @@ class AsyncEngine {
         sched_(nworkers_, nshards_),
         workers_(nworkers_) {
     if (fault_active(opt_)) fault_.emplace(opt_.faults);
+    if (opt_.budget.armed()) budget_.emplace(opt_.budget);
     mem_.init(memory_cells, istructures);
     deferred_.resize(kBanks);
     if (opt_.check == CheckMode::kIntegrity) {
@@ -130,6 +132,7 @@ class AsyncEngine {
     std::vector<std::int64_t> in_buf;
     std::uint64_t fired_epoch = 0;  ///< profile accumulator (det mode)
     std::uint64_t peak_batch = 0;   ///< free-mode peak_ready estimate
+    std::uint64_t tokens_local = 0;  ///< free-mode budget accumulator
   };
 
   [[nodiscard]] std::uint32_t shard_of(std::uint32_t ctx) const {
@@ -718,7 +721,26 @@ class AsyncEngine {
   void run_det() {
     Pool pool(nworkers_);
     for (;;) {
-      if (epoch_ >= opt_.max_cycles) {
+      // Budget poll between epochs: workers are joined at the fence, so
+      // shard counters sum race-free. Budget errors are reported here
+      // and returned directly from finalize() — a serial rerun would
+      // restart with a fresh deadline and could succeed, masking the
+      // expiry.
+      if (budget_) {
+        if (budget_->max_tokens() != 0) {
+          std::uint64_t tokens = 0;
+          for (const AsyncShard& sh : shards_) tokens += sh.tokens_sent;
+          if (budget_->tokens_exceeded(tokens)) {
+            record_error(budget_->token_error(), (epoch_ << 32) | nshards_);
+            break;
+          }
+        }
+        if (budget_->deadline_exceeded_now()) {
+          record_error(budget_->deadline_error(), (epoch_ << 32) | nshards_);
+          break;
+        }
+      }
+      if (epoch_ >= opt_.budget.max_cycles) {
         record_error(RunError{ErrorCode::kCycleCap,
                               "epoch cap exceeded (possible livelock or "
                               "non-terminating program)",
@@ -766,7 +788,9 @@ class AsyncEngine {
     w.wake_buf.clear();
   }
 
-  void process_shard_free(Worker& w, std::uint32_t sid) {
+  /// Returns the number of tokens taken off the shard inbox this batch
+  /// (the free-mode budget approximation of tokens sent).
+  std::size_t process_shard_free(Worker& w, std::uint32_t sid) {
     AsyncShard& sh = shards_[sid];
     std::vector<AToken> cur;
     {
@@ -793,6 +817,7 @@ class AsyncEngine {
     sh.ready.clear();
     if (absorbed) outstanding_.fetch_sub(absorbed, std::memory_order_seq_cst);
     sh.has_ready.store(false, std::memory_order_release);
+    return cur.size();
   }
 
   void free_worker(unsigned wid) {
@@ -816,11 +841,33 @@ class AsyncEngine {
         continue;
       }
       if (stole) ++w.pe.steals;
-      process_shard_free(w, sid);
+      w.tokens_local += process_shard_free(w, sid);
       sched_.release(wid, sid);
       ++w.pe.epochs;
+      // Per-batch budget poll, shared-write-free on the token side:
+      // the worker drains its local count into tokens_approx_ and
+      // checks the total, so the ceiling overshoots by at most one
+      // batch per worker. record_error sets abort_, stopping the fleet.
+      if (budget_) {
+        if (budget_->max_tokens() != 0) {
+          if (w.tokens_local != 0) {
+            tokens_approx_.fetch_add(w.tokens_local,
+                                     std::memory_order_relaxed);
+            w.tokens_local = 0;
+          }
+          if (budget_->tokens_exceeded(
+                  tokens_approx_.load(std::memory_order_relaxed))) {
+            record_error(budget_->token_error(), 0);
+            return;
+          }
+        }
+        if (budget_->deadline_exceeded_now()) {
+          record_error(budget_->deadline_error(), 0);
+          return;
+        }
+      }
       if (batches_total_.fetch_add(1, std::memory_order_relaxed) + 1 >
-          opt_.max_cycles) {
+          opt_.budget.max_cycles) {
         record_error(RunError{ErrorCode::kCycleCap,
                               "batch cap exceeded (possible livelock or "
                               "non-terminating program)",
@@ -866,8 +913,14 @@ class AsyncEngine {
     if (has_err_ || !done) {
       // Fault-free error paths — including the cycle cap, whose async
       // epoch count is not the serial cycle count — delegate to the
-      // serial rerun for the reference diagnostics.
-      if (!opt_.faults.enabled()) return std::nullopt;
+      // serial rerun for the reference diagnostics. Budget errors never
+      // delegate: the rerun would start a fresh deadline (and recount
+      // tokens from zero), so it could succeed and silently erase the
+      // expiry this run just diagnosed.
+      const bool budget_err =
+          has_err_ && (err_.code == ErrorCode::kDeadlineExceeded ||
+                       err_.code == ErrorCode::kTokenBudget);
+      if (!opt_.faults.enabled() && !budget_err) return std::nullopt;
       if (has_err_)
         stats_.fail(std::move(err_));
       else
@@ -943,6 +996,11 @@ class AsyncEngine {
   std::vector<Worker> workers_;
 
   std::optional<FaultState> fault_;  ///< engaged iff fault_active(opt_)
+  std::optional<BudgetState> budget_;  ///< engaged iff opt_.budget.armed()
+  /// Free mode's shared token total: each worker drains its local count
+  /// here once per batch, so the ceiling is enforced within one batch
+  /// per worker of slack without any per-token shared write.
+  std::atomic<std::uint64_t> tokens_approx_{0};
   std::optional<IntegrityState> integ_;
   bool check_ = false;
   bool booting_ = false;

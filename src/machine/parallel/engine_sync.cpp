@@ -81,6 +81,7 @@
 #include <utility>
 #include <vector>
 
+#include "machine/budget.hpp"
 #include "machine/faults.hpp"
 #include "machine/fire.hpp"
 #include "machine/frames.hpp"
@@ -115,6 +116,7 @@ class ParallelEngine {
     CTDF_ASSERT_MSG(opt_.alu_latency >= 1 && opt_.mem_latency >= 1,
                     "latencies must be at least one cycle");
     if (fault_active(opt)) fault_.emplace(opt.faults);
+    if (opt.budget.armed()) budget_.emplace(opt.budget);
     mem_.init(memory_cells, istructures);
     if (opt.check == CheckMode::kIntegrity) {
       // Checking shards cleanly: tag rows are context-partitioned like
@@ -137,7 +139,24 @@ class ParallelEngine {
 
     std::uint64_t cycle = 0;
     while (!completed_) {
-      if (cycle >= opt_.max_cycles) {
+      // Budget poll at the cycle top: workers are joined here, so the
+      // shard counters are quiescent and summable race-free. Budget
+      // errors report directly — never the serial-rerun delegation,
+      // whose fresh deadline could let the rerun succeed and mask the
+      // expiry (fail_result merges the partial counters either way).
+      if (budget_) {
+        if (budget_->max_tokens() != 0) {
+          std::uint64_t tokens = 0;
+          for (const Shard& s : shards_) tokens += s.tokens_sent;
+          if (budget_->tokens_exceeded(tokens))
+            return fail_result(budget_->token_error());
+        }
+        // One clock read per cycle is noise next to the phase barriers,
+        // so the coordinator skips the stride and checks exactly.
+        if (budget_->deadline_exceeded_now())
+          return fail_result(budget_->deadline_error());
+      }
+      if (cycle >= opt_.budget.max_cycles) {
         stats_.cycles = cycle;
         stats_.fail(ErrorCode::kCycleCap,
                     "cycle cap exceeded (possible livelock or "
@@ -1134,6 +1153,7 @@ class ParallelEngine {
   std::uint64_t batch_ = 0;
 
   std::optional<FaultState> fault_;  ///< engaged iff fault_active(opt_)
+  std::optional<BudgetState> budget_;  ///< engaged iff opt_.budget.armed()
   bool check_ = false;  ///< opt_.check == CheckMode::kIntegrity
   std::optional<IntegrityState> integ_;  ///< engaged iff check_
   std::optional<RunError> fatal_;    ///< first coordinator-side failure

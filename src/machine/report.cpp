@@ -130,6 +130,9 @@ std::string render_stats_json(const RunStats& stats,
      << ", "
      << "\"scheduler_seed\": " << opt.scheduler_seed << ", "
      << "\"frame_capacity\": " << opt.frame_capacity << ", "
+     << "\"max_cycles\": " << opt.budget.max_cycles << ", "
+     << "\"deadline_ms\": " << opt.budget.deadline_ms << ", "
+     << "\"max_tokens\": " << opt.budget.max_tokens << ", "
      << "\"fault_seed\": " << opt.faults.seed << ", "
      << "\"fault_drop\": " << opt.faults.drop << ", "
      << "\"fault_dup\": " << opt.faults.dup << ", "

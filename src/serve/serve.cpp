@@ -1,9 +1,16 @@
 #include "serve/serve.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
+#include <deque>
 #include <istream>
+#include <map>
+#include <mutex>
 #include <ostream>
 #include <sstream>
 #include <thread>
@@ -18,6 +25,7 @@
 #include "translate/options.hpp"
 
 #ifndef _WIN32
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -70,6 +78,7 @@ struct Request {
   std::string source;
   translate::TranslateOptions topt;
   machine::MachineOptions mopt;
+  std::int64_t deadline_ms = -1;  ///< request wall budget, compile included
   std::vector<std::string> print;
   bool has_print = false;
   const JsonValue* batch = nullptr;  ///< run-batch's "requests" array
@@ -92,12 +101,14 @@ struct Defaults {
   translate::TranslateOptions topt =
       translate::TranslateOptions::schema2_optimized();
   machine::MachineOptions mopt = machine::default_cli_machine_options();
+  std::int64_t deadline_ms = -1;
 };
 
 Request decode_request(const JsonValue& obj, const Defaults& defaults) {
   Request req;
   req.topt = defaults.topt;
   req.mopt = defaults.mopt;
+  req.deadline_ms = defaults.deadline_ms;
   if (!obj.is_object()) {
     req.fail("protocol", "request must be a JSON object");
     return req;
@@ -155,6 +166,15 @@ Request decode_request(const JsonValue& obj, const Defaults& defaults) {
           return req;
       }
     }
+  }
+  if (const JsonValue* dl = obj.find("deadline_ms")) {
+    const double v = dl->number;
+    if (dl->kind != JsonValue::Kind::kNumber || v < 0 || v > 1e12 ||
+        v != static_cast<double>(static_cast<std::int64_t>(v))) {
+      req.fail("protocol", "\"deadline_ms\" must be a non-negative integer");
+      return req;
+    }
+    req.deadline_ms = static_cast<std::int64_t>(v);
   }
   if (const JsonValue* print = obj.find("print")) {
     if (!print->is_array()) {
@@ -243,18 +263,10 @@ std::string store_json(const machine::ProgramImage& image,
   return os.str();
 }
 
-}  // namespace
-
-Server::Server() : Server(ServeOptions{}) {}
-
-Server::Server(ServeOptions options)
-    : options_(options), cache_(options.cache) {}
-
-namespace {
-
 /// compile / run, shared by top-level requests and batch items.
 std::string handle_program_request(core::ProgramCache& cache,
-                                   const Request& req) {
+                                   const Request& req, ServeStats& stats,
+                                   const ServeOptions& opts) {
   const auto t0 = Clock::now();
   if (req.source.empty())
     return error_response([&] {
@@ -276,16 +288,33 @@ std::string handle_program_request(core::ProgramCache& cache,
   std::string store = "null";
   std::string machine_error;
   std::int64_t exec_nanos = 0;
+  machine::MachineOptions mopt = req.mopt;
   if (req.op == "run") {
+    // The request deadline covers compile time too: whatever the
+    // pipeline spent comes off the machine budget, clamped to zero so
+    // an exhausted deadline still produces the typed machine error
+    // (the engine rejects a 0 ms deadline up front). An explicit
+    // --deadline-ms option keeps whichever bound is tighter.
+    if (req.deadline_ms >= 0) {
+      const std::int64_t left = std::max<std::int64_t>(
+          0, req.deadline_ms - nanos_since(t0) / 1'000'000);
+      mopt.budget.deadline_ms = mopt.budget.deadline_ms >= 0
+                                    ? std::min(mopt.budget.deadline_ms, left)
+                                    : left;
+    }
     const auto e0 = Clock::now();
-    const machine::RunResult res = core::execute(out.entry->image, req.mopt);
+    const machine::RunResult res = core::execute(out.entry->image, mopt);
     exec_nanos = nanos_since(e0);
-    stats_json = compact(machine::render_stats_json(res.stats, req.mopt));
+    stats_json = compact(machine::render_stats_json(res.stats, mopt));
     if (res.stats.completed)
       store = store_json(out.entry->image, res.store, req);
     else
       machine_error = res.stats.error;
   }
+
+  const std::int64_t total_nanos = nanos_since(t0);
+  if (opts.slow_ms >= 0 && total_nanos > opts.slow_ms * 1'000'000)
+    stats.slow_requests.fetch_add(1, std::memory_order_relaxed);
 
   const core::CacheStats cstats = cache.stats();
   std::ostringstream os;
@@ -297,7 +326,7 @@ std::string handle_program_request(core::ProgramCache& cache,
      << ", \"content_hash\": " << quoted(hex16(out.entry->content_hash))
      << ", \"stage_nanos\": " << stage_nanos_json(out.trace)
      << ", \"exec_nanos\": " << exec_nanos
-     << ", \"total_nanos\": " << nanos_since(t0)
+     << ", \"total_nanos\": " << total_nanos
      << ", \"stats\": " << stats_json << ", \"store\": " << store
      << ", \"error\": ";
   if (machine_error.empty())
@@ -309,42 +338,88 @@ std::string handle_program_request(core::ProgramCache& cache,
   return os.str();
 }
 
+/// The "stats" op: a liveness probe that never touches the cache or
+/// the machine. Key set frozen by tests/serve_test.cpp.
+std::string stats_response(const Request& req, const ServeStats& s,
+                           const WorkerGauge* gauges, std::size_t num_gauges,
+                           const ServeOptions& opts) {
+  std::ostringstream os;
+  os << "{\"id\": " << req.id_json
+     << ", \"op\": \"stats\", \"ok\": true, \"serve\": {"
+     << "\"workers\": " << std::max<std::size_t>(1, opts.workers)
+     << ", \"max_queue\": " << opts.max_queue
+     << ", \"accepted\": " << s.accepted.load()
+     << ", \"completed\": " << s.completed.load()
+     << ", \"rejected_overload\": " << s.rejected_overload.load()
+     << ", \"rejected_draining\": " << s.rejected_draining.load()
+     << ", \"slow_requests\": " << s.slow_requests.load()
+     << ", \"client_disconnects\": " << s.client_disconnects.load()
+     << ", \"queue_depth\": " << s.queue_depth.load()
+     << ", \"in_flight\": " << s.in_flight.load() << ", \"per_worker\": [";
+  for (std::size_t i = 0; i < num_gauges; ++i)
+    os << (i ? ", " : "") << "{\"handled\": " << gauges[i].handled.load()
+       << ", \"busy\": " << (gauges[i].in_flight.load() ? "true" : "false")
+       << "}";
+  os << "]}, \"error\": null}";
+  return os.str();
+}
+
 }  // namespace
+
+Server::Server() : Server(ServeOptions{}) {}
+
+Server::Server(ServeOptions options)
+    : options_(options),
+      cache_(options.cache),
+      gauges_(std::make_unique<WorkerGauge[]>(
+          std::max<std::size_t>(1, options.workers))),
+      num_gauges_(std::max<std::size_t>(1, options.workers)) {}
 
 std::string Server::handle_line(const std::string& line, bool* shutdown) {
   if (shutdown) *shutdown = false;
+  stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+  const auto finish = [&](std::string response) {
+    stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    return response;
+  };
   std::string parse_error;
   const auto doc = json_parse(line, &parse_error);
   if (!doc) {
     Request r;
     r.fail("protocol", "bad JSON: " + parse_error);
-    return error_response(r);
+    return finish(error_response(r));
   }
-  const Defaults defaults;
+  Defaults defaults;
+  defaults.deadline_ms = options_.default_deadline_ms;
   Request req = decode_request(*doc, defaults);
-  if (!req.ok()) return error_response(req);
+  if (!req.ok()) return finish(error_response(req));
 
   if (req.op == "shutdown") {
     if (shutdown) *shutdown = true;
-    return "{\"id\": " + req.id_json +
-           ", \"op\": \"shutdown\", \"ok\": true, \"error\": null}";
+    return finish("{\"id\": " + req.id_json +
+                  ", \"op\": \"shutdown\", \"ok\": true, \"error\": null}");
   }
+  if (req.op == "stats")
+    return finish(
+        stats_response(req, stats_, gauges_.get(), num_gauges_, options_));
   if (req.op == "compile" || req.op == "run")
-    return handle_program_request(cache_, req);
+    return finish(handle_program_request(cache_, req, stats_, options_));
   if (req.op != "run-batch") {
     req.fail("protocol", "unknown op: " + req.op);
-    return error_response(req);
+    return finish(error_response(req));
   }
 
   if (!req.batch || !req.batch->is_array()) {
     req.fail("protocol", "run-batch needs a \"requests\" array");
-    return error_response(req);
+    return finish(error_response(req));
   }
   // The batch's own topt/mopt become each item's baseline, so shared
-  // options can be stated once at the batch level.
+  // options (and the batch deadline) can be stated once at the batch
+  // level.
   Defaults batch_defaults;
   batch_defaults.topt = req.topt;
   batch_defaults.mopt = req.mopt;
+  batch_defaults.deadline_ms = req.deadline_ms;
   const std::vector<JsonValue>& items = req.batch->array;
   std::vector<Request> decoded;
   decoded.reserve(items.size());
@@ -380,7 +455,7 @@ std::string Server::handle_line(const std::string& line, bool* shutdown) {
         ++errors;
         continue;
       }
-      results[i] = handle_program_request(cache_, r);
+      results[i] = handle_program_request(cache_, r, stats_, options_);
       if (results[i].find("\"ok\": false") != std::string::npos) ++errors;
     }
   };
@@ -408,7 +483,7 @@ std::string Server::handle_line(const std::string& line, bool* shutdown) {
   for (std::size_t i = 0; i < results.size(); ++i)
     os << (i ? ", " : "") << results[i];
   os << "], \"error\": null}";
-  return os.str();
+  return finish(os.str());
 }
 
 int Server::serve_stream(std::istream& in, std::ostream& out) {
@@ -422,11 +497,320 @@ int Server::serve_stream(std::istream& in, std::ostream& out) {
   return 0;
 }
 
+#ifndef _WIN32
+
+namespace {
+
+/// Set by SIGTERM / SIGINT. Installed without SA_RESTART so blocking
+/// poll/read/accept return EINTR and the serve loops notice promptly.
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void serve_stop_handler(int) { g_stop = 1; }
+
+void install_signal_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = serve_stop_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+  // A client hanging up mid-response must be a write error we can
+  // count, not a process-killing signal.
+  ::signal(SIGPIPE, SIG_IGN);
+}
+
+/// Writes the whole buffer; false on EPIPE/ECONNRESET/any write error
+/// (the client is gone).
+bool write_all(int fd, const std::string& s) {
+  std::size_t off = 0;
+  while (off < s.size()) {
+    const ssize_t w = ::write(fd, s.data() + off, s.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// The overload-safe request pump behind serve_pipe and serve_socket:
+/// reader -> bounded queue -> worker pool -> ordered writer.
+///
+///  * Admission: the reader never blocks on a full queue; it answers
+///    "overloaded" immediately (id null — clients correlate by
+///    response order) with a retry_after_ms hint scaled by observed
+///    service time and queue depth.
+///  * Ordering: every read line gets a sequence number; workers
+///    deliver into a reorder buffer, so responses leave in request
+///    order even with a parallel pool.
+///  * Drain: begin_drain() (shutdown op, signal, or EOF) opens a
+///    drain_ms window. Queued requests still execute inside it; after
+///    it closes they are answered with "draining" rejections. Either
+///    way every queued request is answered and join() returns.
+///  * Dead clients: a failed write flips client_gone; later responses
+///    are discarded (the reorder cursor still advances) and the
+///    disconnect is counted once.
+class Pump {
+ public:
+  Pump(Server& server, int out_fd)
+      : server_(server),
+        opts_(server.options_),
+        stats_(server.stats_),
+        gauges_(server.gauges_.get()),
+        out_fd_(out_fd),
+        num_workers_(std::max<std::size_t>(1, server.options_.workers)) {
+    workers_.reserve(num_workers_);
+    for (std::size_t w = 0; w < num_workers_; ++w)
+      workers_.emplace_back([this, w] { worker_main(w); });
+  }
+
+  ~Pump() { join(); }
+
+  /// Reader side: admit or reject one request line.
+  void submit(std::string line) {
+    const std::uint64_t seq = next_seq_++;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (queue_.size() >= opts_.max_queue) {
+        const std::size_t depth = queue_.size();
+        lk.unlock();
+        stats_.rejected_overload.fetch_add(1, std::memory_order_relaxed);
+        deliver(seq, overloaded_response(depth));
+        return;
+      }
+      queue_.push_back(Item{seq, std::move(line)});
+      stats_.queue_depth.store(queue_.size(), std::memory_order_relaxed);
+    }
+    cv_.notify_one();
+  }
+
+  /// Stops accepting and opens the drain window (idempotent; first
+  /// caller pins the deadline).
+  void begin_drain() {
+    bool expected = false;
+    if (draining_.compare_exchange_strong(expected, true)) {
+      drain_deadline_ns_.store(
+          (Clock::now() + std::chrono::milliseconds(opts_.drain_ms))
+              .time_since_epoch()
+              .count(),
+          std::memory_order_relaxed);
+    }
+    cv_.notify_all();
+  }
+
+  /// Reader side: no more submit() calls will come.
+  void finish_input() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      input_done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Waits until every queued request has been answered (executed or
+  /// drain-rejected) and the workers exited.
+  void join() {
+    for (std::thread& t : workers_)
+      if (t.joinable()) t.join();
+  }
+
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool client_gone() const {
+    std::lock_guard<std::mutex> lk(wmu_);
+    return client_gone_;
+  }
+
+ private:
+  struct Item {
+    std::uint64_t seq;
+    std::string line;
+  };
+
+  void worker_main(std::size_t w) {
+    for (;;) {
+      Item item;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [&] { return !queue_.empty() || input_done_; });
+        if (queue_.empty()) return;  // input done, everything answered
+        item = std::move(queue_.front());
+        queue_.pop_front();
+        stats_.queue_depth.store(queue_.size(), std::memory_order_relaxed);
+      }
+      gauges_[w].in_flight.store(1, std::memory_order_relaxed);
+      stats_.in_flight.fetch_add(1, std::memory_order_relaxed);
+
+      std::string response;
+      bool shutdown = false;
+      const bool window_closed =
+          draining() && Clock::now().time_since_epoch().count() >=
+                            drain_deadline_ns_.load(std::memory_order_relaxed);
+      if (window_closed) {
+        stats_.rejected_draining.fetch_add(1, std::memory_order_relaxed);
+        response = draining_response(item.line);
+      } else {
+        const auto t0 = Clock::now();
+        response = server_.handle_line(item.line, &shutdown);
+        // EWMA of service time feeds the overload retry hint; the
+        // racy read-modify-write is fine, it is only a hint.
+        const std::int64_t us = nanos_since(t0) / 1000;
+        const std::int64_t prev = ewma_us_.load(std::memory_order_relaxed);
+        ewma_us_.store(prev == 0 ? us : (prev * 4 + us) / 5,
+                       std::memory_order_relaxed);
+      }
+      deliver(item.seq, response);
+
+      gauges_[w].handled.fetch_add(1, std::memory_order_relaxed);
+      gauges_[w].in_flight.store(0, std::memory_order_relaxed);
+      stats_.in_flight.fetch_sub(1, std::memory_order_relaxed);
+      if (shutdown) {
+        shutdown_.store(true, std::memory_order_relaxed);
+        begin_drain();
+      }
+    }
+  }
+
+  /// Reorder buffer: responses leave in sequence order regardless of
+  /// which worker finished first. Once the client is gone, responses
+  /// are discarded but the cursor still advances.
+  void deliver(std::uint64_t seq, std::string line) {
+    std::lock_guard<std::mutex> lk(wmu_);
+    pending_.emplace(seq, std::move(line));
+    for (auto it = pending_.find(next_write_);
+         it != pending_.end();
+         it = pending_.find(next_write_)) {
+      if (!client_gone_ && !write_all(out_fd_, it->second + "\n")) {
+        client_gone_ = true;
+        stats_.client_disconnects.fetch_add(1, std::memory_order_relaxed);
+      }
+      pending_.erase(it);
+      ++next_write_;
+    }
+  }
+
+  [[nodiscard]] std::string overloaded_response(std::size_t depth) const {
+    const std::int64_t svc_ms = std::max<std::int64_t>(
+        1, ewma_us_.load(std::memory_order_relaxed) / 1000);
+    const std::int64_t retry = std::clamp<std::int64_t>(
+        svc_ms * (static_cast<std::int64_t>(depth / num_workers_) + 1), 1,
+        60'000);
+    return "{\"id\": null, \"op\": \"\", \"ok\": false, \"error\": "
+           "{\"kind\": \"overloaded\", \"message\": \"server overloaded: " +
+           std::to_string(depth) + " request(s) queued (max-queue " +
+           std::to_string(opts_.max_queue) +
+           ")\", \"retry_after_ms\": " + std::to_string(retry) + "}}";
+  }
+
+  /// Drain rejections arrive rarely enough to afford re-parsing the
+  /// line for its id, so clients can correlate directly.
+  [[nodiscard]] static std::string draining_response(const std::string& line) {
+    std::string id = "null";
+    std::string op;
+    if (const auto doc = json_parse(line); doc && doc->is_object()) {
+      if (const JsonValue* idv = doc->find("id"))
+        if (!idv->is_array() && !idv->is_object()) id = json_render(*idv);
+      if (const JsonValue* opv = doc->find("op"))
+        if (opv->is_string()) op = opv->string;
+    }
+    return "{\"id\": " + id + ", \"op\": " + quoted(op) +
+           ", \"ok\": false, \"error\": {\"kind\": \"draining\", "
+           "\"message\": \"server draining: request was not started before "
+           "the drain window closed\"}}";
+  }
+
+  Server& server_;
+  const ServeOptions& opts_;
+  ServeStats& stats_;
+  WorkerGauge* gauges_;
+  const int out_fd_;
+  const std::size_t num_workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool input_done_ = false;
+
+  mutable std::mutex wmu_;
+  std::map<std::uint64_t, std::string> pending_;
+  std::uint64_t next_write_ = 0;
+  bool client_gone_ = false;
+
+  std::uint64_t next_seq_ = 0;  ///< reader thread only
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::int64_t> drain_deadline_ns_{0};
+  std::atomic<std::int64_t> ewma_us_{0};
+  std::vector<std::thread> workers_;
+};
+
+namespace {
+
+/// Reads NDJSON lines from fd into the pump until EOF, a read error,
+/// a stop signal, or the pump starts draining. Returns false when the
+/// fd died mid-stream (reset), true on orderly EOF / stop.
+bool pump_read_loop(int fd, Pump& pump) {
+  std::string buf;
+  char chunk[65536];
+  for (;;) {
+    if (g_stop || pump.draining() || pump.client_gone()) return true;
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int pr = ::poll(&p, 1, 100);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (pr == 0) continue;
+    if (p.revents & (POLLERR | POLLNVAL)) return false;
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n == 0) {
+      // Orderly EOF; a final unterminated line still counts.
+      if (!buf.empty()) pump.submit(std::move(buf));
+      return true;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    buf.append(chunk, static_cast<std::size_t>(n));
+    std::size_t eol;
+    while ((eol = buf.find('\n')) != std::string::npos) {
+      std::string line = buf.substr(0, eol);
+      buf.erase(0, eol + 1);
+      if (!line.empty()) pump.submit(std::move(line));
+      // A worker may have processed a shutdown op already: stop
+      // feeding it the rest of the buffer.
+      if (pump.draining()) return true;
+    }
+  }
+}
+
+}  // namespace
+
+int Server::serve_pipe(int in_fd, int out_fd) {
+  install_signal_handlers();
+  g_stop = 0;
+  Pump pump(*this, out_fd);
+  pump_read_loop(in_fd, pump);
+  // EOF, signal, or shutdown: whatever is queued gets the drain
+  // window, then the pump guarantees an answer for every line read.
+  pump.begin_drain();
+  pump.finish_input();
+  pump.join();
+  return 0;
+}
+
 int Server::serve_socket(const std::string& path) {
-#ifdef _WIN32
-  std::fprintf(stderr, "serve: --socket is not supported on this platform\n");
-  return 2;
-#else
   sockaddr_un addr{};
   if (path.size() >= sizeof addr.sun_path) {
     std::fprintf(stderr, "serve: socket path too long: %s\n", path.c_str());
@@ -446,39 +830,55 @@ int Server::serve_socket(const std::string& path) {
     ::close(fd);
     return 2;
   }
-  bool shutdown = false;
-  while (!shutdown) {
+  install_signal_handlers();
+  g_stop = 0;
+  bool stop = false;
+  while (!stop && !g_stop) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = POLLIN;
+    const int pr = ::poll(&p, 1, 100);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (pr == 0) continue;
     const int client = ::accept(fd, nullptr, nullptr);
-    if (client < 0) break;
-    std::string buffer;
-    char chunk[4096];
-    for (;;) {
-      const ssize_t n = ::read(client, chunk, sizeof chunk);
-      if (n <= 0) break;
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      std::size_t eol;
-      while ((eol = buffer.find('\n')) != std::string::npos) {
-        const std::string line = buffer.substr(0, eol);
-        buffer.erase(0, eol + 1);
-        if (line.empty()) continue;
-        const std::string response = handle_line(line, &shutdown) + "\n";
-        std::size_t off = 0;
-        while (off < response.size()) {
-          const ssize_t w =
-              ::write(client, response.data() + off, response.size() - off);
-          if (w <= 0) break;
-          off += static_cast<std::size_t>(w);
-        }
-        if (shutdown) break;
-      }
-      if (shutdown) break;
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    {
+      Pump pump(*this, client);
+      const bool orderly = pump_read_loop(client, pump);
+      if (!orderly)
+        stats_.client_disconnects.fetch_add(1, std::memory_order_relaxed);
+      pump.begin_drain();
+      pump.finish_input();
+      pump.join();
+      stop = pump.shutdown_requested();
     }
     ::close(client);
+    // A vanished client (EOF, reset, failed write) only ends its own
+    // connection; the listener keeps accepting.
   }
   ::close(fd);
   ::unlink(path.c_str());
   return 0;
-#endif
 }
+
+#else  // _WIN32
+
+int Server::serve_pipe(int, int) {
+  std::fprintf(stderr, "serve: fd mode is not supported on this platform\n");
+  return 2;
+}
+
+int Server::serve_socket(const std::string&) {
+  std::fprintf(stderr, "serve: --socket is not supported on this platform\n");
+  return 2;
+}
+
+#endif
 
 }  // namespace ctdf::serve

@@ -9,11 +9,16 @@
 //
 // Request object:
 //   {"id": <any scalar, echoed back>,          // optional
-//    "op": "compile" | "run" | "run-batch" | "shutdown",
+//    "op": "compile" | "run" | "run-batch" | "stats" | "shutdown",
 //    "source": "<ctdf program text>",          // compile / run
 //    "options": ["--mem-elim", "--engine=event", ...],   // optional:
 //        the CLI's schema flags (translate::apply_schema_flag) and
 //        machine flags (machine::apply_machine_flag), per request
+//    "deadline_ms": 250,                       // optional: wall-clock
+//        budget for this request, compile time included; the remainder
+//        after compilation becomes the machine deadline (clamped to 0,
+//        so an exhausted deadline is a typed machine error, not a hang).
+//        Batch items inherit the batch's value unless they override it.
 //    "print": ["x", "a"],                      // optional: store
 //        variables to return (default: every scalar)
 //    "requests": [<request>, ...]}             // run-batch only; inner
@@ -37,16 +42,33 @@
 // A "run-batch" response instead carries {"batch": {"requests":N,
 // "errors":N, "cache_hits":N}, "results": [<per-request responses>]};
 // results keep request order even when executed by several workers.
-// "shutdown" acknowledges and stops the serve loop (stdin mode also
-// stops at EOF).
+// A "stats" response carries a "serve" object with the admission /
+// overload counters (ServeStats below). "shutdown" acknowledges,
+// stops accepting, and drains (stdin mode also drains at EOF).
+//
+// Overload and drain (the fd-based loops serve_pipe / serve_socket):
+// requests flow reader -> bounded queue (max_queue) -> worker pool ->
+// ordered writer. When the queue is full the reader answers
+// immediately with {"kind": "overloaded", "message": ...,
+// "retry_after_ms": N} (id null — correlate by response order; the
+// hint scales with observed service time and queue depth). SIGTERM /
+// SIGINT / the shutdown op stop the reader; queued requests are still
+// executed until drain_ms expires, after which they are answered with
+// {"kind": "draining", ...} rejections. Either way every request that
+// was read gets exactly one response and the process exits cleanly
+// (socket file unlinked). SIGPIPE is ignored: a client that hangs up
+// mid-response is counted (client_disconnects) and the server keeps
+// accepting.
 //
 // Errors never kill the server: every failure — unparseable line,
-// unknown op, bad flag, compile error, machine error — produces an
-// "ok": false response with a typed error object on its own line.
+// unknown op, bad flag, compile error, machine error, overload — is
+// an "ok": false response with a typed error object on its own line.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "core/progcache.hpp"
@@ -54,11 +76,46 @@
 namespace ctdf::serve {
 
 struct ServeOptions {
-  /// Executor threads for run-batch requests (1 = in-line). Responses
-  /// are ordered regardless.
+  /// Executor threads: run-batch fan-out, and the pump worker pool in
+  /// the fd-based loops (1 = in-line). Responses are ordered
+  /// regardless.
   std::size_t workers = 1;
+  /// Admission bound: requests beyond this many queued are rejected
+  /// with a typed "overloaded" response instead of queueing without
+  /// bound.
+  std::size_t max_queue = 256;
+  /// Drain window after shutdown / SIGTERM / EOF: queued requests
+  /// still execute until it closes, then are rejected as "draining".
+  /// In-flight requests are always joined.
+  std::int64_t drain_ms = 2000;
+  /// Requests slower than this (wall clock) bump
+  /// ServeStats::slow_requests — the slow-request watchdog counter.
+  /// Negative disables.
+  std::int64_t slow_ms = 1000;
+  /// Deadline applied to requests that do not carry their own
+  /// "deadline_ms". Negative = none.
+  std::int64_t default_deadline_ms = -1;
   /// The shared program cache (capacity / disk dir / disk capacity).
   core::ProgramCache::Config cache;
+};
+
+/// Liveness counters, exposed by the "stats" op. Monotonic except the
+/// two gauges (queue_depth, in_flight).
+struct ServeStats {
+  std::atomic<std::uint64_t> accepted{0};    ///< admitted to a handler
+  std::atomic<std::uint64_t> completed{0};   ///< handler responses produced
+  std::atomic<std::uint64_t> rejected_overload{0};
+  std::atomic<std::uint64_t> rejected_draining{0};
+  std::atomic<std::uint64_t> slow_requests{0};
+  std::atomic<std::uint64_t> client_disconnects{0};
+  std::atomic<std::uint64_t> queue_depth{0};
+  std::atomic<std::uint64_t> in_flight{0};
+};
+
+/// Per-pump-worker accounting, surfaced by the "stats" op.
+struct WorkerGauge {
+  std::atomic<std::uint64_t> handled{0};
+  std::atomic<std::uint64_t> in_flight{0};
 };
 
 class Server {
@@ -68,24 +125,41 @@ class Server {
 
   /// Handles one request line, returning the response line (no trailing
   /// newline). Sets *shutdown when the request asked the serve loop to
-  /// stop. Never throws.
+  /// stop. Never throws. Safe to call from several threads at once.
   [[nodiscard]] std::string handle_line(const std::string& line,
                                         bool* shutdown = nullptr);
 
-  /// NDJSON loop over a stream pair until EOF or a shutdown request.
-  /// Returns a process exit code (0).
+  /// NDJSON loop over a stream pair until EOF or a shutdown request:
+  /// the synchronous in-process surface (tests, embedding). No
+  /// admission control — iostreams cannot poll. Returns a process
+  /// exit code (0).
   int serve_stream(std::istream& in, std::ostream& out);
+
+  /// NDJSON loop over raw fds with the full pump: bounded queue,
+  /// worker pool, ordered responses, overload rejection, signal-aware
+  /// graceful drain. The CLI's stdin mode is serve_pipe(0, 1).
+  int serve_pipe(int in_fd, int out_fd);
 
   /// Same protocol over a Unix stream socket (one client at a time;
   /// the listener accepts the next connection when a client hangs up).
-  /// Returns non-zero if the socket cannot be created/bound.
+  /// Signal-aware, SIGPIPE-proof. Returns non-zero only if the socket
+  /// cannot be created/bound.
   int serve_socket(const std::string& path);
 
   [[nodiscard]] core::ProgramCache& cache() { return cache_; }
+  [[nodiscard]] const ServeStats& stats() const { return stats_; }
+  [[nodiscard]] const ServeOptions& options() const { return options_; }
 
  private:
+  friend class Pump;
+
   ServeOptions options_;
   core::ProgramCache cache_;
+  ServeStats stats_;
+  /// One slot per pump worker, sized once so the "stats" op can read
+  /// them without locking against pool start/stop.
+  std::unique_ptr<WorkerGauge[]> gauges_;
+  std::size_t num_gauges_ = 0;
 };
 
 }  // namespace ctdf::serve

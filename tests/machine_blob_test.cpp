@@ -14,9 +14,12 @@
 // rejection, because core/progcache.hpp's disk tier switches on it.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -299,6 +302,52 @@ TEST(BlobFiles, WriteThenReadRoundTrips) {
   const BlobReadResult r = read_blob_file(path);
   ASSERT_TRUE(r.ok()) << r.message;
   EXPECT_EQ(serialize(r.image), blob);
+}
+
+/// write_blob_file publishes via write-to-tmp + rename, so a reader
+/// racing two writers of the same path must always see one complete
+/// blob — old bytes or new bytes, never a torn mix (which would
+/// surface as a truncated/hash-mismatch read).
+TEST(BlobFiles, ConcurrentWritersNeverExposeATornBlob) {
+  const auto blob_of = [](const std::string& source) {
+    const auto cr =
+        core::Pipeline(core::PipelineOptions(
+                           translate::TranslateOptions::schema2_optimized()))
+            .run(source);
+    return serialize(core::make_program_image(cr));
+  };
+  const std::vector<std::uint8_t> a =
+      blob_of(lang::corpus::running_example_source());
+  const std::vector<std::uint8_t> b = blob_of(lang::corpus::fig9_source());
+  ASSERT_NE(a, b);
+
+  const std::string path = ::testing::TempDir() + "/ctdf_blob_torn.ctdfblob";
+  ASSERT_TRUE(write_blob_file(path, a));
+
+  std::atomic<bool> stop{false};
+  const auto writer = [&](const std::vector<std::uint8_t>& first,
+                          const std::vector<std::uint8_t>& second) {
+    for (int i = 0; i < 200 && !stop.load(); ++i)
+      EXPECT_TRUE(write_blob_file(path, (i & 1) ? second : first));
+  };
+  std::thread w1(writer, std::cref(a), std::cref(b));
+  std::thread w2(writer, std::cref(b), std::cref(a));
+  int reads = 0;
+  for (; reads < 500; ++reads) {
+    const BlobReadResult r = read_blob_file(path);
+    if (!r.ok()) {
+      ADD_FAILURE() << "torn read after " << reads
+                    << " good ones: " << to_string(r.error) << ": "
+                    << r.message;
+      stop.store(true);
+      break;
+    }
+    const std::vector<std::uint8_t> seen = serialize(r.image);
+    EXPECT_TRUE(seen == a || seen == b) << "read a blob neither writer wrote";
+  }
+  w1.join();
+  w2.join();
+  std::remove(path.c_str());
 }
 
 TEST(BlobErrors, SlugsAreGolden) {

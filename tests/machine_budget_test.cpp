@@ -1,0 +1,151 @@
+// Run-budget coverage: the cooperative deadline and token ceilings
+// (machine/budget.hpp) must produce the same typed error, with the same
+// message text, on every engine — scan, event, cycle-synchronous
+// parallel, and both async disciplines — and an armed-but-generous
+// budget must not perturb a run at all.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "machine/budget.hpp"
+#include "machine/report.hpp"
+
+namespace ctdf::machine {
+namespace {
+
+/// Never terminates: i stays 0, so the backedge is taken forever. The
+/// only way out is a budget (deadline, token, or cycle ceiling).
+constexpr const char* kSpinSource = R"(var x, i;
+l:
+  x := x + 1;
+  if i < 1 then goto l else goto end;
+)";
+
+constexpr const char* kFiniteSource = R"(var x, y;
+l:
+  y := x + 1;
+  x := x + 1;
+  if x < 5 then goto l else goto end;
+)";
+
+struct EngineConfig {
+  const char* name;
+  MachineOptions mopt;
+};
+
+/// One configuration per engine/discipline the budget must cover.
+std::vector<EngineConfig> all_engines() {
+  std::vector<EngineConfig> out;
+  out.push_back({"scan", {}});
+  out.push_back({"event", {}});
+  out.back().mopt.engine = EngineKind::kEvent;
+  out.push_back({"sync", {}});
+  out.back().mopt.host_threads = 2;
+  out.push_back({"async-det", {}});
+  out.back().mopt.parallel = ParallelMode::kAsync;
+  out.back().mopt.host_threads = 3;
+  out.push_back({"async-free", {}});
+  out.back().mopt.parallel = ParallelMode::kAsync;
+  out.back().mopt.host_threads = 3;
+  out.back().mopt.deterministic = false;
+  return out;
+}
+
+RunResult run_source(const char* source, const MachineOptions& mopt) {
+  const auto tx = core::compile(
+      source, translate::TranslateOptions::schema2_optimized());
+  return core::execute(tx, mopt);
+}
+
+TEST(MachineBudget, DeadlineExpiryIsTypedAndIdenticalOnEveryEngine) {
+  std::vector<std::string> messages;
+  for (const EngineConfig& cfg : all_engines()) {
+    MachineOptions mopt = cfg.mopt;
+    mopt.budget.deadline_ms = 30;
+    const RunResult r = run_source(kSpinSource, mopt);
+    EXPECT_FALSE(r.stats.completed) << cfg.name;
+    EXPECT_EQ(r.stats.error_detail.code, ErrorCode::kDeadlineExceeded)
+        << cfg.name << ": " << r.stats.error;
+    // Partial stats survive the expiry: the run did real work first.
+    EXPECT_GT(r.stats.cycles, 0u) << cfg.name;
+    EXPECT_GT(r.stats.ops_fired, 0u) << cfg.name;
+    // The failed run still renders schema-complete JSON.
+    const std::string json = render_stats_json(r.stats, mopt);
+    EXPECT_NE(json.find("\"code\": \"deadline-exceeded\""), std::string::npos)
+        << cfg.name << ":\n" << json;
+    EXPECT_NE(json.find("\"completed\": false"), std::string::npos);
+    messages.push_back(r.stats.error);
+  }
+  for (std::size_t i = 1; i < messages.size(); ++i)
+    EXPECT_EQ(messages[i], messages[0]) << "engine #" << i;
+}
+
+TEST(MachineBudget, TokenCeilingIsTypedAndIdenticalOnEveryEngine) {
+  std::vector<std::string> messages;
+  for (const EngineConfig& cfg : all_engines()) {
+    MachineOptions mopt = cfg.mopt;
+    mopt.budget.max_tokens = 1000;
+    const RunResult r = run_source(kSpinSource, mopt);
+    EXPECT_FALSE(r.stats.completed) << cfg.name;
+    EXPECT_EQ(r.stats.error_detail.code, ErrorCode::kTokenBudget)
+        << cfg.name << ": " << r.stats.error;
+    EXPECT_GT(r.stats.tokens_sent, 1000u) << cfg.name;
+    messages.push_back(r.stats.error);
+  }
+  for (std::size_t i = 1; i < messages.size(); ++i)
+    EXPECT_EQ(messages[i], messages[0]) << "engine #" << i;
+  EXPECT_EQ(messages[0],
+            "token budget exceeded: more than 1000 token(s) sent "
+            "(max-tokens)");
+}
+
+TEST(MachineBudget, ZeroDeadlineRejectsUpFrontOnEveryEngine) {
+  for (const EngineConfig& cfg : all_engines()) {
+    MachineOptions mopt = cfg.mopt;
+    mopt.budget.deadline_ms = 0;
+    const RunResult r = run_source(kFiniteSource, mopt);
+    EXPECT_FALSE(r.stats.completed) << cfg.name;
+    EXPECT_EQ(r.stats.error_detail.code, ErrorCode::kDeadlineExceeded)
+        << cfg.name;
+    // Rejected before a single cycle: nothing fired, store untouched.
+    EXPECT_EQ(r.stats.cycles, 0u) << cfg.name;
+    EXPECT_EQ(r.stats.ops_fired, 0u) << cfg.name;
+    EXPECT_EQ(r.stats.error,
+              "deadline exceeded: the 0 ms wall-clock budget was spent "
+              "before the program completed")
+        << cfg.name;
+  }
+}
+
+TEST(MachineBudget, GenerousBudgetIsByteIdenticalToNoBudget) {
+  for (const EngineConfig& cfg : all_engines()) {
+    const RunResult bare = run_source(kFiniteSource, cfg.mopt);
+    ASSERT_TRUE(bare.stats.completed) << cfg.name << ": " << bare.stats.error;
+
+    MachineOptions armed = cfg.mopt;
+    armed.budget.deadline_ms = 600'000;
+    armed.budget.max_tokens = 1ull << 60;
+    const RunResult r = run_source(kFiniteSource, armed);
+    ASSERT_TRUE(r.stats.completed) << cfg.name << ": " << r.stats.error;
+    EXPECT_TRUE(r.store == bare.store) << cfg.name;
+    // The async free discipline's counters vary run to run by design;
+    // everywhere else the human report must match byte for byte.
+    if (std::string(cfg.name) != "async-free") {
+      EXPECT_EQ(render_report(r.stats), render_report(bare.stats))
+          << cfg.name;
+    }
+  }
+}
+
+TEST(MachineBudget, CycleCapStillTripsThroughTheBudget) {
+  MachineOptions mopt;
+  mopt.budget.max_cycles = 500;
+  const RunResult r = run_source(kSpinSource, mopt);
+  EXPECT_FALSE(r.stats.completed);
+  EXPECT_EQ(r.stats.error_detail.code, ErrorCode::kCycleCap);
+}
+
+}  // namespace
+}  // namespace ctdf::machine

@@ -329,7 +329,7 @@ TEST(EventEquiv, CycleCapReportIsIdentical) {
   const NodeId e = add_end(g, 1);
   g.connect({never, 0}, {e, 0}, true);
   MachineOptions o;
-  o.max_cycles = 500;
+  o.budget.max_cycles = 500;
   o.record_profile = true;
   check_graph_event(g, 0, o, {}, "cycle-cap");
 }

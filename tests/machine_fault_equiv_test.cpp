@@ -275,7 +275,7 @@ TEST(FaultTaxonomy, CycleCapKeepsLegacyTextWhenFaultFree) {
       core::compile(lang::corpus::running_example_source(),
                     translate::TranslateOptions::schema2_optimized());
   MachineOptions mopt;
-  mopt.max_cycles = 3;
+  mopt.budget.max_cycles = 3;
   const RunResult r = core::execute(tx, mopt);
   EXPECT_FALSE(r.stats.completed);
   EXPECT_EQ(r.stats.error_detail.code, ErrorCode::kCycleCap);

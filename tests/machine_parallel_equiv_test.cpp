@@ -298,7 +298,7 @@ TEST(ParallelEquiv, CycleCapReportIsIdentical) {
   const NodeId e = add_end(g, 1);
   g.connect({never, 0}, {e, 0}, true);
   MachineOptions o;
-  o.max_cycles = 500;
+  o.budget.max_cycles = 500;
   o.record_profile = true;
   check_graph_equivalent(g, 0, o, {}, "cycle-cap");
 }

@@ -78,8 +78,8 @@ const std::vector<std::string> kOptionsKeys = {
     "engine", "check", "loop_mode", "width", "loop_bound", "processors",
     "placement", "network_latency", "alu_latency", "mem_latency",
     "host_threads", "parallel", "slack", "deterministic", "scheduler_seed",
-    "frame_capacity", "fault_seed", "fault_drop", "fault_dup",
-    "fault_jitter", "fault_nack"};
+    "frame_capacity", "max_cycles", "deadline_ms", "max_tokens",
+    "fault_seed", "fault_drop", "fault_dup", "fault_jitter", "fault_nack"};
 
 const std::vector<std::string> kErrorKeys = {"code", "message", "diagnosis"};
 
@@ -105,7 +105,7 @@ TEST(StatsJsonSchema, FailedRunEmitsTheSameKeySetWithATypedError) {
       lang::corpus::running_example_source(),
       translate::TranslateOptions::schema2_optimized());
   MachineOptions opt;
-  opt.max_cycles = 3;  // forces the cycle-cap failure
+  opt.budget.max_cycles = 3;  // forces the cycle-cap failure
   const RunResult r = core::execute(tx, opt);
   ASSERT_FALSE(r.stats.completed);
 
@@ -199,6 +199,11 @@ TEST(StatsJsonSchema, CacheDispositionSlugsAreGolden) {
                "hit-memory");
   EXPECT_STREQ(core::to_string(core::CacheDisposition::kHitDisk),
                "hit-disk");
+}
+
+TEST(StatsJsonSchema, BudgetCodesHaveStableSlugs) {
+  EXPECT_STREQ(code_slug(ErrorCode::kDeadlineExceeded), "deadline-exceeded");
+  EXPECT_STREQ(code_slug(ErrorCode::kTokenBudget), "token-budget");
 }
 
 TEST(StatsJsonSchema, EveryIntegrityCodeHasAStableSlug) {

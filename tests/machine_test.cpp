@@ -279,7 +279,7 @@ TEST(Machine, CycleCapReported) {
   const NodeId e = add_end(g, 1);
   g.connect({never, 0}, {e, 0}, true);
   MachineOptions o;
-  o.max_cycles = 500;
+  o.budget.max_cycles = 500;
   const RunResult r = run(g, 0, o);
   EXPECT_FALSE(r.stats.completed);
   EXPECT_FALSE(r.stats.error.empty());
@@ -335,7 +335,7 @@ TEST(Machine, CycleCapReportsCapAsCycleCount) {
   const NodeId e = add_end(g, 1);
   g.connect({never, 0}, {e, 0}, true);
   MachineOptions o;
-  o.max_cycles = 500;
+  o.budget.max_cycles = 500;
   const RunResult r = run(g, 0, o);
   EXPECT_FALSE(r.stats.completed);
   EXPECT_EQ(r.stats.error,

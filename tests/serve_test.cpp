@@ -4,12 +4,21 @@
 // golden response key sets downstream clients parse by name.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdio>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/json.hpp"
 #include "serve/serve.hpp"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
 
 namespace ctdf::serve {
 namespace {
@@ -222,6 +231,306 @@ TEST(Serve, ShutdownAcknowledgesAndStopsTheLoop) {
   (void)server.handle_line("{oops", &shutdown);
   EXPECT_FALSE(shutdown);
 }
+
+// ---- overload-safe serving -------------------------------------------
+
+const std::vector<std::string> kStatsResponseKeys = {"id", "op", "ok",
+                                                     "serve", "error"};
+const std::vector<std::string> kServeObjectKeys = {
+    "workers", "max_queue", "accepted", "completed", "rejected_overload",
+    "rejected_draining", "slow_requests", "client_disconnects",
+    "queue_depth", "in_flight", "per_worker"};
+const std::vector<std::string> kOverloadedErrorKeys = {"kind", "message",
+                                                       "retry_after_ms"};
+
+TEST(Serve, StatsOpEmitsTheGoldenKeySetAndCounts) {
+  Server server;
+  (void)server.handle_line(kRunX);
+  const JsonValue r =
+      parse_response(server.handle_line(R"({"id": 7, "op": "stats"})"));
+  EXPECT_EQ(keys(r), kStatsResponseKeys);
+  EXPECT_TRUE(r.find("ok")->boolean);
+  const JsonValue* s = r.find("serve");
+  EXPECT_EQ(keys(*s), kServeObjectKeys);
+  // The stats request itself was accepted before rendering; the run
+  // before it has completed.
+  EXPECT_EQ(s->find("accepted")->number, 2.0);
+  EXPECT_EQ(s->find("completed")->number, 1.0);
+  EXPECT_EQ(s->find("rejected_overload")->number, 0.0);
+  EXPECT_EQ(s->find("per_worker")->array.size(), 1u);  // default workers=1
+}
+
+TEST(Serve, RequestDeadlineZeroIsATypedMachineError) {
+  Server server;
+  const JsonValue r = parse_response(server.handle_line(
+      R"({"op": "run", "source": "var x;\n  x := 1 + 2;\n", "deadline_ms": 0})"));
+  EXPECT_EQ(keys(r), kProgramResponseKeys);  // full shape, not short form
+  EXPECT_FALSE(r.find("ok")->boolean);
+  EXPECT_EQ(r.find("error")->find("kind")->string, "machine");
+  EXPECT_EQ(r.find("stats")->find("error")->find("code")->string,
+            "deadline-exceeded");
+  EXPECT_TRUE(r.find("store")->is_null());
+}
+
+TEST(Serve, GenerousRequestDeadlineChangesNothing) {
+  Server server;
+  const JsonValue r = parse_response(server.handle_line(
+      R"({"op": "run", "source": "var x;\n  x := 1 + 2;\n", "deadline_ms": 600000})"));
+  EXPECT_TRUE(r.find("ok")->boolean);
+  EXPECT_EQ(r.find("store")->find("x")->number, 3.0);
+}
+
+TEST(Serve, BadDeadlineIsAProtocolError) {
+  Server server;
+  for (const char* line :
+       {R"({"op": "run", "source": "x", "deadline_ms": -5})",
+        R"({"op": "run", "source": "x", "deadline_ms": 1.5})",
+        R"({"op": "run", "source": "x", "deadline_ms": "soon"})"}) {
+    const JsonValue r = parse_response(server.handle_line(line));
+    EXPECT_FALSE(r.find("ok")->boolean) << line;
+    EXPECT_EQ(r.find("error")->find("kind")->string, "protocol") << line;
+  }
+}
+
+TEST(Serve, BatchItemsInheritTheBatchDeadline) {
+  Server server;
+  const std::string batch =
+      R"({"op": "run-batch", "deadline_ms": 0, "requests": [)"
+      R"({"id": 1, "source": "var x;\n  x := 1 + 2;\n"},)"
+      R"({"id": 2, "source": "var x;\n  x := 1 + 2;\n", "deadline_ms": 600000}]})";
+  const JsonValue r = parse_response(server.handle_line(batch));
+  const std::vector<JsonValue>& results = r.find("results")->array;
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].find("ok")->boolean);  // inherited 0 ms budget
+  EXPECT_EQ(results[0].find("stats")->find("error")->find("code")->string,
+            "deadline-exceeded");
+  EXPECT_TRUE(results[1].find("ok")->boolean);  // item override wins
+}
+
+#ifndef _WIN32
+
+/// Never terminates on its own; only a budget or deadline stops it.
+const char* kSpinWithDeadline =
+    R"({"id": 0, "op": "run", "source": "var x, i;\nl:\n  x := x + 1;\n  if i < 1 then goto l else goto end;\n", "deadline_ms": 400})";
+
+/// Drives serve_pipe over real fds: writes every request, closes the
+/// input, joins the server, and returns the response lines. A nonzero
+/// `first_stagger_ms` pauses after the first request so a worker has
+/// demonstrably started it before the rest (and EOF) arrive.
+std::vector<std::string> pipe_roundtrip(Server& server,
+                                        const std::vector<std::string>& reqs,
+                                        int first_stagger_ms = 0) {
+  int in_p[2] = {-1, -1};
+  int out_p[2] = {-1, -1};
+  EXPECT_EQ(::pipe(in_p), 0);
+  EXPECT_EQ(::pipe(out_p), 0);
+  std::thread t([&] { (void)server.serve_pipe(in_p[0], out_p[1]); });
+  const auto send = [&](const std::string& payload) {
+    std::size_t off = 0;
+    while (off < payload.size()) {
+      const ssize_t w =
+          ::write(in_p[1], payload.data() + off, payload.size() - off);
+      EXPECT_GT(w, 0) << "write to serve_pipe failed";
+      if (w <= 0) return;
+      off += static_cast<std::size_t>(w);
+    }
+  };
+  std::string all;
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    if (i == 1 && first_stagger_ms > 0) {
+      send(all);
+      all.clear();
+      std::this_thread::sleep_for(std::chrono::milliseconds(first_stagger_ms));
+    }
+    all += reqs[i] + "\n";
+  }
+  send(all);
+  ::close(in_p[1]);
+  t.join();
+  ::close(out_p[1]);  // our copy of the write end: EOF for the read below
+  std::string buf;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(out_p[0], chunk, sizeof chunk)) > 0)
+    buf.append(chunk, static_cast<std::size_t>(n));
+  ::close(in_p[0]);
+  ::close(out_p[0]);
+  std::vector<std::string> lines;
+  std::istringstream is(buf);
+  for (std::string line; std::getline(is, line);) lines.push_back(line);
+  return lines;
+}
+
+TEST(ServePump, FullQueueRejectsWithTypedOverloadAndRetryHint) {
+  ServeOptions opt;
+  opt.workers = 1;
+  opt.max_queue = 1;
+  opt.drain_ms = 10'000;  // EOF drain must still run the queued request
+  Server server(opt);
+  std::vector<std::string> reqs = {kSpinWithDeadline};
+  for (int i = 1; i <= 30; ++i)
+    reqs.push_back(R"({"id": )" + std::to_string(i) +
+                   R"(, "op": "run", "source": "var x;\n  x := 1 + 2;\n"})");
+  // Stagger so the worker is pinned on the spinner (queue empty) when
+  // the flood arrives: one slot admits, the rest are turned away.
+  const std::vector<std::string> lines =
+      pipe_roundtrip(server, reqs, /*first_stagger_ms=*/100);
+  // Exactly one response per request, in request order.
+  ASSERT_EQ(lines.size(), reqs.size());
+  const JsonValue spin = parse_response(lines[0]);
+  EXPECT_FALSE(spin.find("ok")->boolean);
+  EXPECT_EQ(spin.find("error")->find("kind")->string, "machine");
+
+  std::size_t overloaded = 0;
+  std::size_t served = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const JsonValue r = parse_response(lines[i]);
+    const JsonValue* err = r.find("error");
+    if (!err->is_null() && err->find("kind")->string == "overloaded") {
+      ++overloaded;
+      EXPECT_EQ(keys(*err), kOverloadedErrorKeys) << lines[i];
+      EXPECT_GE(err->find("retry_after_ms")->number, 1.0);
+      EXPECT_TRUE(r.find("id")->is_null());  // correlate by order
+    } else {
+      EXPECT_TRUE(r.find("ok")->boolean) << lines[i];
+      ++served;
+    }
+  }
+  // The single worker was pinned on the spinner: almost everything
+  // behind the one queue slot was turned away, but whatever was
+  // admitted ran to completion.
+  EXPECT_GE(overloaded, 1u);
+  EXPECT_GE(served, 1u);
+  EXPECT_EQ(server.stats().rejected_overload.load(), overloaded);
+}
+
+TEST(ServePump, ClosedDrainWindowRejectsQueuedRequestsAsDraining) {
+  ServeOptions opt;
+  opt.workers = 1;
+  opt.drain_ms = 0;  // the window closes the instant draining starts
+  Server server(opt);
+  const std::vector<std::string> lines = pipe_roundtrip(
+      server,
+      {kSpinWithDeadline,
+       R"({"id": 1, "op": "run", "source": "var x;\n  x := 1 + 2;\n"})",
+       R"({"id": 2, "op": "run", "source": "var x;\n  x := 1 + 2;\n"})"},
+      /*first_stagger_ms=*/100);
+  // The spinner was in flight before EOF (staggered write), so it
+  // finishes with its typed machine error; the queued two fall outside
+  // the zero-width drain window but are still answered.
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(parse_response(lines[0]).find("error")->find("kind")->string,
+            "machine");
+  for (std::size_t i = 1; i < 3; ++i) {
+    const JsonValue r = parse_response(lines[i]);
+    EXPECT_FALSE(r.find("ok")->boolean);
+    EXPECT_EQ(r.find("error")->find("kind")->string, "draining") << lines[i];
+    EXPECT_EQ(r.find("id")->number, static_cast<double>(i));  // id echoed
+  }
+  EXPECT_EQ(server.stats().rejected_draining.load(), 2u);
+}
+
+TEST(ServePump, ShutdownOpDrainsAndExitsThePipeLoop) {
+  ServeOptions opt;
+  opt.workers = 2;
+  Server server(opt);
+  const std::vector<std::string> lines = pipe_roundtrip(
+      server, {kRunX, R"({"id": 9, "op": "shutdown"})"});
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(parse_response(lines[0]).find("ok")->boolean);
+  const JsonValue ack = parse_response(lines[1]);
+  EXPECT_TRUE(ack.find("ok")->boolean);
+  EXPECT_EQ(ack.find("op")->string, "shutdown");
+}
+
+int connect_unix(const std::string& path) {
+  for (int attempt = 0; attempt < 300; ++attempt) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof addr.sun_path, "%s", path.c_str());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0)
+      return fd;
+    ::close(fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return -1;
+}
+
+bool send_all(int fd, const std::string& s) {
+  std::size_t off = 0;
+  while (off < s.size()) {
+    const ssize_t w = ::write(fd, s.data() + off, s.size() - off);
+    if (w <= 0) return false;
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+std::string recv_line(int fd) {
+  std::string line;
+  char c;
+  while (::read(fd, &c, 1) == 1) {
+    if (c == '\n') return line;
+    line.push_back(c);
+  }
+  return line;
+}
+
+TEST(ServePump, SocketClientDisconnectMidBatchDoesNotKillTheServer) {
+  ServeOptions opt;
+  opt.workers = 2;
+  Server server(opt);
+  const std::string path =
+      ::testing::TempDir() + "/ctdf_serve_disc_" +
+      std::to_string(static_cast<long>(::getpid())) + ".sock";
+  std::thread t([&] { (void)server.serve_socket(path); });
+
+  // Client 1: a batch of real work, then hang up without reading the
+  // response. The server's write must fail quietly (EPIPE is ignored),
+  // be counted, and leave the listener accepting.
+  {
+    const int c1 = connect_unix(path);
+    ASSERT_GE(c1, 0);
+    std::string batch = R"({"op": "run-batch", "requests": [)";
+    for (int i = 0; i < 6; ++i) {
+      if (i) batch += ", ";
+      batch += R"({"id": )" + std::to_string(i) +
+               R"(, "source": "var x;\n  x := )" + std::to_string(i) +
+               R"( + 1;\n"})";
+    }
+    batch += "]}\n";
+    ASSERT_TRUE(send_all(c1, batch));
+    ::close(c1);  // gone before the response exists
+  }
+
+  // Client 2: the server must still answer.
+  const int c2 = connect_unix(path);
+  ASSERT_GE(c2, 0);
+  ASSERT_TRUE(send_all(c2, std::string(kRunX) + "\n"));
+  const JsonValue r = parse_response(recv_line(c2));
+  EXPECT_TRUE(r.find("ok")->boolean);
+  EXPECT_EQ(r.find("store")->find("x")->number, 3.0);
+
+  // The hangup was observed and counted (the batch may still be
+  // computing: wait for the failed write, bounded).
+  for (int i = 0; i < 200 && server.stats().client_disconnects.load() == 0;
+       ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(server.stats().client_disconnects.load(), 1u);
+
+  ASSERT_TRUE(send_all(c2, "{\"op\": \"shutdown\"}\n"));
+  const JsonValue ack = parse_response(recv_line(c2));
+  EXPECT_TRUE(ack.find("ok")->boolean);
+  ::close(c2);
+  t.join();
+  // Clean exit unlinks the socket file.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+#endif  // !_WIN32
 
 TEST(Serve, StreamLoopEmitsOneLinePerRequestAndStopsOnShutdown) {
   Server server;

@@ -128,6 +128,24 @@ std::vector<SchemaConfig> standard_configs() {
     out.back().mopt.engine = machine::EngineKind::kEvent;
   }
   {
+    // Armed-but-generous run budget: a ten-minute deadline and a token
+    // allowance no fuzz program approaches. Engaging the budget checks
+    // must not perturb a single store cell relative to every unarmed
+    // rung above — the poll is observation, never scheduling.
+    add("budget/generous-deadline", TranslateOptions::schema2_optimized(),
+        machine::LoopMode::kPipelined, 0);
+    out.back().mopt.budget.deadline_ms = 600'000;
+    out.back().mopt.budget.max_tokens = 1ull << 60;
+
+    auto t = TranslateOptions::schema2_optimized();
+    t.eliminate_memory = true;
+    add("budget/generous-async", t, machine::LoopMode::kBarrier, 0);
+    out.back().mopt.budget.deadline_ms = 600'000;
+    out.back().mopt.budget.max_tokens = 1ull << 60;
+    out.back().mopt.parallel = machine::ParallelMode::kAsync;
+    out.back().mopt.host_threads = 3;
+  }
+  {
     // Async work-stealing engine, both disciplines: every fuzz program
     // must reach the interpreter's store under epoch-fenced and
     // free-running schedules alike. These configs are also what the CI

@@ -122,7 +122,20 @@
 // --disk-capacity):
 //   --socket=PATH           listen on a Unix stream socket instead of
 //                           stdin/stdout
-//   --workers=N             run-batch executor threads (default 1)
+//   --workers=N             executor threads: the request pump's pool
+//                           and run-batch fan-out (default 1)
+//   --max-queue=N           admission bound; requests beyond N queued
+//                           get a typed "overloaded" rejection with a
+//                           retry_after_ms hint (default 256)
+//   --drain-ms=N            graceful-drain window after shutdown /
+//                           SIGTERM / EOF: queued requests still run
+//                           until it closes, then are rejected as
+//                           "draining" (default 2000)
+//   --slow-ms=N             requests slower than N ms bump the
+//                           slow_requests counter in the "stats" op
+//                           (default 1000)
+//   --default-deadline-ms=N wall-clock budget applied to requests that
+//                           carry no "deadline_ms" of their own
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -170,6 +183,10 @@ struct Cli {
   std::size_t disk_capacity = 256;
   std::string socket_path;       // serve
   std::size_t serve_workers = 1;  // serve
+  std::size_t serve_max_queue = 256;         // serve admission bound
+  std::size_t serve_drain_ms = 2000;         // serve drain window
+  std::size_t serve_slow_ms = 1000;          // serve slow-request mark
+  std::int64_t serve_default_deadline = -1;  // serve per-request default
   bool ok = true;
 };
 
@@ -300,6 +317,38 @@ Cli parse_cli(int argc, char** argv) {
         cli.ok = false;
       } else {
         cli.serve_workers = static_cast<std::size_t>(v);
+      }
+    } else if (starts_with(a, "--max-queue=")) {
+      unsigned long long v = 0;
+      if (!parse_unsigned(value_of(a), v) || v == 0 || v > 1u << 20) {
+        std::fprintf(stderr, "bad value: %s\n", a.c_str());
+        cli.ok = false;
+      } else {
+        cli.serve_max_queue = static_cast<std::size_t>(v);
+      }
+    } else if (starts_with(a, "--drain-ms=")) {
+      unsigned long long v = 0;
+      if (!parse_unsigned(value_of(a), v) || v > 1u << 24) {
+        std::fprintf(stderr, "bad value: %s\n", a.c_str());
+        cli.ok = false;
+      } else {
+        cli.serve_drain_ms = static_cast<std::size_t>(v);
+      }
+    } else if (starts_with(a, "--slow-ms=")) {
+      unsigned long long v = 0;
+      if (!parse_unsigned(value_of(a), v) || v > 1u << 24) {
+        std::fprintf(stderr, "bad value: %s\n", a.c_str());
+        cli.ok = false;
+      } else {
+        cli.serve_slow_ms = static_cast<std::size_t>(v);
+      }
+    } else if (starts_with(a, "--default-deadline-ms=")) {
+      unsigned long long v = 0;
+      if (!parse_unsigned(value_of(a), v) || v > 1ull << 40) {
+        std::fprintf(stderr, "bad value: %s\n", a.c_str());
+        cli.ok = false;
+      } else {
+        cli.serve_default_deadline = static_cast<std::int64_t>(v);
       }
     } else if (a == "--report") {
       cli.report = true;
@@ -444,12 +493,18 @@ int cmd_run_blob(const Cli& cli) {
 int cmd_serve(const Cli& cli) {
   serve::ServeOptions so;
   so.workers = cli.serve_workers;
+  so.max_queue = cli.serve_max_queue;
+  so.drain_ms = static_cast<std::int64_t>(cli.serve_drain_ms);
+  so.slow_ms = static_cast<std::int64_t>(cli.serve_slow_ms);
+  so.default_deadline_ms = cli.serve_default_deadline;
   so.cache.capacity = cli.cache_capacity;
   so.cache.dir = cli.cache_dir;
   so.cache.disk_capacity = cli.disk_capacity;
   serve::Server server(so);
   if (!cli.socket_path.empty()) return server.serve_socket(cli.socket_path);
-  return server.serve_stream(std::cin, std::cout);
+  // stdin mode runs the same overload-safe pump as the socket loop:
+  // bounded admission, ordered responses, signal-aware drain.
+  return server.serve_pipe(0, 1);
 }
 
 int cmd_interp(const Cli& cli, const lang::Program& prog) {
